@@ -1,0 +1,137 @@
+//! Interned symbol alphabets.
+//!
+//! The paper's automata range over kernel-service abbreviations (`TC`,
+//! `TCH`, …) rather than characters, so symbols here are interned strings:
+//! an [`Alphabet`] maps between the string form and a compact [`Sym`]
+//! index used by the automata.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned symbol: an index into an [`Alphabet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u16);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A finite alphabet of named symbols (Σ in Definition 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    #[must_use]
+    pub fn new() -> Alphabet {
+        Alphabet::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct symbols are interned.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        assert!(self.names.len() < usize::from(u16::MAX), "alphabet overflow");
+        let s = Sym(self.names.len() as u16);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up an already-interned symbol.
+    #[must_use]
+    pub fn sym(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).copied()
+    }
+
+    /// The string form of a symbol.
+    #[must_use]
+    pub fn name(&self, sym: Sym) -> Option<&str> {
+        self.names.get(usize::from(sym.0)).map(String::as_str)
+    }
+
+    /// Number of distinct symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet has no symbols.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u16), n.as_str()))
+    }
+
+    /// Renders a symbol sequence as space-separated names (unknown
+    /// symbols render as `?`).
+    #[must_use]
+    pub fn render(&self, seq: &[Sym]) -> String {
+        seq.iter()
+            .map(|&s| self.name(s).unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let tc1 = a.intern("TC");
+        let tch = a.intern("TCH");
+        let tc2 = a.intern("TC");
+        assert_eq!(tc1, tc2);
+        assert_ne!(tc1, tch);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut a = Alphabet::new();
+        let s = a.intern("TS");
+        assert_eq!(a.sym("TS"), Some(s));
+        assert_eq!(a.name(s), Some("TS"));
+        assert_eq!(a.sym("TX"), None);
+        assert_eq!(a.name(Sym(99)), None);
+    }
+
+    #[test]
+    fn render_sequences() {
+        let mut a = Alphabet::new();
+        let tc = a.intern("TC");
+        let td = a.intern("TD");
+        assert_eq!(a.render(&[tc, td]), "TC TD");
+        assert_eq!(a.render(&[tc, Sym(42)]), "TC ?");
+        assert_eq!(a.render(&[]), "");
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut a = Alphabet::new();
+        a.intern("x");
+        a.intern("y");
+        let names: Vec<&str> = a.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Subset construction and Hopcroft-style minimization.
+//!
+//! The DFA serves two roles in the reproduction: it is the deterministic
+//! skeleton the PFA attaches probabilities to, and it is the *legality
+//! oracle* used by tests and experiments to check that every generated
+//! test pattern is a prefix of the language of the paper's Eq. 2.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::alphabet::Sym;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// A DFA state index.
+pub type DfaStateId = usize;
+
+/// A deterministic finite automaton over an interned alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// `transitions[q]` = symbol → target, deterministic.
+    transitions: Vec<BTreeMap<Sym, DfaStateId>>,
+    accepting: Vec<bool>,
+    start: DfaStateId,
+}
+
+impl Dfa {
+    /// Builds a DFA from an NFA by subset construction.
+    #[must_use]
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        let mut index: HashMap<BTreeSet<usize>, DfaStateId> = HashMap::new();
+        let mut transitions: Vec<BTreeMap<Sym, DfaStateId>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut worklist: Vec<BTreeSet<usize>> = Vec::new();
+
+        index.insert(start_set.clone(), 0);
+        transitions.push(BTreeMap::new());
+        accepting.push(start_set.contains(&nfa.accept()));
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let from = index[&set];
+            // All symbols leaving this subset.
+            let mut symbols: BTreeSet<Sym> = BTreeSet::new();
+            for &q in &set {
+                for &(label, _) in nfa.transitions_from(q) {
+                    if let Some(s) = label {
+                        symbols.insert(s);
+                    }
+                }
+            }
+            for sym in symbols {
+                let stepped = nfa.step(&set, sym);
+                if stepped.is_empty() {
+                    continue;
+                }
+                let closure = nfa.epsilon_closure(&stepped);
+                let to = *index.entry(closure.clone()).or_insert_with(|| {
+                    transitions.push(BTreeMap::new());
+                    accepting.push(closure.contains(&nfa.accept()));
+                    worklist.push(closure.clone());
+                    transitions.len() - 1
+                });
+                transitions[from].insert(sym, to);
+            }
+        }
+        Dfa {
+            transitions,
+            accepting,
+            start: 0,
+        }
+    }
+
+    /// Convenience: regex → NFA → DFA.
+    #[must_use]
+    pub fn from_regex(re: &Regex) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(re))
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn start(&self) -> DfaStateId {
+        self.start
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the DFA has no states (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Whether `state` is accepting.
+    #[must_use]
+    pub fn is_accepting(&self, state: DfaStateId) -> bool {
+        self.accepting[state]
+    }
+
+    /// The transition `state --sym-->`, if defined.
+    #[must_use]
+    pub fn next(&self, state: DfaStateId, sym: Sym) -> Option<DfaStateId> {
+        self.transitions[state].get(&sym).copied()
+    }
+
+    /// Outgoing transitions of `state` in symbol order.
+    #[must_use]
+    pub fn transitions_from(&self, state: DfaStateId) -> Vec<(Sym, DfaStateId)> {
+        self.transitions[state]
+            .iter()
+            .map(|(&s, &t)| (s, t))
+            .collect()
+    }
+
+    /// Runs the DFA over `seq`; `None` if a transition is missing.
+    #[must_use]
+    pub fn run(&self, seq: &[Sym]) -> Option<DfaStateId> {
+        let mut q = self.start;
+        for &sym in seq {
+            q = self.next(q, sym)?;
+        }
+        Some(q)
+    }
+
+    /// Whether the DFA accepts `seq` exactly.
+    #[must_use]
+    pub fn accepts(&self, seq: &[Sym]) -> bool {
+        self.run(seq).is_some_and(|q| self.accepting[q])
+    }
+
+    /// Whether `seq` is a prefix of some accepted string (every generated
+    /// test pattern must satisfy this — the paper's "rational order").
+    #[must_use]
+    pub fn is_valid_prefix(&self, seq: &[Sym]) -> bool {
+        self.run(seq).is_some()
+    }
+
+    /// Total number of transitions.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Moore-style partition-refinement minimization.
+    ///
+    /// States are first trimmed to the reachable set (subset construction
+    /// already guarantees that), then merged by behavioural equivalence.
+    #[must_use]
+    pub fn minimize(&self) -> Dfa {
+        // Initial partition: accepting vs non-accepting.
+        let n = self.transitions.len();
+        let mut class: Vec<usize> = self
+            .accepting
+            .iter()
+            .map(|&a| usize::from(a))
+            .collect();
+        loop {
+            // Signature = (class, sorted (sym, class-of-target) list).
+            let mut sig_index: HashMap<(usize, Vec<(Sym, usize)>), usize> = HashMap::new();
+            let mut next_class = vec![0usize; n];
+            for q in 0..n {
+                let sig: Vec<(Sym, usize)> = self.transitions[q]
+                    .iter()
+                    .map(|(&s, &t)| (s, class[t]))
+                    .collect();
+                let key = (class[q], sig);
+                let fresh = sig_index.len();
+                let id = *sig_index.entry(key).or_insert(fresh);
+                next_class[q] = id;
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        let class_count = class.iter().max().map_or(0, |m| m + 1);
+        let mut transitions = vec![BTreeMap::new(); class_count];
+        let mut accepting = vec![false; class_count];
+        for q in 0..n {
+            accepting[class[q]] = self.accepting[q];
+            for (&s, &t) in &self.transitions[q] {
+                transitions[class[q]].insert(s, class[t]);
+            }
+        }
+        Dfa {
+            transitions,
+            accepting,
+            start: class[self.start],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(re: &Regex, names: &[&str]) -> Vec<Sym> {
+        names
+            .iter()
+            .map(|n| re.alphabet().sym(n).expect("symbol interned"))
+            .collect()
+    }
+
+    #[test]
+    fn fig3_dfa_structure() {
+        let re = Regex::parse("(a c* d) | b").unwrap();
+        let dfa = Dfa::from_regex(&re).minimize();
+        // Figure 3 has exactly three states: q0, q1, q2.
+        assert_eq!(dfa.len(), 3);
+        assert_eq!(dfa.transition_count(), 4);
+        assert!(dfa.accepts(&syms(&re, &["b"])));
+        assert!(dfa.accepts(&syms(&re, &["a", "c", "c", "d"])));
+        assert!(!dfa.accepts(&syms(&re, &["a", "c"])));
+        assert!(dfa.is_valid_prefix(&syms(&re, &["a", "c"])));
+        assert!(!dfa.is_valid_prefix(&syms(&re, &["b", "a"])));
+    }
+
+    #[test]
+    fn pcore_dfa_structure() {
+        let re = Regex::pcore_task_lifecycle();
+        let dfa = Dfa::from_regex(&re).minimize();
+        // start --TC--> running; running --TCH--> running, --TS--> waiting,
+        // --TD/TY--> done; waiting --TR--> running. Four states.
+        assert_eq!(dfa.len(), 4, "minimal pCore lifecycle DFA has 4 states");
+        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        assert_eq!(
+            dfa.next(running, re.alphabet().sym("TCH").unwrap()),
+            Some(running),
+            "TCH self-loops on the running state"
+        );
+        let waiting = dfa.next(running, re.alphabet().sym("TS").unwrap()).unwrap();
+        assert_eq!(
+            dfa.next(waiting, re.alphabet().sym("TR").unwrap()),
+            Some(running),
+            "TR returns to running"
+        );
+        assert_eq!(dfa.transitions_from(waiting).len(), 1, "only TR leaves waiting");
+        let done = dfa.next(running, re.alphabet().sym("TD").unwrap()).unwrap();
+        assert!(dfa.is_accepting(done));
+        assert!(dfa.transitions_from(done).is_empty(), "done is absorbing");
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_on_pcore_strings() {
+        let re = Regex::pcore_task_lifecycle();
+        let nfa = Nfa::from_regex(&re);
+        let dfa = Dfa::from_regex(&re);
+        let cases: Vec<Vec<&str>> = vec![
+            vec!["TC", "TD"],
+            vec!["TC", "TY"],
+            vec!["TC", "TCH", "TD"],
+            vec!["TC", "TS", "TR", "TY"],
+            vec!["TC", "TS", "TR", "TCH", "TCH", "TD"],
+            vec!["TC", "TR"],
+            vec!["TC", "TS", "TS"],
+            vec!["TD"],
+            vec!["TC"],
+            vec!["TC", "TS"],
+        ];
+        for case in cases {
+            let seq = syms(&re, &case);
+            assert_eq!(
+                nfa.accepts(&seq),
+                dfa.accepts(&seq),
+                "nfa/dfa disagree on {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let re = Regex::parse("(a b | a b) (c | c)*").unwrap();
+        let dfa = Dfa::from_regex(&re);
+        let min = dfa.minimize();
+        assert!(min.len() <= dfa.len());
+        for case in [vec!["a", "b"], vec!["a", "b", "c", "c"], vec!["a"], vec!["b"]] {
+            let seq = syms(&re, &case);
+            assert_eq!(dfa.accepts(&seq), min.accepts(&seq), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn missing_transition_is_rejection_not_panic() {
+        let re = Regex::parse("a b").unwrap();
+        let dfa = Dfa::from_regex(&re);
+        let b = re.alphabet().sym("b").unwrap();
+        assert_eq!(dfa.run(&[b]), None);
+        assert!(!dfa.accepts(&[b]));
+    }
+
+    #[test]
+    fn epsilon_language_accepts_empty() {
+        let re = Regex::parse("a?").unwrap();
+        let dfa = Dfa::from_regex(&re);
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.is_accepting(dfa.start()));
+    }
+}

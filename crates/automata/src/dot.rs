@@ -1,0 +1,139 @@
+//! Graphviz DOT export for automata — regenerates the paper's Figure 3
+//! and Figure 5 style drawings from the built structures.
+
+use std::fmt::Write as _;
+
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::pfa::Pfa;
+
+/// Renders a DFA as a Graphviz digraph. Accepting states are drawn with
+/// double circles; the start state gets an inbound arrow from a point
+/// node, as in the paper's figures.
+#[must_use]
+pub fn dfa_to_dot(dfa: &Dfa, alphabet: &Alphabet, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  __start [shape=point];");
+    let _ = writeln!(out, "  __start -> q{};", dfa.start());
+    for q in 0..dfa.len() {
+        if dfa.is_accepting(q) {
+            let _ = writeln!(out, "  q{q} [shape=doublecircle];");
+        }
+        for (sym, target) in dfa.transitions_from(q) {
+            let _ = writeln!(
+                out,
+                "  q{q} -> q{target} [label=\"{}\"];",
+                escape(alphabet.name(sym).unwrap_or("?"))
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a PFA as a Graphviz digraph with probability-annotated edges —
+/// the exact shape of the paper's Figure 3 / Figure 5 drawings.
+#[must_use]
+pub fn pfa_to_dot(pfa: &Pfa, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  __start [shape=point];");
+    let _ = writeln!(out, "  __start -> q{};", pfa.start());
+    for q in 0..pfa.len() {
+        if pfa.is_accepting(q) {
+            let _ = writeln!(out, "  q{q} [shape=doublecircle];");
+        }
+        for &(sym, target, p) in pfa.transitions_from(q) {
+            let _ = writeln!(
+                out,
+                "  q{q} -> q{target} [label=\"{} ({p:.2})\"];",
+                escape(pfa.alphabet().name(sym).unwrap_or("?"))
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfa::ProbabilityAssignment;
+    use crate::regex::Regex;
+
+    fn fig3() -> (Regex, Dfa, Pfa) {
+        let re = Regex::parse("(a c* d) | b").unwrap();
+        let dfa = Dfa::from_regex(&re).minimize();
+        let pfa = Pfa::from_dfa(
+            &dfa,
+            re.alphabet().clone(),
+            &ProbabilityAssignment::weights([("a", 0.6), ("b", 0.4), ("c", 0.3), ("d", 0.7)]),
+        )
+        .unwrap();
+        (re, dfa, pfa)
+    }
+
+    #[test]
+    fn dfa_dot_contains_all_transitions() {
+        let (re, dfa, _) = fig3();
+        let dot = dfa_to_dot(&dfa, re.alphabet(), "fig3");
+        assert!(dot.starts_with("digraph \"fig3\""));
+        for sym in ["a", "b", "c", "d"] {
+            assert!(dot.contains(&format!("label=\"{sym}\"")), "{dot}");
+        }
+        assert!(dot.contains("doublecircle"), "accepting state drawn");
+        assert!(dot.contains("__start ->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn pfa_dot_contains_probabilities() {
+        let (_, _, pfa) = fig3();
+        let dot = pfa_to_dot(&pfa, "fig3-pfa");
+        assert!(dot.contains("a (0.60)"), "{dot}");
+        assert!(dot.contains("b (0.40)"));
+        assert!(dot.contains("c (0.30)"));
+        assert!(dot.contains("d (0.70)"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let (_, dfa, _) = fig3();
+        let mut alphabet = Alphabet::new();
+        alphabet.intern("x");
+        let dot = dfa_to_dot(&dfa, &alphabet, "a \"quoted\" title");
+        assert!(dot.contains("a \\\"quoted\\\" title"));
+    }
+
+    #[test]
+    fn pcore_pfa_renders_fig5_shape() {
+        let re = Regex::pcore_task_lifecycle();
+        let dfa = Dfa::from_regex(&re).minimize();
+        let pfa = Pfa::from_dfa(
+            &dfa,
+            re.alphabet().clone(),
+            &ProbabilityAssignment::weights([
+                ("TC", 1.0),
+                ("TCH", 0.6),
+                ("TS", 0.2),
+                ("TD", 0.1),
+                ("TY", 0.1),
+                ("TR", 1.0),
+            ]),
+        )
+        .unwrap();
+        let dot = pfa_to_dot(&pfa, "pcore");
+        assert!(dot.contains("TCH (0.60)"));
+        assert!(dot.contains("TR (1.00)"));
+        assert_eq!(dot.matches("->").count(), 7, "6 transitions + start arrow");
+    }
+}

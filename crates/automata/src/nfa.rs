@@ -1,0 +1,258 @@
+//! Thompson construction: regular expression → NFA with ε-transitions.
+//!
+//! This is the `ConvertToNFA` step of the paper's Algorithm 2.
+
+use std::collections::BTreeSet;
+
+use crate::alphabet::Sym;
+use crate::regex::{Ast, Regex};
+
+/// An NFA state index.
+pub type NfaStateId = usize;
+
+/// A nondeterministic finite automaton with ε-transitions and a single
+/// accepting state (the Thompson normal form).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `transitions[q]` = list of `(label, target)`; `None` = ε.
+    transitions: Vec<Vec<(Option<Sym>, NfaStateId)>>,
+    start: NfaStateId,
+    accept: NfaStateId,
+}
+
+impl Nfa {
+    /// Builds the Thompson NFA of a regular expression.
+    #[must_use]
+    pub fn from_regex(re: &Regex) -> Nfa {
+        let mut builder = Builder { transitions: Vec::new() };
+        let (start, accept) = builder.compile(re.ast());
+        Nfa {
+            transitions: builder.transitions,
+            start,
+            accept,
+        }
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn start(&self) -> NfaStateId {
+        self.start
+    }
+
+    /// The unique accepting state.
+    #[must_use]
+    pub fn accept(&self) -> NfaStateId {
+        self.accept
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the NFA has no states (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Outgoing transitions of `state`.
+    #[must_use]
+    pub fn transitions_from(&self, state: NfaStateId) -> &[(Option<Sym>, NfaStateId)] {
+        &self.transitions[state]
+    }
+
+    /// The ε-closure of a set of states.
+    #[must_use]
+    pub fn epsilon_closure(&self, states: &BTreeSet<NfaStateId>) -> BTreeSet<NfaStateId> {
+        let mut closure = states.clone();
+        let mut stack: Vec<NfaStateId> = states.iter().copied().collect();
+        while let Some(q) = stack.pop() {
+            for &(label, target) in &self.transitions[q] {
+                if label.is_none() && closure.insert(target) {
+                    stack.push(target);
+                }
+            }
+        }
+        closure
+    }
+
+    /// States reachable from `states` on symbol `sym` (before closure).
+    #[must_use]
+    pub fn step(&self, states: &BTreeSet<NfaStateId>, sym: Sym) -> BTreeSet<NfaStateId> {
+        let mut out = BTreeSet::new();
+        for &q in states {
+            for &(label, target) in &self.transitions[q] {
+                if label == Some(sym) {
+                    out.insert(target);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the NFA accepts the symbol sequence (reference semantics
+    /// for testing the DFA construction against).
+    #[must_use]
+    pub fn accepts(&self, seq: &[Sym]) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for &sym in seq {
+            let stepped = self.step(&current, sym);
+            if stepped.is_empty() {
+                return false;
+            }
+            current = self.epsilon_closure(&stepped);
+        }
+        current.contains(&self.accept)
+    }
+}
+
+struct Builder {
+    transitions: Vec<Vec<(Option<Sym>, NfaStateId)>>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> NfaStateId {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn edge(&mut self, from: NfaStateId, label: Option<Sym>, to: NfaStateId) {
+        self.transitions[from].push((label, to));
+    }
+
+    /// Compiles `ast` into a fragment, returning `(start, accept)`.
+    fn compile(&mut self, ast: &Ast) -> (NfaStateId, NfaStateId) {
+        match ast {
+            Ast::Epsilon => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edge(s, None, a);
+                (s, a)
+            }
+            Ast::Symbol(sym) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edge(s, Some(*sym), a);
+                (s, a)
+            }
+            Ast::Concat(l, r) => {
+                let (ls, la) = self.compile(l);
+                let (rs, ra) = self.compile(r);
+                self.edge(la, None, rs);
+                (ls, ra)
+            }
+            Ast::Alt(l, r) => {
+                let (ls, la) = self.compile(l);
+                let (rs, ra) = self.compile(r);
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edge(s, None, ls);
+                self.edge(s, None, rs);
+                self.edge(la, None, a);
+                self.edge(ra, None, a);
+                (s, a)
+            }
+            Ast::Star(inner) => {
+                let (is, ia) = self.compile(inner);
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edge(s, None, is);
+                self.edge(s, None, a);
+                self.edge(ia, None, is);
+                self.edge(ia, None, a);
+                (s, a)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn syms(re: &Regex, names: &[&str]) -> Vec<Sym> {
+        names
+            .iter()
+            .map(|n| re.alphabet().sym(n).unwrap_or_else(|| panic!("no symbol {n}")))
+            .collect()
+    }
+
+    #[test]
+    fn accepts_single_symbol() {
+        let re = Regex::parse("a").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&syms(&re, &["a"])));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&syms(&re, &["a", "a"])));
+    }
+
+    #[test]
+    fn accepts_fig3_language() {
+        // (ac*d)|b
+        let re = Regex::parse("(a c* d) | b").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&syms(&re, &["b"])));
+        assert!(nfa.accepts(&syms(&re, &["a", "d"])));
+        assert!(nfa.accepts(&syms(&re, &["a", "c", "d"])));
+        assert!(nfa.accepts(&syms(&re, &["a", "c", "c", "c", "d"])));
+        assert!(!nfa.accepts(&syms(&re, &["a"])));
+        assert!(!nfa.accepts(&syms(&re, &["a", "b"])));
+        assert!(!nfa.accepts(&syms(&re, &["c", "d"])));
+        assert!(!nfa.accepts(&syms(&re, &["b", "b"])));
+    }
+
+    #[test]
+    fn accepts_pcore_lifecycles() {
+        let re = Regex::pcore_task_lifecycle();
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&syms(&re, &["TC", "TD"])));
+        assert!(nfa.accepts(&syms(&re, &["TC", "TY"])));
+        assert!(nfa.accepts(&syms(&re, &["TC", "TCH", "TCH", "TD"])));
+        assert!(nfa.accepts(&syms(&re, &["TC", "TS", "TR", "TD"])));
+        assert!(nfa.accepts(&syms(&re, &["TC", "TS", "TR", "TCH", "TS", "TR", "TY"])));
+        // Illegal orders from the paper: resume without suspend, etc.
+        assert!(!nfa.accepts(&syms(&re, &["TC", "TR", "TD"])));
+        assert!(!nfa.accepts(&syms(&re, &["TC", "TS", "TD"])));
+        assert!(!nfa.accepts(&syms(&re, &["TD"])));
+        assert!(!nfa.accepts(&syms(&re, &["TC"])));
+        assert!(!nfa.accepts(&syms(&re, &["TC", "TD", "TD"])));
+    }
+
+    #[test]
+    fn epsilon_closure_includes_self() {
+        let re = Regex::parse("a*").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        let closure = nfa.epsilon_closure(&std::collections::BTreeSet::from([nfa.start()]));
+        assert!(closure.contains(&nfa.start()));
+        assert!(closure.contains(&nfa.accept()), "a* accepts ε");
+    }
+
+    #[test]
+    fn empty_regex_accepts_only_empty() {
+        let re = Regex::parse("").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let re = Regex::parse("a+").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        let a = re.alphabet().sym("a").unwrap();
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&[a]));
+        assert!(nfa.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn question_is_optional() {
+        let re = Regex::parse("a? b").unwrap();
+        let nfa = Nfa::from_regex(&re);
+        assert!(nfa.accepts(&syms(&re, &["b"])));
+        assert!(nfa.accepts(&syms(&re, &["a", "b"])));
+        assert!(!nfa.accepts(&syms(&re, &["a"])));
+    }
+}

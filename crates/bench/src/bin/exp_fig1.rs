@@ -1,0 +1,56 @@
+//! Experiment E3 — paper Figure 1: the execution-order concurrency fault.
+//!
+//! Runs both resume orders and sweeps the race-window and resume-gap
+//! parameters, reproducing the paper's claim that the order
+//! `K a L f g h b c g h …` hangs while `L f g K i j a b d e` completes.
+//!
+//! ```sh
+//! cargo run --release -p ptest-bench --bin exp_fig1
+//! ```
+
+use ptest::faults::fig1::{run, Fig1Order, Fig1Outcome, Fig1Scenario};
+
+fn outcome_str(o: &Fig1Outcome) -> String {
+    match o {
+        Fig1Outcome::Completed { cycles } => format!("completed @{cycles}cy"),
+        Fig1Outcome::Livelock { tasks } => format!("LIVELOCK ({} tasks spin)", tasks.len()),
+    }
+}
+
+fn main() {
+    println!("== E3: Figure 1 — both master resume orders ==\n");
+    println!("| order | paper prediction | measured |");
+    println!("|---|---|---|");
+    for (label, order, prediction) in [
+        ("L then K (resume S2 first)", Fig1Order::S2First, "completes"),
+        ("K then L (resume S1 first)", Fig1Order::S1First, "enters deadlock state"),
+    ] {
+        let o = run(Fig1Scenario { order, ..Fig1Scenario::default() });
+        println!("| {label} | {prediction} | {} |", outcome_str(&o));
+    }
+
+    println!("\nrace-window sweep (order = K then L, gap = 0):");
+    println!("| S1 window (cycles) | outcome |");
+    println!("|---|---|");
+    for window in [0u32, 2, 4, 8, 16, 32, 64, 128] {
+        let o = run(Fig1Scenario {
+            order: Fig1Order::S1First,
+            window,
+            ..Fig1Scenario::default()
+        });
+        println!("| {window} | {} |", outcome_str(&o));
+    }
+
+    println!("\nresume-gap sweep (order = K then L, window = 64):");
+    println!("| master gap K->L (cycles) | outcome |");
+    println!("|---|---|");
+    for gap in [0u64, 16, 32, 64, 128, 256, 512] {
+        let o = run(Fig1Scenario {
+            order: Fig1Order::S1First,
+            resume_gap: gap,
+            ..Fig1Scenario::default()
+        });
+        println!("| {gap} | {} |", outcome_str(&o));
+    }
+    println!("\nshape check: the fault fires exactly when L lands inside S1's a→b window.");
+}

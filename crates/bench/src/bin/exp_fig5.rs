@@ -1,0 +1,110 @@
+//! Experiment E2 — paper Table I, Eq. 2 and Figure 5: the pCore PFA.
+//!
+//! Prints Table I, the minimal DFA skeleton of the task-lifecycle regular
+//! expression, the attached Figure 5 probability distribution, sample
+//! test patterns at several sizes, and the legality + branch-frequency
+//! validation over 100 000 generated patterns.
+//!
+//! ```sh
+//! cargo run --release -p ptest-bench --bin exp_fig5
+//! ```
+
+use ptest::automata::GenerateOptions;
+use ptest::pcore::Service;
+use ptest::{PatternGenerator, Regex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E2: Table I + Eq. 2 + Figure 5 — the pCore PFA ==\n");
+
+    println!("Table I — kernel services of pCore for task management:");
+    println!("| service | abbrev | description |");
+    println!("|---|---|---|");
+    for svc in Service::ALL {
+        println!("| {} | {} | {} |", svc.full_name(), svc.abbrev(), svc.description());
+    }
+
+    let re = Regex::pcore_task_lifecycle();
+    println!("\nEq. 2: RE = {}", re.source());
+
+    let generator = PatternGenerator::pcore_paper()?;
+    let dfa = generator.dfa();
+    println!(
+        "\nminimal DFA skeleton: {} states, {} transitions",
+        dfa.len(),
+        dfa.transition_count()
+    );
+    println!("PFA (Figure 5 distribution mapped onto the skeleton):");
+    let pfa = generator.pfa();
+    let names = ["start", "running", "waiting", "done"]; // by construction order
+    for q in 0..pfa.len() {
+        let label = names.get(q).copied().unwrap_or("state");
+        for &(sym, target, p) in pfa.transitions_from(q) {
+            println!(
+                "  {label}(q{q}) --{}({p:.2})--> q{target}",
+                re.alphabet().name(sym).unwrap_or("?")
+            );
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(42);
+    println!("\nsample test patterns (Algorithm 2):");
+    for s in [8usize, 32, 128] {
+        let p = generator.generate(&mut rng, GenerateOptions::sized(s));
+        let shown = p.render(re.alphabet());
+        let display: String = shown.chars().take(80).collect();
+        println!(
+            "  s={s:<4} -> len {:<4} {}{}",
+            p.len(),
+            display,
+            if shown.len() > 80 { " …" } else { "" }
+        );
+    }
+
+    // Validation sweep.
+    let n = 100_000u32;
+    let mut legal = 0u32;
+    let mut tch_runs = 0u64;
+    let mut branch_counts = std::collections::BTreeMap::new();
+    let running = dfa
+        .next(dfa.start(), re.alphabet().sym("TC").expect("TC"))
+        .expect("TC leaves start");
+    for _ in 0..n {
+        let p = generator.generate(&mut rng, GenerateOptions::sized(32));
+        if generator.is_legal_prefix(p.symbols()) {
+            legal += 1;
+        }
+        // Count the branch taken at the first visit to `running`.
+        if let Some(&second) = p.symbols().get(1) {
+            *branch_counts
+                .entry(re.alphabet().name(second).unwrap_or("?").to_owned())
+                .or_insert(0u64) += 1;
+        }
+        tch_runs += p
+            .symbols()
+            .iter()
+            .filter(|&&s| re.alphabet().name(s) == Some("TCH"))
+            .count() as u64;
+    }
+    let _ = running;
+    println!("\n| check | expected | measured over {n} patterns |");
+    println!("|---|---|---|");
+    println!("| legality (prefix of L(RE)) | 100% | {:.2}% |", 100.0 * f64::from(legal) / f64::from(n));
+    for (name, expect) in [("TCH", 0.6), ("TS", 0.2), ("TD", 0.1), ("TY", 0.1)] {
+        let got = branch_counts.get(name).copied().unwrap_or(0) as f64 / f64::from(n);
+        println!("| P({name} after TC) | {expect:.2} | {got:.3} |");
+    }
+    println!("| mean TCH per pattern | — | {:.2} |", tch_runs as f64 / f64::from(n));
+    println!(
+        "| expected lifecycle length | {:.2} (fixed point) | — |",
+        generator
+            .pfa()
+            .expected_pattern_length(100_000, 1e-12)
+            .expect("lifecycle PFA absorbs")
+    );
+
+    println!("\nGraphviz rendering of the PFA (paste into `dot -Tpng`):\n");
+    println!("{}", ptest::automata::pfa_to_dot(generator.pfa(), "pCore task lifecycle (Fig. 5)"));
+    Ok(())
+}

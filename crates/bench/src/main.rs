@@ -1,0 +1,4 @@
+//! ptest-bench: experiment binaries and criterion benches live in src/bin and benches.
+fn main() {
+    eprintln!("run the exp_* binaries or `cargo bench` instead");
+}

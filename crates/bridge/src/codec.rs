@@ -1,0 +1,339 @@
+//! Wire encoding of remote commands and responses.
+//!
+//! Commands travel master→slave as fixed 24-byte records, responses
+//! slave→master as fixed 16-byte records, both through rings in shared
+//! SRAM (see [`crate::ring`]). The encoding is explicit little-endian so a
+//! record written by the ARM side reads back identically on the DSP side.
+
+use ptest_pcore::{Priority, ProgramId, SvcError, SvcReply, SvcRequest, TaskId, VarId};
+
+/// Size of an encoded command record in bytes.
+pub const CMD_RECORD_BYTES: usize = 24;
+/// Size of an encoded response record in bytes.
+pub const RESP_RECORD_BYTES: usize = 16;
+
+/// A monotonically increasing identifier correlating commands with
+/// responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdId(pub u32);
+
+impl std::fmt::Display for CmdId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cmd{}", self.0)
+    }
+}
+
+/// Error decoding a wire record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Unknown command opcode.
+    BadOpcode(u8),
+    /// Unknown response status code.
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadOpcode(op) => write!(f, "unknown command opcode {op}"),
+            CodecError::BadStatus(st) => write!(f, "unknown response status {st}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const OP_PEEK: u8 = 100;
+const OP_POKE: u8 = 101;
+
+/// Encodes `(id, request)` into a command record.
+#[must_use]
+pub fn encode_cmd(id: CmdId, req: &SvcRequest) -> [u8; CMD_RECORD_BYTES] {
+    let mut buf = [0u8; CMD_RECORD_BYTES];
+    buf[0..4].copy_from_slice(&id.0.to_le_bytes());
+    match *req {
+        SvcRequest::Create {
+            program,
+            priority,
+            stack_bytes,
+        } => {
+            buf[4] = 1;
+            buf[5] = priority.level();
+            buf[6..8].copy_from_slice(&program.0.to_le_bytes());
+            buf[8..12].copy_from_slice(&stack_bytes.unwrap_or(0).to_le_bytes());
+        }
+        SvcRequest::Delete { task } => {
+            buf[4] = 2;
+            buf[5] = task.index() as u8;
+        }
+        SvcRequest::Suspend { task } => {
+            buf[4] = 3;
+            buf[5] = task.index() as u8;
+        }
+        SvcRequest::Resume { task } => {
+            buf[4] = 4;
+            buf[5] = task.index() as u8;
+        }
+        SvcRequest::ChangePriority { task, priority } => {
+            buf[4] = 5;
+            buf[5] = task.index() as u8;
+            buf[6] = priority.level();
+        }
+        SvcRequest::Yield { task } => {
+            buf[4] = 6;
+            buf[5] = task.index() as u8;
+        }
+        SvcRequest::PeekVar { var } => {
+            buf[4] = OP_PEEK;
+            buf[6..8].copy_from_slice(&var.0.to_le_bytes());
+        }
+        SvcRequest::PokeVar { var, value } => {
+            buf[4] = OP_POKE;
+            buf[6..8].copy_from_slice(&var.0.to_le_bytes());
+            buf[8..16].copy_from_slice(&value.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decodes a command record.
+///
+/// # Errors
+///
+/// [`CodecError::BadOpcode`] if the opcode byte is unknown.
+pub fn decode_cmd(buf: &[u8; CMD_RECORD_BYTES]) -> Result<(CmdId, SvcRequest), CodecError> {
+    let id = CmdId(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]));
+    let task = TaskId::new(buf[5]);
+    let req = match buf[4] {
+        1 => {
+            let program = ProgramId(u16::from_le_bytes([buf[6], buf[7]]));
+            let stack = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+            SvcRequest::Create {
+                program,
+                priority: Priority::new(buf[5].max(1)),
+                stack_bytes: if stack == 0 { None } else { Some(stack) },
+            }
+        }
+        2 => SvcRequest::Delete { task },
+        3 => SvcRequest::Suspend { task },
+        4 => SvcRequest::Resume { task },
+        5 => SvcRequest::ChangePriority {
+            task,
+            priority: Priority::new(buf[6].max(1)),
+        },
+        6 => SvcRequest::Yield { task },
+        OP_PEEK => SvcRequest::PeekVar {
+            var: VarId(u16::from_le_bytes([buf[6], buf[7]])),
+        },
+        OP_POKE => SvcRequest::PokeVar {
+            var: VarId(u16::from_le_bytes([buf[6], buf[7]])),
+            value: i64::from_le_bytes([
+                buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+            ]),
+        },
+        op => return Err(CodecError::BadOpcode(op)),
+    };
+    Ok((id, req))
+}
+
+/// Encodes `(id, result)` into a response record.
+#[must_use]
+pub fn encode_resp(id: CmdId, result: &Result<SvcReply, SvcError>) -> [u8; RESP_RECORD_BYTES] {
+    let mut buf = [0u8; RESP_RECORD_BYTES];
+    buf[0..4].copy_from_slice(&id.0.to_le_bytes());
+    let (status, payload): (u8, i64) = match result {
+        Ok(SvcReply::Done) => (0, 0),
+        Ok(SvcReply::Created(t)) => (1, t.index() as i64),
+        Ok(SvcReply::Value(v)) => (2, *v),
+        Err(SvcError::NoFreeSlot) => (10, 0),
+        Err(SvcError::PriorityInUse(p)) => (11, i64::from(p.level())),
+        Err(SvcError::NoSuchTask(t)) => (12, t.index() as i64),
+        Err(SvcError::TaskNotLive(t)) => (13, t.index() as i64),
+        Err(SvcError::AlreadySuspended(t)) => (14, t.index() as i64),
+        Err(SvcError::NotSuspended(t)) => (15, t.index() as i64),
+        Err(SvcError::NoSuchProgram(p)) => (16, i64::from(p.0)),
+        Err(SvcError::NoSuchVar(v)) => (17, i64::from(v.0)),
+        Err(SvcError::KernelPanicked) => (18, 0),
+    };
+    buf[4] = status;
+    buf[8..16].copy_from_slice(&payload.to_le_bytes());
+    buf
+}
+
+/// Decodes a response record.
+///
+/// # Errors
+///
+/// [`CodecError::BadStatus`] if the status byte is unknown.
+pub fn decode_resp(
+    buf: &[u8; RESP_RECORD_BYTES],
+) -> Result<(CmdId, Result<SvcReply, SvcError>), CodecError> {
+    let id = CmdId(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]));
+    let payload = i64::from_le_bytes([
+        buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+    ]);
+    let task = TaskId::new((payload & 0xff) as u8);
+    let result = match buf[4] {
+        0 => Ok(SvcReply::Done),
+        1 => Ok(SvcReply::Created(task)),
+        2 => Ok(SvcReply::Value(payload)),
+        10 => Err(SvcError::NoFreeSlot),
+        11 => Err(SvcError::PriorityInUse(Priority::new((payload as u8).max(1)))),
+        12 => Err(SvcError::NoSuchTask(task)),
+        13 => Err(SvcError::TaskNotLive(task)),
+        14 => Err(SvcError::AlreadySuspended(task)),
+        15 => Err(SvcError::NotSuspended(task)),
+        16 => Err(SvcError::NoSuchProgram(ProgramId(payload as u16))),
+        17 => Err(SvcError::NoSuchVar(VarId(payload as u16))),
+        18 => Err(SvcError::KernelPanicked),
+        st => return Err(CodecError::BadStatus(st)),
+    };
+    Ok((id, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_cmd(req: SvcRequest) {
+        let id = CmdId(77);
+        let buf = encode_cmd(id, &req);
+        let (id2, req2) = decode_cmd(&buf).unwrap();
+        assert_eq!(id, id2);
+        assert_eq!(req, req2, "command roundtrip");
+    }
+
+    #[test]
+    fn all_commands_roundtrip() {
+        roundtrip_cmd(SvcRequest::Create {
+            program: ProgramId(3),
+            priority: Priority::new(9),
+            stack_bytes: Some(512),
+        });
+        roundtrip_cmd(SvcRequest::Create {
+            program: ProgramId(0),
+            priority: Priority::new(1),
+            stack_bytes: None,
+        });
+        roundtrip_cmd(SvcRequest::Delete { task: TaskId::new(4) });
+        roundtrip_cmd(SvcRequest::Suspend { task: TaskId::new(15) });
+        roundtrip_cmd(SvcRequest::Resume { task: TaskId::new(0) });
+        roundtrip_cmd(SvcRequest::ChangePriority {
+            task: TaskId::new(2),
+            priority: Priority::new(200),
+        });
+        roundtrip_cmd(SvcRequest::Yield { task: TaskId::new(7) });
+        roundtrip_cmd(SvcRequest::PeekVar { var: VarId(12) });
+        roundtrip_cmd(SvcRequest::PokeVar { var: VarId(1), value: -99 });
+    }
+
+    fn roundtrip_resp(result: Result<SvcReply, SvcError>) {
+        let id = CmdId(123_456);
+        let buf = encode_resp(id, &result);
+        let (id2, r2) = decode_resp(&buf).unwrap();
+        assert_eq!(id, id2);
+        assert_eq!(result, r2, "response roundtrip");
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_resp(Ok(SvcReply::Done));
+        roundtrip_resp(Ok(SvcReply::Created(TaskId::new(15))));
+        roundtrip_resp(Ok(SvcReply::Value(-1_234_567_890_123)));
+        roundtrip_resp(Err(SvcError::NoFreeSlot));
+        roundtrip_resp(Err(SvcError::PriorityInUse(Priority::new(7))));
+        roundtrip_resp(Err(SvcError::NoSuchTask(TaskId::new(3))));
+        roundtrip_resp(Err(SvcError::TaskNotLive(TaskId::new(3))));
+        roundtrip_resp(Err(SvcError::AlreadySuspended(TaskId::new(1))));
+        roundtrip_resp(Err(SvcError::NotSuspended(TaskId::new(1))));
+        roundtrip_resp(Err(SvcError::NoSuchProgram(ProgramId(9))));
+        roundtrip_resp(Err(SvcError::NoSuchVar(VarId(30))));
+        roundtrip_resp(Err(SvcError::KernelPanicked));
+    }
+
+    #[test]
+    fn bad_opcode_and_status_detected() {
+        let mut buf = [0u8; CMD_RECORD_BYTES];
+        buf[4] = 250;
+        assert_eq!(decode_cmd(&buf), Err(CodecError::BadOpcode(250)));
+        let mut rbuf = [0u8; RESP_RECORD_BYTES];
+        rbuf[4] = 99;
+        assert_eq!(decode_resp(&rbuf), Err(CodecError::BadStatus(99)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_request() -> impl Strategy<Value = SvcRequest> {
+        prop_oneof![
+            (0u16..64, 1u8..=255, proptest::option::of(1u32..100_000)).prop_map(
+                |(prog, prio, stack)| SvcRequest::Create {
+                    program: ProgramId(prog),
+                    priority: Priority::new(prio),
+                    stack_bytes: stack,
+                }
+            ),
+            (0u8..16).prop_map(|t| SvcRequest::Delete { task: TaskId::new(t) }),
+            (0u8..16).prop_map(|t| SvcRequest::Suspend { task: TaskId::new(t) }),
+            (0u8..16).prop_map(|t| SvcRequest::Resume { task: TaskId::new(t) }),
+            (0u8..16, 1u8..=255).prop_map(|(t, p)| SvcRequest::ChangePriority {
+                task: TaskId::new(t),
+                priority: Priority::new(p),
+            }),
+            (0u8..16).prop_map(|t| SvcRequest::Yield { task: TaskId::new(t) }),
+            (0u16..1024).prop_map(|v| SvcRequest::PeekVar { var: VarId(v) }),
+            (0u16..1024, any::<i64>())
+                .prop_map(|(v, val)| SvcRequest::PokeVar { var: VarId(v), value: val }),
+        ]
+    }
+
+    fn arb_result() -> impl Strategy<Value = Result<SvcReply, SvcError>> {
+        prop_oneof![
+            Just(Ok(SvcReply::Done)),
+            (0u8..16).prop_map(|t| Ok(SvcReply::Created(TaskId::new(t)))),
+            any::<i64>().prop_map(|v| Ok(SvcReply::Value(v))),
+            Just(Err(SvcError::NoFreeSlot)),
+            (1u8..=255).prop_map(|p| Err(SvcError::PriorityInUse(Priority::new(p)))),
+            (0u8..16).prop_map(|t| Err(SvcError::NoSuchTask(TaskId::new(t)))),
+            (0u8..16).prop_map(|t| Err(SvcError::TaskNotLive(TaskId::new(t)))),
+            (0u8..16).prop_map(|t| Err(SvcError::AlreadySuspended(TaskId::new(t)))),
+            (0u8..16).prop_map(|t| Err(SvcError::NotSuspended(TaskId::new(t)))),
+            (0u16..64).prop_map(|p| Err(SvcError::NoSuchProgram(ProgramId(p)))),
+            (0u16..1024).prop_map(|v| Err(SvcError::NoSuchVar(VarId(v)))),
+            Just(Err(SvcError::KernelPanicked)),
+        ]
+    }
+
+    proptest! {
+        /// Every command survives an encode/decode roundtrip.
+        #[test]
+        fn command_roundtrip(id in any::<u32>(), req in arb_request()) {
+            let buf = encode_cmd(CmdId(id), &req);
+            let (id2, req2) = decode_cmd(&buf).unwrap();
+            prop_assert_eq!(CmdId(id), id2);
+            prop_assert_eq!(req, req2);
+        }
+
+        /// Every response survives an encode/decode roundtrip.
+        #[test]
+        fn response_roundtrip(id in any::<u32>(), result in arb_result()) {
+            let buf = encode_resp(CmdId(id), &result);
+            let (id2, r2) = decode_resp(&buf).unwrap();
+            prop_assert_eq!(CmdId(id), id2);
+            prop_assert_eq!(result, r2);
+        }
+
+        /// Decoding arbitrary bytes never panics: it either produces a
+        /// request or a codec error (hardened against a corrupted ring).
+        #[test]
+        fn decode_never_panics(bytes in proptest::array::uniform24(any::<u8>())) {
+            let _ = decode_cmd(&bytes);
+            let mut resp = [0u8; RESP_RECORD_BYTES];
+            resp.copy_from_slice(&bytes[..RESP_RECORD_BYTES]);
+            let _ = decode_resp(&resp);
+        }
+    }
+}

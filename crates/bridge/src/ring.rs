@@ -1,0 +1,224 @@
+//! Single-producer single-consumer rings laid out in shared SRAM.
+//!
+//! Layout at `base`:
+//!
+//! ```text
+//! base + 0 : head (u32) — total records ever pushed
+//! base + 4 : tail (u32) — total records ever popped
+//! base + 8 : capacity * record_bytes of slot storage
+//! ```
+//!
+//! Head and tail are free-running counters; the ring is full when
+//! `head - tail == capacity`. Both sides access the ring only through
+//! bounds-checked [`SharedSram`] operations, exactly as the real firmware
+//! accesses the OMAP's shared SRAM window.
+
+use ptest_soc::{SharedSram, SramError};
+
+/// Error from ring operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// The ring is full; the producer must retry after the consumer
+    /// drains.
+    Full,
+    /// The underlying SRAM access failed (mis-sized layout).
+    Sram(SramError),
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Full => write!(f, "ring is full"),
+            RingError::Sram(e) => write!(f, "ring sram access failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RingError::Sram(e) => Some(e),
+            RingError::Full => None,
+        }
+    }
+}
+
+impl From<SramError> for RingError {
+    fn from(e: SramError) -> RingError {
+        RingError::Sram(e)
+    }
+}
+
+/// Descriptor of one SPSC ring in shared SRAM (the ring itself lives in
+/// the [`SharedSram`]; this struct is just the geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramRing {
+    /// Byte offset of the ring header in SRAM.
+    pub base: usize,
+    /// Bytes per record.
+    pub record_bytes: usize,
+    /// Maximum records queued at once.
+    pub capacity: u32,
+}
+
+impl SramRing {
+    /// Total SRAM bytes this ring occupies (header + slots).
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        8 + self.record_bytes * self.capacity as usize
+    }
+
+    /// Zeroes the ring header (both counters).
+    ///
+    /// # Errors
+    ///
+    /// [`SramError`] if the layout exceeds the SRAM window.
+    pub fn init(&self, sram: &mut SharedSram) -> Result<(), SramError> {
+        sram.write_u32_le(self.base, 0)?;
+        sram.write_u32_le(self.base + 4, 0)?;
+        Ok(())
+    }
+
+    fn head(&self, sram: &SharedSram) -> Result<u32, SramError> {
+        sram.read_u32_le(self.base)
+    }
+
+    fn tail(&self, sram: &SharedSram) -> Result<u32, SramError> {
+        sram.read_u32_le(self.base + 4)
+    }
+
+    /// Number of records currently queued.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError`] on layout violation.
+    pub fn len(&self, sram: &SharedSram) -> Result<u32, SramError> {
+        Ok(self.head(sram)?.wrapping_sub(self.tail(sram)?))
+    }
+
+    /// Whether no records are queued.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError`] on layout violation.
+    pub fn is_empty(&self, sram: &SharedSram) -> Result<bool, SramError> {
+        Ok(self.len(sram)? == 0)
+    }
+
+    fn slot_offset(&self, index: u32) -> usize {
+        self.base + 8 + (index % self.capacity) as usize * self.record_bytes
+    }
+
+    /// Pushes one record.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Full`] when `capacity` records are queued;
+    /// [`RingError::Sram`] on layout violation.
+    pub fn push(&self, sram: &mut SharedSram, record: &[u8]) -> Result<(), RingError> {
+        debug_assert_eq!(record.len(), self.record_bytes);
+        let head = self.head(sram)?;
+        let tail = self.tail(sram)?;
+        if head.wrapping_sub(tail) >= self.capacity {
+            return Err(RingError::Full);
+        }
+        sram.write_bytes(self.slot_offset(head), record)?;
+        sram.write_u32_le(self.base, head.wrapping_add(1))?;
+        Ok(())
+    }
+
+    /// Pops one record into `buf`, returning `true` if a record was
+    /// available.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError`] on layout violation.
+    pub fn pop(&self, sram: &mut SharedSram, buf: &mut [u8]) -> Result<bool, SramError> {
+        debug_assert_eq!(buf.len(), self.record_bytes);
+        let head = self.head(sram)?;
+        let tail = self.tail(sram)?;
+        if head == tail {
+            return Ok(false);
+        }
+        sram.read_bytes(self.slot_offset(tail), buf)?;
+        sram.write_u32_le(self.base + 4, tail.wrapping_add(1))?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> (SramRing, SharedSram) {
+        let r = SramRing {
+            base: 16,
+            record_bytes: 8,
+            capacity: 4,
+        };
+        let mut sram = SharedSram::new(256);
+        r.init(&mut sram).unwrap();
+        (r, sram)
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let (r, mut sram) = ring();
+        r.push(&mut sram, &[1u8; 8]).unwrap();
+        r.push(&mut sram, &[2u8; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(r.pop(&mut sram, &mut buf).unwrap());
+        assert_eq!(buf, [1u8; 8]);
+        assert!(r.pop(&mut sram, &mut buf).unwrap());
+        assert_eq!(buf, [2u8; 8]);
+        assert!(!r.pop(&mut sram, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn full_ring_rejects_push() {
+        let (r, mut sram) = ring();
+        for i in 0..4u8 {
+            r.push(&mut sram, &[i; 8]).unwrap();
+        }
+        assert_eq!(r.push(&mut sram, &[9; 8]), Err(RingError::Full));
+        let mut buf = [0u8; 8];
+        r.pop(&mut sram, &mut buf).unwrap();
+        r.push(&mut sram, &[9; 8]).unwrap();
+        assert_eq!(r.len(&sram).unwrap(), 4);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let (r, mut sram) = ring();
+        let mut buf = [0u8; 8];
+        for round in 0u32..100 {
+            let rec = [(round % 251) as u8; 8];
+            r.push(&mut sram, &rec).unwrap();
+            assert!(r.pop(&mut sram, &mut buf).unwrap());
+            assert_eq!(buf, rec, "round {round}");
+        }
+        assert!(r.is_empty(&sram).unwrap());
+    }
+
+    #[test]
+    fn footprint_accounts_header_and_slots() {
+        let (r, _) = ring();
+        assert_eq!(r.footprint(), 8 + 4 * 8);
+    }
+
+    #[test]
+    fn layout_violation_is_an_error_not_a_panic() {
+        let r = SramRing {
+            base: 240,
+            record_bytes: 8,
+            capacity: 4,
+        };
+        let mut sram = SharedSram::new(250);
+        // header (240..248) fits, slot 0 (248..256) does not
+        r.init(&mut sram).unwrap();
+        assert!(matches!(
+            r.push(&mut sram, &[0u8; 8]),
+            Err(RingError::Sram(_))
+        ));
+    }
+}

@@ -1,0 +1,445 @@
+//! The adaptive testing procedure (paper Algorithm 1).
+//!
+//! `AdaptiveTest(RE, n, s, op)`:
+//!
+//! 1. generate `n` test patterns of size `s` from the PFA built over
+//!    `RE` and the probability distribution;
+//! 2. merge them into one interleaved pattern under `op`;
+//! 3. fork the bug detector;
+//! 4. let the committer issue the merged pattern to the slave while the
+//!    detector monitors.
+//!
+//! [`AdaptiveTest::run`] performs the whole procedure on a fresh
+//! [`DualCoreSystem`] and returns a [`TestReport`]. Reports carry the
+//! full configuration and seed: [`AdaptiveTest::reproduce`] re-runs a
+//! report's scenario and arrives at the same outcome — the paper's bug
+//! reproduction story, made checkable.
+
+use ptest_automata::{GenerateOptions, ProbabilityAssignment, Regex};
+use ptest_master::{DualCoreSystem, SystemConfig};
+use ptest_pcore::ProgramId;
+use ptest_soc::Cycles;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::committer::{Committer, CommitterConfig, CommitterError, CommitterStatus};
+use crate::coverage::{self, CoverageReport};
+use crate::detector::{Bug, BugDetector, BugKind, DetectorConfig};
+use crate::generator::PatternGenerator;
+use crate::merger::{MergeOp, PatternMerger};
+use crate::pattern::{MergedPattern, TestPattern};
+
+/// Full configuration of one adaptive-test run (Algorithm 1's inputs
+/// plus the environmental knobs of this reproduction).
+#[derive(Debug, Clone)]
+pub struct AdaptiveTestConfig {
+    /// The regular expression `RE` describing slave-service order.
+    pub regex_source: String,
+    /// The probability distribution `PD`.
+    pub pd: ProbabilityAssignment,
+    /// `n`: number of test patterns (= controlled slave processes).
+    pub n: usize,
+    /// `s`: size of each test pattern.
+    pub s: usize,
+    /// `op`: the merge policy.
+    pub op: MergeOp,
+    /// Master seed; all nondeterminism in the run derives from it.
+    pub seed: u64,
+    /// Generate patterns cyclically (restart life cycles) — the stress-
+    /// test mode of case study 1.
+    pub cyclic_generation: bool,
+    /// Simulation budget in cycles.
+    pub max_cycles: u64,
+    /// Detector cadence: observe every this many cycles.
+    pub check_interval: u64,
+    /// Grace period after the committer finishes, letting slave tasks
+    /// drain before the final no-progress checks.
+    pub drain_cycles: u64,
+    /// Detector thresholds.
+    pub detector: DetectorConfig,
+    /// Committer knobs (programs are supplied by the scenario setup).
+    pub response_timeout: Cycles,
+    /// Master-side pacing between commands (see
+    /// [`CommitterConfig::inter_command_gap`]).
+    pub inter_command_gap: u64,
+    /// Stack size for created tasks.
+    pub stack_bytes: Option<u32>,
+    /// System (kernel/scheduler) configuration.
+    pub system: SystemConfig,
+}
+
+impl Default for AdaptiveTestConfig {
+    fn default() -> AdaptiveTestConfig {
+        AdaptiveTestConfig {
+            regex_source: Regex::pcore_task_lifecycle().source().to_owned(),
+            pd: ProbabilityAssignment::weights([
+                ("TC", 1.0),
+                ("TCH", 0.6),
+                ("TS", 0.2),
+                ("TD", 0.1),
+                ("TY", 0.1),
+                ("TR", 1.0),
+            ]),
+            n: 4,
+            s: 8,
+            op: MergeOp::cyclic(),
+            seed: 2009,
+            cyclic_generation: false,
+            max_cycles: 2_000_000,
+            check_interval: 500,
+            drain_cycles: 60_000,
+            detector: DetectorConfig::default(),
+            response_timeout: Cycles::new(50_000),
+            inter_command_gap: 16,
+            stack_bytes: None,
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+/// Error running the adaptive test.
+#[derive(Debug)]
+pub enum AdaptiveTestError {
+    /// The regular expression failed to parse.
+    Regex(ptest_automata::ParseRegexError),
+    /// The PFA could not be built from the distribution.
+    Pfa(ptest_automata::PfaError),
+    /// The committer rejected the configuration.
+    Committer(CommitterError),
+}
+
+impl std::fmt::Display for AdaptiveTestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptiveTestError::Regex(e) => write!(f, "regex error: {e}"),
+            AdaptiveTestError::Pfa(e) => write!(f, "pfa error: {e}"),
+            AdaptiveTestError::Committer(e) => write!(f, "committer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdaptiveTestError {}
+
+/// Outcome of one adaptive-test run.
+#[derive(Debug)]
+pub struct TestReport {
+    /// Bugs found, in detection order.
+    pub bugs: Vec<Bug>,
+    /// Remote commands issued by the committer.
+    pub commands_issued: u64,
+    /// Error replies received.
+    pub error_replies: u64,
+    /// Virtual cycles consumed.
+    pub cycles: u64,
+    /// Final committer status.
+    pub committer_status: CommitterStatus,
+    /// Whether the merged pattern was fully delivered.
+    pub completed: bool,
+    /// Pattern coverage over the service DFA.
+    pub coverage: CoverageReport,
+    /// Per-step execution records (request, reply, timing) of the
+    /// committer.
+    pub exec_records: Vec<crate::committer::ExecRecord>,
+    /// The generated patterns (for inspection/replay).
+    pub patterns: Vec<TestPattern>,
+    /// The merged pattern that was executed.
+    pub merged: MergedPattern,
+    /// Echo of the run configuration (reproduction input).
+    pub config: AdaptiveTestConfig,
+}
+
+impl TestReport {
+    /// Whether any bug of the given discriminant was found.
+    #[must_use]
+    pub fn found<F: Fn(&BugKind) -> bool>(&self, pred: F) -> bool {
+        self.bugs.iter().any(|b| pred(&b.kind))
+    }
+
+    /// Commands issued before the first bug was detected, or all
+    /// commands if none was (the "commands to detection" metric of the
+    /// baseline comparisons).
+    #[must_use]
+    pub fn commands_to_first_bug(&self) -> Option<u64> {
+        if self.bugs.is_empty() {
+            None
+        } else {
+            Some(self.commands_issued)
+        }
+    }
+
+    /// Error replies caused by *illegal service orders* (suspend twice,
+    /// resume a running task, duplicate priorities, …) as opposed to
+    /// benign races with task self-exit or resource exhaustion. pTest's
+    /// PFA guarantees this is zero — the legality property the paper's
+    /// "rational order" patterns buy over random testing.
+    #[must_use]
+    pub fn ordering_errors(&self) -> usize {
+        use ptest_pcore::SvcError;
+        self.exec_records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.result,
+                    Some(Err(
+                        SvcError::AlreadySuspended(_)
+                            | SvcError::NotSuspended(_)
+                            | SvcError::PriorityInUse(_)
+                            | SvcError::NoSuchProgram(_)
+                    ))
+                )
+            })
+            .count()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let bug_list = if self.bugs.is_empty() {
+            "no bugs".to_owned()
+        } else {
+            self.bugs
+                .iter()
+                .map(|b| b.kind.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        format!(
+            "n={} s={} op={:?} seed={}: {} cmds, {} errors, {} cycles, {:?} -> {}",
+            self.config.n,
+            self.config.s,
+            self.config.op,
+            self.config.seed,
+            self.commands_issued,
+            self.error_replies,
+            self.cycles,
+            self.committer_status,
+            bug_list
+        )
+    }
+}
+
+/// The adaptive testing tool (Algorithm 1).
+#[derive(Debug)]
+pub struct AdaptiveTest;
+
+impl AdaptiveTest {
+    /// Runs the full procedure on a fresh system.
+    ///
+    /// `setup` prepares the slave for the scenario — registering task
+    /// programs, creating semaphores/mutexes, seeding shared variables —
+    /// and returns the programs that `task_create` commands should start
+    /// (one per pattern, cycled if shorter).
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveTestError`] if the regex, distribution, or committer
+    /// configuration is invalid.
+    pub fn run(
+        cfg: AdaptiveTestConfig,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        // --- Algorithm 1, lines 1-3: generate T[1..n].
+        let regex = Regex::parse(&cfg.regex_source).map_err(AdaptiveTestError::Regex)?;
+        let generator =
+            PatternGenerator::new(regex, &cfg.pd).map_err(AdaptiveTestError::Pfa)?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let opts = if cfg.cyclic_generation {
+            GenerateOptions::cyclic(cfg.s)
+        } else {
+            GenerateOptions::sized(cfg.s)
+        };
+        let patterns = generator.generate_batch(&mut rng, cfg.n, opts);
+
+        // --- Line 4: merge.
+        let merged = PatternMerger::new().merge(&patterns, cfg.op);
+
+        // --- System + committer + detector (lines 5-10).
+        let mut sys = DualCoreSystem::new(cfg.system.clone());
+        let programs = setup(&mut sys);
+        let mut committer = Committer::new(
+            merged.clone(),
+            generator.regex().alphabet(),
+            CommitterConfig {
+                response_timeout: cfg.response_timeout,
+                programs,
+                stack_bytes: cfg.stack_bytes,
+                priority_band: 15,
+                inter_command_gap: cfg.inter_command_gap,
+            },
+        )
+        .map_err(AdaptiveTestError::Committer)?;
+        let mut detector = BugDetector::new(cfg.detector);
+
+        let mut bugs: Vec<Bug> = Vec::new();
+        let mut cycles = 0u64;
+        let mut done_at: Option<u64> = None;
+        while cycles < cfg.max_cycles {
+            cycles += 1;
+            sys.step();
+            let status = committer.step(&mut sys);
+            let committer_done = status != CommitterStatus::Running;
+            if committer_done && done_at.is_none() {
+                done_at = Some(cycles);
+            }
+            if cycles.is_multiple_of(cfg.check_interval) {
+                bugs.extend(detector.observe(&sys, Some(&committer), committer_done));
+            }
+            // Stop once a crash-class bug is in hand, or after the drain
+            // period following completion.
+            let fatal = bugs.iter().any(|b| {
+                matches!(
+                    b.kind,
+                    BugKind::SlaveCrash { .. }
+                        | BugKind::CommandTimeout { .. }
+                        | BugKind::Deadlock { .. }
+                        | BugKind::Livelock { .. }
+                )
+            });
+            if fatal {
+                break;
+            }
+            if let Some(done) = done_at {
+                let quiescent = sys.snapshot().live_tasks() == 0;
+                if quiescent || cycles - done >= cfg.drain_cycles {
+                    // Final sweep before ending.
+                    bugs.extend(detector.observe(&sys, Some(&committer), true));
+                    break;
+                }
+            }
+        }
+
+        let coverage = coverage::measure(&patterns, generator.dfa(), generator.regex().alphabet());
+        Ok(TestReport {
+            bugs,
+            commands_issued: committer.commands_issued(),
+            error_replies: committer.error_replies(),
+            cycles,
+            committer_status: committer.status(),
+            completed: committer.status() == CommitterStatus::Done,
+            coverage,
+            exec_records: committer.records().to_vec(),
+            patterns,
+            merged,
+            config: cfg,
+        })
+    }
+
+    /// Re-runs the scenario of a report (same configuration, same seed).
+    /// Determinism guarantees the same outcome; integration tests assert
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdaptiveTest::run`].
+    pub fn reproduce(
+        report: &TestReport,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        AdaptiveTest::run(report.config.clone(), setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_pcore::{Op, Program};
+
+    fn quick_setup(sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        vec![sys
+            .kernel_mut()
+            .register_program(Program::new(vec![Op::Compute(20), Op::Exit]).unwrap())]
+    }
+
+    #[test]
+    fn healthy_run_finds_no_bugs() {
+        let cfg = AdaptiveTestConfig {
+            n: 3,
+            s: 6,
+            seed: 42,
+            ..AdaptiveTestConfig::default()
+        };
+        let report = AdaptiveTest::run(cfg, quick_setup).unwrap();
+        assert!(report.completed, "{}", report.summary());
+        assert!(report.bugs.is_empty(), "{}", report.summary());
+        assert!(report.commands_issued > 0);
+        assert!(report.coverage.transition_coverage() > 0.0);
+    }
+
+    #[test]
+    fn gc_fault_is_found_under_stress() {
+        let mut cfg = AdaptiveTestConfig {
+            n: 4,
+            s: 64,
+            cyclic_generation: true,
+            seed: 7,
+            op: MergeOp::RoundRobin { chunk: 1 },
+            ..AdaptiveTestConfig::default()
+        };
+        cfg.system.kernel.heap_bytes = 8 * 1024;
+        cfg.system.kernel.gc_fault =
+            ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
+        let report = AdaptiveTest::run(cfg, quick_setup).unwrap();
+        assert!(
+            report.found(|k| matches!(
+                k,
+                BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+            )),
+            "{}",
+            report.summary()
+        );
+        // The bug report carries reproduction material.
+        let bug = &report.bugs[0];
+        assert!(!bug.state_records.is_empty());
+        assert!(!bug.trace_tail.is_empty());
+    }
+
+    #[test]
+    fn reproduce_reaches_same_outcome() {
+        let mut cfg = AdaptiveTestConfig {
+            n: 4,
+            s: 48,
+            cyclic_generation: true,
+            seed: 99,
+            ..AdaptiveTestConfig::default()
+        };
+        cfg.system.kernel.heap_bytes = 8 * 1024;
+        cfg.system.kernel.gc_fault =
+            ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
+        let first = AdaptiveTest::run(cfg, quick_setup).unwrap();
+        let again = AdaptiveTest::reproduce(&first, quick_setup).unwrap();
+        assert_eq!(first.bugs.len(), again.bugs.len());
+        for (a, b) in first.bugs.iter().zip(&again.bugs) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.detected_at, b.detected_at, "bit-for-bit reproduction");
+        }
+        assert_eq!(first.commands_issued, again.commands_issued);
+        assert_eq!(first.cycles, again.cycles);
+    }
+
+    #[test]
+    fn different_seeds_generate_different_patterns() {
+        let a = AdaptiveTest::run(
+            AdaptiveTestConfig { seed: 1, ..AdaptiveTestConfig::default() },
+            quick_setup,
+        )
+        .unwrap();
+        let b = AdaptiveTest::run(
+            AdaptiveTestConfig { seed: 2, ..AdaptiveTestConfig::default() },
+            quick_setup,
+        )
+        .unwrap();
+        assert_ne!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    fn bad_regex_is_reported() {
+        let cfg = AdaptiveTestConfig {
+            regex_source: "((".to_owned(),
+            ..AdaptiveTestConfig::default()
+        };
+        assert!(matches!(
+            AdaptiveTest::run(cfg, quick_setup),
+            Err(AdaptiveTestError::Regex(_))
+        ));
+    }
+}

@@ -1,0 +1,533 @@
+//! The bug detector (paper §II-B): monitors test progress, detects
+//! failures, and dumps reproduction information.
+//!
+//! Detection rules, mapped to the paper's criteria ("if processes do not
+//! terminate or stay in the same state for a period of time, the system
+//! may contain synchronization anomalies"):
+//!
+//! * **Slave crash** — the kernel panicked (observed through the debug
+//!   window) or commands time out against a silent slave.
+//! * **Deadlock** — a cycle in the wait-for graph (`waiter → holder`
+//!   edges over mutexes).
+//! * **Starvation** — a live task whose instruction counter has not moved
+//!   for a whole observation window: either runnable-but-never-scheduled
+//!   (CPU starvation under a spinning higher-priority task) or blocked
+//!   forever on a resource nobody posts.
+//! * **Livelock / no termination** — tasks that keep retiring
+//!   instructions but never terminate after the committer has delivered
+//!   the whole pattern (Figure 1's spin loops).
+//! * **Task fault** — a task killed by the kernel (stack overflow, bad
+//!   free, …), surfaced from exit records.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ptest_master::DualCoreSystem;
+use ptest_pcore::{
+    ExitKind, KernelPanic, KernelSnapshot, TaskFault, TaskId, TaskState, WaitEdge,
+};
+use ptest_soc::Cycles;
+
+use crate::committer::Committer;
+use crate::record::StateRecord;
+
+/// Configuration of the bug detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// A command unanswered for this long indicates a crashed/wedged
+    /// slave.
+    pub command_timeout: Cycles,
+    /// Observation window for the no-progress rules.
+    pub progress_window: Cycles,
+    /// How many trailing kernel-trace events to embed in bug reports.
+    pub trace_tail: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            command_timeout: Cycles::new(50_000),
+            progress_window: Cycles::new(20_000),
+            trace_tail: 64,
+        }
+    }
+}
+
+/// The kind of anomaly detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BugKind {
+    /// The slave kernel died.
+    SlaveCrash {
+        /// The kernel's fatal condition.
+        panic: KernelPanic,
+    },
+    /// Commands outstanding past the timeout against a silent slave.
+    CommandTimeout {
+        /// Number of overdue commands.
+        overdue: usize,
+    },
+    /// A cycle in the wait-for graph.
+    Deadlock {
+        /// The tasks forming the cycle, in cycle order.
+        cycle: Vec<TaskId>,
+    },
+    /// A task made no progress for a whole window.
+    Starvation {
+        /// The starved task.
+        task: TaskId,
+        /// Whether it was runnable (CPU starvation) or blocked (resource
+        /// starvation).
+        runnable: bool,
+    },
+    /// Tasks keep running but never terminate after the test pattern
+    /// completed.
+    Livelock {
+        /// The non-terminating tasks.
+        tasks: Vec<TaskId>,
+    },
+    /// A task was killed by a kernel-detected fault.
+    TaskFault {
+        /// The faulted task.
+        task: TaskId,
+        /// The fault.
+        fault: TaskFault,
+    },
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::SlaveCrash { panic } => write!(f, "slave crash: {panic}"),
+            BugKind::CommandTimeout { overdue } => {
+                write!(f, "command timeout: {overdue} commands unanswered")
+            }
+            BugKind::Deadlock { cycle } => {
+                let names: Vec<String> = cycle.iter().map(ToString::to_string).collect();
+                write!(f, "deadlock cycle: {}", names.join(" -> "))
+            }
+            BugKind::Starvation { task, runnable } => {
+                let how = if *runnable { "runnable" } else { "blocked" };
+                write!(f, "starvation: {task} made no progress while {how}")
+            }
+            BugKind::Livelock { tasks } => {
+                let names: Vec<String> = tasks.iter().map(ToString::to_string).collect();
+                write!(f, "livelock/no-termination: {}", names.join(", "))
+            }
+            BugKind::TaskFault { task, fault } => write!(f, "task fault: {task} {fault}"),
+        }
+    }
+}
+
+/// A detected bug, with everything needed to reproduce it (the paper's
+/// "dumps the related information to help users reproduce the bugs").
+#[derive(Debug, Clone)]
+pub struct Bug {
+    /// What was detected.
+    pub kind: BugKind,
+    /// Virtual time of detection.
+    pub detected_at: Cycles,
+    /// Kernel snapshot at detection.
+    pub snapshot: KernelSnapshot,
+    /// Definition-2 state records of every controlled process.
+    pub state_records: Vec<StateRecord>,
+    /// Tail of the kernel trace.
+    pub trace_tail: Vec<String>,
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.detected_at, self.kind)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Progress {
+    ops: u64,
+    since: Cycles,
+}
+
+/// The bug detector. Runs as an independent observer (the paper forks it
+/// as a child process); here it is polled with
+/// [`BugDetector::observe`] at a configurable cadence.
+#[derive(Debug, Clone)]
+pub struct BugDetector {
+    cfg: DetectorConfig,
+    progress: HashMap<TaskId, Progress>,
+    reported_faults: Vec<TaskId>,
+    reported_deadlock: bool,
+    reported_crash: bool,
+    reported_timeout: bool,
+    reported_livelock: bool,
+    reported_starvation: Vec<TaskId>,
+    /// Virtual time at which the committer was first observed done.
+    done_since: Option<Cycles>,
+}
+
+impl BugDetector {
+    /// Creates a detector.
+    #[must_use]
+    pub fn new(cfg: DetectorConfig) -> BugDetector {
+        BugDetector {
+            cfg,
+            progress: HashMap::new(),
+            reported_faults: Vec::new(),
+            reported_deadlock: false,
+            reported_crash: false,
+            reported_timeout: false,
+            reported_livelock: false,
+            reported_starvation: Vec::new(),
+            done_since: None,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    fn make_bug(
+        &self,
+        kind: BugKind,
+        sys: &DualCoreSystem,
+        committer: Option<&Committer>,
+        snapshot: &KernelSnapshot,
+    ) -> Bug {
+        Bug {
+            kind,
+            detected_at: sys.now(),
+            snapshot: snapshot.clone(),
+            state_records: committer.map(|c| c.state_records(sys)).unwrap_or_default(),
+            trace_tail: sys
+                .kernel()
+                .trace()
+                .tail(self.cfg.trace_tail)
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        }
+    }
+
+    /// Observes the system once, returning any *newly* detected bugs
+    /// (each anomaly is reported once).
+    ///
+    /// `committer_done` gates the no-progress rules: while commands are
+    /// still being delivered, long-running tasks are expected, so only
+    /// crash/timeout/deadlock/fault detection is active.
+    pub fn observe(
+        &mut self,
+        sys: &DualCoreSystem,
+        committer: Option<&Committer>,
+        committer_done: bool,
+    ) -> Vec<Bug> {
+        let snapshot = sys.snapshot();
+        let now = sys.now();
+        let mut bugs = Vec::new();
+
+        // --- Crash (debug window).
+        if let Some(panic) = snapshot.panic {
+            if !self.reported_crash {
+                self.reported_crash = true;
+                bugs.push(self.make_bug(BugKind::SlaveCrash { panic }, sys, committer, &snapshot));
+            }
+        }
+        // --- Crash (timeout path: silent slave).
+        let overdue = sys.overdue(self.cfg.command_timeout);
+        if !overdue.is_empty() && !self.reported_timeout {
+            self.reported_timeout = true;
+            bugs.push(self.make_bug(
+                BugKind::CommandTimeout {
+                    overdue: overdue.len(),
+                },
+                sys,
+                committer,
+                &snapshot,
+            ));
+        }
+        // --- Task faults.
+        for t in &snapshot.tasks {
+            if let TaskState::Terminated(ExitKind::Faulted(fault)) = t.state {
+                if !self.reported_faults.contains(&t.id) {
+                    self.reported_faults.push(t.id);
+                    bugs.push(self.make_bug(
+                        BugKind::TaskFault { task: t.id, fault },
+                        sys,
+                        committer,
+                        &snapshot,
+                    ));
+                }
+            }
+        }
+        // --- Deadlock: cycle in waiter -> holder edges.
+        if !self.reported_deadlock {
+            if let Some(cycle) = find_cycle(&snapshot.wait_edges) {
+                self.reported_deadlock = true;
+                bugs.push(self.make_bug(BugKind::Deadlock { cycle }, sys, committer, &snapshot));
+            }
+        }
+        // --- Progress accounting for starvation/livelock.
+        let mut any_live = false;
+        let mut stalled: Vec<(TaskId, bool)> = Vec::new();
+        let mut moving: Vec<TaskId> = Vec::new();
+        for t in &snapshot.tasks {
+            if matches!(t.state, TaskState::Terminated(_)) {
+                self.progress.remove(&t.id);
+                continue;
+            }
+            any_live = true;
+            let entry = self.progress.entry(t.id).or_insert(Progress {
+                ops: t.ops_retired,
+                since: now,
+            });
+            if t.ops_retired != entry.ops {
+                entry.ops = t.ops_retired;
+                entry.since = now;
+                moving.push(t.id);
+            } else if now.since(entry.since) >= self.cfg.progress_window {
+                let runnable = matches!(t.state, TaskState::Ready) && !t.suspended;
+                // Suspended tasks are intentionally parked by TS: not a bug.
+                if !t.suspended {
+                    stalled.push((t.id, runnable));
+                }
+            }
+        }
+        if committer_done {
+            let done_since = *self.done_since.get_or_insert(now);
+            for (task, runnable) in stalled {
+                if !self.reported_starvation.contains(&task) {
+                    self.reported_starvation.push(task);
+                    bugs.push(self.make_bug(
+                        BugKind::Starvation { task, runnable },
+                        sys,
+                        committer,
+                        &snapshot,
+                    ));
+                }
+            }
+            // Livelock / no termination: live tasks still spinning a full
+            // window after the whole pattern was delivered (Figure 1).
+            if any_live
+                && !moving.is_empty()
+                && !self.reported_livelock
+                && now.since(done_since) >= self.cfg.progress_window
+            {
+                self.reported_livelock = true;
+                bugs.push(self.make_bug(
+                    BugKind::Livelock { tasks: moving },
+                    sys,
+                    committer,
+                    &snapshot,
+                ));
+            }
+        }
+        bugs
+    }
+}
+
+/// Finds a cycle in the waiter→holder graph, if any, returning the tasks
+/// on it in order, canonicalized to start at the smallest task id (so
+/// reproduced runs report byte-identical cycles).
+fn find_cycle(edges: &[WaitEdge]) -> Option<Vec<TaskId>> {
+    // waiter -> holder adjacency (mutex edges only; semaphores have no
+    // holder). BTreeMap keeps the search order deterministic.
+    let mut next: std::collections::BTreeMap<TaskId, TaskId> = std::collections::BTreeMap::new();
+    for e in edges {
+        if let Some(holder) = e.holder {
+            next.insert(e.waiter, holder);
+        }
+    }
+    for &start in next.keys() {
+        let mut seen = vec![start];
+        let mut cur = start;
+        while let Some(&n) = next.get(&cur) {
+            if let Some(pos) = seen.iter().position(|&t| t == n) {
+                let mut cycle = seen[pos..].to_vec();
+                // Canonical rotation: smallest task id first.
+                let min_pos = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| **t)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cycle.rotate_left(min_pos);
+                return Some(cycle);
+            }
+            seen.push(n);
+            cur = n;
+            if seen.len() > edges.len() + 2 {
+                break;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_pcore::{MutexId, ResourceRef};
+
+    fn edge(w: u8, h: u8, m: u16) -> WaitEdge {
+        WaitEdge {
+            waiter: TaskId::new(w),
+            resource: ResourceRef::Mutex(MutexId(m)),
+            holder: Some(TaskId::new(h)),
+        }
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let cycle = find_cycle(&[edge(0, 1, 0), edge(1, 0, 1)]).unwrap();
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        let cycle = find_cycle(&[edge(0, 1, 0), edge(1, 2, 1), edge(2, 0, 2)]).unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn chain_without_cycle_is_clean() {
+        assert_eq!(find_cycle(&[edge(0, 1, 0), edge(1, 2, 1)]), None);
+        assert_eq!(find_cycle(&[]), None);
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        // Cannot normally occur (recursive lock faults the task), but the
+        // detector must not loop forever on it.
+        let cycle = find_cycle(&[edge(5, 5, 0)]).unwrap();
+        assert_eq!(cycle, vec![TaskId::new(5)]);
+    }
+
+    #[test]
+    fn partial_cycle_with_tail_detected() {
+        // 9 -> 0 -> 1 -> 2 -> 0 : cycle is (0 1 2).
+        let cycle = find_cycle(&[edge(9, 0, 3), edge(0, 1, 0), edge(1, 2, 1), edge(2, 0, 2)]);
+        let cycle = cycle.unwrap();
+        assert_eq!(cycle.len(), 3);
+        assert!(!cycle.contains(&TaskId::new(9)));
+    }
+
+    #[test]
+    fn cycle_is_canonicalized_to_smallest_first() {
+        let cycle = find_cycle(&[edge(2, 0, 0), edge(0, 1, 1), edge(1, 2, 2)]).unwrap();
+        assert_eq!(cycle[0], TaskId::new(0), "rotation starts at min id: {cycle:?}");
+    }
+
+    mod live_system {
+        use super::super::*;
+        use ptest_master::{DualCoreSystem, SystemConfig};
+        use ptest_pcore::{Op, Priority, Program, SvcRequest};
+
+        fn spin_system() -> DualCoreSystem {
+            let mut sys = DualCoreSystem::new(SystemConfig::default());
+            let spin = sys
+                .kernel_mut()
+                .register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+            sys.kernel_mut()
+                .dispatch(
+                    SvcRequest::Create {
+                        program: spin,
+                        priority: Priority::new(5),
+                        stack_bytes: None,
+                    },
+                    Cycles::ZERO,
+                )
+                .unwrap();
+            sys
+        }
+
+        fn observe_window(
+            sys: &mut DualCoreSystem,
+            det: &mut BugDetector,
+            cycles: u64,
+            done: bool,
+        ) -> Vec<Bug> {
+            let mut all = Vec::new();
+            for i in 0..cycles {
+                sys.step();
+                if i % 200 == 0 {
+                    all.extend(det.observe(sys, None, done));
+                }
+            }
+            all
+        }
+
+        #[test]
+        fn livelock_reported_exactly_once() {
+            let mut sys = spin_system();
+            let mut det = BugDetector::new(DetectorConfig {
+                progress_window: Cycles::new(2_000),
+                ..DetectorConfig::default()
+            });
+            let bugs = observe_window(&mut sys, &mut det, 30_000, true);
+            let livelocks = bugs
+                .iter()
+                .filter(|b| matches!(b.kind, BugKind::Livelock { .. }))
+                .count();
+            assert_eq!(livelocks, 1, "anomalies are reported once: {bugs:?}");
+        }
+
+        #[test]
+        fn no_progress_rules_gated_until_committer_done() {
+            let mut sys = spin_system();
+            let mut det = BugDetector::new(DetectorConfig {
+                progress_window: Cycles::new(2_000),
+                ..DetectorConfig::default()
+            });
+            let bugs = observe_window(&mut sys, &mut det, 30_000, false);
+            assert!(
+                bugs.is_empty(),
+                "while commands are in flight, spinning tasks are expected: {bugs:?}"
+            );
+        }
+
+        #[test]
+        fn suspended_tasks_are_not_reported_starved() {
+            let mut sys = spin_system();
+            sys.kernel_mut()
+                .dispatch(
+                    SvcRequest::Suspend { task: ptest_pcore::TaskId::new(0) },
+                    Cycles::ZERO,
+                )
+                .unwrap();
+            let mut det = BugDetector::new(DetectorConfig {
+                progress_window: Cycles::new(2_000),
+                ..DetectorConfig::default()
+            });
+            let bugs = observe_window(&mut sys, &mut det, 30_000, true);
+            assert!(
+                bugs.is_empty(),
+                "TS-parked tasks are intentional, not starved: {bugs:?}"
+            );
+        }
+
+        #[test]
+        fn crash_reported_once_with_snapshot() {
+            let mut cfg = SystemConfig::default();
+            cfg.kernel.heap_bytes = 500; // TCB fits, the 512 B stack cannot
+            let mut sys = DualCoreSystem::new(cfg);
+            let prog = sys
+                .kernel_mut()
+                .register_program(Program::exit_immediately());
+            // Issue the fatal create through the bridge.
+            sys.issue(SvcRequest::Create {
+                program: prog,
+                priority: Priority::new(1),
+                stack_bytes: None,
+            })
+            .unwrap();
+            let mut det = BugDetector::new(DetectorConfig::default());
+            let bugs = observe_window(&mut sys, &mut det, 5_000, false);
+            let crashes: Vec<&Bug> = bugs
+                .iter()
+                .filter(|b| matches!(b.kind, BugKind::SlaveCrash { .. }))
+                .collect();
+            assert_eq!(crashes.len(), 1);
+            assert!(crashes[0].snapshot.panic.is_some());
+            assert!(!crashes[0].trace_tail.is_empty());
+        }
+    }
+}

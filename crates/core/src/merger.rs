@@ -1,0 +1,366 @@
+//! The pattern merger (paper §II-B, Algorithm 1 line 4).
+//!
+//! The merger "extracts subsequences from each test pattern … and then
+//! systematically merges all subsequences into one final test pattern. …
+//! It is similar to a process scheduler." The `op` configuration
+//! parameter selects a merge policy aimed at a specific bug class
+//! (Algorithm 1's `op` that "can help the bug detector find out the
+//! specific bug such as slave system crashes or concurrency faults").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pattern::{MergedPattern, MergedStep, TestPattern};
+
+/// The merge policy (`op` of Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOp {
+    /// Concatenate the patterns one after another: no interleaving at
+    /// all. Useful as a degenerate baseline — concurrency bugs that need
+    /// overlapping life cycles cannot fire under it.
+    Sequential,
+    /// Take `chunk` services from each non-exhausted pattern in cyclic
+    /// order until all are drained. `chunk = 1` is strict alternation —
+    /// the policy that forces "cyclic execution sequences" (case study
+    /// 2's deadlock driver).
+    RoundRobin {
+        /// Services taken from a pattern per turn.
+        chunk: usize,
+    },
+    /// Random interleaving: at each step pick a non-exhausted pattern
+    /// with probability proportional to its remaining length (a uniform
+    /// sample over all order-preserving interleavings).
+    RandomInterleave {
+        /// RNG seed (merging is deterministic per seed).
+        seed: u64,
+    },
+    /// Exhaust pattern after pattern but *overlap tails*: issue the first
+    /// `overlap` services of the next pattern before the current one
+    /// finishes. Models pipelined task start-up, the paper's stress-test
+    /// shape for keeping exactly N tasks alive.
+    Staggered {
+        /// Number of services of overlap between consecutive patterns.
+        overlap: usize,
+    },
+}
+
+impl MergeOp {
+    /// The strict-alternation round robin (the deadlock-hunting `op`).
+    #[must_use]
+    pub fn cyclic() -> MergeOp {
+        MergeOp::RoundRobin { chunk: 1 }
+    }
+}
+
+/// The pattern merger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatternMerger;
+
+impl PatternMerger {
+    /// Creates a merger.
+    #[must_use]
+    pub fn new() -> PatternMerger {
+        PatternMerger
+    }
+
+    /// Merges `patterns` into one interleaved pattern under `op`.
+    ///
+    /// The merge always preserves each source pattern's internal order
+    /// (verified by [`MergedPattern::preserves_order_of`] in tests): the
+    /// merger schedules, it never reorders.
+    #[must_use]
+    pub fn merge(&self, patterns: &[TestPattern], op: MergeOp) -> MergedPattern {
+        match op {
+            MergeOp::Sequential => self.merge_sequential(patterns),
+            MergeOp::RoundRobin { chunk } => self.merge_round_robin(patterns, chunk.max(1)),
+            MergeOp::RandomInterleave { seed } => self.merge_random(patterns, seed),
+            MergeOp::Staggered { overlap } => self.merge_staggered(patterns, overlap),
+        }
+    }
+
+    fn merge_sequential(&self, patterns: &[TestPattern]) -> MergedPattern {
+        let mut steps = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            steps.extend(p.symbols().iter().map(|&sym| MergedStep { pattern: i, sym }));
+        }
+        MergedPattern::new(steps)
+    }
+
+    fn merge_round_robin(&self, patterns: &[TestPattern], chunk: usize) -> MergedPattern {
+        let mut cursors = vec![0usize; patterns.len()];
+        let total: usize = patterns.iter().map(TestPattern::len).sum();
+        let mut steps = Vec::with_capacity(total);
+        while steps.len() < total {
+            for (i, p) in patterns.iter().enumerate() {
+                for _ in 0..chunk {
+                    if cursors[i] < p.len() {
+                        steps.push(MergedStep {
+                            pattern: i,
+                            sym: p.symbols()[cursors[i]],
+                        });
+                        cursors[i] += 1;
+                    }
+                }
+            }
+        }
+        MergedPattern::new(steps)
+    }
+
+    fn merge_random(&self, patterns: &[TestPattern], seed: u64) -> MergedPattern {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cursors = vec![0usize; patterns.len()];
+        let mut remaining: Vec<usize> = patterns.iter().map(TestPattern::len).collect();
+        let total: usize = remaining.iter().sum();
+        let mut steps = Vec::with_capacity(total);
+        let mut left = total;
+        while left > 0 {
+            // Weighted pick proportional to remaining length: uniform over
+            // all order-preserving interleavings.
+            let mut roll = rng.random_range(0..left);
+            let mut chosen = 0;
+            for (i, &rem) in remaining.iter().enumerate() {
+                if roll < rem {
+                    chosen = i;
+                    break;
+                }
+                roll -= rem;
+            }
+            steps.push(MergedStep {
+                pattern: chosen,
+                sym: patterns[chosen].symbols()[cursors[chosen]],
+            });
+            cursors[chosen] += 1;
+            remaining[chosen] -= 1;
+            left -= 1;
+        }
+        MergedPattern::new(steps)
+    }
+
+    fn merge_staggered(&self, patterns: &[TestPattern], overlap: usize) -> MergedPattern {
+        // Pattern i+1 starts `overlap` steps before pattern i ends.
+        let mut steps = Vec::new();
+        let mut carry: Vec<(usize, Vec<ptest_automata::Sym>)> = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            let syms = p.symbols().to_vec();
+            let cut = syms.len().saturating_sub(overlap);
+            // Flush previous carry interleaved with this pattern's head.
+            if let Some((j, tail)) = carry.pop() {
+                let head: Vec<_> = syms[..cut.min(syms.len())].to_vec();
+                let mut a = tail.into_iter().peekable();
+                let mut b = head.into_iter().peekable();
+                loop {
+                    match (a.peek().is_some(), b.peek().is_some()) {
+                        (true, true) => {
+                            steps.push(MergedStep { pattern: j, sym: a.next().expect("peeked") });
+                            steps.push(MergedStep { pattern: i, sym: b.next().expect("peeked") });
+                        }
+                        (true, false) => {
+                            steps.push(MergedStep { pattern: j, sym: a.next().expect("peeked") });
+                        }
+                        (false, true) => {
+                            steps.push(MergedStep { pattern: i, sym: b.next().expect("peeked") });
+                        }
+                        (false, false) => break,
+                    }
+                }
+            } else {
+                steps.extend(
+                    syms[..cut.min(syms.len())]
+                        .iter()
+                        .map(|&sym| MergedStep { pattern: i, sym }),
+                );
+            }
+            if cut < syms.len() && i + 1 < patterns.len() {
+                carry.push((i, syms[cut..].to_vec()));
+            } else {
+                steps.extend(
+                    syms[cut.min(syms.len())..]
+                        .iter()
+                        .map(|&sym| MergedStep { pattern: i, sym }),
+                );
+            }
+        }
+        if let Some((j, tail)) = carry.pop() {
+            steps.extend(tail.into_iter().map(|sym| MergedStep { pattern: j, sym }));
+        }
+        MergedPattern::new(steps)
+    }
+
+    /// Enumerates **all** order-preserving interleavings of `patterns`
+    /// (the systematic exploration that a CHESS-style baseline performs).
+    /// The count is the multinomial coefficient; callers must bound their
+    /// input sizes. Returns `None` if the count would exceed `limit`.
+    #[must_use]
+    pub fn enumerate_all(
+        &self,
+        patterns: &[TestPattern],
+        limit: usize,
+    ) -> Option<Vec<MergedPattern>> {
+        let lens: Vec<usize> = patterns.iter().map(TestPattern::len).collect();
+        let count = multinomial(&lens)?;
+        if count > limit {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut cursors = vec![0usize; patterns.len()];
+        let mut current = Vec::new();
+        enumerate_rec(patterns, &mut cursors, &mut current, &mut out);
+        Some(out)
+    }
+}
+
+fn multinomial(lens: &[usize]) -> Option<usize> {
+    // (Σ lens)! / Π lens! computed incrementally with overflow checks.
+    let mut result: usize = 1;
+    let mut seen: usize = 0;
+    for &len in lens {
+        for i in 1..=len {
+            seen += 1;
+            result = result.checked_mul(seen)?;
+            result /= i;
+        }
+    }
+    Some(result)
+}
+
+fn enumerate_rec(
+    patterns: &[TestPattern],
+    cursors: &mut Vec<usize>,
+    current: &mut Vec<MergedStep>,
+    out: &mut Vec<MergedPattern>,
+) {
+    let done = cursors
+        .iter()
+        .zip(patterns)
+        .all(|(&c, p)| c == p.len());
+    if done {
+        out.push(MergedPattern::new(current.clone()));
+        return;
+    }
+    for i in 0..patterns.len() {
+        if cursors[i] < patterns[i].len() {
+            let sym = patterns[i].symbols()[cursors[i]];
+            cursors[i] += 1;
+            current.push(MergedStep { pattern: i, sym });
+            enumerate_rec(patterns, cursors, current, out);
+            current.pop();
+            cursors[i] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_automata::Sym;
+
+    fn pat(syms: &[u16]) -> TestPattern {
+        TestPattern::new(syms.iter().map(|&i| Sym(i)).collect())
+    }
+
+    fn fixtures() -> Vec<TestPattern> {
+        vec![pat(&[1, 2, 3]), pat(&[10, 20]), pat(&[100])]
+    }
+
+    #[test]
+    fn sequential_concatenates() {
+        let m = PatternMerger::new().merge(&fixtures(), MergeOp::Sequential);
+        let order: Vec<usize> = m.steps().iter().map(|s| s.pattern).collect();
+        assert_eq!(order, vec![0, 0, 0, 1, 1, 2]);
+        assert!(m.preserves_order_of(&fixtures()));
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let m = PatternMerger::new().merge(&fixtures(), MergeOp::cyclic());
+        let order: Vec<usize> = m.steps().iter().map(|s| s.pattern).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 0]);
+        assert!(m.preserves_order_of(&fixtures()));
+    }
+
+    #[test]
+    fn round_robin_chunked() {
+        let m = PatternMerger::new().merge(&fixtures(), MergeOp::RoundRobin { chunk: 2 });
+        let order: Vec<usize> = m.steps().iter().map(|s| s.pattern).collect();
+        assert_eq!(order, vec![0, 0, 1, 1, 2, 0]);
+        assert!(m.preserves_order_of(&fixtures()));
+    }
+
+    #[test]
+    fn random_interleave_is_deterministic_per_seed_and_preserving() {
+        let merger = PatternMerger::new();
+        let a = merger.merge(&fixtures(), MergeOp::RandomInterleave { seed: 9 });
+        let b = merger.merge(&fixtures(), MergeOp::RandomInterleave { seed: 9 });
+        let c = merger.merge(&fixtures(), MergeOp::RandomInterleave { seed: 10 });
+        assert_eq!(a, b);
+        assert!(a.preserves_order_of(&fixtures()));
+        assert!(c.preserves_order_of(&fixtures()));
+    }
+
+    #[test]
+    fn random_interleave_varies_with_seed() {
+        let merger = PatternMerger::new();
+        let distinct: std::collections::HashSet<Vec<usize>> = (0..20)
+            .map(|seed| {
+                merger
+                    .merge(&fixtures(), MergeOp::RandomInterleave { seed })
+                    .steps()
+                    .iter()
+                    .map(|s| s.pattern)
+                    .collect()
+            })
+            .collect();
+        assert!(distinct.len() > 5, "20 seeds should produce several interleavings");
+    }
+
+    #[test]
+    fn staggered_overlaps_consecutive_patterns() {
+        let patterns = vec![pat(&[1, 2, 3, 4]), pat(&[10, 20, 30])];
+        let m = PatternMerger::new().merge(&patterns, MergeOp::Staggered { overlap: 2 });
+        assert!(m.preserves_order_of(&patterns));
+        // The first pattern's tail (3, 4) interleaves with the second's head.
+        let order: Vec<usize> = m.steps().iter().map(|s| s.pattern).collect();
+        let first_of_1 = order.iter().position(|&p| p == 1).unwrap();
+        let last_of_0 = order.iter().rposition(|&p| p == 0).unwrap();
+        assert!(first_of_1 < last_of_0, "patterns must overlap: {order:?}");
+    }
+
+    #[test]
+    fn enumerate_all_counts_multinomial() {
+        let patterns = vec![pat(&[1, 2]), pat(&[10])];
+        let all = PatternMerger::new().enumerate_all(&patterns, 100).unwrap();
+        // C(3,1) = 3 interleavings.
+        assert_eq!(all.len(), 3);
+        for m in &all {
+            assert!(m.preserves_order_of(&patterns));
+        }
+        // All distinct.
+        let set: std::collections::HashSet<String> = all
+            .iter()
+            .map(|m| format!("{:?}", m.steps().iter().map(|s| s.pattern).collect::<Vec<_>>()))
+            .collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_all_respects_limit() {
+        let patterns = vec![pat(&[1; 8]), pat(&[2; 8])];
+        // C(16,8) = 12870 > 1000.
+        assert!(PatternMerger::new().enumerate_all(&patterns, 1000).is_none());
+        assert!(PatternMerger::new().enumerate_all(&patterns, 13000).is_some());
+    }
+
+    #[test]
+    fn empty_patterns_merge_to_empty() {
+        let merger = PatternMerger::new();
+        for op in [
+            MergeOp::Sequential,
+            MergeOp::cyclic(),
+            MergeOp::RandomInterleave { seed: 1 },
+            MergeOp::Staggered { overlap: 1 },
+        ] {
+            assert!(merger.merge(&[], op).is_empty());
+            assert!(merger.merge(&[pat(&[])], op).is_empty());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Test patterns and merged (interleaved) test patterns.
+
+use ptest_automata::{Alphabet, Sym};
+
+/// A test pattern: a sequence of slave-system services "arranged in
+/// rational order" (paper §II-B), destined for **one** slave task.
+///
+/// Produced by the [`PatternGenerator`](crate::PatternGenerator) walking
+/// the PFA (Algorithm 2); `n` of these are merged by the
+/// [`PatternMerger`](crate::PatternMerger) into one interleaved pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestPattern {
+    symbols: Vec<Sym>,
+}
+
+impl TestPattern {
+    /// Wraps a symbol sequence.
+    #[must_use]
+    pub fn new(symbols: Vec<Sym>) -> TestPattern {
+        TestPattern { symbols }
+    }
+
+    /// The service symbols in order.
+    #[must_use]
+    pub fn symbols(&self) -> &[Sym] {
+        &self.symbols
+    }
+
+    /// Number of services in the pattern (the paper's `s`, unless the
+    /// walk absorbed early).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the pattern is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Renders the pattern via the alphabet, e.g. `"TC TCH TD"`.
+    #[must_use]
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        alphabet.render(&self.symbols)
+    }
+}
+
+impl From<Vec<Sym>> for TestPattern {
+    fn from(symbols: Vec<Sym>) -> TestPattern {
+        TestPattern::new(symbols)
+    }
+}
+
+/// One step of a merged pattern: which source pattern (slave task) the
+/// service targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergedStep {
+    /// Index of the source test pattern (and hence of the controlled
+    /// slave task / master thread, per the 1:1 correspondence).
+    pub pattern: usize,
+    /// The service to issue.
+    pub sym: Sym,
+}
+
+/// The output of the pattern merger: one interleaved sequence of
+/// (pattern, service) steps preserving each source pattern's order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergedPattern {
+    steps: Vec<MergedStep>,
+}
+
+impl MergedPattern {
+    /// Wraps a step sequence.
+    #[must_use]
+    pub fn new(steps: Vec<MergedStep>) -> MergedPattern {
+        MergedPattern { steps }
+    }
+
+    /// The steps in issue order.
+    #[must_use]
+    pub fn steps(&self) -> &[MergedStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether there are no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Projects the steps of one source pattern back out, in order.
+    #[must_use]
+    pub fn project(&self, pattern: usize) -> Vec<Sym> {
+        self.steps
+            .iter()
+            .filter(|s| s.pattern == pattern)
+            .map(|s| s.sym)
+            .collect()
+    }
+
+    /// Renders as `"0:TC 1:TC 0:TD …"`.
+    #[must_use]
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        self.steps
+            .iter()
+            .map(|s| format!("{}:{}", s.pattern, alphabet.name(s.sym).unwrap_or("?")))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Checks the *order-preservation invariant*: projecting pattern `i`
+    /// out of the merge must yield exactly `patterns[i]` — the merger
+    /// interleaves, never reorders (it "acts as a scheduler").
+    #[must_use]
+    pub fn preserves_order_of(&self, patterns: &[TestPattern]) -> bool {
+        (0..patterns.len()).all(|i| self.project(i) == patterns[i].symbols())
+            && self.steps.iter().all(|s| s.pattern < patterns.len())
+            && self.len() == patterns.iter().map(TestPattern::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u16) -> Sym {
+        Sym(i)
+    }
+
+    #[test]
+    fn pattern_basics() {
+        let p = TestPattern::new(vec![sym(0), sym(1)]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let q: TestPattern = vec![sym(0)].into();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn render_uses_alphabet() {
+        let mut a = Alphabet::new();
+        let tc = a.intern("TC");
+        let td = a.intern("TD");
+        let p = TestPattern::new(vec![tc, td]);
+        assert_eq!(p.render(&a), "TC TD");
+        let m = MergedPattern::new(vec![
+            MergedStep { pattern: 0, sym: tc },
+            MergedStep { pattern: 1, sym: tc },
+            MergedStep { pattern: 0, sym: td },
+        ]);
+        assert_eq!(m.render(&a), "0:TC 1:TC 0:TD");
+    }
+
+    #[test]
+    fn projection_recovers_sources() {
+        let m = MergedPattern::new(vec![
+            MergedStep { pattern: 0, sym: sym(5) },
+            MergedStep { pattern: 1, sym: sym(9) },
+            MergedStep { pattern: 0, sym: sym(6) },
+        ]);
+        assert_eq!(m.project(0), vec![sym(5), sym(6)]);
+        assert_eq!(m.project(1), vec![sym(9)]);
+        assert_eq!(m.project(7), Vec::<Sym>::new());
+    }
+
+    #[test]
+    fn order_preservation_check() {
+        let p0 = TestPattern::new(vec![sym(1), sym(2)]);
+        let p1 = TestPattern::new(vec![sym(3)]);
+        let good = MergedPattern::new(vec![
+            MergedStep { pattern: 1, sym: sym(3) },
+            MergedStep { pattern: 0, sym: sym(1) },
+            MergedStep { pattern: 0, sym: sym(2) },
+        ]);
+        assert!(good.preserves_order_of(&[p0.clone(), p1.clone()]));
+        let reordered = MergedPattern::new(vec![
+            MergedStep { pattern: 0, sym: sym(2) },
+            MergedStep { pattern: 0, sym: sym(1) },
+            MergedStep { pattern: 1, sym: sym(3) },
+        ]);
+        assert!(!reordered.preserves_order_of(&[p0.clone(), p1.clone()]));
+        let missing = MergedPattern::new(vec![MergedStep { pattern: 0, sym: sym(1) }]);
+        assert!(!missing.preserves_order_of(&[p0, p1]));
+    }
+}

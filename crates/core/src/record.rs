@@ -1,0 +1,158 @@
+//! State recording of concurrent processes (paper Definition 2).
+//!
+//! Each record is the five-tuple `(qm, qs, TP, SN, δS)`: the master
+//! process state, the slave process state, the test pattern, the sequence
+//! number of the current pattern position, and the remaining subsequence.
+//! The bug detector reads these records to monitor testing progress, and
+//! they are dumped into bug reports for reproduction (Figure 4 shows two
+//! such records).
+
+use ptest_automata::{Alphabet, Sym};
+use ptest_pcore::{TaskId, TaskState};
+
+/// The master-side state component `qm` of a state record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterState {
+    /// The controlling process has not issued anything yet.
+    Idle,
+    /// Last observed issuing the given service (by wire code).
+    Issuing(ptest_pcore::Service),
+    /// Waiting for the response of the last issued service.
+    AwaitingResponse(ptest_pcore::Service),
+    /// The pattern is exhausted.
+    Finished,
+}
+
+impl std::fmt::Display for MasterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MasterState::Idle => write!(f, "idle"),
+            MasterState::Issuing(s) => write!(f, "issue:{s}"),
+            MasterState::AwaitingResponse(s) => write!(f, "await:{s}"),
+            MasterState::Finished => write!(f, "finished"),
+        }
+    }
+}
+
+/// Definition 2: `(qm, qs, TP, SN, δS)` for one controlled slave process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateRecord {
+    /// Which test pattern (and hence which master/slave process pair)
+    /// this record describes.
+    pub pattern_index: usize,
+    /// `qm` — the state of the controlling master process.
+    pub master_state: MasterState,
+    /// `qs` — the state of the slave process (`None` before the first
+    /// `task_create` completes).
+    pub slave_task: Option<TaskId>,
+    /// The slave task's scheduling state, if one is bound.
+    pub slave_state: Option<TaskState>,
+    /// `TP` — the full test pattern assigned to this process.
+    pub test_pattern: Vec<Sym>,
+    /// `SN` — the 1-based sequence number of the *current* position in
+    /// the pattern (0 = nothing executed yet).
+    pub sequence_number: usize,
+}
+
+impl StateRecord {
+    /// `δS` — the subsequence of the test pattern still to be executed.
+    #[must_use]
+    pub fn remaining(&self) -> &[Sym] {
+        &self.test_pattern[self.sequence_number.min(self.test_pattern.len())..]
+    }
+
+    /// Renders the record in the paper's Figure 4 style:
+    /// `CP1 = (m2, s1, p1->p2->p3, 2, p3)`.
+    #[must_use]
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let tp = self
+            .test_pattern
+            .iter()
+            .map(|&s| alphabet.name(s).unwrap_or("?").to_owned())
+            .collect::<Vec<_>>()
+            .join("->");
+        let rest = self
+            .remaining()
+            .iter()
+            .map(|&s| alphabet.name(s).unwrap_or("?").to_owned())
+            .collect::<Vec<_>>()
+            .join("->");
+        let qs = match (self.slave_task, self.slave_state) {
+            (Some(t), Some(st)) => format!("{t}:{st}"),
+            (Some(t), None) => format!("{t}"),
+            _ => "-".to_owned(),
+        };
+        format!(
+            "CP{} = ({}, {}, {}, {}, {})",
+            self.pattern_index,
+            self.master_state,
+            qs,
+            if tp.is_empty() { "-".to_owned() } else { tp },
+            self.sequence_number,
+            if rest.is_empty() { "-".to_owned() } else { rest },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_pcore::Service;
+
+    fn record() -> (Alphabet, StateRecord) {
+        let mut a = Alphabet::new();
+        let tc = a.intern("TC");
+        let tch = a.intern("TCH");
+        let td = a.intern("TD");
+        let r = StateRecord {
+            pattern_index: 1,
+            master_state: MasterState::AwaitingResponse(Service::ChangePriority),
+            slave_task: Some(TaskId::new(3)),
+            slave_state: Some(TaskState::Ready),
+            test_pattern: vec![tc, tch, td],
+            sequence_number: 2,
+        };
+        (a, r)
+    }
+
+    #[test]
+    fn remaining_is_suffix() {
+        let (a, r) = record();
+        assert_eq!(r.remaining().len(), 1);
+        assert_eq!(a.name(r.remaining()[0]), Some("TD"));
+    }
+
+    #[test]
+    fn remaining_is_empty_at_end() {
+        let (_, mut r) = record();
+        r.sequence_number = 3;
+        assert!(r.remaining().is_empty());
+        r.sequence_number = 99; // clamped, no panic
+        assert!(r.remaining().is_empty());
+    }
+
+    #[test]
+    fn render_matches_fig4_shape() {
+        let (a, r) = record();
+        let s = r.render(&a);
+        assert_eq!(s, "CP1 = (await:TCH, T3:ready, TC->TCH->TD, 2, TD)");
+    }
+
+    #[test]
+    fn render_unbound_slave() {
+        let (a, mut r) = record();
+        r.slave_task = None;
+        r.slave_state = None;
+        r.sequence_number = 0;
+        let s = r.render(&a);
+        assert!(s.contains("-,"), "{s}");
+        assert!(s.contains("TC->TCH->TD"), "{s}");
+    }
+
+    #[test]
+    fn master_state_display() {
+        assert_eq!(MasterState::Idle.to_string(), "idle");
+        assert_eq!(MasterState::Issuing(Service::Create).to_string(), "issue:TC");
+        assert_eq!(MasterState::Finished.to_string(), "finished");
+    }
+}

@@ -1,0 +1,402 @@
+//! The concurrency fault of the paper's Figure 1.
+//!
+//! Two slave processes spin-wait on each other's shared variables:
+//!
+//! ```text
+//! Process S1              Process S2
+//! a: x = 1                f: y = 1
+//! b: while (y == 1)       g: while (x == 1)
+//! c:     yield();         h:     yield();
+//! d: x = 0;               i: y = 0;
+//! e: end;                 j: end;
+//! ```
+//!
+//! Both start suspended; master processes `M1`/`M2` resume them with
+//! remote commands. Resuming **S2 first** lets everything finish
+//! (`L → f g → K → i j → a b d e`); resuming **S1 first** lands `L`
+//! inside S1's window between `a` and `b`, after which both processes
+//! yield to each other forever (`K a L f g h b c g h …`) — the paper's
+//! synchronization anomaly.
+//!
+//! The window between `a` and `b` is modelled explicitly as
+//! [`Fig1Scenario::window`] compute cycles: on the real OMAP the code
+//! between the two statements takes time; the simulator must be told how
+//! much.
+
+use ptest_core::{BugDetector, BugKind, DetectorConfig};
+use ptest_master::{DualCoreSystem, SystemConfig};
+use ptest_pcore::{
+    Op, Priority, Program, ProgramBuilder, SvcReply, SvcRequest, TaskId, TaskState, VarId,
+};
+use ptest_soc::Cycles;
+
+/// Shared variable `x` of Figure 1.
+pub const VAR_X: VarId = VarId(0);
+/// Shared variable `y` of Figure 1.
+pub const VAR_Y: VarId = VarId(1);
+
+/// Which resume command the master issues first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig1Order {
+    /// `K` before `L` (resume S1 first) — the fault order.
+    S1First,
+    /// `L` before `K` (resume S2 first) — the completing order.
+    S2First,
+}
+
+/// Parameters of the Figure 1 scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Scenario {
+    /// Resume order.
+    pub order: Fig1Order,
+    /// Compute cycles between S1's `a:` and `b:` statements (the race
+    /// window the second resume must land in for the fault to fire).
+    pub window: u32,
+    /// Extra cycles the master waits between the two resume commands
+    /// (0 = back-to-back, the tightest schedule). A gap larger than the
+    /// window lets S1 escape its loop before S2 starts.
+    pub resume_gap: u64,
+    /// Simulation budget.
+    pub max_cycles: u64,
+}
+
+impl Default for Fig1Scenario {
+    fn default() -> Fig1Scenario {
+        Fig1Scenario {
+            order: Fig1Order::S1First,
+            window: 64,
+            resume_gap: 0,
+            max_cycles: 200_000,
+        }
+    }
+}
+
+/// Outcome of a Figure 1 run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fig1Outcome {
+    /// Both processes terminated (`d e` / `i j` reached).
+    Completed {
+        /// Cycle at which the second process terminated.
+        cycles: u64,
+    },
+    /// The processes yielded to each other until the budget ran out; the
+    /// listed tasks never terminated.
+    Livelock {
+        /// The spinning tasks.
+        tasks: Vec<TaskId>,
+    },
+}
+
+/// Builds S1's program: `a: x=1; (window); b: while (y==1) c: yield(); d:
+/// x=0; e: end`.
+#[must_use]
+pub fn s1_program(window: u32) -> Program {
+    spin_program(VAR_X, VAR_Y, window)
+}
+
+/// Builds S2's program: `f: y=1; g: while (x==1) h: yield(); i: y=0; j:
+/// end`.
+#[must_use]
+pub fn s2_program() -> Program {
+    spin_program(VAR_Y, VAR_X, 0)
+}
+
+fn spin_program(mine: VarId, theirs: VarId, window: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.push(Op::WriteVar { var: mine, value: 1 }); // a / f
+    if window > 0 {
+        b.push(Op::Compute(window));
+    }
+    b.bind("test"); // b / g
+    b.branch_if_var_eq(theirs, 1, "spin");
+    b.jump_to("done");
+    b.bind("spin"); // c / h
+    b.push(Op::Yield);
+    b.jump_to("test");
+    b.bind("done"); // d / i
+    b.push(Op::WriteVar { var: mine, value: 0 });
+    b.push(Op::Exit); // e / j
+    b.build().expect("fig1 program is valid")
+}
+
+/// Runs the scenario and classifies the outcome.
+///
+/// The run is fully deterministic: outcome depends only on the scenario
+/// parameters.
+///
+/// # Panics
+///
+/// Panics if the scenario setup commands fail (cannot happen with a
+/// default-configured kernel).
+#[must_use]
+pub fn run(scenario: Fig1Scenario) -> Fig1Outcome {
+    let mut sys = DualCoreSystem::new(SystemConfig::default());
+
+    // Scenario setup at time zero: both processes exist and are
+    // suspended before the first kernel tick, as in the paper's figure.
+    let (s1, s2) = {
+        let kernel = sys.kernel_mut();
+        let p1 = kernel.register_program(s1_program(scenario.window));
+        let p2 = kernel.register_program(s2_program());
+        let SvcReply::Created(s1) = kernel
+            .dispatch(
+                SvcRequest::Create {
+                    program: p1,
+                    priority: Priority::new(2), // S1 has the lower priority
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .expect("create S1")
+        else {
+            unreachable!("create returns Created")
+        };
+        let SvcReply::Created(s2) = kernel
+            .dispatch(
+                SvcRequest::Create {
+                    program: p2,
+                    priority: Priority::new(9), // S2 has the higher priority
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .expect("create S2")
+        else {
+            unreachable!("create returns Created")
+        };
+        kernel
+            .dispatch(SvcRequest::Suspend { task: s1 }, Cycles::ZERO)
+            .expect("suspend S1");
+        kernel
+            .dispatch(SvcRequest::Suspend { task: s2 }, Cycles::ZERO)
+            .expect("suspend S2");
+        (s1, s2)
+    };
+
+    // The master's two remote commands, in the chosen order (the paper's
+    // K and L), each awaited like the committer would.
+    let resumes = match scenario.order {
+        Fig1Order::S1First => [s1, s2],
+        Fig1Order::S2First => [s2, s1],
+    };
+    let mut first = true;
+    for task in resumes {
+        if !first {
+            sys.run(scenario.resume_gap);
+        }
+        first = false;
+        sys.issue(SvcRequest::Resume { task }).expect("issue resume");
+        // Await the response so command order = slave observation order.
+        loop {
+            sys.step();
+            if !sys.take_responses().is_empty() {
+                break;
+            }
+        }
+    }
+
+    // Let the system run; watch for termination of both processes.
+    let mut detector = BugDetector::new(DetectorConfig {
+        progress_window: Cycles::new(10_000),
+        ..DetectorConfig::default()
+    });
+    for cycle in 0..scenario.max_cycles {
+        sys.step();
+        let both_done = [s1, s2].iter().all(|&t| {
+            matches!(
+                sys.kernel().task_state(t),
+                Some(TaskState::Terminated(_))
+            )
+        });
+        if both_done {
+            return Fig1Outcome::Completed { cycles: cycle };
+        }
+        if cycle % 200 == 0 {
+            for bug in detector.observe(&sys, None, true) {
+                if let BugKind::Livelock { tasks } = bug.kind {
+                    return Fig1Outcome::Livelock { tasks };
+                }
+            }
+        }
+    }
+    // Budget exhausted without termination: the live tasks are spinning.
+    let live: Vec<TaskId> = sys
+        .snapshot()
+        .tasks
+        .iter()
+        .filter(|t| !matches!(t.state, TaskState::Terminated(_)))
+        .map(|t| t.id)
+        .collect();
+    Fig1Outcome::Livelock { tasks: live }
+}
+
+/// The scripted-master variant: the paper's `M1`/`M2` processes as real
+/// master threads under the time-sharing scheduler, each issuing its
+/// resume via `remote_cmd` (`K` in M1, `L` in M2). The thread added first
+/// is scheduled first, so the add order plays the role of the execution
+/// order of Figure 1.
+///
+/// Returns the same outcome classification as [`run`].
+///
+/// # Panics
+///
+/// Panics if scenario setup commands fail (cannot happen on a default
+/// kernel).
+#[must_use]
+pub fn run_with_master_threads(scenario: Fig1Scenario) -> Fig1Outcome {
+    use ptest_master::MasterOp;
+
+    let mut sys = DualCoreSystem::new(SystemConfig::default());
+    let (s1, s2) = {
+        let kernel = sys.kernel_mut();
+        let p1 = kernel.register_program(s1_program(scenario.window));
+        let p2 = kernel.register_program(s2_program());
+        let mk = |kernel: &mut ptest_pcore::Kernel, prog, prio: u8| {
+            let SvcReply::Created(t) = kernel
+                .dispatch(
+                    SvcRequest::Create {
+                        program: prog,
+                        priority: Priority::new(prio),
+                        stack_bytes: None,
+                    },
+                    Cycles::ZERO,
+                )
+                .expect("create")
+            else {
+                unreachable!("create returns Created")
+            };
+            kernel
+                .dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO)
+                .expect("suspend");
+            t
+        };
+        let s1 = mk(kernel, p1, 2);
+        let s2 = mk(kernel, p2, 9);
+        (s1, s2)
+    };
+
+    // M1 issues K = Resume(S1); M2 issues L = Resume(S2). The scenario
+    // order decides which thread enters the run queue first.
+    let m1 = vec![
+        MasterOp::IssueAndWait(SvcRequest::Resume { task: s1 }),
+        MasterOp::Done,
+    ];
+    let m2 = vec![
+        MasterOp::IssueAndWait(SvcRequest::Resume { task: s2 }),
+        MasterOp::Done,
+    ];
+    match scenario.order {
+        Fig1Order::S1First => {
+            sys.add_thread("M1", m1);
+            sys.add_thread("M2", m2);
+        }
+        Fig1Order::S2First => {
+            sys.add_thread("M2", m2);
+            sys.add_thread("M1", m1);
+        }
+    }
+
+    for cycle in 0..scenario.max_cycles {
+        sys.step();
+        let both_done = [s1, s2].iter().all(|&t| {
+            matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_)))
+        });
+        if both_done {
+            return Fig1Outcome::Completed { cycles: cycle };
+        }
+    }
+    let live: Vec<TaskId> = sys
+        .snapshot()
+        .tasks
+        .iter()
+        .filter(|t| !matches!(t.state, TaskState::Terminated(_)))
+        .map(|t| t.id)
+        .collect();
+    Fig1Outcome::Livelock { tasks: live }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resuming_s2_first_completes() {
+        let outcome = run(Fig1Scenario {
+            order: Fig1Order::S2First,
+            ..Fig1Scenario::default()
+        });
+        assert!(
+            matches!(outcome, Fig1Outcome::Completed { .. }),
+            "the paper's good order L f g K i j a b d e: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn resuming_s1_first_livelocks() {
+        let outcome = run(Fig1Scenario::default());
+        match outcome {
+            Fig1Outcome::Livelock { tasks } => {
+                assert_eq!(tasks.len(), 2, "both S1 and S2 spin");
+            }
+            other => panic!("the paper's fault order must livelock: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_resume_gap_escapes_the_race() {
+        // If the master pauses between K and L for longer than S1's
+        // window, S1 leaves its loop (x back to 0) before S2 starts and
+        // even the bad order completes — the fault needs L to land
+        // *inside* the window.
+        let outcome = run(Fig1Scenario {
+            order: Fig1Order::S1First,
+            resume_gap: 500,
+            ..Fig1Scenario::default()
+        });
+        assert!(matches!(outcome, Fig1Outcome::Completed { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let a = run(Fig1Scenario::default());
+        let b = run(Fig1Scenario::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn programs_are_small_and_valid() {
+        assert!(s1_program(10).len() <= 8);
+        assert!(s2_program().len() <= 7);
+    }
+
+    #[test]
+    fn master_thread_variant_reproduces_both_outcomes() {
+        let good = run_with_master_threads(Fig1Scenario {
+            order: Fig1Order::S2First,
+            ..Fig1Scenario::default()
+        });
+        assert!(
+            matches!(good, Fig1Outcome::Completed { .. }),
+            "M2-before-M1 schedule completes: {good:?}"
+        );
+        let bad = run_with_master_threads(Fig1Scenario::default());
+        assert!(
+            matches!(bad, Fig1Outcome::Livelock { .. }),
+            "M1-before-M2 schedule livelocks: {bad:?}"
+        );
+    }
+
+    #[test]
+    fn master_thread_variant_agrees_with_direct_variant() {
+        for order in [Fig1Order::S1First, Fig1Order::S2First] {
+            let scenario = Fig1Scenario { order, ..Fig1Scenario::default() };
+            let direct = run(scenario);
+            let threaded = run_with_master_threads(scenario);
+            assert_eq!(
+                std::mem::discriminant(&direct),
+                std::mem::discriminant(&threaded),
+                "{order:?}: direct {direct:?} vs threaded {threaded:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # ptest-faults — the fault scenarios of the pTest evaluation
+//!
+//! The concrete buggy (and control) programs the paper tests pCore with,
+//! plus extra scenarios used by the baseline-comparison experiments:
+//!
+//! * [`fig1`] — Figure 1's two spin-waiting slave processes whose fate
+//!   depends on the master's resume order (completing vs livelock).
+//! * [`philosophers`] — case study 2: the three-task dining-philosophers
+//!   deadlock and its corrected variant.
+//! * [`stress`] — case study 1: 16 quick-sorting tasks under
+//!   create/delete churn over a garbage-collected heap with an
+//!   injectable GC defect.
+//! * [`scenarios`] — starvation, priority inversion, and a lost-update
+//!   race (with its final-value oracle).
+//!
+//! Everything is deterministic; each scenario documents the exact
+//! schedule window its bug needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig1;
+pub mod philosophers;
+pub mod scenarios;
+pub mod stress;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scenario_constants_are_consistent() {
+        assert_eq!(super::philosophers::PHILOSOPHERS, 3);
+        assert_ne!(super::fig1::VAR_X, super::fig1::VAR_Y);
+    }
+}

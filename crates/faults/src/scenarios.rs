@@ -1,0 +1,280 @@
+//! Additional fault scenarios beyond the paper's two case studies:
+//! starvation, priority inversion, and a lost-update race. These feed the
+//! baseline-comparison experiment (which bug classes does each testing
+//! strategy catch?) and the extended examples.
+
+use ptest_master::{DualCoreSystem, SystemConfig};
+use ptest_pcore::{
+    Op, Priority, Program, ProgramBuilder, SvcReply, SvcRequest, TaskId, VarId,
+};
+use ptest_soc::Cycles;
+
+/// The shared counter used by the lost-update race.
+pub const RACE_COUNTER: VarId = VarId(4);
+
+/// A spinning task that never yields or terminates: any lower-priority
+/// task starves behind it (CPU starvation).
+#[must_use]
+pub fn cpu_hog_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.bind("top");
+    b.push(Op::Compute(1_000));
+    b.jump_to("top");
+    b.build().expect("hog program is valid")
+}
+
+/// A well-behaved worker: computes and exits.
+#[must_use]
+pub fn worker_program(work: u32) -> Program {
+    Program::new(vec![Op::Compute(work.max(1)), Op::Exit]).expect("worker program is valid")
+}
+
+/// Builds the starvation scenario: a high-priority hog and a low-priority
+/// worker. Returns `(system, hog_task, worker_task)`.
+///
+/// # Panics
+///
+/// Panics if setup commands fail (cannot happen on a default kernel).
+#[must_use]
+pub fn starvation_system() -> (DualCoreSystem, TaskId, TaskId) {
+    let mut sys = DualCoreSystem::new(SystemConfig::default());
+    let kernel = sys.kernel_mut();
+    let hog = kernel.register_program(cpu_hog_program());
+    let worker = kernel.register_program(worker_program(100));
+    let SvcReply::Created(hog_task) = kernel
+        .dispatch(
+            SvcRequest::Create { program: hog, priority: Priority::new(200), stack_bytes: None },
+            Cycles::ZERO,
+        )
+        .expect("create hog")
+    else {
+        unreachable!()
+    };
+    let SvcReply::Created(worker_task) = kernel
+        .dispatch(
+            SvcRequest::Create { program: worker, priority: Priority::new(10), stack_bytes: None },
+            Cycles::ZERO,
+        )
+        .expect("create worker")
+    else {
+        unreachable!()
+    };
+    (sys, hog_task, worker_task)
+}
+
+/// Builds the priority-inversion scenario: low holds a mutex, high blocks
+/// on it, medium spins and keeps low off the CPU, so high waits
+/// unboundedly (pCore has no priority inheritance).
+///
+/// Returns `(system, low, medium, high)`.
+///
+/// # Panics
+///
+/// Panics if setup commands fail (cannot happen on a default kernel).
+#[must_use]
+pub fn priority_inversion_system() -> (DualCoreSystem, TaskId, TaskId, TaskId) {
+    let mut sys = DualCoreSystem::new(SystemConfig::default());
+    let kernel = sys.kernel_mut();
+    let mutex = kernel.create_mutex();
+
+    // Low: grab the mutex, then do long work before releasing.
+    let low_prog = {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::MutexLock(mutex));
+        b.push(Op::Compute(100_000));
+        b.push(Op::MutexUnlock(mutex));
+        b.push(Op::Exit);
+        kernel.register_program(b.build().expect("valid"))
+    };
+    // High: started a bit later, needs the same mutex.
+    let high_prog = {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::SleepFor(50)); // let low acquire first
+        b.push(Op::MutexLock(mutex));
+        b.push(Op::Compute(10));
+        b.push(Op::MutexUnlock(mutex));
+        b.push(Op::Exit);
+        kernel.register_program(b.build().expect("valid"))
+    };
+    // Medium: pure spin, no mutex involvement.
+    let medium_prog = {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::SleepFor(60)); // arrive after high blocks
+        b.bind("top");
+        b.push(Op::Compute(1_000));
+        b.jump_to("top");
+        kernel.register_program(b.build().expect("valid"))
+    };
+
+    let create = |kernel: &mut ptest_pcore::Kernel, prog, prio| {
+        let SvcReply::Created(t) = kernel
+            .dispatch(
+                SvcRequest::Create { program: prog, priority: Priority::new(prio), stack_bytes: None },
+                Cycles::ZERO,
+            )
+            .expect("create")
+        else {
+            unreachable!()
+        };
+        t
+    };
+    let low = create(kernel, low_prog, 10);
+    let high = create(kernel, high_prog, 200);
+    let medium = create(kernel, medium_prog, 100);
+    (sys, low, medium, high)
+}
+
+/// Builds the lost-update race: `writers` tasks each add 1 to a shared
+/// counter `rounds` times *without synchronization* (read, compute,
+/// write back). Returns the system and the task ids.
+///
+/// After all writers exit, the counter should equal `writers × rounds`;
+/// any smaller value is a lost update. Note that pTest's bug detector
+/// does **not** flag this class — the final-value oracle
+/// [`lost_updates`] must be consulted — which is exactly the boundary
+/// the paper draws around hang/crash anomalies.
+///
+/// # Panics
+///
+/// Panics if setup commands fail (cannot happen on a default kernel).
+#[must_use]
+pub fn race_system(writers: usize, rounds: u16) -> (DualCoreSystem, Vec<TaskId>) {
+    let mut sys = DualCoreSystem::new(SystemConfig::default());
+    let kernel = sys.kernel_mut();
+    let mut tasks = Vec::new();
+    for w in 0..writers {
+        let prog = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::AddReg { reg: 1, delta: i64::from(rounds) });
+            b.bind("loop");
+            // read counter -> r0; yield inside the window; write r0+1 back
+            b.push(Op::ReadVar { var: RACE_COUNTER, reg: 0 });
+            b.push(Op::Yield); // the race window
+            b.push(Op::AddReg { reg: 0, delta: 1 });
+            b.push(Op::WriteVarReg { var: RACE_COUNTER, reg: 0 });
+            b.push(Op::AddReg { reg: 1, delta: -1 });
+            b.branch_if_reg_eq(1, 0, "done");
+            b.jump_to("loop");
+            b.bind("done");
+            b.push(Op::Exit);
+            kernel.register_program(b.build().expect("valid"))
+        };
+        let SvcReply::Created(t) = kernel
+            .dispatch(
+                SvcRequest::Create {
+                    program: prog,
+                    priority: Priority::new((10 + w) as u8),
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .expect("create writer")
+        else {
+            unreachable!()
+        };
+        tasks.push(t);
+    }
+    (sys, tasks)
+}
+
+/// The lost-update oracle: how many increments went missing.
+#[must_use]
+pub fn lost_updates(sys: &DualCoreSystem, writers: usize, rounds: u16) -> i64 {
+    let expected = (writers as i64) * i64::from(rounds);
+    let actual = sys.kernel().var(RACE_COUNTER).unwrap_or(0);
+    expected - actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_core::{BugDetector, BugKind, DetectorConfig};
+    use ptest_pcore::TaskState;
+
+    #[test]
+    fn starvation_is_detected() {
+        let (mut sys, _hog, worker) = starvation_system();
+        let mut detector = BugDetector::new(DetectorConfig {
+            progress_window: Cycles::new(5_000),
+            ..DetectorConfig::default()
+        });
+        let mut found = None;
+        for i in 0..100_000u64 {
+            sys.step();
+            if i % 500 == 0 {
+                for bug in detector.observe(&sys, None, true) {
+                    if let BugKind::Starvation { task, runnable } = bug.kind {
+                        found = Some((task, runnable));
+                    }
+                }
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        let (task, runnable) = found.expect("worker must be reported starved");
+        assert_eq!(task, worker);
+        assert!(runnable, "CPU starvation: ready but never scheduled");
+    }
+
+    #[test]
+    fn priority_inversion_starves_high() {
+        let (mut sys, _low, _medium, high) = priority_inversion_system();
+        let mut detector = BugDetector::new(DetectorConfig {
+            progress_window: Cycles::new(5_000),
+            ..DetectorConfig::default()
+        });
+        let mut starved_high = false;
+        for i in 0..200_000u64 {
+            sys.step();
+            if i % 500 == 0 {
+                for bug in detector.observe(&sys, None, true) {
+                    if let BugKind::Starvation { task, runnable } = bug.kind {
+                        if task == high {
+                            starved_high = true;
+                            assert!(!runnable, "high is blocked on the inverted mutex");
+                        }
+                    }
+                }
+            }
+            if starved_high {
+                break;
+            }
+        }
+        assert!(starved_high, "priority inversion must starve the high task");
+        // High never completed.
+        assert!(!matches!(
+            sys.kernel().task_state(high),
+            Some(TaskState::Terminated(_))
+        ));
+    }
+
+    #[test]
+    fn lost_update_race_fires_under_yield_window() {
+        let (mut sys, tasks) = race_system(2, 50);
+        for _ in 0..200_000u64 {
+            sys.step();
+            if tasks.iter().all(|&t| {
+                matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_)))
+            }) {
+                break;
+            }
+        }
+        let lost = lost_updates(&sys, 2, 50);
+        assert!(lost > 0, "yield window must lose updates, lost {lost}");
+    }
+
+    #[test]
+    fn race_oracle_counts_correctly_for_single_writer() {
+        let (mut sys, tasks) = race_system(1, 20);
+        for _ in 0..100_000u64 {
+            sys.step();
+            if tasks.iter().all(|&t| {
+                matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_)))
+            }) {
+                break;
+            }
+        }
+        assert_eq!(lost_updates(&sys, 1, 20), 0, "one writer cannot race itself");
+    }
+}

@@ -1,0 +1,145 @@
+//! The stress scenario of case study 1.
+//!
+//! "pTest kept the number of active tasks at 16 in pCore … All of 16
+//! active tasks performed the same quick-sort algorithm to individually
+//! sort 128 integer elements. The size of integer data is 2 bytes and the
+//! stack size of each task is 512 bytes. pTest continued to create tasks
+//! and removed them when their work was done. During the first testing
+//! period, pTest detected the crash of pCore that was caused by the
+//! failure of garbage collection."
+
+use ptest_core::{AdaptiveTestConfig, MergeOp};
+use ptest_master::DualCoreSystem;
+use ptest_pcore::workloads::{quicksort, QuicksortSpec};
+use ptest_pcore::{GcFaultMode, ProgramId};
+
+/// Parameters of the case-study-1 stress test.
+#[derive(Debug, Clone, Copy)]
+pub struct StressSpec {
+    /// Concurrent task patterns (the paper keeps 16 active tasks).
+    pub tasks: usize,
+    /// Elements each task sorts (paper: 128).
+    pub elements: usize,
+    /// Element size in bytes (paper: 2).
+    pub elem_bytes: u32,
+    /// Task stack size (paper: 512).
+    pub stack_bytes: u32,
+    /// Life cycles per pattern (create/delete churn depth).
+    pub lifecycles: usize,
+    /// The GC defect under test ([`GcFaultMode::None`] = healthy control).
+    pub gc_fault: GcFaultMode,
+    /// Kernel heap size; small enough that sustained churn requires the
+    /// GC to actually work.
+    pub heap_bytes: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl StressSpec {
+    /// The paper's parameters with the injected GC leak.
+    #[must_use]
+    pub fn paper(seed: u64) -> StressSpec {
+        StressSpec {
+            tasks: 16,
+            elements: 128,
+            elem_bytes: 2,
+            stack_bytes: 512,
+            lifecycles: 12,
+            gc_fault: GcFaultMode::LeakDeadBlocks { leak_every: 1 },
+            heap_bytes: 24 * 1024,
+            seed,
+        }
+    }
+
+    /// The same stress with a healthy GC (the control run).
+    #[must_use]
+    pub fn healthy(seed: u64) -> StressSpec {
+        StressSpec {
+            gc_fault: GcFaultMode::None,
+            ..StressSpec::paper(seed)
+        }
+    }
+}
+
+/// The adaptive-test configuration for a stress spec: `n = tasks`
+/// cyclically generated patterns so every pattern churns through several
+/// create/delete life cycles, staggered merging to keep the task count
+/// near the limit.
+#[must_use]
+pub fn stress_config(spec: &StressSpec) -> AdaptiveTestConfig {
+    let mut cfg = AdaptiveTestConfig {
+        n: spec.tasks,
+        // ~4 services per lifecycle on the paper distribution.
+        s: spec.lifecycles * 4,
+        op: MergeOp::RoundRobin { chunk: 1 },
+        seed: spec.seed,
+        cyclic_generation: true,
+        stack_bytes: Some(spec.stack_bytes),
+        max_cycles: 30_000_000,
+        check_interval: 1_000,
+        ..AdaptiveTestConfig::default()
+    };
+    cfg.system.kernel.heap_bytes = spec.heap_bytes;
+    cfg.system.kernel.gc_fault = spec.gc_fault;
+    cfg
+}
+
+/// Scenario setup: registers one quick-sort program per pattern (each
+/// with its own input permutation, as 16 independent tasks would have).
+pub fn stress_setup(spec: StressSpec) -> impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId> {
+    move |sys: &mut DualCoreSystem| {
+        (0..spec.tasks)
+            .map(|i| {
+                let (program, _) = quicksort(QuicksortSpec {
+                    elements: spec.elements,
+                    elem_bytes: spec.elem_bytes,
+                    seed: spec.seed.wrapping_add(i as u64),
+                    worst_case: false,
+                });
+                sys.kernel_mut().register_program(program)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_core::{AdaptiveTest, BugKind};
+
+    #[test]
+    fn faulty_gc_crashes_under_stress() {
+        let spec = StressSpec::paper(1);
+        let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec)).unwrap();
+        assert!(
+            report.found(|k| matches!(
+                k,
+                BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+            )),
+            "paper's case study 1 outcome: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn healthy_gc_survives_the_same_stress() {
+        let spec = StressSpec::healthy(1);
+        let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec)).unwrap();
+        assert!(
+            !report.found(|k| matches!(k, BugKind::SlaveCrash { .. })),
+            "control run must survive: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn spec_constructors_match_paper_numbers() {
+        let s = StressSpec::paper(0);
+        assert_eq!(s.tasks, 16);
+        assert_eq!(s.elements, 128);
+        assert_eq!(s.elem_bytes, 2);
+        assert_eq!(s.stack_bytes, 512);
+        assert!(matches!(s.gc_fault, GcFaultMode::LeakDeadBlocks { .. }));
+        assert!(matches!(StressSpec::healthy(0).gc_fault, GcFaultMode::None));
+    }
+}

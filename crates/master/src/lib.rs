@@ -1,0 +1,59 @@
+//! # ptest-master — the master-side runtime and system wiring
+//!
+//! The paper's *master system* is Linux on the OMAP5912's ARM core: a
+//! time-sharing scheduler running one controlling thread per slave task,
+//! each issuing remote commands through the pCore-Bridge middleware. This
+//! crate provides:
+//!
+//! * [`MasterThread`]/[`MasterOp`] — scripted master threads under a
+//!   round-robin quantum scheduler (Figure 1's `M1`/`M2` are two such
+//!   scripts).
+//! * [`DualCoreSystem`] — the fully wired platform: shared SRAM, mailbox
+//!   bank, the slave [`Kernel`](ptest_pcore::Kernel), the bridge's two
+//!   endpoints, and the master scheduler, all advanced in lock-step
+//!   virtual time by [`DualCoreSystem::step`].
+//!
+//! pTest's committer drives the system through
+//! [`DualCoreSystem::issue`]/[`DualCoreSystem::take_responses`]; scripted
+//! threads and the committer can coexist.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptest_master::{DualCoreSystem, MasterOp, SystemConfig};
+//! use ptest_pcore::{Priority, Program, SvcRequest};
+//!
+//! let mut sys = DualCoreSystem::new(SystemConfig::default());
+//! let prog = sys.kernel_mut().register_program(Program::exit_immediately());
+//! sys.add_thread(
+//!     "M1",
+//!     vec![
+//!         MasterOp::IssueAndWait(SvcRequest::Create {
+//!             program: prog,
+//!             priority: Priority::new(5),
+//!             stack_bytes: None,
+//!         }),
+//!         MasterOp::Done,
+//!     ],
+//! );
+//! assert!(sys.run_until_quiescent(10_000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod system;
+mod thread;
+
+pub use system::{DualCoreSystem, SystemConfig};
+pub use thread::{MasterOp, MasterThread, ThreadId, ThreadState};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::DualCoreSystem>();
+        assert_send_sync::<super::MasterThread>();
+    }
+}

@@ -1,0 +1,580 @@
+//! The dual-core system: both cores, the bridge, and the master runtime
+//! wired together and advanced in lock-step virtual time.
+
+use std::collections::VecDeque;
+
+use ptest_bridge::{BridgeError, BridgeLayout, CmdId, CmdResponse, MasterPort, SlaveEndpoint};
+use ptest_pcore::{Kernel, KernelConfig, KernelSnapshot, SvcRequest};
+use ptest_soc::{CoreId, Cycles, MailboxBank, SharedSram, TraceBuffer, VirtualClock};
+
+use crate::thread::{MasterOp, MasterThread, ThreadId, ThreadState};
+
+/// Configuration of a [`DualCoreSystem`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Slave-kernel configuration.
+    pub kernel: KernelConfig,
+    /// Master scheduler quantum in cycles (time-sharing round robin).
+    pub quantum: u32,
+    /// Commands the slave endpoint services per doorbell interrupt.
+    pub slave_budget: usize,
+    /// Capacity of the system trace ring.
+    pub trace_capacity: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig {
+            kernel: KernelConfig::default(),
+            quantum: 5,
+            slave_budget: 16,
+            trace_capacity: TraceBuffer::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// The simulated OMAP5912-like platform: ARM master runtime + DSP slave
+/// kernel + pCore-Bridge middleware + shared hardware, advanced one cycle
+/// at a time by [`DualCoreSystem::step`].
+///
+/// Both a scripted mode (add [`MasterThread`]s, as in Figure 1) and a
+/// direct mode ([`DualCoreSystem::issue`], used by pTest's committer) are
+/// supported and can be mixed.
+///
+/// ```
+/// use ptest_master::{DualCoreSystem, SystemConfig};
+/// use ptest_pcore::{Priority, Program, SvcRequest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sys = DualCoreSystem::new(SystemConfig::default());
+/// let prog = sys.kernel_mut().register_program(Program::exit_immediately());
+/// sys.issue(SvcRequest::Create { program: prog, priority: Priority::new(5), stack_bytes: None })?;
+/// sys.run(100);
+/// assert_eq!(sys.take_responses().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DualCoreSystem {
+    clock: VirtualClock,
+    sram: SharedSram,
+    mailboxes: MailboxBank,
+    kernel: Kernel,
+    master_port: MasterPort,
+    slave_endpoint: SlaveEndpoint,
+    threads: Vec<MasterThread>,
+    run_queue: VecDeque<ThreadId>,
+    current_thread: Option<ThreadId>,
+    quantum_left: u32,
+    inbox: Vec<CmdResponse>,
+    trace: TraceBuffer,
+    cfg: SystemConfig,
+}
+
+impl DualCoreSystem {
+    /// Builds and wires a fresh system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the standard bridge layout does not fit the SRAM window
+    /// (cannot happen with the default 250 KB window).
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> DualCoreSystem {
+        let layout = BridgeLayout::standard();
+        let mut sram = SharedSram::omap5912();
+        layout
+            .init(&mut sram)
+            .expect("standard bridge layout fits the OMAP SRAM window");
+        DualCoreSystem {
+            clock: VirtualClock::new(),
+            sram,
+            mailboxes: MailboxBank::omap5912(),
+            kernel: Kernel::new(cfg.kernel.clone()),
+            master_port: MasterPort::new(layout),
+            slave_endpoint: SlaveEndpoint::new(layout),
+            threads: Vec::new(),
+            run_queue: VecDeque::new(),
+            current_thread: None,
+            quantum_left: 0,
+            inbox: Vec::new(),
+            trace: TraceBuffer::new(cfg.trace_capacity),
+            cfg,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.clock.now()
+    }
+
+    /// Read access to the slave kernel (for assertions and the bug
+    /// detector's shared-memory debug window).
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable access to the slave kernel for *scenario setup only*
+    /// (registering programs, creating semaphores/mutexes before the test
+    /// starts). Runtime interaction must go through [`DualCoreSystem::issue`].
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// The system trace (master-side events; the kernel keeps its own).
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Adds a master thread; it enters the run queue immediately.
+    pub fn add_thread(&mut self, name: impl Into<String>, ops: Vec<MasterOp>) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u16);
+        self.threads.push(MasterThread::new(id, name, ops));
+        self.run_queue.push_back(id);
+        id
+    }
+
+    /// Read access to a thread.
+    #[must_use]
+    pub fn thread(&self, id: ThreadId) -> Option<&MasterThread> {
+        self.threads.get(usize::from(id.0))
+    }
+
+    /// Whether every scripted thread has finished.
+    #[must_use]
+    pub fn threads_done(&self) -> bool {
+        self.threads.iter().all(MasterThread::is_done)
+    }
+
+    /// Issues a remote command directly (the committer's path), stamped
+    /// at the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::CommandRingFull`] if 32 commands are in flight.
+    pub fn issue(&mut self, req: SvcRequest) -> Result<CmdId, BridgeError> {
+        let now = self.clock.now();
+        let id = self
+            .master_port
+            .issue(&mut self.sram, &mut self.mailboxes, req, now)?;
+        self.trace
+            .record(now, CoreId::Arm, "cmd", format!("{id} {req:?}"));
+        Ok(id)
+    }
+
+    /// Drains responses that no scripted thread claimed (fire-and-forget
+    /// and committer-issued commands).
+    pub fn take_responses(&mut self) -> Vec<CmdResponse> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Commands outstanding longer than `timeout`.
+    #[must_use]
+    pub fn overdue(&self, timeout: Cycles) -> Vec<CmdId> {
+        self.master_port.overdue(self.clock.now(), timeout)
+    }
+
+    /// Number of commands awaiting responses.
+    #[must_use]
+    pub fn pending_commands(&self) -> usize {
+        self.master_port.pending_count()
+    }
+
+    /// A kernel snapshot (the detector's debug window into the slave).
+    #[must_use]
+    pub fn snapshot(&self) -> KernelSnapshot {
+        self.kernel.snapshot()
+    }
+
+    /// Advances the whole platform by one cycle: slave interrupt
+    /// servicing, one kernel cycle, response delivery, one master-thread
+    /// step under the round-robin quantum.
+    pub fn step(&mut self) {
+        self.clock.tick();
+        let now = self.clock.now();
+
+        // --- DSP side: doorbell interrupts preempt task execution.
+        self.slave_endpoint.service(
+            &mut self.sram,
+            &mut self.mailboxes,
+            &mut self.kernel,
+            now,
+            self.cfg.slave_budget,
+        );
+        let _ = self.kernel.tick(now);
+
+        // --- ARM side: deliver responses, then run one thread op.
+        let responses =
+            self.master_port
+                .poll_responses(&mut self.sram, &mut self.mailboxes, now);
+        for resp in responses {
+            let claimed = self.threads.iter_mut().any(|t| t.deliver(&resp));
+            if !claimed {
+                self.inbox.push(resp);
+            }
+        }
+        self.step_master(now);
+    }
+
+    /// Runs `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until the platform is quiescent — all scripted threads done,
+    /// no commands in flight, and the kernel idle — or `max_cycles`
+    /// elapse. Returns `true` if quiescence was reached.
+    ///
+    /// Systems containing spinning or deadlocked tasks never quiesce;
+    /// callers rely on the cycle bound (that non-quiescence is exactly
+    /// what the bug detector looks for).
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            self.step();
+            if self.threads_done()
+                && self.pending_commands() == 0
+                && self.kernel_idle()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn kernel_idle(&self) -> bool {
+        let snap = self.kernel.snapshot();
+        snap.panic.is_none()
+            && snap
+                .tasks
+                .iter()
+                .all(|t| matches!(t.state, ptest_pcore::TaskState::Terminated(_)))
+    }
+
+    /// Whether the slave kernel has crashed.
+    #[must_use]
+    pub fn slave_crashed(&self) -> bool {
+        self.kernel.panic().is_some()
+    }
+
+    fn step_master(&mut self, now: Cycles) {
+        // Pick (or keep) the current thread under the quantum policy.
+        let now_raw = now.get();
+        let runnable_current = self
+            .current_thread
+            .and_then(|id| self.threads.get(usize::from(id.0)))
+            .is_some_and(|t| t.is_runnable(now_raw));
+        if !runnable_current || self.quantum_left == 0 {
+            if let Some(id) = self.current_thread.take() {
+                let t = &self.threads[usize::from(id.0)];
+                if !t.is_done() {
+                    self.run_queue.push_back(id);
+                }
+            }
+            // Rotate to the next runnable thread.
+            let mut rotations = self.run_queue.len();
+            while rotations > 0 {
+                rotations -= 1;
+                let Some(id) = self.run_queue.pop_front() else {
+                    break;
+                };
+                let t = &self.threads[usize::from(id.0)];
+                if t.is_done() {
+                    continue;
+                }
+                if t.is_runnable(now_raw) {
+                    self.current_thread = Some(id);
+                    self.quantum_left = self.cfg.quantum;
+                    break;
+                }
+                self.run_queue.push_back(id);
+            }
+        }
+        let Some(id) = self.current_thread else {
+            return;
+        };
+        self.quantum_left = self.quantum_left.saturating_sub(1);
+        self.run_thread_op(id, now);
+    }
+
+    fn run_thread_op(&mut self, id: ThreadId, now: Cycles) {
+        let idx = usize::from(id.0);
+        // Multi-cycle compute in progress?
+        {
+            let t = &mut self.threads[idx];
+            if t.state == ThreadState::Ready && t.compute_remaining > 0 {
+                t.compute_remaining -= 1;
+                return;
+            }
+            if let ThreadState::Sleeping { until } = t.state {
+                if until <= now.get() {
+                    t.state = ThreadState::Ready;
+                } else {
+                    return;
+                }
+            }
+            if t.state != ThreadState::Ready {
+                return;
+            }
+        }
+        let op = self.threads[idx].current_op();
+        match op {
+            None | Some(MasterOp::Done) => {
+                let t = &mut self.threads[idx];
+                t.state = ThreadState::Done;
+                if self.current_thread == Some(id) {
+                    self.current_thread = None;
+                }
+                self.trace
+                    .record(now, CoreId::Arm, "thread", format!("{} done", t.name));
+            }
+            Some(MasterOp::Issue(req)) => {
+                match self
+                    .master_port
+                    .issue(&mut self.sram, &mut self.mailboxes, req, now)
+                {
+                    Ok(cmd) => {
+                        let t = &mut self.threads[idx];
+                        t.pc += 1;
+                        t.ops_retired += 1;
+                        self.trace.record(
+                            now,
+                            CoreId::Arm,
+                            "cmd",
+                            format!("{} issues {cmd} {req:?}", t.name),
+                        );
+                    }
+                    Err(_) => { /* ring full: retry next cycle */ }
+                }
+            }
+            Some(MasterOp::IssueAndWait(req)) => {
+                match self
+                    .master_port
+                    .issue(&mut self.sram, &mut self.mailboxes, req, now)
+                {
+                    Ok(cmd) => {
+                        let t = &mut self.threads[idx];
+                        t.pc += 1;
+                        t.ops_retired += 1;
+                        t.state = ThreadState::Waiting(cmd);
+                        self.trace.record(
+                            now,
+                            CoreId::Arm,
+                            "cmd",
+                            format!("{} issues {cmd} {req:?} (waits)", t.name),
+                        );
+                    }
+                    Err(_) => { /* ring full: retry next cycle */ }
+                }
+            }
+            Some(MasterOp::Compute(n)) => {
+                let t = &mut self.threads[idx];
+                t.compute_remaining = u64::from(n.saturating_sub(1));
+                t.pc += 1;
+                t.ops_retired += 1;
+            }
+            Some(MasterOp::SleepFor(n)) => {
+                let t = &mut self.threads[idx];
+                t.state = ThreadState::Sleeping {
+                    until: now.get() + u64::from(n),
+                };
+                t.pc += 1;
+                t.ops_retired += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_pcore::{Priority, Program, ProgramId, SvcReply, TaskState, VarId};
+
+    fn sys() -> DualCoreSystem {
+        DualCoreSystem::new(SystemConfig::default())
+    }
+
+    fn exit_prog(s: &mut DualCoreSystem) -> ProgramId {
+        s.kernel_mut().register_program(Program::exit_immediately())
+    }
+
+    #[test]
+    fn committer_path_roundtrip() {
+        let mut s = sys();
+        let p = exit_prog(&mut s);
+        s.issue(SvcRequest::Create {
+            program: p,
+            priority: Priority::new(5),
+            stack_bytes: None,
+        })
+        .unwrap();
+        s.run(50);
+        let resps = s.take_responses();
+        assert_eq!(resps.len(), 1);
+        assert!(matches!(resps[0].result, Ok(SvcReply::Created(_))));
+        assert!(s.run_until_quiescent(1_000));
+    }
+
+    #[test]
+    fn scripted_thread_creates_and_finishes() {
+        let mut s = sys();
+        let p = exit_prog(&mut s);
+        let m1 = s.add_thread(
+            "M1",
+            vec![
+                MasterOp::IssueAndWait(SvcRequest::Create {
+                    program: p,
+                    priority: Priority::new(5),
+                    stack_bytes: None,
+                }),
+                MasterOp::Done,
+            ],
+        );
+        assert!(s.run_until_quiescent(5_000));
+        let t = s.thread(m1).unwrap();
+        assert!(t.is_done());
+        assert!(t.bound_task.is_some());
+        assert!(matches!(
+            t.last_response.as_ref().unwrap().result,
+            Ok(SvcReply::Created(_))
+        ));
+    }
+
+    #[test]
+    fn two_threads_time_share() {
+        let mut s = sys();
+        let m1 = s.add_thread("M1", vec![MasterOp::Compute(50), MasterOp::Done]);
+        let m2 = s.add_thread("M2", vec![MasterOp::Compute(50), MasterOp::Done]);
+        s.run(40);
+        // With a quantum of 5, both threads must have made progress.
+        let t1 = s.thread(m1).unwrap();
+        let t2 = s.thread(m2).unwrap();
+        assert!(t1.ops_retired > 0 || t1.compute_remaining < 50);
+        assert!(t2.ops_retired > 0 || t2.compute_remaining < 50);
+        assert!(s.run_until_quiescent(200));
+    }
+
+    #[test]
+    fn poke_peek_via_commands() {
+        let mut s = sys();
+        s.issue(SvcRequest::PokeVar {
+            var: VarId(2),
+            value: 123,
+        })
+        .unwrap();
+        s.run(20);
+        s.issue(SvcRequest::PeekVar { var: VarId(2) }).unwrap();
+        s.run(20);
+        let resps = s.take_responses();
+        assert_eq!(resps.len(), 2);
+        assert_eq!(resps[1].result, Ok(SvcReply::Value(123)));
+    }
+
+    #[test]
+    fn slave_task_actually_runs() {
+        let mut s = sys();
+        let prog = s.kernel_mut().register_program(
+            Program::new(vec![
+                ptest_pcore::Op::WriteVar { var: VarId(0), value: 7 },
+                ptest_pcore::Op::Exit,
+            ])
+            .unwrap(),
+        );
+        s.issue(SvcRequest::Create {
+            program: prog,
+            priority: Priority::new(3),
+            stack_bytes: None,
+        })
+        .unwrap();
+        assert!(s.run_until_quiescent(1_000));
+        assert_eq!(s.kernel().var(VarId(0)), Some(7));
+    }
+
+    #[test]
+    fn crash_detected_via_timeouts() {
+        let mut cfg = SystemConfig::default();
+        cfg.kernel.heap_bytes = 1024; // two creates exceed this
+        let mut s = DualCoreSystem::new(cfg);
+        let p = exit_prog(&mut s);
+        // Park a long-running task so its memory stays live.
+        let hog = s.kernel_mut().register_program(
+            Program::new(vec![ptest_pcore::Op::Compute(1_000_000), ptest_pcore::Op::Exit])
+                .unwrap(),
+        );
+        s.issue(SvcRequest::Create {
+            program: hog,
+            priority: Priority::new(1),
+            stack_bytes: None,
+        })
+        .unwrap();
+        s.run(20);
+        s.issue(SvcRequest::Create {
+            program: p,
+            priority: Priority::new(2),
+            stack_bytes: None,
+        })
+        .unwrap();
+        s.run(20);
+        assert!(s.slave_crashed(), "second create must OOM-panic the kernel");
+        // Commands issued after the crash never complete.
+        s.issue(SvcRequest::PeekVar { var: VarId(0) }).unwrap();
+        s.run(600);
+        assert_eq!(s.overdue(Cycles::new(500)).len(), 1);
+    }
+
+    #[test]
+    fn fire_and_forget_issue_lands_in_inbox() {
+        let mut s = sys();
+        let p = exit_prog(&mut s);
+        s.add_thread(
+            "M1",
+            vec![
+                MasterOp::Issue(SvcRequest::Create {
+                    program: p,
+                    priority: Priority::new(5),
+                    stack_bytes: None,
+                }),
+                MasterOp::Done,
+            ],
+        );
+        assert!(s.run_until_quiescent(5_000));
+        // The thread never waited, so the response went to the inbox.
+        let resps = s.take_responses();
+        assert_eq!(resps.len(), 1);
+        assert!(matches!(resps[0].result, Ok(SvcReply::Created(_))));
+    }
+
+    #[test]
+    fn sleeping_thread_resumes_on_schedule() {
+        let mut s = sys();
+        let m = s.add_thread(
+            "M1",
+            vec![MasterOp::SleepFor(200), MasterOp::Compute(5), MasterOp::Done],
+        );
+        s.run(100);
+        assert!(!s.thread(m).unwrap().is_done(), "still sleeping");
+        s.run(400);
+        assert!(s.thread(m).unwrap().is_done());
+    }
+
+    #[test]
+    fn quiescence_not_reached_by_spinning_task() {
+        let mut s = sys();
+        let spin = s
+            .kernel_mut()
+            .register_program(Program::new(vec![ptest_pcore::Op::Jump(0)]).unwrap());
+        s.issue(SvcRequest::Create {
+            program: spin,
+            priority: Priority::new(3),
+            stack_bytes: None,
+        })
+        .unwrap();
+        assert!(!s.run_until_quiescent(2_000));
+        let snap = s.snapshot();
+        assert_eq!(snap.live_tasks(), 1);
+        assert!(matches!(snap.tasks[0].state, TaskState::Ready));
+    }
+}

@@ -1,0 +1,586 @@
+//! The kernel heap: a first-fit allocator with a compacting garbage
+//! collector and injectable GC faults.
+//!
+//! pCore manages the DSP's small internal memory (160 KB on the C55x of the
+//! OMAP5912) itself: task control blocks, task stacks and task-requested
+//! buffers all come from one arena. When an allocation fails the kernel
+//! runs a *garbage collection* pass that sweeps blocks owned by dead tasks
+//! and compacts the arena. The paper's first case study found a pCore crash
+//! caused by "the failure of garbage collection" under create/delete churn;
+//! [`GcFaultMode`] lets the same failure be injected deterministically so
+//! the experiment is reproducible.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::TaskId;
+
+/// A handle to an allocated heap block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockHandle(u32);
+
+impl BlockHandle {
+    /// The raw handle value (stable across compaction).
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a handle from its raw value (e.g. from a task
+    /// register). The handle is validated on use, not on construction.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> BlockHandle {
+        BlockHandle(raw)
+    }
+}
+
+impl fmt::Display for BlockHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// Who owns a heap block — used by the GC sweep to decide liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// The kernel itself (TCBs, stacks); swept only via explicit free.
+    Kernel,
+    /// A task; swept automatically when the task is dead.
+    Task(TaskId),
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Kernel => write!(f, "kernel"),
+            Owner::Task(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// Error from heap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// No contiguous region large enough, even after garbage collection.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u32,
+        /// Largest free contiguous region at failure time.
+        largest_free: u32,
+        /// Total free bytes (may exceed `largest_free` under
+        /// fragmentation).
+        total_free: u32,
+    },
+    /// The handle does not name a live block.
+    BadHandle {
+        /// The offending handle.
+        handle: BlockHandle,
+    },
+    /// The block was already freed (double free).
+    DoubleFree {
+        /// The offending handle.
+        handle: BlockHandle,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroSized,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory {
+                requested,
+                largest_free,
+                total_free,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes, largest free {largest_free}, total free {total_free}"
+            ),
+            HeapError::BadHandle { handle } => write!(f, "invalid heap handle {handle}"),
+            HeapError::DoubleFree { handle } => write!(f, "double free of {handle}"),
+            HeapError::ZeroSized => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Injectable garbage-collector faults (the bug of case study 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcFaultMode {
+    /// Correct GC (default).
+    #[default]
+    None,
+    /// Every `leak_every`-th GC pass fails to sweep blocks owned by dead
+    /// tasks, permanently leaking them. Under task create/delete churn the
+    /// arena fills up and the kernel eventually dies with out-of-memory —
+    /// reproducing the "failure of garbage collection" crash the paper's
+    /// stress test uncovered.
+    LeakDeadBlocks {
+        /// Period of the fault: 1 leaks on every pass.
+        leak_every: u32,
+    },
+    /// The GC never compacts, so fragmentation accumulates; allocations
+    /// can fail with plenty of total free space. A milder GC defect used
+    /// in ablation experiments.
+    NoCompaction,
+}
+
+/// Statistics snapshot of the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Arena capacity in bytes.
+    pub capacity: u32,
+    /// Bytes currently allocated to live blocks.
+    pub used: u32,
+    /// Bytes free (capacity - used - leaked).
+    pub free: u32,
+    /// Bytes permanently lost to injected GC leaks.
+    pub leaked: u32,
+    /// Number of live blocks.
+    pub live_blocks: usize,
+    /// Garbage collections performed so far.
+    pub gc_runs: u64,
+    /// Total bytes reclaimed by all GC passes.
+    pub gc_reclaimed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    offset: u32,
+    len: u32,
+    owner: Owner,
+    /// Dead-task blocks awaiting a GC sweep.
+    garbage: bool,
+}
+
+/// The kernel heap.
+///
+/// The allocator is deliberately simple (first-fit over an ordered block
+/// list, compaction on GC) — the point is faithful *failure behaviour*
+/// under churn, not allocator research.
+///
+/// ```
+/// use ptest_pcore::{Heap, Owner, TaskId};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut heap = Heap::new(1024);
+/// let block = heap.alloc(100, Owner::Task(TaskId::new(0)))?;
+/// assert_eq!(heap.stats().used, 100);
+/// heap.free(block)?;
+/// assert_eq!(heap.stats().used, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    capacity: u32,
+    /// Live + garbage blocks, sorted by offset.
+    blocks: Vec<Block>,
+    handle_of: HashMap<u32, u32>, // offset -> raw handle
+    next_handle: u32,
+    fault: GcFaultMode,
+    stats_gc_runs: u64,
+    stats_gc_reclaimed: u64,
+    leaked: u32,
+    raw_to_pos: HashMap<u32, usize>,
+}
+
+impl Heap {
+    /// The C55x internal memory of the OMAP5912: 160 KB.
+    pub const OMAP5912_DSP_BYTES: u32 = 160 * 1024;
+
+    /// Creates a heap over an arena of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> Heap {
+        assert!(capacity > 0, "heap capacity must be positive");
+        Heap {
+            capacity,
+            blocks: Vec::new(),
+            handle_of: HashMap::new(),
+            next_handle: 1,
+            fault: GcFaultMode::None,
+            stats_gc_runs: 0,
+            stats_gc_reclaimed: 0,
+            leaked: 0,
+            raw_to_pos: HashMap::new(),
+        }
+    }
+
+    /// Sets the injected GC fault mode.
+    pub fn set_fault_mode(&mut self, fault: GcFaultMode) {
+        self.fault = fault;
+    }
+
+    /// The configured GC fault mode.
+    #[must_use]
+    pub fn fault_mode(&self) -> GcFaultMode {
+        self.fault
+    }
+
+    fn rebuild_index(&mut self) {
+        self.raw_to_pos.clear();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if let Some(&raw) = self.handle_of.get(&b.offset) {
+                self.raw_to_pos.insert(raw, i);
+            }
+        }
+    }
+
+    fn find_gap(&self, bytes: u32) -> Option<u32> {
+        let mut cursor = 0u32;
+        for b in &self.blocks {
+            if b.offset - cursor >= bytes {
+                return Some(cursor);
+            }
+            cursor = b.offset + b.len;
+        }
+        if self.capacity - cursor >= bytes {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    fn largest_gap(&self) -> u32 {
+        let mut largest = 0u32;
+        let mut cursor = 0u32;
+        for b in &self.blocks {
+            largest = largest.max(b.offset - cursor);
+            cursor = b.offset + b.len;
+        }
+        largest.max(self.capacity - cursor)
+    }
+
+    /// Allocates `bytes` for `owner`.
+    ///
+    /// On first-fit failure a garbage collection runs automatically; only
+    /// if the retry also fails is [`HeapError::OutOfMemory`] returned.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSized`] for zero-byte requests;
+    /// [`HeapError::OutOfMemory`] when the arena cannot satisfy the request
+    /// even after collection.
+    pub fn alloc(&mut self, bytes: u32, owner: Owner) -> Result<BlockHandle, HeapError> {
+        if bytes == 0 {
+            return Err(HeapError::ZeroSized);
+        }
+        if self.find_gap(bytes).is_none() {
+            self.collect_garbage();
+        }
+        let Some(offset) = self.find_gap(bytes) else {
+            let stats = self.stats();
+            return Err(HeapError::OutOfMemory {
+                requested: bytes,
+                largest_free: self.largest_gap(),
+                total_free: stats.free,
+            });
+        };
+        let raw = self.next_handle;
+        self.next_handle += 1;
+        let pos = self.blocks.partition_point(|b| b.offset < offset);
+        self.blocks.insert(
+            pos,
+            Block {
+                offset,
+                len: bytes,
+                owner,
+                garbage: false,
+            },
+        );
+        self.handle_of.insert(offset, raw);
+        self.rebuild_index();
+        Ok(BlockHandle(raw))
+    }
+
+    fn position(&self, handle: BlockHandle) -> Option<usize> {
+        self.raw_to_pos.get(&handle.0).copied()
+    }
+
+    /// Frees a block explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DoubleFree`] if the handle was live once but already
+    /// freed, [`HeapError::BadHandle`] if it never existed.
+    pub fn free(&mut self, handle: BlockHandle) -> Result<(), HeapError> {
+        match self.position(handle) {
+            Some(pos) => {
+                let b = self.blocks.remove(pos);
+                self.handle_of.remove(&b.offset);
+                self.rebuild_index();
+                Ok(())
+            }
+            None => {
+                if handle.0 != 0 && handle.0 < self.next_handle {
+                    Err(HeapError::DoubleFree { handle })
+                } else {
+                    Err(HeapError::BadHandle { handle })
+                }
+            }
+        }
+    }
+
+    /// Size in bytes of a live block.
+    #[must_use]
+    pub fn block_len(&self, handle: BlockHandle) -> Option<u32> {
+        self.position(handle).map(|p| self.blocks[p].len)
+    }
+
+    /// Marks every block owned by `task` as garbage (called on task
+    /// deletion); the blocks are reclaimed by the next GC pass.
+    ///
+    /// Returns the number of bytes marked.
+    pub fn mark_task_garbage(&mut self, task: TaskId) -> u32 {
+        let mut marked = 0;
+        for b in &mut self.blocks {
+            if b.owner == Owner::Task(task) && !b.garbage {
+                b.garbage = true;
+                marked += b.len;
+            }
+        }
+        marked
+    }
+
+    /// Runs a garbage-collection pass: sweeps garbage blocks, then
+    /// compacts live blocks toward offset zero (subject to the injected
+    /// [`GcFaultMode`]). Returns the number of bytes reclaimed.
+    pub fn collect_garbage(&mut self) -> u32 {
+        self.stats_gc_runs += 1;
+        let leak_this_pass = match self.fault {
+            GcFaultMode::LeakDeadBlocks { leak_every } => {
+                leak_every > 0 && self.stats_gc_runs.is_multiple_of(u64::from(leak_every))
+            }
+            _ => false,
+        };
+
+        let mut reclaimed = 0u32;
+        let mut kept = Vec::with_capacity(self.blocks.len());
+        for b in self.blocks.drain(..) {
+            if b.garbage {
+                if leak_this_pass {
+                    // Injected bug: the sweep "forgets" dead blocks. Their
+                    // bytes stay occupied forever but no handle can free
+                    // them any more.
+                    self.leaked += b.len;
+                    self.handle_of.remove(&b.offset);
+                    kept.push(Block {
+                        owner: Owner::Kernel,
+                        garbage: false,
+                        ..b
+                    });
+                } else {
+                    reclaimed += b.len;
+                    self.handle_of.remove(&b.offset);
+                }
+            } else {
+                kept.push(b);
+            }
+        }
+        self.blocks = kept;
+
+        if self.fault != GcFaultMode::NoCompaction {
+            // Compact: slide blocks to the lowest offsets, preserving order.
+            let mut cursor = 0u32;
+            let mut new_handle_of = HashMap::with_capacity(self.blocks.len());
+            for b in &mut self.blocks {
+                if let Some(raw) = self.handle_of.remove(&b.offset) {
+                    new_handle_of.insert(cursor, raw);
+                }
+                b.offset = cursor;
+                cursor += b.len;
+            }
+            self.handle_of = new_handle_of;
+        }
+        self.rebuild_index();
+        self.stats_gc_reclaimed += u64::from(reclaimed);
+        reclaimed
+    }
+
+    /// A statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        let used: u32 = self.blocks.iter().map(|b| b.len).sum();
+        HeapStats {
+            capacity: self.capacity,
+            used,
+            free: self.capacity - used,
+            leaked: self.leaked,
+            live_blocks: self.blocks.len(),
+            gc_runs: self.stats_gc_runs,
+            gc_reclaimed: self.stats_gc_reclaimed,
+        }
+    }
+
+    /// External fragmentation in `[0, 1]`: 1 − largest_gap / total_free
+    /// (0 when the heap has no free space at all).
+    #[must_use]
+    pub fn fragmentation(&self) -> f64 {
+        let free = f64::from(self.stats().free);
+        if free == 0.0 {
+            return 0.0;
+        }
+        1.0 - f64::from(self.largest_gap()) / free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u8) -> Owner {
+        Owner::Task(TaskId::new(id))
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut h = Heap::new(100);
+        let a = h.alloc(40, t(0)).unwrap();
+        let b = h.alloc(40, t(1)).unwrap();
+        assert_eq!(h.stats().used, 80);
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.stats().used, 0);
+        assert_eq!(h.stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn zero_sized_alloc_rejected() {
+        let mut h = Heap::new(10);
+        assert_eq!(h.alloc(0, Owner::Kernel), Err(HeapError::ZeroSized));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = Heap::new(100);
+        let a = h.alloc(10, t(0)).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::DoubleFree { handle: a }));
+    }
+
+    #[test]
+    fn bad_handle_detected() {
+        let mut h = Heap::new(100);
+        let bogus = BlockHandle::from_raw(999);
+        assert_eq!(h.free(bogus), Err(HeapError::BadHandle { handle: bogus }));
+    }
+
+    #[test]
+    fn fragmentation_then_gc_compacts() {
+        let mut h = Heap::new(100);
+        let a = h.alloc(30, t(0)).unwrap();
+        let _b = h.alloc(40, t(1)).unwrap();
+        let c = h.alloc(20, t(2)).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        // 60 bytes free but split 30 + 30: a 40-byte alloc needs compaction.
+        assert!(h.find_gap(40).is_none());
+        let got = h.alloc(40, t(3));
+        assert!(got.is_ok(), "GC-triggered compaction should make room: {got:?}");
+        assert!(h.stats().gc_runs >= 1);
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let mut h = Heap::new(50);
+        let _a = h.alloc(40, t(0)).unwrap();
+        match h.alloc(20, t(1)) {
+            Err(HeapError::OutOfMemory {
+                requested,
+                largest_free,
+                total_free,
+            }) => {
+                assert_eq!(requested, 20);
+                assert_eq!(largest_free, 10);
+                assert_eq!(total_free, 10);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_garbage_is_reclaimed_by_gc() {
+        let mut h = Heap::new(100);
+        let _a = h.alloc(60, t(0)).unwrap();
+        assert_eq!(h.mark_task_garbage(TaskId::new(0)), 60);
+        assert_eq!(h.collect_garbage(), 60);
+        assert_eq!(h.stats().used, 0);
+    }
+
+    #[test]
+    fn leak_fault_loses_memory_permanently() {
+        let mut h = Heap::new(100);
+        h.set_fault_mode(GcFaultMode::LeakDeadBlocks { leak_every: 1 });
+        let _a = h.alloc(60, t(0)).unwrap();
+        h.mark_task_garbage(TaskId::new(0));
+        assert_eq!(h.collect_garbage(), 0, "faulty GC reclaims nothing");
+        assert_eq!(h.stats().leaked, 60);
+        // The leaked bytes are gone: a 50-byte alloc must fail forever.
+        assert!(matches!(h.alloc(50, t(1)), Err(HeapError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn leak_every_n_only_faults_periodically() {
+        let mut h = Heap::new(1000);
+        h.set_fault_mode(GcFaultMode::LeakDeadBlocks { leak_every: 2 });
+        // GC pass 1 (odd): correct. GC pass 2 (even): leaks.
+        let a = h.alloc(10, t(0)).unwrap();
+        h.mark_task_garbage(TaskId::new(0));
+        assert_eq!(h.collect_garbage(), 10);
+        assert_eq!(h.stats().leaked, 0);
+        let _b = h.alloc(10, t(1)).unwrap();
+        h.mark_task_garbage(TaskId::new(1));
+        assert_eq!(h.collect_garbage(), 0);
+        assert_eq!(h.stats().leaked, 10);
+        // Handle `a` stays invalid after all of this.
+        assert!(h.free(a).is_err());
+    }
+
+    #[test]
+    fn no_compaction_fault_keeps_fragmentation() {
+        let mut h = Heap::new(90);
+        h.set_fault_mode(GcFaultMode::NoCompaction);
+        let a = h.alloc(30, t(0)).unwrap();
+        let _b = h.alloc(30, t(1)).unwrap();
+        let c = h.alloc(30, t(2)).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        // 60 free but fragmented; with compaction disabled a 40-byte
+        // allocation fails even after GC.
+        assert!(matches!(h.alloc(40, t(3)), Err(HeapError::OutOfMemory { .. })));
+        assert!(h.fragmentation() > 0.0);
+    }
+
+    #[test]
+    fn stats_track_gc_counters() {
+        let mut h = Heap::new(100);
+        let _a = h.alloc(10, t(0)).unwrap();
+        h.mark_task_garbage(TaskId::new(0));
+        h.collect_garbage();
+        let s = h.stats();
+        assert_eq!(s.gc_runs, 1);
+        assert_eq!(s.gc_reclaimed, 10);
+    }
+
+    #[test]
+    fn handles_survive_compaction() {
+        let mut h = Heap::new(100);
+        let a = h.alloc(20, t(0)).unwrap();
+        let b = h.alloc(20, t(1)).unwrap();
+        h.free(a).unwrap();
+        h.collect_garbage(); // b slides to offset 0
+        assert_eq!(h.block_len(b), Some(20));
+        h.free(b).unwrap();
+        assert_eq!(h.stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn capacity_zero_panics() {
+        let r = std::panic::catch_unwind(|| Heap::new(0));
+        assert!(r.is_err());
+    }
+}

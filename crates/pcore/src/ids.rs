@@ -1,0 +1,142 @@
+//! Strongly-typed identifiers used throughout the kernel.
+
+use std::fmt;
+
+/// A task slot index inside the kernel's fixed task table.
+///
+/// pCore supports up to 16 concurrent tasks (see
+/// [`KernelConfig::MAX_TASKS_PCORE`]); a `TaskId` names one of those slots.
+///
+/// [`KernelConfig::MAX_TASKS_PCORE`]: crate::KernelConfig::MAX_TASKS_PCORE
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u8);
+
+impl TaskId {
+    /// Creates a task id from a raw slot index.
+    #[must_use]
+    pub fn new(slot: u8) -> TaskId {
+        TaskId(slot)
+    }
+
+    /// The raw slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u8> for TaskId {
+    fn from(slot: u8) -> TaskId {
+        TaskId(slot)
+    }
+}
+
+/// A scheduling priority. **Higher numeric value = higher priority.**
+///
+/// pCore forks each task with a *unique* priority; the kernel enforces
+/// uniqueness among live tasks and rejects duplicates with
+/// [`SvcError::PriorityInUse`].
+///
+/// [`SvcError::PriorityInUse`]: crate::SvcError::PriorityInUse
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// The lowest usable priority.
+    pub const MIN: Priority = Priority(1);
+    /// The highest usable priority.
+    pub const MAX: Priority = Priority(255);
+
+    /// Creates a priority from a raw level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero — level 0 is reserved for the idle loop.
+    #[must_use]
+    pub fn new(level: u8) -> Priority {
+        assert!(level > 0, "priority 0 is reserved for the idle loop");
+        Priority(level)
+    }
+
+    /// The raw priority level.
+    #[must_use]
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a kernel counting semaphore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SemId(pub u16);
+
+impl fmt::Display for SemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sem{}", self.0)
+    }
+}
+
+/// Index of a kernel mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MutexId(pub u16);
+
+impl fmt::Display for MutexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mtx{}", self.0)
+    }
+}
+
+/// Index of a shared variable visible to every task (and, via the bridge's
+/// debug peek/poke commands, to the master core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u16);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId::new(5);
+        assert_eq!(t.index(), 5);
+        assert_eq!(t.to_string(), "T5");
+        assert_eq!(TaskId::from(5u8), t);
+    }
+
+    #[test]
+    fn priority_ordering_is_numeric() {
+        assert!(Priority::new(9) > Priority::new(3));
+        assert!(Priority::MIN < Priority::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn priority_zero_panics() {
+        let _ = Priority::new(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Priority::new(7).to_string(), "p7");
+        assert_eq!(SemId(1).to_string(), "sem1");
+        assert_eq!(MutexId(2).to_string(), "mtx2");
+        assert_eq!(VarId(3).to_string(), "v3");
+    }
+}

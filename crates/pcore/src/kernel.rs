@@ -1,0 +1,1644 @@
+//! The pCore kernel simulator.
+//!
+//! This is the *slave system* of the paper: a microkernel for the DSP core
+//! providing preemptive priority-based scheduling of up to 16 tasks, the
+//! six task-management services of Table I, counting semaphores and
+//! mutexes, and a garbage-collected kernel heap.
+//!
+//! The kernel is advanced in single-instruction steps by [`Kernel::tick`];
+//! remote commands from the master arrive through [`Kernel::dispatch`]
+//! (called by the bridge's interrupt handler). Both are fully
+//! deterministic.
+
+use std::fmt;
+
+use ptest_soc::{CoreId, Cycles, TraceBuffer};
+
+use crate::heap::{BlockHandle, GcFaultMode, Heap, HeapError, HeapStats, Owner};
+use crate::ids::{MutexId, Priority, SemId, TaskId, VarId};
+use crate::program::{Op, Program};
+use crate::services::Service;
+use crate::sync::{KernelMutex, LockOutcome, Semaphore};
+use crate::task::{ExitKind, TaskFault, TaskState, Tcb, WaitReason};
+
+/// Identifies a program registered with the kernel's code registry.
+///
+/// On real hardware the task entry points already live in DSP memory; the
+/// master names them by index when creating tasks. The registry plays that
+/// role here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub u16);
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prog{}", self.0)
+    }
+}
+
+/// Static configuration of a kernel instance.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Maximum concurrent tasks (pCore supports 16).
+    pub max_tasks: usize,
+    /// Kernel heap arena size in bytes.
+    pub heap_bytes: u32,
+    /// Default task stack size (the paper's experiments use 512 bytes).
+    pub default_stack_bytes: u32,
+    /// Bytes charged per task control block.
+    pub tcb_bytes: u32,
+    /// Number of shared variables.
+    pub num_vars: usize,
+    /// Injected garbage-collector fault.
+    pub gc_fault: GcFaultMode,
+    /// Capacity of the kernel trace ring.
+    pub trace_capacity: usize,
+    /// Cycles a `Yield` keeps the task off the core, giving lower-priority
+    /// tasks a chance to run (models pCore's cooperative `yield()`).
+    pub yield_delay: u32,
+}
+
+impl KernelConfig {
+    /// pCore's task limit on the OMAP5912.
+    pub const MAX_TASKS_PCORE: usize = 16;
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            max_tasks: Self::MAX_TASKS_PCORE,
+            heap_bytes: 64 * 1024,
+            default_stack_bytes: 512,
+            tcb_bytes: 64,
+            num_vars: 32,
+            gc_fault: GcFaultMode::None,
+            trace_capacity: TraceBuffer::DEFAULT_CAPACITY,
+            yield_delay: 2,
+        }
+    }
+}
+
+/// A fatal kernel condition; after a panic the kernel refuses all work.
+///
+/// This models the *crash of the slave system* that pTest's first case
+/// study detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPanic {
+    /// The heap could not satisfy an allocation even after garbage
+    /// collection (case study 1's "failure of garbage collection").
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u32,
+    },
+}
+
+impl fmt::Display for KernelPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelPanic::OutOfMemory { requested } => {
+                write!(f, "kernel panic: out of memory ({requested} bytes requested)")
+            }
+        }
+    }
+}
+
+/// A remote service request, as decoded by the bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcRequest {
+    /// `task_create`: start `program` at `priority`.
+    Create {
+        /// Registered program to run.
+        program: ProgramId,
+        /// Unique priority for the new task.
+        priority: Priority,
+        /// Stack size override (`None` = config default).
+        stack_bytes: Option<u32>,
+    },
+    /// `task_delete`.
+    Delete {
+        /// Target task.
+        task: TaskId,
+    },
+    /// `task_suspend`.
+    Suspend {
+        /// Target task.
+        task: TaskId,
+    },
+    /// `task_resume`.
+    Resume {
+        /// Target task.
+        task: TaskId,
+    },
+    /// `task_chanprio`.
+    ChangePriority {
+        /// Target task.
+        task: TaskId,
+        /// New unique priority.
+        priority: Priority,
+    },
+    /// `task_yield`: ask the task to terminate at its next dispatch.
+    Yield {
+        /// Target task.
+        task: TaskId,
+    },
+    /// Debug: read a shared variable (used by the bug detector).
+    PeekVar {
+        /// Variable to read.
+        var: VarId,
+    },
+    /// Debug: write a shared variable (used by scenario setup).
+    PokeVar {
+        /// Variable to write.
+        var: VarId,
+        /// Value to store.
+        value: i64,
+    },
+}
+
+impl SvcRequest {
+    /// The Table I service this request corresponds to (`None` for the
+    /// debug peek/poke requests).
+    #[must_use]
+    pub fn service(&self) -> Option<Service> {
+        match self {
+            SvcRequest::Create { .. } => Some(Service::Create),
+            SvcRequest::Delete { .. } => Some(Service::Delete),
+            SvcRequest::Suspend { .. } => Some(Service::Suspend),
+            SvcRequest::Resume { .. } => Some(Service::Resume),
+            SvcRequest::ChangePriority { .. } => Some(Service::ChangePriority),
+            SvcRequest::Yield { .. } => Some(Service::Yield),
+            SvcRequest::PeekVar { .. } | SvcRequest::PokeVar { .. } => None,
+        }
+    }
+
+    /// The task this request targets, if any.
+    #[must_use]
+    pub fn target(&self) -> Option<TaskId> {
+        match self {
+            SvcRequest::Delete { task }
+            | SvcRequest::Suspend { task }
+            | SvcRequest::Resume { task }
+            | SvcRequest::ChangePriority { task, .. }
+            | SvcRequest::Yield { task } => Some(*task),
+            _ => None,
+        }
+    }
+}
+
+/// Successful reply to a service request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcReply {
+    /// `task_create` succeeded; the new task occupies this slot.
+    Created(TaskId),
+    /// The request completed with no payload.
+    Done,
+    /// `PeekVar` result.
+    Value(i64),
+}
+
+/// Error reply to a service request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcError {
+    /// All task slots hold live tasks (pCore's 16-task limit).
+    NoFreeSlot,
+    /// Another live task already uses this priority.
+    PriorityInUse(Priority),
+    /// The slot has never held a task.
+    NoSuchTask(TaskId),
+    /// The slot's task has terminated.
+    TaskNotLive(TaskId),
+    /// `task_suspend` on an already-suspended task.
+    AlreadySuspended(TaskId),
+    /// `task_resume` on a task that is not suspended (the paper: resume
+    /// "can be performed only when the corresponding task is suspended").
+    NotSuspended(TaskId),
+    /// The named program was never registered.
+    NoSuchProgram(ProgramId),
+    /// The named shared variable does not exist.
+    NoSuchVar(VarId),
+    /// The kernel has panicked and refuses all requests.
+    KernelPanicked,
+}
+
+impl fmt::Display for SvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvcError::NoFreeSlot => write!(f, "no free task slot"),
+            SvcError::PriorityInUse(p) => write!(f, "priority {p} already in use"),
+            SvcError::NoSuchTask(t) => write!(f, "no such task {t}"),
+            SvcError::TaskNotLive(t) => write!(f, "task {t} is not live"),
+            SvcError::AlreadySuspended(t) => write!(f, "task {t} already suspended"),
+            SvcError::NotSuspended(t) => write!(f, "task {t} not suspended"),
+            SvcError::NoSuchProgram(p) => write!(f, "no such program {p}"),
+            SvcError::NoSuchVar(v) => write!(f, "no such variable {v}"),
+            SvcError::KernelPanicked => write!(f, "kernel panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+/// Result of one kernel tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// No runnable task this cycle.
+    Idle,
+    /// The given task consumed the cycle.
+    Ran(TaskId),
+    /// The kernel is dead; nothing ran.
+    Panicked,
+}
+
+/// A synchronization resource referenced by a wait edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceRef {
+    /// A kernel mutex.
+    Mutex(MutexId),
+    /// A counting semaphore.
+    Semaphore(SemId),
+}
+
+impl fmt::Display for ResourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceRef::Mutex(m) => write!(f, "{m}"),
+            ResourceRef::Semaphore(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One blocked-on edge of the wait-for graph: `waiter` waits for
+/// `resource`, currently held by `holder` (mutexes only; semaphores have
+/// no owner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The blocked task.
+    pub waiter: TaskId,
+    /// What it waits on.
+    pub resource: ResourceRef,
+    /// Who currently holds the resource (mutexes only).
+    pub holder: Option<TaskId>,
+}
+
+/// Point-in-time snapshot of one task, consumed by the bug detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSnapshot {
+    /// Slot id.
+    pub id: TaskId,
+    /// Current priority.
+    pub priority: Priority,
+    /// Scheduling state.
+    pub state: TaskState,
+    /// TS/TR suspension flag.
+    pub suspended: bool,
+    /// Program counter.
+    pub pc: u16,
+    /// Instructions retired so far.
+    pub ops_retired: u64,
+    /// Mutexes held, in acquisition order.
+    pub held_mutexes: Vec<MutexId>,
+}
+
+/// Point-in-time snapshot of the whole kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSnapshot {
+    /// Kernel's current virtual time.
+    pub now: Cycles,
+    /// Fatal condition, if the kernel has died.
+    pub panic: Option<KernelPanic>,
+    /// Every slot that has ever held a task (live or terminated).
+    pub tasks: Vec<TaskSnapshot>,
+    /// Heap statistics.
+    pub heap: HeapStats,
+    /// Blocked-on edges of the wait-for graph.
+    pub wait_edges: Vec<WaitEdge>,
+    /// Total kernel ticks executed.
+    pub ticks: u64,
+    /// Ticks with no runnable task.
+    pub idle_ticks: u64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Remote service requests dispatched.
+    pub svc_count: u64,
+}
+
+impl KernelSnapshot {
+    /// Number of live (non-terminated) tasks.
+    #[must_use]
+    pub fn live_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| !matches!(t.state, TaskState::Terminated(_)))
+            .count()
+    }
+}
+
+/// The pCore kernel simulator. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    cfg: KernelConfig,
+    tasks: Vec<Option<Tcb>>,
+    programs: Vec<Program>,
+    sems: Vec<Semaphore>,
+    mutexes: Vec<KernelMutex>,
+    vars: Vec<i64>,
+    heap: Heap,
+    current: Option<TaskId>,
+    panic: Option<KernelPanic>,
+    trace: TraceBuffer,
+    now: Cycles,
+    ticks: u64,
+    idle_ticks: u64,
+    ctx_switches: u64,
+    svc_count: u64,
+}
+
+impl Kernel {
+    /// Boots a kernel with the given configuration.
+    #[must_use]
+    pub fn new(cfg: KernelConfig) -> Kernel {
+        let mut heap = Heap::new(cfg.heap_bytes);
+        heap.set_fault_mode(cfg.gc_fault);
+        Kernel {
+            tasks: (0..cfg.max_tasks).map(|_| None).collect(),
+            programs: Vec::new(),
+            sems: Vec::new(),
+            mutexes: Vec::new(),
+            vars: vec![0; cfg.num_vars],
+            heap,
+            current: None,
+            panic: None,
+            trace: TraceBuffer::new(cfg.trace_capacity),
+            now: Cycles::ZERO,
+            ticks: 0,
+            idle_ticks: 0,
+            ctx_switches: 0,
+            svc_count: 0,
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Registers a program in the code registry; tasks are created from
+    /// the returned id.
+    pub fn register_program(&mut self, program: Program) -> ProgramId {
+        self.programs.push(program);
+        ProgramId((self.programs.len() - 1) as u16)
+    }
+
+    /// Creates a counting semaphore with an initial count.
+    pub fn create_semaphore(&mut self, initial: u32) -> SemId {
+        self.sems.push(Semaphore::new(initial));
+        SemId((self.sems.len() - 1) as u16)
+    }
+
+    /// Creates a mutex.
+    pub fn create_mutex(&mut self) -> MutexId {
+        self.mutexes.push(KernelMutex::new());
+        MutexId((self.mutexes.len() - 1) as u16)
+    }
+
+    /// The fatal condition, if the kernel has died.
+    #[must_use]
+    pub fn panic(&self) -> Option<KernelPanic> {
+        self.panic
+    }
+
+    /// The kernel trace ring (appended by every service and scheduler
+    /// decision).
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Reads a shared variable directly (test/scenario convenience).
+    #[must_use]
+    pub fn var(&self, var: VarId) -> Option<i64> {
+        self.vars.get(usize::from(var.0)).copied()
+    }
+
+    /// Number of live tasks.
+    #[must_use]
+    pub fn live_task_count(&self) -> usize {
+        self.tasks
+            .iter()
+            .flatten()
+            .filter(|t| t.is_live())
+            .count()
+    }
+
+    /// The state of a task slot, if it ever held a task.
+    #[must_use]
+    pub fn task_state(&self, task: TaskId) -> Option<TaskState> {
+        self.tcb(task).map(|t| t.state)
+    }
+
+    /// Whether `task` is currently suspended.
+    #[must_use]
+    pub fn is_suspended(&self, task: TaskId) -> Option<bool> {
+        self.tcb(task).map(|t| t.suspended)
+    }
+
+    fn tcb(&self, task: TaskId) -> Option<&Tcb> {
+        self.tasks.get(task.index()).and_then(Option::as_ref)
+    }
+
+    fn tcb_mut(&mut self, task: TaskId) -> Option<&mut Tcb> {
+        self.tasks.get_mut(task.index()).and_then(Option::as_mut)
+    }
+
+    fn live_tcb(&self, task: TaskId) -> Result<&Tcb, SvcError> {
+        match self.tcb(task) {
+            None => Err(SvcError::NoSuchTask(task)),
+            Some(t) if !t.is_live() => Err(SvcError::TaskNotLive(task)),
+            Some(t) => Ok(t),
+        }
+    }
+
+    fn trace_svc(&mut self, detail: String) {
+        self.trace.record(self.now, CoreId::Dsp, "svc", detail);
+    }
+
+    /// Handles a remote service request (called from the bridge's
+    /// interrupt context).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SvcError`]; the error is reported back to the master over the
+    /// response mailbox and never kills the kernel (except that a panicked
+    /// kernel answers everything with [`SvcError::KernelPanicked`]).
+    pub fn dispatch(&mut self, req: SvcRequest, now: Cycles) -> Result<SvcReply, SvcError> {
+        self.now = now;
+        if self.panic.is_some() {
+            return Err(SvcError::KernelPanicked);
+        }
+        self.svc_count += 1;
+        let result = self.dispatch_inner(req);
+        match &result {
+            Ok(reply) => self.trace_svc(format!("{req:?} -> {reply:?}")),
+            Err(err) => self.trace_svc(format!("{req:?} -> err {err}")),
+        }
+        result
+    }
+
+    fn dispatch_inner(&mut self, req: SvcRequest) -> Result<SvcReply, SvcError> {
+        match req {
+            SvcRequest::Create {
+                program,
+                priority,
+                stack_bytes,
+            } => self.svc_create(program, priority, stack_bytes),
+            SvcRequest::Delete { task } => self.terminal_svc(task, ExitKind::Deleted),
+            SvcRequest::Suspend { task } => {
+                let t = self.live_tcb(task)?;
+                if t.suspended {
+                    return Err(SvcError::AlreadySuspended(task));
+                }
+                self.tcb_mut(task).expect("checked live").suspended = true;
+                if self.current == Some(task) {
+                    self.current = None;
+                }
+                Ok(SvcReply::Done)
+            }
+            SvcRequest::Resume { task } => {
+                let t = self.live_tcb(task)?;
+                if !t.suspended {
+                    return Err(SvcError::NotSuspended(task));
+                }
+                self.tcb_mut(task).expect("checked live").suspended = false;
+                Ok(SvcReply::Done)
+            }
+            SvcRequest::ChangePriority { task, priority } => {
+                self.live_tcb(task)?;
+                if self.priority_in_use(priority, Some(task)) {
+                    return Err(SvcError::PriorityInUse(priority));
+                }
+                let t = self.tcb_mut(task).expect("checked live");
+                t.priority = priority;
+                for s in &mut self.sems {
+                    s.reprioritize(task, priority);
+                }
+                for m in &mut self.mutexes {
+                    m.reprioritize(task, priority);
+                }
+                Ok(SvcReply::Done)
+            }
+            SvcRequest::Yield { task } => {
+                // A live task terminates at its next dispatch; a zombie
+                // (already exited on its own) is simply reaped — remote
+                // terminal commands legitimately race with self-exit.
+                match self.tcb(task) {
+                    None => Err(SvcError::NoSuchTask(task)),
+                    Some(t) if t.is_live() => {
+                        self.tcb_mut(task).expect("checked live").yield_requested = true;
+                        Ok(SvcReply::Done)
+                    }
+                    Some(t) if !t.reaped => {
+                        self.tcb_mut(task).expect("present").reaped = true;
+                        Ok(SvcReply::Done)
+                    }
+                    Some(_) => Err(SvcError::TaskNotLive(task)),
+                }
+            }
+            SvcRequest::PeekVar { var } => self
+                .vars
+                .get(usize::from(var.0))
+                .copied()
+                .map(SvcReply::Value)
+                .ok_or(SvcError::NoSuchVar(var)),
+            SvcRequest::PokeVar { var, value } => {
+                match self.vars.get_mut(usize::from(var.0)) {
+                    Some(slot) => {
+                        *slot = value;
+                        Ok(SvcReply::Done)
+                    }
+                    None => Err(SvcError::NoSuchVar(var)),
+                }
+            }
+        }
+    }
+
+    /// `task_delete` (and, for zombies, `task_yield`): terminate a live
+    /// task or reap an already-terminated one. Only a second terminal
+    /// command on the same corpse is an error.
+    fn terminal_svc(&mut self, task: TaskId, kind: ExitKind) -> Result<SvcReply, SvcError> {
+        match self.tcb(task) {
+            None => Err(SvcError::NoSuchTask(task)),
+            Some(t) if t.is_live() => {
+                self.terminate(task, kind);
+                Ok(SvcReply::Done)
+            }
+            Some(t) if !t.reaped => {
+                self.tcb_mut(task).expect("present").reaped = true;
+                Ok(SvcReply::Done)
+            }
+            Some(_) => Err(SvcError::TaskNotLive(task)),
+        }
+    }
+
+    fn priority_in_use(&self, priority: Priority, exclude: Option<TaskId>) -> bool {
+        self.tasks
+            .iter()
+            .flatten()
+            .any(|t| t.is_live() && t.priority == priority && Some(t.id) != exclude)
+    }
+
+    fn svc_create(
+        &mut self,
+        program: ProgramId,
+        priority: Priority,
+        stack_bytes: Option<u32>,
+    ) -> Result<SvcReply, SvcError> {
+        if self.live_task_count() >= self.cfg.max_tasks {
+            return Err(SvcError::NoFreeSlot);
+        }
+        if self.priority_in_use(priority, None) {
+            return Err(SvcError::PriorityInUse(priority));
+        }
+        let prog = self
+            .programs
+            .get(usize::from(program.0))
+            .cloned()
+            .ok_or(SvcError::NoSuchProgram(program))?;
+        let slot = self
+            .tasks
+            .iter()
+            .position(|t| t.as_ref().is_none_or(|t| !t.is_live()))
+            .ok_or(SvcError::NoFreeSlot)?;
+        let id = TaskId::new(slot as u8);
+        let stack = stack_bytes.unwrap_or(self.cfg.default_stack_bytes);
+
+        let tcb_block = self.kernel_alloc(self.cfg.tcb_bytes, Owner::Task(id))?;
+        let stack_block = match self.kernel_alloc(stack, Owner::Task(id)) {
+            Ok(b) => b,
+            Err(e) => {
+                // Roll back the TCB allocation if the panic path was not
+                // taken (a panicked kernel keeps everything as-is for the
+                // post-mortem dump).
+                if self.panic.is_none() {
+                    let _ = self.heap.free(tcb_block);
+                }
+                return Err(e);
+            }
+        };
+        self.tasks[slot] = Some(Tcb {
+            id,
+            priority,
+            state: TaskState::Ready,
+            suspended: false,
+            yield_requested: false,
+            reaped: false,
+            program: prog,
+            pc: 0,
+            regs: [0; crate::program::NUM_REGS],
+            compute_remaining: 0,
+            stack_bytes: stack,
+            stack_peak: 0,
+            stack_block,
+            tcb_block,
+            ops_retired: 0,
+            cycles_used: 0,
+            held_mutexes: Vec::new(),
+        });
+        Ok(SvcReply::Created(id))
+    }
+
+    /// Allocates kernel-side memory, converting exhaustion into a kernel
+    /// panic (the slave-system crash of case study 1).
+    fn kernel_alloc(&mut self, bytes: u32, owner: Owner) -> Result<BlockHandle, SvcError> {
+        match self.heap.alloc(bytes, owner) {
+            Ok(b) => Ok(b),
+            Err(HeapError::OutOfMemory { requested, .. }) => {
+                self.panic = Some(KernelPanic::OutOfMemory { requested });
+                self.trace.record(
+                    self.now,
+                    CoreId::Dsp,
+                    "panic",
+                    format!("out of memory allocating {requested} bytes"),
+                );
+                Err(SvcError::KernelPanicked)
+            }
+            Err(e) => {
+                // ZeroSized / bad handles cannot occur for kernel-computed
+                // sizes; treat defensively as panic-free internal error.
+                self.trace
+                    .record(self.now, CoreId::Dsp, "heap", format!("internal: {e}"));
+                Err(SvcError::KernelPanicked)
+            }
+        }
+    }
+
+    fn terminate(&mut self, task: TaskId, kind: ExitKind) {
+        // Remove from all wait queues.
+        for s in &mut self.sems {
+            s.remove_waiter(task);
+        }
+        let mut woken = Vec::new();
+        for (i, m) in self.mutexes.iter_mut().enumerate() {
+            m.remove_waiter(task);
+            if let Some(next) = m.force_release(task) {
+                woken.push((MutexId(i as u16), next));
+            }
+        }
+        for (mid, next) in woken {
+            self.grant_mutex(next, mid);
+        }
+        if let Some(t) = self.tcb_mut(task) {
+            t.state = TaskState::Terminated(kind);
+            t.held_mutexes.clear();
+        }
+        if self.current == Some(task) {
+            self.current = None;
+        }
+        // The task's memory (TCB, stack, task allocations) becomes garbage
+        // for the next GC pass — this is the churn that exposes the GC bug.
+        let marked = self.heap.mark_task_garbage(task);
+        self.trace.record(
+            self.now,
+            CoreId::Dsp,
+            "task",
+            format!("{task} terminated ({kind}); {marked}B garbage"),
+        );
+    }
+
+    /// Makes `task` the owner of `mutex` after a handoff and unblocks it.
+    fn grant_mutex(&mut self, task: TaskId, mutex: MutexId) {
+        if let Some(t) = self.tcb_mut(task) {
+            if matches!(t.state, TaskState::Blocked(WaitReason::Mutex(m)) if m == mutex) {
+                t.state = TaskState::Ready;
+            }
+            t.held_mutexes.push(mutex);
+        }
+    }
+
+    fn fault(&mut self, task: TaskId, fault: TaskFault) {
+        self.trace.record(
+            self.now,
+            CoreId::Dsp,
+            "fault",
+            format!("{task}: {fault}"),
+        );
+        self.terminate(task, ExitKind::Faulted(fault));
+    }
+
+    fn pick_next(&self) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .flatten()
+            .filter(|t| t.is_runnable())
+            .max_by_key(|t| t.priority)
+            .map(|t| t.id)
+    }
+
+    fn wake_sleepers(&mut self) {
+        let now = self.now.get();
+        for t in self.tasks.iter_mut().flatten() {
+            if let TaskState::Blocked(WaitReason::Sleep { until }) = t.state {
+                if until <= now {
+                    t.state = TaskState::Ready;
+                }
+            }
+        }
+    }
+
+    /// Advances the kernel by one cycle of virtual time.
+    pub fn tick(&mut self, now: Cycles) -> TickOutcome {
+        self.now = now;
+        if self.panic.is_some() {
+            return TickOutcome::Panicked;
+        }
+        self.ticks += 1;
+        self.wake_sleepers();
+
+        let Some(next) = self.pick_next() else {
+            self.idle_ticks += 1;
+            return TickOutcome::Idle;
+        };
+        if self.current != Some(next) {
+            self.ctx_switches += 1;
+            self.trace
+                .record(self.now, CoreId::Dsp, "sched", format!("run {next}"));
+            self.current = Some(next);
+        }
+        self.run_one(next);
+        if self.panic.is_some() {
+            return TickOutcome::Panicked;
+        }
+        TickOutcome::Ran(next)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_one(&mut self, task: TaskId) {
+        let (op, yield_requested) = {
+            let t = self.tcb_mut(task).expect("scheduled task exists");
+            t.cycles_used += 1;
+            if t.yield_requested {
+                (None, true)
+            } else if t.compute_remaining > 0 {
+                t.compute_remaining -= 1;
+                return;
+            } else {
+                (t.program.op(t.pc), false)
+            }
+        };
+
+        if yield_requested {
+            self.terminate(task, ExitKind::Normal);
+            return;
+        }
+        let Some(op) = op else {
+            self.fault(task, TaskFault::PcOutOfRange);
+            return;
+        };
+
+        // Default: advance past this op; branch ops overwrite below.
+        let advance = |k: &mut Kernel| {
+            if let Some(t) = k.tcb_mut(task) {
+                t.pc += 1;
+                t.ops_retired += 1;
+            }
+        };
+
+        match op {
+            Op::Compute(n) => {
+                if let Some(t) = self.tcb_mut(task) {
+                    t.compute_remaining = u64::from(n.saturating_sub(1));
+                }
+                advance(self);
+            }
+            Op::Alloc { bytes, reg } => {
+                if bytes == 0 {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                }
+                match self.kernel_alloc(bytes, Owner::Task(task)) {
+                    Ok(handle) => {
+                        if let Some(t) = self.tcb_mut(task) {
+                            t.regs[usize::from(reg)] = i64::from(handle.raw());
+                        }
+                        advance(self);
+                    }
+                    Err(_) => {
+                        // Kernel panicked (OOM); nothing more to do.
+                    }
+                }
+            }
+            Op::Free { reg } => {
+                let raw = {
+                    let t = self.tcb(task).expect("scheduled task exists");
+                    t.regs[usize::from(reg)]
+                };
+                let handle = u32::try_from(raw).ok().map(BlockHandle::from_raw);
+                match handle {
+                    Some(h) if self.heap.free(h).is_ok() => advance(self),
+                    _ => self.fault(task, TaskFault::BadFree),
+                }
+            }
+            Op::StackProbe(bytes) => {
+                let overflow = {
+                    let t = self.tcb_mut(task).expect("scheduled task exists");
+                    t.stack_peak = t.stack_peak.max(bytes);
+                    bytes > t.stack_bytes
+                };
+                if overflow {
+                    self.fault(task, TaskFault::StackOverflow);
+                } else {
+                    advance(self);
+                }
+            }
+            Op::ReadVar { var, reg } => {
+                let Some(value) = self.vars.get(usize::from(var.0)).copied() else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                if let Some(t) = self.tcb_mut(task) {
+                    t.regs[usize::from(reg)] = value;
+                }
+                advance(self);
+            }
+            Op::WriteVar { var, value } => {
+                let Some(slot) = self.vars.get_mut(usize::from(var.0)) else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                *slot = value;
+                advance(self);
+            }
+            Op::WriteVarReg { var, reg } => {
+                let value = self.tcb(task).expect("scheduled task exists").regs[usize::from(reg)];
+                let Some(slot) = self.vars.get_mut(usize::from(var.0)) else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                *slot = value;
+                advance(self);
+            }
+            Op::AddReg { reg, delta } => {
+                if let Some(t) = self.tcb_mut(task) {
+                    let r = &mut t.regs[usize::from(reg)];
+                    *r = r.wrapping_add(delta);
+                }
+                advance(self);
+            }
+            Op::BranchIfVarEq { var, value, target } => {
+                let Some(current) = self.vars.get(usize::from(var.0)).copied() else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                let t = self.tcb_mut(task).expect("scheduled task exists");
+                t.ops_retired += 1;
+                t.pc = if current == value { target } else { t.pc + 1 };
+            }
+            Op::BranchIfRegEq { reg, value, target } => {
+                let t = self.tcb_mut(task).expect("scheduled task exists");
+                t.ops_retired += 1;
+                let current = t.regs[usize::from(reg)];
+                t.pc = if current == value { target } else { t.pc + 1 };
+            }
+            Op::Jump(target) => {
+                let t = self.tcb_mut(task).expect("scheduled task exists");
+                t.ops_retired += 1;
+                t.pc = target;
+            }
+            Op::Yield => {
+                let delay = u64::from(self.cfg.yield_delay);
+                let until = self.now.get() + delay;
+                let t = self.tcb_mut(task).expect("scheduled task exists");
+                t.state = TaskState::Blocked(WaitReason::Sleep { until });
+                t.pc += 1;
+                t.ops_retired += 1;
+                self.current = None;
+            }
+            Op::SemWait(sem) => {
+                let priority = self.tcb(task).expect("scheduled task exists").priority;
+                let Some(s) = self.sems.get_mut(usize::from(sem.0)) else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                if s.wait(task, priority) {
+                    advance(self);
+                } else {
+                    let t = self.tcb_mut(task).expect("scheduled task exists");
+                    t.state = TaskState::Blocked(WaitReason::Semaphore(sem));
+                    t.pc += 1;
+                    t.ops_retired += 1;
+                    self.current = None;
+                }
+            }
+            Op::SemPost(sem) => {
+                let Some(s) = self.sems.get_mut(usize::from(sem.0)) else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                let woken = s.post();
+                if let Some(w) = woken {
+                    if let Some(t) = self.tcb_mut(w) {
+                        if matches!(
+                            t.state,
+                            TaskState::Blocked(WaitReason::Semaphore(s2)) if s2 == sem
+                        ) {
+                            t.state = TaskState::Ready;
+                        }
+                    }
+                }
+                advance(self);
+            }
+            Op::MutexLock(mutex) => {
+                let priority = self.tcb(task).expect("scheduled task exists").priority;
+                let Some(m) = self.mutexes.get_mut(usize::from(mutex.0)) else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                match m.lock(task, priority) {
+                    LockOutcome::Acquired => {
+                        if let Some(t) = self.tcb_mut(task) {
+                            t.held_mutexes.push(mutex);
+                        }
+                        advance(self);
+                    }
+                    LockOutcome::MustBlock => {
+                        let t = self.tcb_mut(task).expect("scheduled task exists");
+                        t.state = TaskState::Blocked(WaitReason::Mutex(mutex));
+                        t.pc += 1;
+                        t.ops_retired += 1;
+                        self.current = None;
+                        self.trace.record(
+                            self.now,
+                            CoreId::Dsp,
+                            "block",
+                            format!("{task} blocks on {mutex}"),
+                        );
+                    }
+                    LockOutcome::Recursive => self.fault(task, TaskFault::RecursiveLock),
+                }
+            }
+            Op::MutexUnlock(mutex) => {
+                let Some(m) = self.mutexes.get_mut(usize::from(mutex.0)) else {
+                    self.fault(task, TaskFault::BadObject);
+                    return;
+                };
+                match m.unlock(task) {
+                    Ok(next) => {
+                        if let Some(t) = self.tcb_mut(task) {
+                            t.held_mutexes.retain(|&h| h != mutex);
+                        }
+                        if let Some(next) = next {
+                            self.grant_mutex(next, mutex);
+                        }
+                        advance(self);
+                    }
+                    Err(()) => self.fault(task, TaskFault::UnlockNotOwner),
+                }
+            }
+            Op::SleepFor(n) => {
+                let until = self.now.get() + u64::from(n);
+                let t = self.tcb_mut(task).expect("scheduled task exists");
+                t.state = TaskState::Blocked(WaitReason::Sleep { until });
+                t.pc += 1;
+                t.ops_retired += 1;
+                self.current = None;
+            }
+            Op::Exit => {
+                self.terminate(task, ExitKind::Normal);
+            }
+        }
+    }
+
+    /// Blocked-on edges of the current wait-for graph.
+    #[must_use]
+    pub fn wait_edges(&self) -> Vec<WaitEdge> {
+        let mut edges = Vec::new();
+        for t in self.tasks.iter().flatten() {
+            match t.state {
+                TaskState::Blocked(WaitReason::Mutex(m)) => {
+                    let holder = self
+                        .mutexes
+                        .get(usize::from(m.0))
+                        .and_then(KernelMutex::owner);
+                    edges.push(WaitEdge {
+                        waiter: t.id,
+                        resource: ResourceRef::Mutex(m),
+                        holder,
+                    });
+                }
+                TaskState::Blocked(WaitReason::Semaphore(s)) => {
+                    edges.push(WaitEdge {
+                        waiter: t.id,
+                        resource: ResourceRef::Semaphore(s),
+                        holder: None,
+                    });
+                }
+                _ => {}
+            }
+        }
+        edges
+    }
+
+    /// A full point-in-time snapshot for the bug detector.
+    #[must_use]
+    pub fn snapshot(&self) -> KernelSnapshot {
+        KernelSnapshot {
+            now: self.now,
+            panic: self.panic,
+            tasks: self
+                .tasks
+                .iter()
+                .flatten()
+                .map(|t| TaskSnapshot {
+                    id: t.id,
+                    priority: t.priority,
+                    state: t.state,
+                    suspended: t.suspended,
+                    pc: t.pc,
+                    ops_retired: t.ops_retired,
+                    held_mutexes: t.held_mutexes.clone(),
+                })
+                .collect(),
+            heap: self.heap.stats(),
+            wait_edges: self.wait_edges(),
+            ticks: self.ticks,
+            idle_ticks: self.idle_ticks,
+            ctx_switches: self.ctx_switches,
+            svc_count: self.svc_count,
+        }
+    }
+
+    /// Heap statistics (convenience over [`Kernel::snapshot`]).
+    #[must_use]
+    pub fn heap_stats(&self) -> HeapStats {
+        self.heap.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig::default())
+    }
+
+    fn exit_prog(k: &mut Kernel) -> ProgramId {
+        k.register_program(Program::exit_immediately())
+    }
+
+    fn create(k: &mut Kernel, prog: ProgramId, prio: u8) -> TaskId {
+        match k
+            .dispatch(
+                SvcRequest::Create {
+                    program: prog,
+                    priority: Priority::new(prio),
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .unwrap()
+        {
+            SvcReply::Created(t) => t,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    fn run(k: &mut Kernel, cycles: u64) {
+        let start = k.now.get();
+        for c in 0..cycles {
+            k.tick(Cycles::new(start + c + 1));
+        }
+    }
+
+    #[test]
+    fn create_and_run_to_exit() {
+        let mut k = kernel();
+        let p = exit_prog(&mut k);
+        let t = create(&mut k, p, 5);
+        assert_eq!(k.live_task_count(), 1);
+        run(&mut k, 5);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        );
+        assert_eq!(k.live_task_count(), 0);
+    }
+
+    #[test]
+    fn sixteen_task_limit_enforced() {
+        let mut k = kernel();
+        // A program that never exits, so slots stay occupied.
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        for i in 0..16 {
+            create(&mut k, p, i + 1);
+        }
+        let err = k
+            .dispatch(
+                SvcRequest::Create {
+                    program: p,
+                    priority: Priority::new(100),
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, SvcError::NoFreeSlot);
+    }
+
+    #[test]
+    fn unique_priorities_enforced() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        create(&mut k, p, 7);
+        let err = k
+            .dispatch(
+                SvcRequest::Create {
+                    program: p,
+                    priority: Priority::new(7),
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, SvcError::PriorityInUse(Priority::new(7)));
+    }
+
+    #[test]
+    fn highest_priority_task_runs() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Compute(1000), Op::Exit]).unwrap());
+        let low = create(&mut k, p, 1);
+        let high = create(&mut k, p, 9);
+        run(&mut k, 10);
+        let snap = k.snapshot();
+        let high_cycles = snap.tasks.iter().find(|t| t.id == high).unwrap().ops_retired;
+        let low_cycles = snap.tasks.iter().find(|t| t.id == low).unwrap().ops_retired;
+        assert!(high_cycles > 0);
+        assert_eq!(low_cycles, 0, "low-priority task must not run");
+    }
+
+    #[test]
+    fn suspend_resume_legality() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        let t = create(&mut k, p, 5);
+        assert_eq!(
+            k.dispatch(SvcRequest::Resume { task: t }, Cycles::ZERO),
+            Err(SvcError::NotSuspended(t))
+        );
+        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO).unwrap();
+        assert_eq!(
+            k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO),
+            Err(SvcError::AlreadySuspended(t))
+        );
+        k.dispatch(SvcRequest::Resume { task: t }, Cycles::ZERO).unwrap();
+        assert_eq!(k.is_suspended(t), Some(false));
+    }
+
+    #[test]
+    fn suspended_task_does_not_run() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Compute(1000), Op::Exit]).unwrap());
+        let t = create(&mut k, p, 5);
+        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO).unwrap();
+        run(&mut k, 10);
+        let snap = k.snapshot();
+        assert_eq!(snap.tasks[0].ops_retired, 0);
+        assert_eq!(snap.idle_ticks, 10);
+    }
+
+    #[test]
+    fn remote_yield_terminates_at_next_dispatch() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        let t = create(&mut k, p, 5);
+        run(&mut k, 3);
+        k.dispatch(SvcRequest::Yield { task: t }, Cycles::new(3)).unwrap();
+        run(&mut k, 2);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        );
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        let t = create(&mut k, p, 5);
+        k.dispatch(SvcRequest::Delete { task: t }, Cycles::ZERO).unwrap();
+        assert_eq!(k.live_task_count(), 0);
+        let t2 = create(&mut k, p, 6);
+        assert_eq!(t2, t, "slot is reused");
+    }
+
+    #[test]
+    fn delete_reaps_zombie_once() {
+        let mut k = kernel();
+        let p = exit_prog(&mut k);
+        let t = create(&mut k, p, 5);
+        run(&mut k, 5); // task exits on its own
+        // First terminal command reaps the zombie (delete racing with
+        // self-exit is legitimate)…
+        assert_eq!(
+            k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(10)),
+            Ok(SvcReply::Done)
+        );
+        // …a second one is an error.
+        assert_eq!(
+            k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(11)),
+            Err(SvcError::TaskNotLive(t))
+        );
+        assert_eq!(
+            k.dispatch(SvcRequest::Delete { task: TaskId::new(9) }, Cycles::new(12)),
+            Err(SvcError::NoSuchTask(TaskId::new(9)))
+        );
+    }
+
+    #[test]
+    fn yield_reaps_zombie_once() {
+        let mut k = kernel();
+        let p = exit_prog(&mut k);
+        let t = create(&mut k, p, 5);
+        run(&mut k, 5);
+        assert_eq!(
+            k.dispatch(SvcRequest::Yield { task: t }, Cycles::new(10)),
+            Ok(SvcReply::Done)
+        );
+        assert_eq!(
+            k.dispatch(SvcRequest::Yield { task: t }, Cycles::new(11)),
+            Err(SvcError::TaskNotLive(t))
+        );
+        // Non-terminal services never reap.
+        let t2 = create(&mut k, p, 6);
+        run(&mut k, 5);
+        assert_eq!(
+            k.dispatch(SvcRequest::Suspend { task: t2 }, Cycles::new(20)),
+            Err(SvcError::TaskNotLive(t2))
+        );
+    }
+
+    #[test]
+    fn chanprio_respects_uniqueness_and_reorders() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Compute(1000), Op::Exit]).unwrap());
+        let a = create(&mut k, p, 2);
+        let b = create(&mut k, p, 5);
+        assert_eq!(
+            k.dispatch(
+                SvcRequest::ChangePriority { task: a, priority: Priority::new(5) },
+                Cycles::ZERO
+            ),
+            Err(SvcError::PriorityInUse(Priority::new(5)))
+        );
+        k.dispatch(
+            SvcRequest::ChangePriority { task: a, priority: Priority::new(9) },
+            Cycles::ZERO,
+        )
+        .unwrap();
+        run(&mut k, 4);
+        let snap = k.snapshot();
+        assert!(snap.tasks.iter().find(|t| t.id == a).unwrap().ops_retired > 0);
+        assert_eq!(snap.tasks.iter().find(|t| t.id == b).unwrap().ops_retired, 0);
+    }
+
+    #[test]
+    fn mutex_blocking_and_handoff() {
+        let mut k = kernel();
+        let m = k.create_mutex();
+        let prog = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::MutexLock(m));
+            b.push(Op::Compute(10));
+            b.push(Op::MutexUnlock(m));
+            b.push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        let low = create(&mut k, prog, 1);
+        run(&mut k, 3); // low acquires the mutex and starts computing
+        let high = create(&mut k, prog, 9);
+        run(&mut k, 2); // high preempts, tries to lock, blocks
+        assert!(matches!(
+            k.task_state(high),
+            Some(TaskState::Blocked(WaitReason::Mutex(_)))
+        ));
+        let edges = k.wait_edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].waiter, high);
+        assert_eq!(edges[0].holder, Some(low));
+        run(&mut k, 40);
+        assert!(matches!(k.task_state(high), Some(TaskState::Terminated(_))));
+        assert!(matches!(k.task_state(low), Some(TaskState::Terminated(_))));
+    }
+
+    #[test]
+    fn semaphore_producer_consumer() {
+        let mut k = kernel();
+        let s = k.create_semaphore(0);
+        let consumer = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::SemWait(s));
+            b.push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        let producer = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::Compute(5));
+            b.push(Op::SemPost(s));
+            b.push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        let c = create(&mut k, consumer, 9); // high priority: waits first
+        let p = create(&mut k, producer, 1);
+        run(&mut k, 30);
+        assert!(matches!(k.task_state(c), Some(TaskState::Terminated(ExitKind::Normal))));
+        assert!(matches!(k.task_state(p), Some(TaskState::Terminated(ExitKind::Normal))));
+    }
+
+    #[test]
+    fn stack_overflow_faults_task() {
+        let mut k = kernel();
+        let p = k.register_program(
+            Program::new(vec![Op::StackProbe(100_000), Op::Exit]).unwrap(),
+        );
+        let t = create(&mut k, p, 5);
+        run(&mut k, 3);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Faulted(TaskFault::StackOverflow)))
+        );
+        assert!(k.panic().is_none(), "task faults do not kill the kernel");
+    }
+
+    #[test]
+    fn recursive_lock_faults_task() {
+        let mut k = kernel();
+        let m = k.create_mutex();
+        let p = k.register_program(
+            Program::new(vec![Op::MutexLock(m), Op::MutexLock(m), Op::Exit]).unwrap(),
+        );
+        let t = create(&mut k, p, 5);
+        run(&mut k, 5);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Faulted(TaskFault::RecursiveLock)))
+        );
+    }
+
+    #[test]
+    fn unlock_not_owner_faults_task() {
+        let mut k = kernel();
+        let m = k.create_mutex();
+        let p = k.register_program(Program::new(vec![Op::MutexUnlock(m), Op::Exit]).unwrap());
+        let t = create(&mut k, p, 5);
+        run(&mut k, 3);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Faulted(TaskFault::UnlockNotOwner)))
+        );
+    }
+
+    #[test]
+    fn gc_reclaims_dead_task_memory_under_churn() {
+        let cfg = KernelConfig {
+            heap_bytes: 4 * 1024,
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::new(cfg);
+        let p = exit_prog(&mut k);
+        // 4 KB heap, each task needs 64 + 512 = 576 bytes. Creating and
+        // completing 100 tasks requires GC to recycle memory.
+        for i in 0..100 {
+            let t = create(&mut k, p, (i % 200 + 1) as u8);
+            run(&mut k, 4);
+            assert!(
+                matches!(k.task_state(t), Some(TaskState::Terminated(_))),
+                "task {i} should have exited"
+            );
+        }
+        assert!(k.panic().is_none());
+        assert!(k.heap_stats().gc_runs > 0, "churn must have triggered GC");
+    }
+
+    #[test]
+    fn gc_leak_fault_eventually_panics_kernel() {
+        let cfg = KernelConfig {
+            heap_bytes: 4 * 1024,
+            gc_fault: GcFaultMode::LeakDeadBlocks { leak_every: 1 },
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::new(cfg);
+        let p = exit_prog(&mut k);
+        let mut panicked_at = None;
+        for i in 0..100u32 {
+            let req = SvcRequest::Create {
+                program: p,
+                priority: Priority::new((i % 200 + 1) as u8),
+                stack_bytes: None,
+            };
+            match k.dispatch(req, Cycles::new(u64::from(i) * 10)) {
+                Ok(_) => run(&mut k, 4),
+                Err(SvcError::KernelPanicked) => {
+                    panicked_at = Some(i);
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        let at = panicked_at.expect("leaky GC must exhaust the 4 KB heap");
+        assert!(at > 2, "should survive the first few tasks");
+        assert!(matches!(k.panic(), Some(KernelPanic::OutOfMemory { .. })));
+        // A dead kernel refuses everything.
+        assert_eq!(
+            k.dispatch(SvcRequest::PeekVar { var: VarId(0) }, Cycles::new(1)),
+            Err(SvcError::KernelPanicked)
+        );
+        assert_eq!(k.tick(Cycles::new(1)), TickOutcome::Panicked);
+    }
+
+    #[test]
+    fn peek_poke_vars() {
+        let mut k = kernel();
+        k.dispatch(SvcRequest::PokeVar { var: VarId(3), value: 42 }, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(
+            k.dispatch(SvcRequest::PeekVar { var: VarId(3) }, Cycles::ZERO),
+            Ok(SvcReply::Value(42))
+        );
+        assert_eq!(
+            k.dispatch(SvcRequest::PeekVar { var: VarId(999) }, Cycles::ZERO),
+            Err(SvcError::NoSuchVar(VarId(999)))
+        );
+    }
+
+    #[test]
+    fn yield_lets_lower_priority_task_run() {
+        let mut k = kernel();
+        // High-priority task yields in a loop; low-priority must progress.
+        let yielder = {
+            let mut b = ProgramBuilder::new();
+            b.bind("top");
+            b.push(Op::Yield);
+            b.jump_to("top");
+            k.register_program(b.build().unwrap())
+        };
+        let worker = k.register_program(Program::new(vec![Op::Compute(20), Op::Exit]).unwrap());
+        let _hi = create(&mut k, yielder, 9);
+        let lo = create(&mut k, worker, 1);
+        run(&mut k, 100);
+        assert!(
+            matches!(k.task_state(lo), Some(TaskState::Terminated(ExitKind::Normal))),
+            "low-priority worker should finish thanks to yields: {:?}",
+            k.task_state(lo)
+        );
+    }
+
+    #[test]
+    fn deadlock_shows_in_wait_edges() {
+        let mut k = kernel();
+        let m0 = k.create_mutex();
+        let m1 = k.create_mutex();
+        let p01 = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::MutexLock(m0));
+            b.push(Op::Yield);
+            b.push(Op::MutexLock(m1));
+            b.push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        let p10 = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::MutexLock(m1));
+            b.push(Op::Yield);
+            b.push(Op::MutexLock(m0));
+            b.push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        create(&mut k, p01, 5);
+        create(&mut k, p10, 6);
+        run(&mut k, 50);
+        let edges = k.wait_edges();
+        assert_eq!(edges.len(), 2, "both tasks blocked: {edges:?}");
+        // Each waits on a mutex held by the other: a 2-cycle.
+        let holders: Vec<_> = edges.iter().filter_map(|e| e.holder).collect();
+        assert_eq!(holders.len(), 2);
+        assert_ne!(edges[0].waiter, edges[1].waiter);
+    }
+
+    #[test]
+    fn delete_while_blocked_on_semaphore_cleans_wait_queue() {
+        let mut k = kernel();
+        let s = k.create_semaphore(0);
+        let p = k.register_program(Program::new(vec![Op::SemWait(s), Op::Exit]).unwrap());
+        let t = create(&mut k, p, 5);
+        run(&mut k, 5); // t blocks on the semaphore
+        assert!(matches!(
+            k.task_state(t),
+            Some(TaskState::Blocked(WaitReason::Semaphore(_)))
+        ));
+        k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(10)).unwrap();
+        assert_eq!(k.live_task_count(), 0);
+        // A later post must not resurrect or wake the deleted task.
+        let poster = k.register_program(Program::new(vec![Op::SemPost(s), Op::Exit]).unwrap());
+        let t2 = create(&mut k, poster, 6);
+        assert_eq!(t2, t, "the freed slot is reused");
+        run(&mut k, 10);
+        // The poster ran to completion: had the deleted task still been in
+        // the wait queue, the post would have been consumed waking a
+        // corpse; instead the semaphore keeps the count.
+        assert!(matches!(
+            k.task_state(t2),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        ));
+        assert_eq!(k.snapshot().wait_edges.len(), 0);
+    }
+
+    #[test]
+    fn chanprio_reorders_mutex_wait_queue() {
+        let mut k = kernel();
+        let m = k.create_mutex();
+        let holder = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::MutexLock(m));
+            b.push(Op::Compute(200));
+            b.push(Op::MutexUnlock(m));
+            b.push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        let waiter = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::MutexLock(m));
+            b.push(Op::WriteVar { var: VarId(0), value: 1 }) // mark who won
+                .push(Op::MutexUnlock(m))
+                .push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        let waiter2 = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::MutexLock(m));
+            b.push(Op::WriteVar { var: VarId(0), value: 2 })
+                .push(Op::MutexUnlock(m))
+                .push(Op::Exit);
+            k.register_program(b.build().unwrap())
+        };
+        // Low-prio holder runs first (alone), then two waiters block.
+        let _h = create(&mut k, holder, 1);
+        run(&mut k, 5);
+        let w1 = create(&mut k, waiter, 10);
+        let w2 = create(&mut k, waiter2, 20);
+        run(&mut k, 10); // both block; w2 ahead (higher priority)
+        // Boost w1 above w2: the queue must reorder, so w1 wins the lock.
+        k.dispatch(
+            SvcRequest::ChangePriority { task: w1, priority: Priority::new(30) },
+            Cycles::new(20),
+        )
+        .unwrap();
+        run(&mut k, 400);
+        assert!(matches!(k.task_state(w1), Some(TaskState::Terminated(_))));
+        assert!(matches!(k.task_state(w2), Some(TaskState::Terminated(_))));
+        assert_eq!(k.var(VarId(0)), Some(2), "w1 acquired first, w2 wrote last");
+    }
+
+    #[test]
+    fn suspended_then_deleted_task_releases_mutex() {
+        let mut k = kernel();
+        let m = k.create_mutex();
+        let p = k.register_program(
+            Program::new(vec![Op::MutexLock(m), Op::Compute(1_000), Op::Exit]).unwrap(),
+        );
+        let t = create(&mut k, p, 5);
+        run(&mut k, 5); // t holds the mutex
+        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::new(5)).unwrap();
+        let p2 = k.register_program(
+            Program::new(vec![Op::MutexLock(m), Op::MutexUnlock(m), Op::Exit]).unwrap(),
+        );
+        let t2 = create(&mut k, p2, 6);
+        run(&mut k, 10);
+        assert!(matches!(
+            k.task_state(t2),
+            Some(TaskState::Blocked(WaitReason::Mutex(_)))
+        ));
+        // Deleting the suspended holder hands the mutex to the waiter.
+        k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(20)).unwrap();
+        run(&mut k, 20);
+        assert!(matches!(
+            k.task_state(t2),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        ));
+    }
+
+    #[test]
+    fn snapshot_counts_are_consistent() {
+        let mut k = kernel();
+        let p = exit_prog(&mut k);
+        create(&mut k, p, 5);
+        run(&mut k, 10);
+        let s = k.snapshot();
+        assert_eq!(s.ticks, 10);
+        assert_eq!(s.svc_count, 1);
+        assert!(s.idle_ticks > 0);
+        assert_eq!(s.live_tasks(), 0);
+        assert_eq!(s.tasks.len(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! The pCore task-management kernel services (paper Table I).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the six task-management kernel services of pCore.
+///
+/// This is exactly the paper's Table I:
+///
+/// | service | abbreviation | description |
+/// |---|---|---|
+/// | `task_create`   | TC  | Create a task |
+/// | `task_delete`   | TD  | Delete a task |
+/// | `task_suspend`  | TS  | Suspend a task |
+/// | `task_resume`   | TR  | Resume a task |
+/// | `task_chanprio` | TCH | Change the priority of a task |
+/// | `task_yield`    | TY  | Terminate the current running task |
+///
+/// The abbreviations are the alphabet of the regular expression (paper
+/// Eq. 2) that the PFA is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Service {
+    /// `task_create` — create a task (abbreviated **TC**).
+    Create,
+    /// `task_delete` — delete a task (abbreviated **TD**).
+    Delete,
+    /// `task_suspend` — suspend a task (abbreviated **TS**).
+    Suspend,
+    /// `task_resume` — resume a task (abbreviated **TR**).
+    Resume,
+    /// `task_chanprio` — change the priority of a task (abbreviated **TCH**).
+    ChangePriority,
+    /// `task_yield` — terminate the current running task (abbreviated **TY**).
+    Yield,
+}
+
+impl Service {
+    /// All six services, in Table I order.
+    pub const ALL: [Service; 6] = [
+        Service::Create,
+        Service::Delete,
+        Service::Suspend,
+        Service::Resume,
+        Service::ChangePriority,
+        Service::Yield,
+    ];
+
+    /// The paper's abbreviation for this service (`"TC"`, `"TD"`, …).
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Service::Create => "TC",
+            Service::Delete => "TD",
+            Service::Suspend => "TS",
+            Service::Resume => "TR",
+            Service::ChangePriority => "TCH",
+            Service::Yield => "TY",
+        }
+    }
+
+    /// The full kernel-service name (`"task_create"`, …).
+    #[must_use]
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Service::Create => "task_create",
+            Service::Delete => "task_delete",
+            Service::Suspend => "task_suspend",
+            Service::Resume => "task_resume",
+            Service::ChangePriority => "task_chanprio",
+            Service::Yield => "task_yield",
+        }
+    }
+
+    /// The Table I description of this service.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Service::Create => "Create a task",
+            Service::Delete => "Delete a task",
+            Service::Suspend => "Suspend a task",
+            Service::Resume => "Resume a task",
+            Service::ChangePriority => "Change the priority of a task",
+            Service::Yield => "Terminate the current running task",
+        }
+    }
+
+    /// A stable wire code used by the bridge protocol.
+    #[must_use]
+    pub fn wire_code(self) -> u8 {
+        match self {
+            Service::Create => 1,
+            Service::Delete => 2,
+            Service::Suspend => 3,
+            Service::Resume => 4,
+            Service::ChangePriority => 5,
+            Service::Yield => 6,
+        }
+    }
+
+    /// Decodes a wire code produced by [`Service::wire_code`].
+    #[must_use]
+    pub fn from_wire_code(code: u8) -> Option<Service> {
+        Service::ALL.into_iter().find(|s| s.wire_code() == code)
+    }
+
+    /// Whether this service ends a task's life cycle (the `TD$ | TY$`
+    /// suffix of the paper's regular expression).
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Service::Delete | Service::Yield)
+    }
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Error parsing a service abbreviation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseServiceError {
+    input: String,
+}
+
+impl fmt::Display for ParseServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown pCore service abbreviation `{}` (expected one of TC, TD, TS, TR, TCH, TY)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseServiceError {}
+
+impl FromStr for Service {
+    type Err = ParseServiceError;
+
+    fn from_str(s: &str) -> Result<Service, ParseServiceError> {
+        Service::ALL
+            .into_iter()
+            .find(|svc| svc.abbrev() == s || svc.full_name() == s)
+            .ok_or_else(|| ParseServiceError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_is_complete() {
+        assert_eq!(Service::ALL.len(), 6);
+        let abbrevs: Vec<&str> = Service::ALL.iter().map(|s| s.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["TC", "TD", "TS", "TR", "TCH", "TY"]);
+    }
+
+    #[test]
+    fn abbreviations_parse_back() {
+        for svc in Service::ALL {
+            assert_eq!(svc.abbrev().parse::<Service>().unwrap(), svc);
+            assert_eq!(svc.full_name().parse::<Service>().unwrap(), svc);
+        }
+    }
+
+    #[test]
+    fn unknown_abbreviation_is_an_error() {
+        let err = "TX".parse::<Service>().unwrap_err();
+        assert!(err.to_string().contains("TX"));
+    }
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        for svc in Service::ALL {
+            assert_eq!(Service::from_wire_code(svc.wire_code()), Some(svc));
+        }
+        assert_eq!(Service::from_wire_code(0), None);
+        assert_eq!(Service::from_wire_code(200), None);
+    }
+
+    #[test]
+    fn terminal_services_match_regex_suffix() {
+        assert!(Service::Delete.is_terminal());
+        assert!(Service::Yield.is_terminal());
+        assert!(!Service::Create.is_terminal());
+        assert!(!Service::Suspend.is_terminal());
+        assert!(!Service::Resume.is_terminal());
+        assert!(!Service::ChangePriority.is_terminal());
+    }
+
+    #[test]
+    fn descriptions_match_table_one() {
+        assert_eq!(Service::Yield.description(), "Terminate the current running task");
+        assert_eq!(Service::Create.description(), "Create a task");
+    }
+}

@@ -1,0 +1,288 @@
+//! Kernel synchronization objects: counting semaphores and mutexes.
+//!
+//! Wait queues are priority-ordered (highest priority first) and
+//! deterministic: equal priorities cannot occur because pCore enforces
+//! unique task priorities.
+
+use crate::ids::{Priority, TaskId};
+
+/// A counting semaphore.
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    count: u32,
+    /// Waiting tasks with their priorities, kept sorted descending by
+    /// priority (index 0 wakes first).
+    waiters: Vec<(TaskId, Priority)>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with an initial count.
+    #[must_use]
+    pub fn new(initial: u32) -> Semaphore {
+        Semaphore {
+            count: initial,
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Tasks currently waiting, highest priority first.
+    #[must_use]
+    pub fn waiters(&self) -> Vec<TaskId> {
+        self.waiters.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Attempts to take the semaphore for `task`. Returns `true` on
+    /// success; on failure the task is queued and the caller must block it.
+    pub fn wait(&mut self, task: TaskId, priority: Priority) -> bool {
+        if self.count > 0 {
+            self.count -= 1;
+            true
+        } else {
+            insert_by_priority(&mut self.waiters, task, priority);
+            false
+        }
+    }
+
+    /// Posts the semaphore. If a task was waiting, it is dequeued and
+    /// returned (the caller must make it ready); otherwise the count is
+    /// incremented.
+    pub fn post(&mut self) -> Option<TaskId> {
+        if self.waiters.is_empty() {
+            self.count += 1;
+            None
+        } else {
+            Some(self.waiters.remove(0).0)
+        }
+    }
+
+    /// Removes `task` from the wait queue (task deleted while waiting).
+    /// Returns `true` if it was queued.
+    pub fn remove_waiter(&mut self, task: TaskId) -> bool {
+        let before = self.waiters.len();
+        self.waiters.retain(|(t, _)| *t != task);
+        self.waiters.len() != before
+    }
+
+    /// Re-sorts `task` in the wait queue after a priority change.
+    pub fn reprioritize(&mut self, task: TaskId, priority: Priority) {
+        if self.remove_waiter(task) {
+            insert_by_priority(&mut self.waiters, task, priority);
+        }
+    }
+}
+
+/// A non-recursive ownership mutex.
+#[derive(Debug, Clone, Default)]
+pub struct KernelMutex {
+    owner: Option<TaskId>,
+    waiters: Vec<(TaskId, Priority)>,
+}
+
+impl KernelMutex {
+    /// Creates an unowned mutex.
+    #[must_use]
+    pub fn new() -> KernelMutex {
+        KernelMutex::default()
+    }
+
+    /// Current owner, if any.
+    #[must_use]
+    pub fn owner(&self) -> Option<TaskId> {
+        self.owner
+    }
+
+    /// Tasks currently waiting, highest priority first.
+    #[must_use]
+    pub fn waiters(&self) -> Vec<TaskId> {
+        self.waiters.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Outcome of a lock attempt.
+    #[must_use]
+    pub fn lock(&mut self, task: TaskId, priority: Priority) -> LockOutcome {
+        match self.owner {
+            None => {
+                self.owner = Some(task);
+                LockOutcome::Acquired
+            }
+            Some(owner) if owner == task => LockOutcome::Recursive,
+            Some(_) => {
+                insert_by_priority(&mut self.waiters, task, priority);
+                LockOutcome::MustBlock
+            }
+        }
+    }
+
+    /// Unlocks the mutex. On success returns the next owner (dequeued
+    /// waiter) if any; the caller must make that task ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` if `task` is not the current owner.
+    #[allow(clippy::result_unit_err)]
+    pub fn unlock(&mut self, task: TaskId) -> Result<Option<TaskId>, ()> {
+        if self.owner != Some(task) {
+            return Err(());
+        }
+        if self.waiters.is_empty() {
+            self.owner = None;
+            Ok(None)
+        } else {
+            let (next, _) = self.waiters.remove(0);
+            self.owner = Some(next);
+            Ok(Some(next))
+        }
+    }
+
+    /// Removes `task` from the wait queue; returns `true` if it was queued.
+    pub fn remove_waiter(&mut self, task: TaskId) -> bool {
+        let before = self.waiters.len();
+        self.waiters.retain(|(t, _)| *t != task);
+        self.waiters.len() != before
+    }
+
+    /// Re-sorts `task` in the wait queue after a priority change.
+    pub fn reprioritize(&mut self, task: TaskId, priority: Priority) {
+        if self.remove_waiter(task) {
+            insert_by_priority(&mut self.waiters, task, priority);
+        }
+    }
+
+    /// Forcibly releases the mutex if `task` owns it (task deletion),
+    /// passing ownership to the next waiter. Returns the next owner.
+    pub fn force_release(&mut self, task: TaskId) -> Option<TaskId> {
+        if self.owner == Some(task) {
+            self.owner = None;
+            if !self.waiters.is_empty() {
+                let (next, _) = self.waiters.remove(0);
+                self.owner = Some(next);
+                return Some(next);
+            }
+        }
+        None
+    }
+}
+
+/// Result of [`KernelMutex::lock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The mutex is now owned by the caller.
+    Acquired,
+    /// Another task owns it; the caller was queued and must block.
+    MustBlock,
+    /// The caller already owns it (a task fault in pCore).
+    Recursive,
+}
+
+fn insert_by_priority(queue: &mut Vec<(TaskId, Priority)>, task: TaskId, priority: Priority) {
+    let pos = queue.partition_point(|(_, p)| *p >= priority);
+    queue.insert(pos, (task, priority));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u8) -> TaskId {
+        TaskId::new(i)
+    }
+    fn p(l: u8) -> Priority {
+        Priority::new(l)
+    }
+
+    #[test]
+    fn semaphore_counts_down_then_blocks() {
+        let mut s = Semaphore::new(2);
+        assert!(s.wait(t(0), p(1)));
+        assert!(s.wait(t(1), p(2)));
+        assert!(!s.wait(t(2), p(3)));
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.waiters(), vec![t(2)]);
+    }
+
+    #[test]
+    fn semaphore_post_wakes_highest_priority() {
+        let mut s = Semaphore::new(0);
+        assert!(!s.wait(t(0), p(1)));
+        assert!(!s.wait(t(1), p(9)));
+        assert!(!s.wait(t(2), p(5)));
+        assert_eq!(s.post(), Some(t(1)));
+        assert_eq!(s.post(), Some(t(2)));
+        assert_eq!(s.post(), Some(t(0)));
+        assert_eq!(s.post(), None);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn semaphore_remove_waiter() {
+        let mut s = Semaphore::new(0);
+        s.wait(t(0), p(1));
+        s.wait(t(1), p(2));
+        assert!(s.remove_waiter(t(0)));
+        assert!(!s.remove_waiter(t(0)));
+        assert_eq!(s.waiters(), vec![t(1)]);
+    }
+
+    #[test]
+    fn mutex_basic_ownership() {
+        let mut m = KernelMutex::new();
+        assert_eq!(m.lock(t(0), p(1)), LockOutcome::Acquired);
+        assert_eq!(m.owner(), Some(t(0)));
+        assert_eq!(m.lock(t(1), p(2)), LockOutcome::MustBlock);
+        assert_eq!(m.unlock(t(0)), Ok(Some(t(1))));
+        assert_eq!(m.owner(), Some(t(1)));
+        assert_eq!(m.unlock(t(1)), Ok(None));
+        assert_eq!(m.owner(), None);
+    }
+
+    #[test]
+    fn mutex_rejects_recursive_lock() {
+        let mut m = KernelMutex::new();
+        let _ = m.lock(t(0), p(1));
+        assert_eq!(m.lock(t(0), p(1)), LockOutcome::Recursive);
+    }
+
+    #[test]
+    fn mutex_unlock_by_non_owner_fails() {
+        let mut m = KernelMutex::new();
+        let _ = m.lock(t(0), p(1));
+        assert_eq!(m.unlock(t(1)), Err(()));
+        assert_eq!(m.unlock(t(0)), Ok(None));
+        assert_eq!(m.unlock(t(0)), Err(()), "unlocking an unowned mutex fails");
+    }
+
+    #[test]
+    fn mutex_handoff_respects_priority() {
+        let mut m = KernelMutex::new();
+        let _ = m.lock(t(0), p(1));
+        let _ = m.lock(t(1), p(3));
+        let _ = m.lock(t(2), p(7));
+        let _ = m.lock(t(3), p(5));
+        assert_eq!(m.unlock(t(0)), Ok(Some(t(2))));
+        assert_eq!(m.waiters(), vec![t(3), t(1)]);
+    }
+
+    #[test]
+    fn force_release_hands_off() {
+        let mut m = KernelMutex::new();
+        let _ = m.lock(t(0), p(1));
+        let _ = m.lock(t(1), p(2));
+        assert_eq!(m.force_release(t(0)), Some(t(1)));
+        assert_eq!(m.owner(), Some(t(1)));
+        assert_eq!(m.force_release(t(0)), None, "non-owner force release is a no-op");
+    }
+
+    #[test]
+    fn force_release_without_waiters_clears_owner() {
+        let mut m = KernelMutex::new();
+        let _ = m.lock(t(0), p(1));
+        assert_eq!(m.force_release(t(0)), None);
+        assert_eq!(m.owner(), None);
+    }
+}

@@ -1,0 +1,428 @@
+//! Canonical task workloads compiled to the work-model ISA.
+//!
+//! The paper's first case study keeps 16 tasks alive, each quick-sorting
+//! 128 two-byte integers with a 512-byte stack. [`quicksort`] lowers a
+//! real quick-sort execution (on a seeded pseudo-random permutation) into
+//! work-model instructions whose heap, stack and compute footprints match
+//! the real algorithm: one buffer allocation of `n * elem_bytes`, one
+//! `StackProbe` per recursive call reflecting true recursion depth, and
+//! `Compute` cycles proportional to the partition work.
+
+use crate::program::{Op, Program, ProgramBuilder};
+
+/// Stack bytes consumed by the kernel entry frame of a task.
+const STACK_BASE_BYTES: u32 = 48;
+/// Stack bytes per quick-sort recursion frame (return address, two
+/// pointers, pivot, saved registers on a C55x-like ABI).
+const FRAME_BYTES: u32 = 24;
+
+/// A tiny deterministic xorshift64* PRNG so this crate stays
+/// dependency-free. Quality is irrelevant here; determinism is not.
+#[derive(Debug, Clone)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: seed.max(1),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Parameters for the quick-sort workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuicksortSpec {
+    /// Number of elements to sort.
+    pub elements: usize,
+    /// Size of each element in bytes.
+    pub elem_bytes: u32,
+    /// Seed for the input permutation.
+    pub seed: u64,
+    /// `true` = feed the sort already-sorted input, producing worst-case
+    /// recursion depth (useful for stack-overflow experiments).
+    pub worst_case: bool,
+}
+
+impl QuicksortSpec {
+    /// The paper's case-study-1 parameters: 128 elements of 2 bytes.
+    #[must_use]
+    pub fn paper(seed: u64) -> QuicksortSpec {
+        QuicksortSpec {
+            elements: 128,
+            elem_bytes: 2,
+            seed,
+            worst_case: false,
+        }
+    }
+}
+
+/// Statistics about a generated quick-sort program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuicksortProfile {
+    /// Number of partition calls (recursion events).
+    pub partitions: usize,
+    /// Maximum recursion depth reached.
+    pub max_depth: usize,
+    /// Peak modelled stack usage in bytes.
+    pub peak_stack_bytes: u32,
+    /// Total modelled compute cycles.
+    pub compute_cycles: u64,
+}
+
+fn lomuto_events(data: &mut [u32], depth: usize, events: &mut Vec<(usize, usize)>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    events.push((depth, n));
+    let pivot = data[n - 1];
+    let mut i = 0;
+    for j in 0..n - 1 {
+        if data[j] <= pivot {
+            data.swap(i, j);
+            i += 1;
+        }
+    }
+    data.swap(i, n - 1);
+    let (left, rest) = data.split_at_mut(i);
+    lomuto_events(left, depth + 1, events);
+    lomuto_events(&mut rest[1..], depth + 1, events);
+}
+
+/// Builds the quick-sort workload program and its profile.
+///
+/// The returned program allocates the element buffer, performs the
+/// partition sequence of a real quick-sort run on the seeded input (as
+/// `StackProbe` + `Compute` pairs), frees the buffer and exits.
+///
+/// # Panics
+///
+/// Panics if `spec.elements` is zero or so large the program would exceed
+/// the work-model program size limit.
+#[must_use]
+pub fn quicksort(spec: QuicksortSpec) -> (Program, QuicksortProfile) {
+    assert!(spec.elements > 0, "cannot sort zero elements");
+    let mut data: Vec<u32> = (0..spec.elements as u32).collect();
+    if !spec.worst_case {
+        let mut rng = XorShift64::new(spec.seed);
+        for i in (1..data.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            data.swap(i, j);
+        }
+    }
+    let mut events = Vec::new();
+    lomuto_events(&mut data, 1, &mut events);
+    debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "sort is correct");
+
+    let mut b = ProgramBuilder::new();
+    let buf_bytes = (spec.elements as u32) * spec.elem_bytes;
+    b.push(Op::Alloc { bytes: buf_bytes, reg: 0 });
+    let mut max_depth = 0usize;
+    let mut compute_cycles = 0u64;
+    for &(depth, len) in &events {
+        max_depth = max_depth.max(depth);
+        let stack = STACK_BASE_BYTES + FRAME_BYTES * depth as u32;
+        // Partition work: one comparison per element plus ~len/2 swaps.
+        let cost = (len + len / 2) as u32;
+        compute_cycles += u64::from(cost);
+        b.push(Op::StackProbe(stack));
+        b.push(Op::Compute(cost));
+    }
+    b.push(Op::Free { reg: 0 });
+    b.push(Op::Exit);
+    let program = b.build().expect("generated quicksort program is valid");
+    let profile = QuicksortProfile {
+        partitions: events.len(),
+        max_depth,
+        peak_stack_bytes: STACK_BASE_BYTES + FRAME_BYTES * max_depth as u32,
+        compute_cycles,
+    };
+    (program, profile)
+}
+
+/// A pure compute loop: busy for `cycles`, then exit.
+#[must_use]
+pub fn compute_loop(cycles: u32) -> Program {
+    Program::new(vec![Op::Compute(cycles.max(1)), Op::Exit])
+        .expect("compute loop program is valid")
+}
+
+/// A bounded producer/consumer pair over two counting semaphores (the
+/// classic rendezvous): the producer performs `items` productions, each
+/// gated on `slots`; the consumer drains them, gated on `filled`. Useful
+/// as a well-synchronized control workload — unlike the dining
+/// philosophers it can never deadlock, whatever the interleaving.
+///
+/// Returns `(producer, consumer)` programs.
+///
+/// # Panics
+///
+/// Panics if `items` is zero.
+#[must_use]
+pub fn producer_consumer(
+    items: u16,
+    slots: crate::ids::SemId,
+    filled: crate::ids::SemId,
+    work: u32,
+) -> (Program, Program) {
+    assert!(items > 0, "need at least one item");
+    let producer = {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::AddReg { reg: 1, delta: i64::from(items) });
+        b.bind("loop");
+        b.push(Op::SemWait(slots));
+        b.push(Op::Compute(work.max(1))); // produce
+        b.push(Op::SemPost(filled));
+        b.push(Op::AddReg { reg: 1, delta: -1 });
+        b.branch_if_reg_eq(1, 0, "done");
+        b.jump_to("loop");
+        b.bind("done");
+        b.push(Op::Exit);
+        b.build().expect("producer program is valid")
+    };
+    let consumer = {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::AddReg { reg: 1, delta: i64::from(items) });
+        b.bind("loop");
+        b.push(Op::SemWait(filled));
+        b.push(Op::Compute(work.max(1))); // consume
+        b.push(Op::SemPost(slots));
+        b.push(Op::AddReg { reg: 1, delta: -1 });
+        b.branch_if_reg_eq(1, 0, "done");
+        b.jump_to("loop");
+        b.bind("done");
+        b.push(Op::Exit);
+        b.build().expect("consumer program is valid")
+    };
+    (producer, consumer)
+}
+
+/// Allocate/free churn: `rounds` iterations of allocating and freeing a
+/// `bytes`-sized block with `work` compute cycles in between.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero.
+#[must_use]
+pub fn alloc_churn(rounds: u16, bytes: u32, work: u32) -> Program {
+    assert!(rounds > 0, "alloc churn needs at least one round");
+    let mut b = ProgramBuilder::new();
+    b.push(Op::AddReg { reg: 1, delta: i64::from(rounds) });
+    b.bind("loop");
+    b.push(Op::Alloc { bytes, reg: 0 });
+    b.push(Op::Compute(work.max(1)));
+    b.push(Op::Free { reg: 0 });
+    b.push(Op::AddReg { reg: 1, delta: -1 });
+    b.branch_if_reg_eq(1, 0, "done");
+    b.jump_to("loop");
+    b.bind("done");
+    b.push(Op::Exit);
+    b.build().expect("alloc churn program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Priority;
+    use crate::kernel::{Kernel, KernelConfig, SvcReply, SvcRequest, TickOutcome};
+    use crate::task::{ExitKind, TaskState};
+    use ptest_soc::Cycles;
+
+    #[test]
+    fn quicksort_profile_is_plausible() {
+        let (prog, profile) = quicksort(QuicksortSpec::paper(42));
+        // 128 random elements: depth well below worst case, partitions < 2n.
+        assert!(profile.partitions >= 64 && profile.partitions < 256);
+        assert!(profile.max_depth >= 7, "at least log2(128) deep");
+        assert!(profile.max_depth < 40, "random input stays shallow");
+        assert!(profile.peak_stack_bytes <= 512, "fits the paper's 512 B stacks");
+        assert!(profile.compute_cycles > 128);
+        assert!(prog.len() > 10);
+    }
+
+    #[test]
+    fn quicksort_is_deterministic_per_seed() {
+        let (a, pa) = quicksort(QuicksortSpec::paper(7));
+        let (b, pb) = quicksort(QuicksortSpec::paper(7));
+        let (c, pc) = quicksort(QuicksortSpec::paper(8));
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+        assert!(a != c || pa != pc, "different seeds should differ");
+    }
+
+    #[test]
+    fn worst_case_depth_exceeds_paper_stack() {
+        let (_, profile) = quicksort(QuicksortSpec {
+            elements: 128,
+            elem_bytes: 2,
+            seed: 0,
+            worst_case: true,
+        });
+        assert_eq!(profile.max_depth, 127, "sorted input degenerates");
+        assert!(profile.peak_stack_bytes > 512);
+    }
+
+    #[test]
+    fn quicksort_runs_to_completion_on_kernel() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let (prog, profile) = quicksort(QuicksortSpec::paper(1));
+        let pid = k.register_program(prog);
+        let SvcReply::Created(t) = k
+            .dispatch(
+                SvcRequest::Create {
+                    program: pid,
+                    priority: Priority::new(5),
+                    stack_bytes: None,
+                },
+                Cycles::ZERO,
+            )
+            .unwrap()
+        else {
+            panic!("create failed")
+        };
+        let mut i = 0u64;
+        loop {
+            i += 1;
+            match k.tick(Cycles::new(i)) {
+                TickOutcome::Idle => break,
+                TickOutcome::Ran(_) => assert!(i < 1_000_000, "runaway"),
+                TickOutcome::Panicked => panic!("kernel panicked"),
+            }
+        }
+        assert_eq!(k.task_state(t), Some(TaskState::Terminated(ExitKind::Normal)));
+        assert!(
+            i > profile.compute_cycles,
+            "must have consumed at least the compute cycles"
+        );
+        // The sort buffer was freed explicitly; only the dead task's TCB and
+        // stack remain, as garbage awaiting the next GC pass.
+        assert!(k.heap_stats().used <= 64 + 512);
+    }
+
+    #[test]
+    fn worst_case_quicksort_overflows_paper_stack() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let (prog, _) = quicksort(QuicksortSpec {
+            elements: 128,
+            elem_bytes: 2,
+            seed: 0,
+            worst_case: true,
+        });
+        let pid = k.register_program(prog);
+        let SvcReply::Created(t) = k
+            .dispatch(
+                SvcRequest::Create {
+                    program: pid,
+                    priority: Priority::new(5),
+                    stack_bytes: Some(512),
+                },
+                Cycles::ZERO,
+            )
+            .unwrap()
+        else {
+            panic!("create failed")
+        };
+        for i in 1..200_000u64 {
+            if k.tick(Cycles::new(i)) == TickOutcome::Idle {
+                break;
+            }
+        }
+        assert!(
+            matches!(
+                k.task_state(t),
+                Some(TaskState::Terminated(ExitKind::Faulted(_)))
+            ),
+            "worst-case recursion must blow the 512 B stack: {:?}",
+            k.task_state(t)
+        );
+    }
+
+    #[test]
+    fn compute_loop_exits() {
+        let p = compute_loop(10);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn producer_consumer_completes_for_any_priority_order() {
+        // Whoever runs first, the semaphore rendezvous always completes —
+        // the deadlock-free control workload.
+        for (pp, cp) in [(5u8, 9u8), (9, 5)] {
+            let mut k = Kernel::new(KernelConfig::default());
+            let slots = k.create_semaphore(4);
+            let filled = k.create_semaphore(0);
+            let (prod, cons) = producer_consumer(10, slots, filled, 3);
+            let prod = k.register_program(prod);
+            let cons = k.register_program(cons);
+            let mk = |k: &mut Kernel, prog, prio| {
+                let SvcReply::Created(t) = k
+                    .dispatch(
+                        SvcRequest::Create {
+                            program: prog,
+                            priority: Priority::new(prio),
+                            stack_bytes: None,
+                        },
+                        Cycles::ZERO,
+                    )
+                    .unwrap()
+                else {
+                    panic!("create failed")
+                };
+                t
+            };
+            let p = mk(&mut k, prod, pp);
+            let c = mk(&mut k, cons, cp);
+            for i in 1..100_000u64 {
+                if k.tick(Cycles::new(i)) == TickOutcome::Idle {
+                    break;
+                }
+            }
+            assert!(
+                matches!(k.task_state(p), Some(TaskState::Terminated(ExitKind::Normal))),
+                "producer (prio {pp}) must finish"
+            );
+            assert!(
+                matches!(k.task_state(c), Some(TaskState::Terminated(ExitKind::Normal))),
+                "consumer (prio {cp}) must finish"
+            );
+        }
+    }
+
+    #[test]
+    fn alloc_churn_balances_heap() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.register_program(alloc_churn(5, 256, 2));
+        k.dispatch(
+            SvcRequest::Create {
+                program: pid,
+                priority: Priority::new(3),
+                stack_bytes: None,
+            },
+            Cycles::ZERO,
+        )
+        .unwrap();
+        for i in 1..10_000u64 {
+            if k.tick(Cycles::new(i)) == TickOutcome::Idle {
+                break;
+            }
+        }
+        let stats = k.heap_stats();
+        // All task blocks freed or garbage (TCB+stack awaiting GC).
+        assert!(stats.used <= 64 + 512);
+    }
+}

@@ -1,0 +1,134 @@
+//! # ptest — adaptive stress testing of concurrent software on simulated
+//! # embedded multicore processors
+//!
+//! This is the facade crate of the pTest reproduction (Chang, Hsieh, Lee,
+//! *pTest: An Adaptive Testing Tool for Concurrent Software on Embedded
+//! Multicore Processors*, DATE 2009). It re-exports the whole stack:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | tool | [`core`](mod@crate::core) | pattern generator (PFA), pattern merger, committer, bug detector, Algorithm 1 |
+//! | automata | [`automata`] | regex → NFA → DFA → PFA pipeline, distribution learning |
+//! | baselines | [`baselines`] | ConTest-style random and CHESS-style systematic testers |
+//! | faults | [`faults`] | Figure 1, dining philosophers, GC-churn stress, starvation/inversion/races |
+//! | master | [`master`] | master runtime, the wired [`DualCoreSystem`] |
+//! | bridge | [`bridge`] | pCore-Bridge middleware (SRAM rings + mailbox doorbells) |
+//! | slave | [`pcore`] | the pCore microkernel simulator |
+//! | hardware | [`soc`] | the OMAP5912-like simulated SoC |
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ptest::{AdaptiveTest, AdaptiveTestConfig};
+//! use ptest::pcore::{Op, Program};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = AdaptiveTest::run(AdaptiveTestConfig::default(), |sys| {
+//!     vec![sys.kernel_mut().register_program(
+//!         Program::new(vec![Op::Compute(20), Op::Exit]).expect("valid program"),
+//!     )]
+//! })?;
+//! println!("{}", report.summary());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Reproducing the paper's case studies
+//!
+//! ```no_run
+//! use ptest::{AdaptiveTest, BugKind};
+//! use ptest::faults::stress::{stress_config, stress_setup, StressSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Case study 1: 16 quick-sorting tasks over a heap with a leaky GC.
+//! let spec = StressSpec::paper(1);
+//! let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec))?;
+//! assert!(report.found(|k| matches!(k, BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. })));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ptest_automata as automata;
+pub use ptest_baselines as baselines;
+pub use ptest_bridge as bridge;
+pub use ptest_core as core;
+pub use ptest_faults as faults;
+pub use ptest_master as master;
+pub use ptest_pcore as pcore;
+pub use ptest_soc as soc;
+
+pub use ptest_automata::{
+    Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym,
+};
+pub use ptest_core::{
+    AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector, BugKind, Committer, CommitterConfig,
+    CommitterStatus, CoverageReport, DetectorConfig, MergeOp, MergedPattern, PatternGenerator,
+    PatternMerger, StateRecord, TestPattern, TestReport,
+};
+pub use ptest_master::{DualCoreSystem, MasterOp, SystemConfig};
+pub use ptest_pcore::{
+    GcFaultMode, Kernel, KernelConfig, Priority, Program, ProgramBuilder, ProgramId, Service,
+    SvcReply, SvcRequest, TaskId, TaskState,
+};
+pub use ptest_soc::Cycles;
+
+/// Serializes a report's stable summary as pretty JSON — the format the
+/// experiment harness archives and CI dashboards consume.
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (practically unreachable for this
+/// data).
+pub fn report_to_json(report: &TestReport) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(&report.machine_summary())
+}
+
+/// Parses a summary back from JSON.
+///
+/// # Errors
+///
+/// `serde_json` errors on malformed input.
+pub fn summary_from_json(json: &str) -> Result<core::ReportSummary, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use ptest_pcore::{Op, Program};
+
+    #[test]
+    fn facade_reexports_compile_together() {
+        // Types from different layers interoperate through the facade.
+        let cfg = crate::AdaptiveTestConfig::default();
+        assert_eq!(cfg.n, 4);
+        let re = crate::Regex::pcore_task_lifecycle();
+        assert_eq!(re.alphabet().len(), 6);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let report = crate::AdaptiveTest::run(
+            crate::AdaptiveTestConfig {
+                n: 2,
+                s: 4,
+                seed: 1,
+                ..crate::AdaptiveTestConfig::default()
+            },
+            |sys| {
+                vec![sys
+                    .kernel_mut()
+                    .register_program(Program::new(vec![Op::Compute(10), Op::Exit]).unwrap())]
+            },
+        )
+        .unwrap();
+        let json = crate::report_to_json(&report).unwrap();
+        assert!(json.contains("\"commands_issued\""));
+        let parsed = crate::summary_from_json(&json).unwrap();
+        assert_eq!(parsed, report.machine_summary());
+    }
+}

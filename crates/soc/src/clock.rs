@@ -1,0 +1,179 @@
+//! Virtual time for the discrete-event simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, measured in simulated core cycles.
+///
+/// Both cores of the OMAP5912 run at 192 MHz, so one global cycle count is
+/// shared by the whole SoC. `Cycles` is a transparent ordering-aware newtype
+/// so that cycle counts cannot be accidentally mixed with other `u64`
+/// quantities such as byte offsets or task identifiers.
+///
+/// ```
+/// use ptest_soc::Cycles;
+/// let a = Cycles::new(100);
+/// let b = a + Cycles::new(20);
+/// assert_eq!(b.get(), 120);
+/// assert!(b > a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero point of virtual time.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[must_use]
+    pub fn new(raw: u64) -> Cycles {
+        Cycles(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: the span from `earlier` to `self`, or zero
+    /// if `earlier` is in the future.
+    #[must_use]
+    pub fn since(self, earlier: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_add(rhs.0).map(Cycles)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`; use [`Cycles::since`] for a
+    /// saturating difference.
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(raw: u64) -> Cycles {
+        Cycles(raw)
+    }
+}
+
+/// The monotonically advancing virtual clock of the simulated SoC.
+///
+/// The simulation loop is the only writer; every component reads the same
+/// clock, which is what makes watchdog timeouts and trace timestamps
+/// deterministic across runs.
+///
+/// ```
+/// use ptest_soc::{Cycles, VirtualClock};
+/// let mut clock = VirtualClock::new();
+/// clock.advance(Cycles::new(10));
+/// assert_eq!(clock.now(), Cycles::new(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Cycles,
+}
+
+impl VirtualClock {
+    /// A fresh clock at time zero.
+    #[must_use]
+    pub fn new() -> VirtualClock {
+        VirtualClock { now: Cycles::ZERO }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock by `delta` cycles.
+    pub fn advance(&mut self, delta: Cycles) {
+        self.now += delta;
+    }
+
+    /// Advances the clock by exactly one cycle; convenience for tick loops.
+    pub fn tick(&mut self) {
+        self.now += Cycles::new(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(5);
+        let b = Cycles::new(7);
+        assert_eq!((a + b).get(), 12);
+        assert_eq!((b - a).get(), 2);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Cycles::new(3).since(Cycles::new(10)), Cycles::ZERO);
+        assert_eq!(Cycles::new(10).since(Cycles::new(3)), Cycles::new(7));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Cycles::new(u64::MAX).checked_add(Cycles::new(1)), None);
+        assert_eq!(
+            Cycles::new(1).checked_add(Cycles::new(2)),
+            Some(Cycles::new(3))
+        );
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now(), Cycles::ZERO);
+        clock.tick();
+        clock.advance(Cycles::new(9));
+        assert_eq!(clock.now(), Cycles::new(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycles::new(42).to_string(), "42cy");
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let c: Cycles = 99u64.into();
+        assert_eq!(c.get(), 99);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error accessing the shared SRAM window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SramError {
+    /// The access touched bytes outside the SRAM window.
+    OutOfBounds {
+        /// First byte of the attempted access.
+        offset: usize,
+        /// Length of the attempted access in bytes.
+        len: usize,
+        /// Total size of the SRAM window.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "sram access of {len} bytes at offset {offset} exceeds capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for SramError {}
+
+/// Error posting to a hardware mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxError {
+    /// The target mailbox FIFO is full; the sender must retry later.
+    Full {
+        /// Index of the mailbox within the bank.
+        mailbox: usize,
+    },
+    /// The mailbox index does not exist in this bank.
+    NoSuchMailbox {
+        /// Index of the mailbox within the bank.
+        mailbox: usize,
+    },
+}
+
+impl fmt::Display for MailboxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MailboxError::Full { mailbox } => write!(f, "mailbox {mailbox} fifo is full"),
+            MailboxError::NoSuchMailbox { mailbox } => {
+                write!(f, "mailbox {mailbox} does not exist")
+            }
+        }
+    }
+}
+
+impl Error for MailboxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_error_displays_fields() {
+        let e = SramError::OutOfBounds {
+            offset: 10,
+            len: 4,
+            capacity: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('4') && s.contains("12"), "{s}");
+    }
+
+    #[test]
+    fn mailbox_error_displays() {
+        assert!(MailboxError::Full { mailbox: 2 }.to_string().contains('2'));
+        assert!(MailboxError::NoSuchMailbox { mailbox: 7 }
+            .to_string()
+            .contains('7'));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(SramError::OutOfBounds {
+            offset: 0,
+            len: 0,
+            capacity: 0,
+        });
+        takes_error(MailboxError::Full { mailbox: 0 });
+    }
+}

@@ -1,0 +1,123 @@
+//! # ptest-soc — a deterministic, discrete-event simulated dual-core SoC
+//!
+//! This crate models the hardware substrate that the pTest paper ran on: a
+//! TI OMAP5912-like system-on-chip with two 192-MHz cores (an ARM "master"
+//! and a DSP "slave"), four inter-processor **mailboxes**, and a block of
+//! **shared internal SRAM** used by the communication middleware.
+//!
+//! Nothing in this crate knows about kernels, threads, or test patterns; it
+//! only provides the hardware-shaped pieces the upper layers are built on:
+//!
+//! * [`Cycles`] and [`VirtualClock`] — virtual time, advanced by the
+//!   simulation loop rather than a wall clock, so every run is
+//!   deterministic and every detected bug replayable.
+//! * [`SharedSram`] — a bounds-checked byte-addressable memory window
+//!   (250 KB on the OMAP5912) shared by both cores.
+//! * [`MailboxBank`] — four one-word-deep (configurable) hardware FIFOs
+//!   with per-core interrupt lines, mirroring the OMAP mailbox peripheral.
+//! * [`EventQueue`] — a generic timer/event wheel for deadline-driven
+//!   components (watchdogs, timeouts, periodic pollers).
+//! * [`TraceBuffer`] — a bounded ring of timestamped hardware/software
+//!   events that the bug detector dumps when a failure is found.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptest_soc::{Cycles, MailboxBank, SharedSram, CoreId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sram = SharedSram::omap5912();
+//! sram.write_u32_le(0x100, 0xdead_beef)?;
+//! assert_eq!(sram.read_u32_le(0x100)?, 0xdead_beef);
+//!
+//! let mut mboxes = MailboxBank::omap5912();
+//! mboxes.post(MailboxBank::ARM_TO_DSP_CMD, 42)?;
+//! assert!(mboxes.irq_pending(CoreId::Dsp));
+//! assert_eq!(mboxes.take(MailboxBank::ARM_TO_DSP_CMD), Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod error;
+mod mailbox;
+mod queue;
+mod sram;
+mod trace;
+
+pub use clock::{Cycles, VirtualClock};
+pub use error::{MailboxError, SramError};
+pub use mailbox::{Mailbox, MailboxBank};
+pub use queue::{EventId, EventQueue};
+pub use sram::SharedSram;
+pub use trace::{TraceBuffer, TraceEvent};
+
+/// Identifies one of the two processing cores of the simulated SoC.
+///
+/// The pTest paper's master–slave model maps the *master* onto the ARM core
+/// (running Linux) and the *slave* onto the DSP core (running pCore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoreId {
+    /// The ARM926EJ-S master core.
+    Arm,
+    /// The TI C55x DSP slave core.
+    Dsp,
+}
+
+impl CoreId {
+    /// The opposite core: the DSP for the ARM and vice versa.
+    ///
+    /// ```
+    /// use ptest_soc::CoreId;
+    /// assert_eq!(CoreId::Arm.peer(), CoreId::Dsp);
+    /// assert_eq!(CoreId::Dsp.peer(), CoreId::Arm);
+    /// ```
+    #[must_use]
+    pub fn peer(self) -> CoreId {
+        match self {
+            CoreId::Arm => CoreId::Dsp,
+            CoreId::Dsp => CoreId::Arm,
+        }
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreId::Arm => write!(f, "ARM"),
+            CoreId::Dsp => write!(f, "DSP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_peer_is_involutive() {
+        assert_eq!(CoreId::Arm.peer().peer(), CoreId::Arm);
+        assert_eq!(CoreId::Dsp.peer().peer(), CoreId::Dsp);
+    }
+
+    #[test]
+    fn core_id_display() {
+        assert_eq!(CoreId::Arm.to_string(), "ARM");
+        assert_eq!(CoreId::Dsp.to_string(), "DSP");
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cycles>();
+        assert_send_sync::<VirtualClock>();
+        assert_send_sync::<SharedSram>();
+        assert_send_sync::<MailboxBank>();
+        assert_send_sync::<TraceBuffer>();
+        assert_send_sync::<EventQueue<u32>>();
+        assert_send_sync::<CoreId>();
+    }
+}

@@ -1,0 +1,290 @@
+//! The inter-processor mailbox peripheral.
+
+use std::collections::VecDeque;
+
+use crate::error::MailboxError;
+use crate::CoreId;
+
+/// A single hardware mailbox: a small FIFO of 32-bit words flowing in one
+/// direction between the two cores, raising an interrupt at the receiver
+/// whenever it is non-empty.
+#[derive(Debug, Clone)]
+pub struct Mailbox {
+    fifo: VecDeque<u32>,
+    capacity: usize,
+    receiver: CoreId,
+}
+
+impl Mailbox {
+    /// Creates a mailbox delivering to `receiver` with the given FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-deep mailbox cannot transfer
+    /// anything and always indicates a configuration bug.
+    #[must_use]
+    pub fn new(receiver: CoreId, capacity: usize) -> Mailbox {
+        assert!(capacity > 0, "mailbox capacity must be at least 1");
+        Mailbox {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            receiver,
+        }
+    }
+
+    /// The core that receives (and is interrupted by) this mailbox.
+    #[must_use]
+    pub fn receiver(&self) -> CoreId {
+        self.receiver
+    }
+
+    /// Number of words currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the FIFO is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Whether the FIFO is full (a post would fail).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.fifo.len() == self.capacity
+    }
+
+    /// Posts one word into the FIFO.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::Full`] if the FIFO has no room; real firmware retries
+    /// after the receiver drains a word.
+    pub fn post(&mut self, word: u32) -> Result<(), MailboxError> {
+        if self.is_full() {
+            return Err(MailboxError::Full { mailbox: usize::MAX });
+        }
+        self.fifo.push_back(word);
+        Ok(())
+    }
+
+    /// Pops the oldest word, or `None` if the FIFO is empty.
+    pub fn take(&mut self) -> Option<u32> {
+        self.fifo.pop_front()
+    }
+
+    /// Peeks at the oldest word without consuming it.
+    #[must_use]
+    pub fn peek(&self) -> Option<u32> {
+        self.fifo.front().copied()
+    }
+}
+
+/// The bank of four mailboxes of the OMAP5912, two per direction.
+///
+/// Index assignment mirrors the conventional pCore-Bridge usage:
+///
+/// | index | constant | direction | purpose |
+/// |---|---|---|---|
+/// | 0 | [`MailboxBank::ARM_TO_DSP_CMD`]   | ARM → DSP | command doorbells |
+/// | 1 | [`MailboxBank::ARM_TO_DSP_DATA`]  | ARM → DSP | auxiliary data |
+/// | 2 | [`MailboxBank::DSP_TO_ARM_RESP`]  | DSP → ARM | command responses |
+/// | 3 | [`MailboxBank::DSP_TO_ARM_EVENT`] | DSP → ARM | asynchronous events |
+#[derive(Debug, Clone)]
+pub struct MailboxBank {
+    boxes: Vec<Mailbox>,
+}
+
+impl MailboxBank {
+    /// Mailbox 0: master→slave command doorbell.
+    pub const ARM_TO_DSP_CMD: usize = 0;
+    /// Mailbox 1: master→slave auxiliary data word.
+    pub const ARM_TO_DSP_DATA: usize = 1;
+    /// Mailbox 2: slave→master command response doorbell.
+    pub const DSP_TO_ARM_RESP: usize = 2;
+    /// Mailbox 3: slave→master asynchronous event doorbell.
+    pub const DSP_TO_ARM_EVENT: usize = 3;
+
+    /// The OMAP5912 bank: four mailboxes with a FIFO depth of 4 words.
+    #[must_use]
+    pub fn omap5912() -> MailboxBank {
+        MailboxBank::with_depth(4)
+    }
+
+    /// A four-mailbox bank with the given per-mailbox FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (see [`Mailbox::new`]).
+    #[must_use]
+    pub fn with_depth(depth: usize) -> MailboxBank {
+        MailboxBank {
+            boxes: vec![
+                Mailbox::new(CoreId::Dsp, depth),
+                Mailbox::new(CoreId::Dsp, depth),
+                Mailbox::new(CoreId::Arm, depth),
+                Mailbox::new(CoreId::Arm, depth),
+            ],
+        }
+    }
+
+    /// Number of mailboxes in the bank (always 4 for the OMAP model).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the bank has no mailboxes (never true for constructed banks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    fn get(&self, mailbox: usize) -> Result<&Mailbox, MailboxError> {
+        self.boxes
+            .get(mailbox)
+            .ok_or(MailboxError::NoSuchMailbox { mailbox })
+    }
+
+    /// Posts a word to mailbox `mailbox`.
+    ///
+    /// # Errors
+    ///
+    /// [`MailboxError::NoSuchMailbox`] for an invalid index, or
+    /// [`MailboxError::Full`] if the FIFO has no room.
+    pub fn post(&mut self, mailbox: usize, word: u32) -> Result<(), MailboxError> {
+        let slot = self
+            .boxes
+            .get_mut(mailbox)
+            .ok_or(MailboxError::NoSuchMailbox { mailbox })?;
+        slot.post(word).map_err(|_| MailboxError::Full { mailbox })
+    }
+
+    /// Pops the oldest word of mailbox `mailbox`, or `None` if it is empty
+    /// or the index is invalid.
+    pub fn take(&mut self, mailbox: usize) -> Option<u32> {
+        self.boxes.get_mut(mailbox)?.take()
+    }
+
+    /// Peeks at the oldest word of mailbox `mailbox` without consuming it.
+    #[must_use]
+    pub fn peek(&self, mailbox: usize) -> Option<u32> {
+        self.get(mailbox).ok()?.peek()
+    }
+
+    /// Number of queued words in mailbox `mailbox` (0 for invalid indices).
+    #[must_use]
+    pub fn pending(&self, mailbox: usize) -> usize {
+        self.get(mailbox).map_or(0, Mailbox::len)
+    }
+
+    /// Whether any mailbox delivering to `core` holds at least one word —
+    /// i.e. whether the mailbox interrupt line of `core` is asserted.
+    #[must_use]
+    pub fn irq_pending(&self, core: CoreId) -> bool {
+        self.boxes
+            .iter()
+            .any(|m| m.receiver() == core && !m.is_empty())
+    }
+
+    /// Indices of the mailboxes delivering to `core`.
+    #[must_use]
+    pub fn inbound_for(&self, core: CoreId) -> Vec<usize> {
+        self.boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.receiver() == core)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl Default for MailboxBank {
+    fn default() -> MailboxBank {
+        MailboxBank::omap5912()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut m = Mailbox::new(CoreId::Dsp, 4);
+        m.post(1).unwrap();
+        m.post(2).unwrap();
+        m.post(3).unwrap();
+        assert_eq!(m.take(), Some(1));
+        assert_eq!(m.take(), Some(2));
+        assert_eq!(m.take(), Some(3));
+        assert_eq!(m.take(), None);
+    }
+
+    #[test]
+    fn full_mailbox_rejects_posts() {
+        let mut m = Mailbox::new(CoreId::Arm, 2);
+        m.post(1).unwrap();
+        m.post(2).unwrap();
+        assert!(m.is_full());
+        assert!(m.post(3).is_err());
+        assert_eq!(m.take(), Some(1));
+        m.post(3).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Mailbox::new(CoreId::Arm, 0);
+    }
+
+    #[test]
+    fn bank_directions_match_omap_convention() {
+        let bank = MailboxBank::omap5912();
+        assert_eq!(bank.len(), 4);
+        assert_eq!(bank.inbound_for(CoreId::Dsp), vec![0, 1]);
+        assert_eq!(bank.inbound_for(CoreId::Arm), vec![2, 3]);
+    }
+
+    #[test]
+    fn irq_tracks_pending_words() {
+        let mut bank = MailboxBank::omap5912();
+        assert!(!bank.irq_pending(CoreId::Dsp));
+        assert!(!bank.irq_pending(CoreId::Arm));
+        bank.post(MailboxBank::ARM_TO_DSP_CMD, 5).unwrap();
+        assert!(bank.irq_pending(CoreId::Dsp));
+        assert!(!bank.irq_pending(CoreId::Arm));
+        assert_eq!(bank.take(MailboxBank::ARM_TO_DSP_CMD), Some(5));
+        assert!(!bank.irq_pending(CoreId::Dsp));
+    }
+
+    #[test]
+    fn invalid_index_errors() {
+        let mut bank = MailboxBank::omap5912();
+        assert!(matches!(
+            bank.post(9, 0),
+            Err(MailboxError::NoSuchMailbox { mailbox: 9 })
+        ));
+        assert_eq!(bank.take(9), None);
+        assert_eq!(bank.pending(9), 0);
+        assert_eq!(bank.peek(9), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut bank = MailboxBank::omap5912();
+        bank.post(2, 77).unwrap();
+        assert_eq!(bank.peek(2), Some(77));
+        assert_eq!(bank.pending(2), 1);
+        assert_eq!(bank.take(2), Some(77));
+    }
+
+    #[test]
+    fn full_bank_error_reports_index() {
+        let mut bank = MailboxBank::with_depth(1);
+        bank.post(3, 1).unwrap();
+        assert_eq!(bank.post(3, 2), Err(MailboxError::Full { mailbox: 3 }));
+    }
+}

@@ -1,0 +1,227 @@
+//! A deterministic discrete-event queue keyed by virtual time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::clock::Cycles;
+
+/// Opaque handle identifying a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A min-heap of `(deadline, payload)` pairs with stable FIFO ordering for
+/// events scheduled at the same virtual time, plus O(1) cancellation via
+/// tombstones.
+///
+/// Used by the upper layers for watchdog deadlines, command timeouts and
+/// periodic pollers. Determinism matters: two events at the same deadline
+/// always pop in the order they were pushed.
+///
+/// ```
+/// use ptest_soc::{Cycles, EventQueue};
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles::new(10), "b");
+/// q.schedule(Cycles::new(5), "a");
+/// assert_eq!(q.pop_due(Cycles::new(7)), vec![(Cycles::new(5), "a")]);
+/// assert_eq!(q.pop_due(Cycles::new(20)), vec![(Cycles::new(10), "b")]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: Cycles,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty event queue.
+    #[must_use]
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at virtual time `at`; returns a handle
+    /// usable with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: Cycles, payload: T) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.next_seq,
+            payload,
+        }));
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// The deadline of the earliest live event, if any.
+    #[must_use]
+    pub fn next_deadline(&mut self) -> Option<Cycles> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops and returns every event with deadline `<= now`, in deadline
+    /// order (FIFO among equal deadlines). Cancelled events are skipped.
+    pub fn pop_due(&mut self, now: Cycles) -> Vec<(Cycles, T)> {
+        let mut due = Vec::new();
+        loop {
+            self.drop_cancelled_head();
+            match self.heap.peek() {
+                Some(Reverse(e)) if e.at <= now => {
+                    let Reverse(e) = self.heap.pop().expect("peeked entry exists");
+                    due.push((e.at, e.payload));
+                }
+                _ => break,
+            }
+        }
+        due
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&EventId(e.seq)))
+            .count()
+    }
+
+    /// Whether no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            let id = EventId(e.seq);
+            if self.cancelled.contains(&id) {
+                self.heap.pop();
+                self.cancelled.remove(&id);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> EventQueue<T> {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(30), 3);
+        q.schedule(Cycles::new(10), 1);
+        q.schedule(Cycles::new(20), 2);
+        let fired: Vec<i32> = q.pop_due(Cycles::new(100)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_deadlines_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(5), "first");
+        q.schedule(Cycles::new(5), "second");
+        q.schedule(Cycles::new(5), "third");
+        let fired: Vec<&str> = q.pop_due(Cycles::new(5)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn only_due_events_fire() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(10), "early");
+        q.schedule(Cycles::new(20), "late");
+        assert_eq!(q.pop_due(Cycles::new(15)).len(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_deadline(), Some(Cycles::new(20)));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(10), "a");
+        q.schedule(Cycles::new(10), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let fired: Vec<&str> = q.pop_due(Cycles::new(10)).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(fired, vec!["b"]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn len_ignores_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(1), ());
+        q.schedule(Cycles::new(2), ());
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(1), ());
+        q.schedule(Cycles::new(5), ());
+        q.cancel(a);
+        assert_eq!(q.next_deadline(), Some(Cycles::new(5)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_deadline(), None);
+        assert!(q.pop_due(Cycles::new(1000)).is_empty());
+    }
+}

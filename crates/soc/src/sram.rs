@@ -1,0 +1,215 @@
+//! The shared internal SRAM window visible to both cores.
+
+use crate::error::SramError;
+
+/// Byte-addressable shared memory, modelled after the 250 KB of internal
+/// SRAM that the OMAP5912's ARM and DSP cores exchange data through.
+///
+/// All accesses are bounds-checked and return [`SramError::OutOfBounds`] on
+/// violation — the simulated equivalent of a bus fault, which the upper
+/// layers surface as a crash of the offending core.
+///
+/// ```
+/// use ptest_soc::SharedSram;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sram = SharedSram::new(64);
+/// sram.write_bytes(0, &[1, 2, 3])?;
+/// assert_eq!(sram.read_u8(1)?, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedSram {
+    bytes: Vec<u8>,
+}
+
+impl SharedSram {
+    /// The shared internal SRAM size of the OMAP5912: 250 KB.
+    pub const OMAP5912_BYTES: usize = 250 * 1024;
+
+    /// Creates a zero-initialised SRAM window of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> SharedSram {
+        SharedSram {
+            bytes: vec![0; capacity],
+        }
+    }
+
+    /// Creates the OMAP5912-sized 250 KB window.
+    #[must_use]
+    pub fn omap5912() -> SharedSram {
+        SharedSram::new(Self::OMAP5912_BYTES)
+    }
+
+    /// Total size of the window in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<(), SramError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+            return Err(SramError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.bytes.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if `offset` is outside the window.
+    pub fn read_u8(&self, offset: usize) -> Result<u8, SramError> {
+        self.check(offset, 1)?;
+        Ok(self.bytes[offset])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if `offset` is outside the window.
+    pub fn write_u8(&mut self, offset: usize, value: u8) -> Result<(), SramError> {
+        self.check(offset, 1)?;
+        self.bytes[offset] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if any of the four bytes fall outside the
+    /// window.
+    pub fn read_u32_le(&self, offset: usize) -> Result<u32, SramError> {
+        self.check(offset, 4)?;
+        let b = &self.bytes[offset..offset + 4];
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if any of the four bytes fall outside the
+    /// window.
+    pub fn write_u32_le(&mut self, offset: usize, value: u32) -> Result<(), SramError> {
+        self.check(offset, 4)?;
+        self.bytes[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies `buf.len()` bytes out of the window starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if the range exceeds the window.
+    pub fn read_bytes(&self, offset: usize, buf: &mut [u8]) -> Result<(), SramError> {
+        self.check(offset, buf.len())?;
+        buf.copy_from_slice(&self.bytes[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    /// Copies `data` into the window starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if the range exceeds the window.
+    pub fn write_bytes(&mut self, offset: usize, data: &[u8]) -> Result<(), SramError> {
+        self.check(offset, data.len())?;
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Fills `len` bytes starting at `offset` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if the range exceeds the window.
+    pub fn fill(&mut self, offset: usize, len: usize, value: u8) -> Result<(), SramError> {
+        self.check(offset, len)?;
+        self.bytes[offset..offset + len].fill(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omap_size_matches_datasheet() {
+        assert_eq!(SharedSram::omap5912().capacity(), 250 * 1024);
+    }
+
+    #[test]
+    fn u8_roundtrip() {
+        let mut s = SharedSram::new(8);
+        s.write_u8(3, 0xab).unwrap();
+        assert_eq!(s.read_u8(3).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn u32_roundtrip_is_little_endian() {
+        let mut s = SharedSram::new(8);
+        s.write_u32_le(0, 0x0102_0304).unwrap();
+        assert_eq!(s.read_u8(0).unwrap(), 0x04);
+        assert_eq!(s.read_u8(3).unwrap(), 0x01);
+        assert_eq!(s.read_u32_le(0).unwrap(), 0x0102_0304);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut s = SharedSram::new(16);
+        s.write_bytes(4, &[9, 8, 7]).unwrap();
+        let mut out = [0u8; 3];
+        s.read_bytes(4, &mut out).unwrap();
+        assert_eq!(out, [9, 8, 7]);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_rejected() {
+        let s = SharedSram::new(4);
+        assert!(matches!(
+            s.read_u32_le(1),
+            Err(SramError::OutOfBounds { offset: 1, len: 4, capacity: 4 })
+        ));
+        assert!(s.read_u8(4).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_rejected() {
+        let mut s = SharedSram::new(4);
+        assert!(s.write_u32_le(2, 0).is_err());
+        assert!(s.write_bytes(0, &[0; 5]).is_err());
+    }
+
+    #[test]
+    fn overflowing_offset_is_rejected_not_panicking() {
+        let s = SharedSram::new(4);
+        assert!(s.read_u8(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn fill_works_and_checks_bounds() {
+        let mut s = SharedSram::new(8);
+        s.fill(2, 4, 0xff).unwrap();
+        assert_eq!(s.read_u8(1).unwrap(), 0);
+        assert_eq!(s.read_u8(2).unwrap(), 0xff);
+        assert_eq!(s.read_u8(5).unwrap(), 0xff);
+        assert_eq!(s.read_u8(6).unwrap(), 0);
+        assert!(s.fill(6, 4, 0).is_err());
+    }
+
+    #[test]
+    fn fresh_sram_is_zeroed() {
+        let s = SharedSram::new(32);
+        for i in 0..32 {
+            assert_eq!(s.read_u8(i).unwrap(), 0);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 1 (paper §II-A): the master's resume order decides whether two
+//! spin-waiting slave processes complete or yield to each other forever.
+//!
+//! ```sh
+//! cargo run --example fig1_livelock
+//! ```
+
+use ptest::faults::fig1::{run, Fig1Order, Fig1Outcome, Fig1Scenario};
+
+fn main() {
+    println!("== Figure 1: the execution-order fault ==\n");
+    println!("S1: a: x=1;  b: while(y==1)  c: yield();  d: x=0;  e: end");
+    println!("S2: f: y=1;  g: while(x==1)  h: yield();  i: y=0;  j: end\n");
+
+    for (label, order) in [
+        ("L -> K  (resume S2 first: the completing order)", Fig1Order::S2First),
+        ("K -> L  (resume S1 first: the fault order)", Fig1Order::S1First),
+    ] {
+        let outcome = run(Fig1Scenario {
+            order,
+            ..Fig1Scenario::default()
+        });
+        match outcome {
+            Fig1Outcome::Completed { cycles } => {
+                println!("{label}\n  -> completed after {cycles} cycles\n");
+            }
+            Fig1Outcome::Livelock { tasks } => {
+                println!(
+                    "{label}\n  -> LIVELOCK: tasks {tasks:?} yield to each other forever\n"
+                );
+            }
+        }
+    }
+
+    // The fault needs the second resume to land inside S1's window
+    // between `a` and `b`; spacing the resumes escapes it.
+    let escaped = run(Fig1Scenario {
+        order: Fig1Order::S1First,
+        resume_gap: 500,
+        ..Fig1Scenario::default()
+    });
+    println!(
+        "K -> (500-cycle pause) -> L: {}",
+        match escaped {
+            Fig1Outcome::Completed { cycles } => format!("completed after {cycles} cycles"),
+            Fig1Outcome::Livelock { .. } => "livelock".to_owned(),
+        }
+    );
+}

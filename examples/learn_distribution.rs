@@ -1,0 +1,76 @@
+//! Learning the probability distribution from profiled traces.
+//!
+//! The paper assumes "most users do not know the probability
+//! distributions" and suggests they "can be learned through system
+//! profiling". This example plays both roles: a "production system"
+//! generates service traces from a hidden distribution; pTest profiles
+//! them, learns an explicit per-state distribution, and uses the learned
+//! PFA for pattern generation.
+//!
+//! ```sh
+//! cargo run --example learn_distribution
+//! ```
+
+use ptest::automata::{learn_assignment, Dfa, GenerateOptions, Pfa, ProbabilityAssignment};
+use ptest::{PatternGenerator, Regex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let regex = Regex::pcore_task_lifecycle();
+    let dfa = Dfa::from_regex(&regex).minimize();
+
+    // The hidden "real system" behaviour: suspend/resume-heavy tasks.
+    let hidden = Pfa::from_dfa(
+        &dfa,
+        regex.alphabet().clone(),
+        &ProbabilityAssignment::weights([
+            ("TC", 1.0),
+            ("TCH", 0.25),
+            ("TS", 0.55),
+            ("TD", 0.15),
+            ("TY", 0.05),
+            ("TR", 1.0),
+        ]),
+    )?;
+
+    // Profile it: collect service traces as a profiler on the master
+    // core would.
+    let mut rng = StdRng::seed_from_u64(7);
+    let traces: Vec<Vec<_>> = (0..2_000)
+        .map(|_| hidden.generate(&mut rng, GenerateOptions::sized(64)))
+        .collect();
+    println!(
+        "profiled {} traces, {} services total",
+        traces.len(),
+        traces.iter().map(Vec::len).sum::<usize>()
+    );
+
+    // Learn the distribution (MLE with light smoothing) and rebuild.
+    let learned = learn_assignment(&dfa, regex.alphabet(), &traces, 0.5)?;
+    let generator = PatternGenerator::new(Regex::pcore_task_lifecycle(), &learned)?;
+
+    // Compare hidden vs learned branch probabilities at the running state.
+    let running = dfa
+        .next(dfa.start(), regex.alphabet().sym("TC").expect("TC interned"))
+        .expect("TC leaves the start state");
+    println!("\n{:<6} {:>8} {:>8}", "svc", "hidden", "learned");
+    for name in ["TCH", "TS", "TD", "TY"] {
+        let sym = regex.alphabet().sym(name).expect("service interned");
+        println!(
+            "{:<6} {:>8.3} {:>8.3}",
+            name,
+            hidden.probability(running, sym),
+            generator.pfa().probability(running, sym)
+        );
+    }
+
+    // Generate test patterns biased like the real system.
+    println!("\npatterns from the learned PFA:");
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..5 {
+        let p = generator.generate(&mut rng, GenerateOptions::sized(12));
+        println!("  T[{i}] = {}", p.render(regex.alphabet()));
+    }
+    Ok(())
+}
