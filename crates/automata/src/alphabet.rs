@@ -41,7 +41,10 @@ impl Alphabet {
         if let Some(&s) = self.index.get(name) {
             return s;
         }
-        assert!(self.names.len() < usize::from(u16::MAX), "alphabet overflow");
+        assert!(
+            self.names.len() < usize::from(u16::MAX),
+            "alphabet overflow"
+        );
         let s = Sym(self.names.len() as u16);
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), s);

@@ -153,11 +153,7 @@ impl Dfa {
     pub fn minimize(&self) -> Dfa {
         // Initial partition: accepting vs non-accepting.
         let n = self.transitions.len();
-        let mut class: Vec<usize> = self
-            .accepting
-            .iter()
-            .map(|&a| usize::from(a))
-            .collect();
+        let mut class: Vec<usize> = self.accepting.iter().map(|&a| usize::from(a)).collect();
         loop {
             // Signature = (class, sorted (sym, class-of-target) list).
             let mut sig_index: HashMap<(usize, Vec<(Sym, usize)>), usize> = HashMap::new();
@@ -226,7 +222,9 @@ mod tests {
         // start --TC--> running; running --TCH--> running, --TS--> waiting,
         // --TD/TY--> done; waiting --TR--> running. Four states.
         assert_eq!(dfa.len(), 4, "minimal pCore lifecycle DFA has 4 states");
-        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
         assert_eq!(
             dfa.next(running, re.alphabet().sym("TCH").unwrap()),
             Some(running),
@@ -238,7 +236,11 @@ mod tests {
             Some(running),
             "TR returns to running"
         );
-        assert_eq!(dfa.transitions_from(waiting).len(), 1, "only TR leaves waiting");
+        assert_eq!(
+            dfa.transitions_from(waiting).len(),
+            1,
+            "only TR leaves waiting"
+        );
         let done = dfa.next(running, re.alphabet().sym("TD").unwrap()).unwrap();
         assert!(dfa.is_accepting(done));
         assert!(dfa.transitions_from(done).is_empty(), "done is absorbing");
@@ -277,7 +279,12 @@ mod tests {
         let dfa = Dfa::from_regex(&re);
         let min = dfa.minimize();
         assert!(min.len() <= dfa.len());
-        for case in [vec!["a", "b"], vec!["a", "b", "c", "c"], vec!["a"], vec!["b"]] {
+        for case in [
+            vec!["a", "b"],
+            vec!["a", "b", "c", "c"],
+            vec!["a"],
+            vec!["b"],
+        ] {
             let seq = syms(&re, &case);
             assert_eq!(dfa.accepts(&seq), min.accepts(&seq), "{case:?}");
         }

@@ -54,8 +54,8 @@ mod regex;
 pub mod train;
 
 pub use alphabet::{Alphabet, Sym};
-pub use dot::{dfa_to_dot, pfa_to_dot};
 pub use dfa::{Dfa, DfaStateId};
+pub use dot::{dfa_to_dot, pfa_to_dot};
 pub use nfa::{Nfa, NfaStateId};
 pub use pfa::{GenerateOptions, Pfa, PfaError, ProbabilityAssignment};
 pub use regex::{Ast, ParseRegexError, Regex};

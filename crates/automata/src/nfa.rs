@@ -24,7 +24,9 @@ impl Nfa {
     /// Builds the Thompson NFA of a regular expression.
     #[must_use]
     pub fn from_regex(re: &Regex) -> Nfa {
-        let mut builder = Builder { transitions: Vec::new() };
+        let mut builder = Builder {
+            transitions: Vec::new(),
+        };
         let (start, accept) = builder.compile(re.ast());
         Nfa {
             transitions: builder.transitions,
@@ -176,7 +178,11 @@ mod tests {
     fn syms(re: &Regex, names: &[&str]) -> Vec<Sym> {
         names
             .iter()
-            .map(|n| re.alphabet().sym(n).unwrap_or_else(|| panic!("no symbol {n}")))
+            .map(|n| {
+                re.alphabet()
+                    .sym(n)
+                    .unwrap_or_else(|| panic!("no symbol {n}"))
+            })
             .collect()
     }
 

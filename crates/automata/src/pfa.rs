@@ -84,11 +84,21 @@ impl fmt::Display for PfaError {
             PfaError::NotNormalized { state, sum } => {
                 write!(f, "state {state} probabilities sum to {sum}, expected 1")
             }
-            PfaError::BadWeight { state, symbol, weight } => {
-                write!(f, "state {state} symbol {symbol} has invalid weight {weight}")
+            PfaError::BadWeight {
+                state,
+                symbol,
+                weight,
+            } => {
+                write!(
+                    f,
+                    "state {state} symbol {symbol} has invalid weight {weight}"
+                )
             }
             PfaError::MissingProbability { state, symbol } => {
-                write!(f, "state {state} symbol {symbol} has no probability assigned")
+                write!(
+                    f,
+                    "state {state} symbol {symbol} has no probability assigned"
+                )
             }
             PfaError::DeadNonFinal { state } => {
                 write!(f, "non-final state {state} has no outgoing transitions")
@@ -420,8 +430,7 @@ mod tests {
     fn fig3() -> (Regex, Pfa) {
         let re = Regex::parse("(a c* d) | b").unwrap();
         let dfa = Dfa::from_regex(&re).minimize();
-        let pd =
-            ProbabilityAssignment::weights([("a", 0.6), ("b", 0.4), ("c", 0.3), ("d", 0.7)]);
+        let pd = ProbabilityAssignment::weights([("a", 0.6), ("b", 0.4), ("c", 0.3), ("d", 0.7)]);
         let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &pd).unwrap();
         (re, pfa)
     }
@@ -467,9 +476,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..500 {
             let p = pfa.generate(&mut rng, GenerateOptions::sized(16));
-            assert!(dfa.is_valid_prefix(&p), "illegal pattern {:?}", re.alphabet().render(&p));
+            assert!(
+                dfa.is_valid_prefix(&p),
+                "illegal pattern {:?}",
+                re.alphabet().render(&p)
+            );
             // Absorption means every completed fig-3 walk is a full word.
-            assert!(dfa.accepts(&p), "fig3 walks always absorb: {:?}", re.alphabet().render(&p));
+            assert!(
+                dfa.accepts(&p),
+                "fig3 walks always absorb: {:?}",
+                re.alphabet().render(&p)
+            );
         }
     }
 
@@ -526,8 +543,8 @@ mod tests {
     fn uniform_assignment_splits_evenly() {
         let re = Regex::pcore_task_lifecycle();
         let dfa = Dfa::from_regex(&re).minimize();
-        let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &ProbabilityAssignment::Uniform)
-            .unwrap();
+        let pfa =
+            Pfa::from_dfa(&dfa, re.alphabet().clone(), &ProbabilityAssignment::Uniform).unwrap();
         let running = {
             let (_, t, p) = pfa.transitions_from(pfa.start())[0];
             assert!((p - 1.0).abs() < 1e-12, "TC is the only start transition");

@@ -171,10 +171,7 @@ impl Parser<'_> {
     }
 
     fn starts_atom(token: &Token) -> bool {
-        matches!(
-            token,
-            Token::Symbol(_) | Token::LParen | Token::Dollar
-        )
+        matches!(token, Token::Symbol(_) | Token::LParen | Token::Dollar)
     }
 
     fn parse_concat(&mut self) -> Result<Ast, ParseRegexError> {

@@ -30,7 +30,10 @@ impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrainError::IllegalTrace { trace, position } => {
-                write!(f, "trace {trace} leaves the skeleton at position {position}")
+                write!(
+                    f,
+                    "trace {trace} leaves the skeleton at position {position}"
+                )
             }
         }
     }
@@ -112,7 +115,12 @@ impl TransitionCounts {
     /// conversion falls back to uniform for that state, so the resulting
     /// assignment is always valid.
     #[must_use]
-    pub fn to_assignment(&self, dfa: &Dfa, alphabet: &Alphabet, alpha: f64) -> ProbabilityAssignment {
+    pub fn to_assignment(
+        &self,
+        dfa: &Dfa,
+        alphabet: &Alphabet,
+        alpha: f64,
+    ) -> ProbabilityAssignment {
         let mut map: HashMap<(DfaStateId, String), f64> = HashMap::new();
         for state in 0..dfa.len() {
             let outgoing = dfa.transitions_from(state);
@@ -171,7 +179,10 @@ mod tests {
     }
 
     fn trace(re: &Regex, names: &[&str]) -> Vec<Sym> {
-        names.iter().map(|n| re.alphabet().sym(n).unwrap()).collect()
+        names
+            .iter()
+            .map(|n| re.alphabet().sym(n).unwrap())
+            .collect()
     }
 
     #[test]
@@ -181,12 +192,12 @@ mod tests {
         counts
             .observe(&dfa, 0, &trace(&re, &["TC", "TCH", "TCH", "TD"]))
             .unwrap();
-        counts
-            .observe(&dfa, 1, &trace(&re, &["TC", "TY"]))
-            .unwrap();
+        counts.observe(&dfa, 1, &trace(&re, &["TC", "TY"])).unwrap();
         assert_eq!(counts.trace_count(), 2);
         assert_eq!(counts.symbol_count(), 6);
-        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
         assert_eq!(counts.count(running, re.alphabet().sym("TCH").unwrap()), 2);
         assert_eq!(counts.count(running, re.alphabet().sym("TD").unwrap()), 1);
         assert_eq!(counts.count(running, re.alphabet().sym("TY").unwrap()), 1);
@@ -199,9 +210,17 @@ mod tests {
         let err = counts
             .observe(&dfa, 5, &trace(&re, &["TC", "TR", "TD"]))
             .unwrap_err();
-        assert_eq!(err, TrainError::IllegalTrace { trace: 5, position: 1 });
+        assert_eq!(
+            err,
+            TrainError::IllegalTrace {
+                trace: 5,
+                position: 1
+            }
+        );
         assert_eq!(counts.trace_count(), 0);
-        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
         let _ = running;
         assert_eq!(counts.symbol_count(), 0);
         assert_eq!(
@@ -230,7 +249,9 @@ mod tests {
             .collect();
         let learned = learn_assignment(&dfa, re.alphabet(), &traces, 0.0).unwrap();
         let relearned = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
-        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
         for name in ["TCH", "TS", "TD", "TY"] {
             let sym = re.alphabet().sym(name).unwrap();
             let p_true = truth.probability(running, sym);
@@ -249,9 +270,14 @@ mod tests {
         let traces = vec![trace(&re, &["TC", "TD"]); 10];
         let learned = learn_assignment(&dfa, re.alphabet(), &traces, 1.0).unwrap();
         let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
-        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
         let ty = re.alphabet().sym("TY").unwrap();
-        assert!(pfa.probability(running, ty) > 0.0, "smoothing keeps TY alive");
+        assert!(
+            pfa.probability(running, ty) > 0.0,
+            "smoothing keeps TY alive"
+        );
     }
 
     #[test]
@@ -260,7 +286,9 @@ mod tests {
         let learned = learn_assignment(&dfa, re.alphabet(), &[], 0.0).unwrap();
         let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
         pfa.validate().unwrap();
-        let running = dfa.next(dfa.start(), re.alphabet().sym("TC").unwrap()).unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
         let out = pfa.transitions_from(running);
         for &(_, _, p) in out {
             assert!((p - 1.0 / out.len() as f64).abs() < 1e-12);

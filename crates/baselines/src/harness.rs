@@ -147,16 +147,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let patterns = g.generate_batch(&mut rng, 2, GenerateOptions::sized(6));
         let merged = PatternMerger::new().merge(&patterns, MergeOp::cyclic());
-        let outcome = run_merged(
-            merged,
-            g.regex().alphabet(),
-            &RunKnobs::default(),
-            |sys| {
-                vec![sys
-                    .kernel_mut()
-                    .register_program(Program::new(vec![Op::Compute(10), Op::Exit]).unwrap())]
-            },
-        );
+        let outcome = run_merged(merged, g.regex().alphabet(), &RunKnobs::default(), |sys| {
+            vec![sys
+                .kernel_mut()
+                .register_program(Program::new(vec![Op::Compute(10), Op::Exit]).unwrap())]
+        });
         assert_eq!(outcome.status, CommitterStatus::Done);
         assert!(outcome.bugs.is_empty());
         assert!(outcome.commands > 0);

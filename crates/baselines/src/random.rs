@@ -201,8 +201,8 @@ impl RandomTester {
                 other => {
                     // Random target: the worker's task if it has one, else
                     // a random slot (which the slave will likely reject).
-                    let task = created[worker]
-                        .unwrap_or_else(|| TaskId::new(rng.random_range(0..16u8)));
+                    let task =
+                        created[worker].unwrap_or_else(|| TaskId::new(rng.random_range(0..16u8)));
                     match other {
                         Service::Delete => SvcRequest::Delete { task },
                         Service::Suspend => SvcRequest::Suspend { task },
@@ -287,8 +287,7 @@ mod tests {
             ..RandomTesterConfig::default()
         };
         cfg.system.kernel.heap_bytes = 4 * 1024;
-        cfg.system.kernel.gc_fault =
-            ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
+        cfg.system.kernel.gc_fault = ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
         let report = RandomTester::new(cfg).run(worker_setup);
         assert!(
             report.found(|k| matches!(

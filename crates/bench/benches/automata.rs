@@ -19,8 +19,7 @@ fn paper_pd() -> ProbabilityAssignment {
 }
 
 /// A deliberately larger regex to show construction scaling.
-const BIG_RE: &str =
-    "I (A (B | C)* D | E (F G)* H | (A C)* (B | D | F)* E)* (X$ | Y$ | Z$)";
+const BIG_RE: &str = "I (A (B | C)* D | E (F G)* H | (A C)* (B | D | F)* E)* (X$ | Y$ | Z$)";
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("automata_construction");
@@ -62,7 +61,9 @@ fn bench_training(c: &mut Criterion) {
         .map(|_| pfa.generate(&mut rng, GenerateOptions::sized(32)))
         .collect();
     c.bench_function("learn_pd_from_1000_traces", |b| {
-        b.iter(|| learn_assignment(black_box(&dfa), re.alphabet(), black_box(&traces), 0.5).unwrap())
+        b.iter(|| {
+            learn_assignment(black_box(&dfa), re.alphabet(), black_box(&traces), 0.5).unwrap()
+        })
     });
 }
 

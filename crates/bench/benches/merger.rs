@@ -24,9 +24,7 @@ fn bench_merge(c: &mut Criterion) {
         ("random", MergeOp::RandomInterleave { seed: 9 }),
         ("staggered_8", MergeOp::Staggered { overlap: 8 }),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| merger.merge(black_box(&ps), op))
-        });
+        group.bench_function(name, |b| b.iter(|| merger.merge(black_box(&ps), op)));
     }
     group.finish();
 

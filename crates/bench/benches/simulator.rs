@@ -2,9 +2,7 @@
 //! roundtrips, full system steps.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ptest::pcore::{
-    Kernel, KernelConfig, Op, Priority, Program, SvcRequest,
-};
+use ptest::pcore::{Kernel, KernelConfig, Op, Priority, Program, SvcRequest};
 use ptest::{Cycles, DualCoreSystem, SystemConfig};
 use std::hint::black_box;
 
@@ -65,8 +63,10 @@ fn bench_system(c: &mut Criterion) {
     group.bench_function("bridge_roundtrip", |b| {
         let mut sys = DualCoreSystem::new(SystemConfig::default());
         b.iter(|| {
-            sys.issue(SvcRequest::PeekVar { var: ptest::pcore::VarId(0) })
-                .unwrap();
+            sys.issue(SvcRequest::PeekVar {
+                var: ptest::pcore::VarId(0),
+            })
+            .unwrap();
             loop {
                 sys.step();
                 if !sys.take_responses().is_empty() {

@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, assignment) in &distributions {
         let g = PatternGenerator::new(Regex::pcore_task_lifecycle(), assignment)?;
         let mut rng = StdRng::seed_from_u64(1);
-        let (mut len_sum, mut tch, mut ts, mut end_td, mut n_complete) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut len_sum, mut tch, mut ts, mut end_td, mut n_complete) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
         let td = re.alphabet().sym("TD").expect("TD");
         let n = 10_000;
         for _ in 0..n {
@@ -72,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             len_sum as f64 / f64::from(n),
             tch as f64 / f64::from(n),
             ts as f64 / f64::from(n),
-            if n_complete > 0 { end_td as f64 / n_complete as f64 } else { 0.0 },
+            if n_complete > 0 {
+                end_td as f64 / n_complete as f64
+            } else {
+                0.0
+            },
         );
     }
 
@@ -90,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 hits += 1;
             }
         }
-        println!("| {label} | {:.0}% ({hits}/{seeds}) |", 100.0 * f64::from(hits) / seeds as f64);
+        println!(
+            "| {label} | {:.0}% ({hits}/{seeds}) |",
+            100.0 * f64::from(hits) / seeds as f64
+        );
     }
     println!("\nshape check: distributions that keep tasks alive longer (TCH-heavy)");
     println!("detect the deadlock most often; churn-heavy distributions delete the");

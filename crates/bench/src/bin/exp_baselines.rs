@@ -11,9 +11,7 @@
 //! cargo run --release -p ptest-bench --bin exp_baselines
 //! ```
 
-use ptest::baselines::{
-    RandomTester, RandomTesterConfig, SystematicConfig, SystematicExplorer,
-};
+use ptest::baselines::{RandomTester, RandomTesterConfig, SystematicConfig, SystematicExplorer};
 use ptest::faults::philosophers::{philosopher_program, Variant};
 use ptest::pcore::{GcFaultMode, Op, Program};
 use ptest::{
@@ -33,9 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Legality. Long-lived workers so every command targets a live
     // task: remaining rejections are pure service-order violations.
     let server_worker = |sys: &mut DualCoreSystem| {
-        vec![sys.kernel_mut().register_program(
-            Program::new(vec![Op::Compute(5_000_000), Op::Exit]).expect("valid"),
-        )]
+        vec![sys
+            .kernel_mut()
+            .register_program(Program::new(vec![Op::Compute(5_000_000), Op::Exit]).expect("valid"))]
     };
     println!("1) command legality on a healthy slave (same budget):");
     let ptest_report = AdaptiveTest::run(
@@ -70,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. GC crash.
     println!("\n2) commands to detect the GC crash (case-study-1 shape):");
     let crash = |k: &BugKind| {
-        matches!(k, BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. })
+        matches!(
+            k,
+            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+        )
     };
     let mut cfg = AdaptiveTestConfig {
         n: 4,
@@ -123,7 +124,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "| systematic (CHESS-style) | {} | {}/{} | {} |",
         sys_report.found(|k| matches!(k, BugKind::Deadlock { .. })),
         sys_report.runs,
-        sys_report.space_size.map_or("?".to_owned(), |s| s.to_string()),
+        sys_report
+            .space_size
+            .map_or("?".to_owned(), |s| s.to_string()),
         sys_report.total_commands
     );
 

@@ -17,7 +17,12 @@ use ptest::pcore::GcFaultMode;
 use ptest::{AdaptiveTest, BugKind};
 
 fn crashed(report: &ptest::TestReport) -> bool {
-    report.found(|k| matches!(k, BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }))
+    report.found(|k| {
+        matches!(
+            k,
+            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+        )
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec))?;
         println!(
             "| {label} | {} | {} | {} |",
-            if crashed(&report) { "CRASH" } else { "survived" },
+            if crashed(&report) {
+                "CRASH"
+            } else {
+                "survived"
+            },
             report
                 .commands_to_first_bug()
                 .map_or("—".to_owned(), |c| c.to_string()),
@@ -49,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "| {} KB | {} | {} |",
             kb,
-            if crashed(&report) { "CRASH" } else { "survived" },
+            if crashed(&report) {
+                "CRASH"
+            } else {
+                "survived"
+            },
             report
                 .commands_to_first_bug()
                 .map_or("—".to_owned(), |c| c.to_string()),
@@ -65,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec))?;
         println!(
             "| {period} | {} | {} |",
-            if crashed(&report) { "CRASH" } else { "survived" },
+            if crashed(&report) {
+                "CRASH"
+            } else {
+                "survived"
+            },
             report
                 .commands_to_first_bug()
                 .map_or("—".to_owned(), |c| c.to_string()),

@@ -22,10 +22,21 @@ fn main() {
     println!("| order | paper prediction | measured |");
     println!("|---|---|---|");
     for (label, order, prediction) in [
-        ("L then K (resume S2 first)", Fig1Order::S2First, "completes"),
-        ("K then L (resume S1 first)", Fig1Order::S1First, "enters deadlock state"),
+        (
+            "L then K (resume S2 first)",
+            Fig1Order::S2First,
+            "completes",
+        ),
+        (
+            "K then L (resume S1 first)",
+            Fig1Order::S1First,
+            "enters deadlock state",
+        ),
     ] {
-        let o = run(Fig1Scenario { order, ..Fig1Scenario::default() });
+        let o = run(Fig1Scenario {
+            order,
+            ..Fig1Scenario::default()
+        });
         println!("| {label} | {prediction} | {} |", outcome_str(&o));
     }
 

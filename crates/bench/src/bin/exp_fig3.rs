@@ -82,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "| language membership | all walks in L | {} |",
-        if all_accepted { "all accepted" } else { "VIOLATION" }
+        if all_accepted {
+            "all accepted"
+        } else {
+            "VIOLATION"
+        }
     );
     println!(
         "\nsequence probabilities: P(b)={:.2}  P(ad)={:.2}  P(acd)={:.3}",

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 break;
             }
         }
-        println!("state records at cycle {at} (committer {:?}):", committer.status());
+        println!(
+            "state records at cycle {at} (committer {:?}):",
+            committer.status()
+        );
         for r in committer.state_records(&sys) {
             println!("  {}", r.render(&alphabet));
         }

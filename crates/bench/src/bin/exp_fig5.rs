@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("| service | abbrev | description |");
     println!("|---|---|---|");
     for svc in Service::ALL {
-        println!("| {} | {} | {} |", svc.full_name(), svc.abbrev(), svc.description());
+        println!(
+            "| {} | {} | {} |",
+            svc.full_name(),
+            svc.abbrev(),
+            svc.description()
+        );
     }
 
     let re = Regex::pcore_task_lifecycle();
@@ -90,12 +95,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = running;
     println!("\n| check | expected | measured over {n} patterns |");
     println!("|---|---|---|");
-    println!("| legality (prefix of L(RE)) | 100% | {:.2}% |", 100.0 * f64::from(legal) / f64::from(n));
+    println!(
+        "| legality (prefix of L(RE)) | 100% | {:.2}% |",
+        100.0 * f64::from(legal) / f64::from(n)
+    );
     for (name, expect) in [("TCH", 0.6), ("TS", 0.2), ("TD", 0.1), ("TY", 0.1)] {
         let got = branch_counts.get(name).copied().unwrap_or(0) as f64 / f64::from(n);
         println!("| P({name} after TC) | {expect:.2} | {got:.3} |");
     }
-    println!("| mean TCH per pattern | — | {:.2} |", tch_runs as f64 / f64::from(n));
+    println!(
+        "| mean TCH per pattern | — | {:.2} |",
+        tch_runs as f64 / f64::from(n)
+    );
     println!(
         "| expected lifecycle length | {:.2} (fixed point) | — |",
         generator
@@ -105,6 +116,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nGraphviz rendering of the PFA (paste into `dot -Tpng`):\n");
-    println!("{}", ptest::automata::pfa_to_dot(generator.pfa(), "pCore task lifecycle (Fig. 5)"));
+    println!(
+        "{}",
+        ptest::automata::pfa_to_dot(generator.pfa(), "pCore task lifecycle (Fig. 5)")
+    );
     Ok(())
 }

@@ -178,7 +178,9 @@ pub fn decode_resp(
         1 => Ok(SvcReply::Created(task)),
         2 => Ok(SvcReply::Value(payload)),
         10 => Err(SvcError::NoFreeSlot),
-        11 => Err(SvcError::PriorityInUse(Priority::new((payload as u8).max(1)))),
+        11 => Err(SvcError::PriorityInUse(Priority::new(
+            (payload as u8).max(1),
+        ))),
         12 => Err(SvcError::NoSuchTask(task)),
         13 => Err(SvcError::TaskNotLive(task)),
         14 => Err(SvcError::AlreadySuspended(task)),
@@ -215,16 +217,27 @@ mod tests {
             priority: Priority::new(1),
             stack_bytes: None,
         });
-        roundtrip_cmd(SvcRequest::Delete { task: TaskId::new(4) });
-        roundtrip_cmd(SvcRequest::Suspend { task: TaskId::new(15) });
-        roundtrip_cmd(SvcRequest::Resume { task: TaskId::new(0) });
+        roundtrip_cmd(SvcRequest::Delete {
+            task: TaskId::new(4),
+        });
+        roundtrip_cmd(SvcRequest::Suspend {
+            task: TaskId::new(15),
+        });
+        roundtrip_cmd(SvcRequest::Resume {
+            task: TaskId::new(0),
+        });
         roundtrip_cmd(SvcRequest::ChangePriority {
             task: TaskId::new(2),
             priority: Priority::new(200),
         });
-        roundtrip_cmd(SvcRequest::Yield { task: TaskId::new(7) });
+        roundtrip_cmd(SvcRequest::Yield {
+            task: TaskId::new(7),
+        });
         roundtrip_cmd(SvcRequest::PeekVar { var: VarId(12) });
-        roundtrip_cmd(SvcRequest::PokeVar { var: VarId(1), value: -99 });
+        roundtrip_cmd(SvcRequest::PokeVar {
+            var: VarId(1),
+            value: -99,
+        });
     }
 
     fn roundtrip_resp(result: Result<SvcReply, SvcError>) {
@@ -276,17 +289,27 @@ mod proptests {
                     stack_bytes: stack,
                 }
             ),
-            (0u8..16).prop_map(|t| SvcRequest::Delete { task: TaskId::new(t) }),
-            (0u8..16).prop_map(|t| SvcRequest::Suspend { task: TaskId::new(t) }),
-            (0u8..16).prop_map(|t| SvcRequest::Resume { task: TaskId::new(t) }),
+            (0u8..16).prop_map(|t| SvcRequest::Delete {
+                task: TaskId::new(t)
+            }),
+            (0u8..16).prop_map(|t| SvcRequest::Suspend {
+                task: TaskId::new(t)
+            }),
+            (0u8..16).prop_map(|t| SvcRequest::Resume {
+                task: TaskId::new(t)
+            }),
             (0u8..16, 1u8..=255).prop_map(|(t, p)| SvcRequest::ChangePriority {
                 task: TaskId::new(t),
                 priority: Priority::new(p),
             }),
-            (0u8..16).prop_map(|t| SvcRequest::Yield { task: TaskId::new(t) }),
+            (0u8..16).prop_map(|t| SvcRequest::Yield {
+                task: TaskId::new(t)
+            }),
             (0u16..1024).prop_map(|v| SvcRequest::PeekVar { var: VarId(v) }),
-            (0u16..1024, any::<i64>())
-                .prop_map(|(v, val)| SvcRequest::PokeVar { var: VarId(v), value: val }),
+            (0u16..1024, any::<i64>()).prop_map(|(v, val)| SvcRequest::PokeVar {
+                var: VarId(v),
+                value: val
+            }),
         ]
     }
 

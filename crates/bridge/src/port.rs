@@ -35,7 +35,10 @@ impl BridgeLayout {
             record_bytes: RESP_RECORD_BYTES,
             capacity: 32,
         };
-        BridgeLayout { cmd_ring, resp_ring }
+        BridgeLayout {
+            cmd_ring,
+            resp_ring,
+        }
     }
 
     /// Initialises both ring headers in SRAM.
@@ -387,7 +390,9 @@ mod tests {
                 .issue(
                     &mut r.sram,
                     &mut r.mailboxes,
-                    SvcRequest::PeekVar { var: ptest_pcore::VarId(0) },
+                    SvcRequest::PeekVar {
+                        var: ptest_pcore::VarId(0),
+                    },
                     Cycles::new(1),
                 )
                 .unwrap();
@@ -412,7 +417,9 @@ mod tests {
                 .issue(
                     &mut r.sram,
                     &mut r.mailboxes,
-                    SvcRequest::PeekVar { var: ptest_pcore::VarId(0) },
+                    SvcRequest::PeekVar {
+                        var: ptest_pcore::VarId(0),
+                    },
                     Cycles::new(1),
                 )
                 .unwrap();
@@ -422,7 +429,9 @@ mod tests {
             .issue(
                 &mut r.sram,
                 &mut r.mailboxes,
-                SvcRequest::PeekVar { var: ptest_pcore::VarId(0) },
+                SvcRequest::PeekVar {
+                    var: ptest_pcore::VarId(0),
+                },
                 Cycles::new(1),
             )
             .unwrap_err();
@@ -438,7 +447,9 @@ mod tests {
                 .issue(
                     &mut r.sram,
                     &mut r.mailboxes,
-                    SvcRequest::PeekVar { var: ptest_pcore::VarId(0) },
+                    SvcRequest::PeekVar {
+                        var: ptest_pcore::VarId(0),
+                    },
                     Cycles::new(1),
                 )
                 .unwrap();
@@ -471,7 +482,9 @@ mod tests {
             .issue(
                 &mut r.sram,
                 &mut r.mailboxes,
-                SvcRequest::Delete { task: TaskId::new(3) },
+                SvcRequest::Delete {
+                    task: TaskId::new(3),
+                },
                 Cycles::new(1),
             )
             .unwrap();
@@ -495,12 +508,17 @@ mod tests {
             .issue(
                 &mut r.sram,
                 &mut r.mailboxes,
-                SvcRequest::PeekVar { var: ptest_pcore::VarId(0) },
+                SvcRequest::PeekVar {
+                    var: ptest_pcore::VarId(0),
+                },
                 Cycles::new(10),
             )
             .unwrap();
         // Slave never services. After the timeout the command is overdue.
-        assert!(r.master.overdue(Cycles::new(20), Cycles::new(100)).is_empty());
+        assert!(r
+            .master
+            .overdue(Cycles::new(20), Cycles::new(100))
+            .is_empty());
         let overdue = r.master.overdue(Cycles::new(200), Cycles::new(100));
         assert_eq!(overdue.len(), 1);
     }
@@ -547,12 +565,17 @@ mod tests {
             .issue(
                 &mut sram,
                 &mut mailboxes,
-                SvcRequest::PeekVar { var: ptest_pcore::VarId(0) },
+                SvcRequest::PeekVar {
+                    var: ptest_pcore::VarId(0),
+                },
                 Cycles::new(4),
             )
             .unwrap();
         let n = slave.service(&mut sram, &mut mailboxes, &mut kernel, Cycles::new(5), 16);
         assert_eq!(n, 0);
-        assert_eq!(master.overdue(Cycles::new(10_000), Cycles::new(100)).len(), 1);
+        assert_eq!(
+            master.overdue(Cycles::new(10_000), Cycles::new(100)).len(),
+            1
+        );
     }
 }

@@ -180,12 +180,10 @@ impl TestReport {
             .filter(|r| {
                 matches!(
                     r.result,
-                    Some(Err(
-                        SvcError::AlreadySuspended(_)
-                            | SvcError::NotSuspended(_)
-                            | SvcError::PriorityInUse(_)
-                            | SvcError::NoSuchProgram(_)
-                    ))
+                    Some(Err(SvcError::AlreadySuspended(_)
+                        | SvcError::NotSuspended(_)
+                        | SvcError::PriorityInUse(_)
+                        | SvcError::NoSuchProgram(_)))
                 )
             })
             .count()
@@ -240,8 +238,7 @@ impl AdaptiveTest {
     ) -> Result<TestReport, AdaptiveTestError> {
         // --- Algorithm 1, lines 1-3: generate T[1..n].
         let regex = Regex::parse(&cfg.regex_source).map_err(AdaptiveTestError::Regex)?;
-        let generator =
-            PatternGenerator::new(regex, &cfg.pd).map_err(AdaptiveTestError::Pfa)?;
+        let generator = PatternGenerator::new(regex, &cfg.pd).map_err(AdaptiveTestError::Pfa)?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let opts = if cfg.cyclic_generation {
             GenerateOptions::cyclic(cfg.s)
@@ -376,8 +373,7 @@ mod tests {
             ..AdaptiveTestConfig::default()
         };
         cfg.system.kernel.heap_bytes = 8 * 1024;
-        cfg.system.kernel.gc_fault =
-            ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
+        cfg.system.kernel.gc_fault = ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
         let report = AdaptiveTest::run(cfg, quick_setup).unwrap();
         assert!(
             report.found(|k| matches!(
@@ -403,8 +399,7 @@ mod tests {
             ..AdaptiveTestConfig::default()
         };
         cfg.system.kernel.heap_bytes = 8 * 1024;
-        cfg.system.kernel.gc_fault =
-            ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
+        cfg.system.kernel.gc_fault = ptest_pcore::GcFaultMode::LeakDeadBlocks { leak_every: 1 };
         let first = AdaptiveTest::run(cfg, quick_setup).unwrap();
         let again = AdaptiveTest::reproduce(&first, quick_setup).unwrap();
         assert_eq!(first.bugs.len(), again.bugs.len());
@@ -419,12 +414,18 @@ mod tests {
     #[test]
     fn different_seeds_generate_different_patterns() {
         let a = AdaptiveTest::run(
-            AdaptiveTestConfig { seed: 1, ..AdaptiveTestConfig::default() },
+            AdaptiveTestConfig {
+                seed: 1,
+                ..AdaptiveTestConfig::default()
+            },
             quick_setup,
         )
         .unwrap();
         let b = AdaptiveTest::run(
-            AdaptiveTestConfig { seed: 2, ..AdaptiveTestConfig::default() },
+            AdaptiveTestConfig {
+                seed: 2,
+                ..AdaptiveTestConfig::default()
+            },
             quick_setup,
         )
         .unwrap();

@@ -7,9 +7,7 @@ use std::fmt;
 use ptest_automata::{Alphabet, Sym};
 use ptest_bridge::CmdId;
 use ptest_master::DualCoreSystem;
-use ptest_pcore::{
-    Priority, ProgramId, Service, SvcError, SvcReply, SvcRequest, TaskId,
-};
+use ptest_pcore::{Priority, ProgramId, Service, SvcError, SvcReply, SvcRequest, TaskId};
 use ptest_soc::Cycles;
 
 use crate::pattern::MergedPattern;
@@ -78,7 +76,10 @@ impl fmt::Display for CommitterError {
             }
             CommitterError::NoPrograms => write!(f, "committer needs at least one slave program"),
             CommitterError::TooManyPatterns { patterns, max } => {
-                write!(f, "{patterns} patterns exceed the priority space (max {max})")
+                write!(
+                    f,
+                    "{patterns} patterns exceed the priority space (max {max})"
+                )
             }
         }
     }
@@ -183,11 +184,9 @@ impl Committer {
         for step in merged.steps() {
             if let std::collections::hash_map::Entry::Vacant(e) = service_of.entry(step.sym) {
                 let name = alphabet.name(step.sym).unwrap_or("?");
-                let svc: Service = name
-                    .parse()
-                    .map_err(|_| CommitterError::UnknownService {
-                        symbol: name.to_owned(),
-                    })?;
+                let svc: Service = name.parse().map_err(|_| CommitterError::UnknownService {
+                    symbol: name.to_owned(),
+                })?;
                 e.insert(svc);
             }
         }
@@ -478,9 +477,9 @@ mod tests {
 
     fn setup(n: usize, s: usize, op: MergeOp, seed: u64) -> (DualCoreSystem, Committer) {
         let mut sys = DualCoreSystem::new(SystemConfig::default());
-        let prog = sys
-            .kernel_mut()
-            .register_program(Program::new(vec![ptest_pcore::Op::Compute(30), ptest_pcore::Op::Exit]).unwrap());
+        let prog = sys.kernel_mut().register_program(
+            Program::new(vec![ptest_pcore::Op::Compute(30), ptest_pcore::Op::Exit]).unwrap(),
+        );
         let generator = PatternGenerator::pcore_paper().unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let patterns = generator.generate_batch(&mut rng, n, GenerateOptions::sized(s));
@@ -524,7 +523,10 @@ mod tests {
         if ends_terminal {
             assert_eq!(committer.bound_task(0), None, "TD/TY must unbind");
         } else {
-            assert!(committer.bound_task(0).is_some(), "open lifecycle stays bound");
+            assert!(
+                committer.bound_task(0).is_some(),
+                "open lifecycle stays bound"
+            );
         }
     }
 
@@ -620,8 +622,7 @@ mod tests {
         let generator = PatternGenerator::pcore_paper().unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         // Heavy churn: one pattern with many lifecycles.
-        let patterns =
-            generator.generate_batch(&mut rng, 1, GenerateOptions::cyclic(400));
+        let patterns = generator.generate_batch(&mut rng, 1, GenerateOptions::cyclic(400));
         let merged = PatternMerger::new().merge(&patterns, MergeOp::Sequential);
         let mut committer = Committer::new(
             merged,

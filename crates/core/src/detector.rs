@@ -23,9 +23,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use ptest_master::DualCoreSystem;
-use ptest_pcore::{
-    ExitKind, KernelPanic, KernelSnapshot, TaskFault, TaskId, TaskState, WaitEdge,
-};
+use ptest_pcore::{ExitKind, KernelPanic, KernelSnapshot, TaskFault, TaskId, TaskState, WaitEdge};
 use ptest_soc::Cycles;
 
 use crate::committer::Committer;
@@ -413,7 +411,11 @@ mod tests {
     #[test]
     fn cycle_is_canonicalized_to_smallest_first() {
         let cycle = find_cycle(&[edge(2, 0, 0), edge(0, 1, 1), edge(1, 2, 2)]).unwrap();
-        assert_eq!(cycle[0], TaskId::new(0), "rotation starts at min id: {cycle:?}");
+        assert_eq!(
+            cycle[0],
+            TaskId::new(0),
+            "rotation starts at min id: {cycle:?}"
+        );
     }
 
     mod live_system {
@@ -489,7 +491,9 @@ mod tests {
             let mut sys = spin_system();
             sys.kernel_mut()
                 .dispatch(
-                    SvcRequest::Suspend { task: ptest_pcore::TaskId::new(0) },
+                    SvcRequest::Suspend {
+                        task: ptest_pcore::TaskId::new(0),
+                    },
                     Cycles::ZERO,
                 )
                 .unwrap();

@@ -4,9 +4,7 @@
 //! convert it to an NFA, attach the probability distribution to obtain
 //! the PFA, then walk the PFA emitting `s` services per pattern.
 
-use ptest_automata::{
-    Dfa, GenerateOptions, Pfa, PfaError, ProbabilityAssignment, Regex, Sym,
-};
+use ptest_automata::{Dfa, GenerateOptions, Pfa, PfaError, ProbabilityAssignment, Regex, Sym};
 use rand::Rng;
 
 use crate::pattern::TestPattern;
@@ -139,7 +137,11 @@ mod tests {
         let batch = g.generate_batch(&mut rng, 16, GenerateOptions::sized(32));
         assert_eq!(batch.len(), 16);
         for p in &batch {
-            assert!(g.is_legal_prefix(p.symbols()), "{}", p.render(g.regex().alphabet()));
+            assert!(
+                g.is_legal_prefix(p.symbols()),
+                "{}",
+                p.render(g.regex().alphabet())
+            );
             assert!(!p.is_empty());
         }
     }

@@ -56,7 +56,6 @@ mod record;
 mod report;
 
 pub use adaptive::{AdaptiveTest, AdaptiveTestConfig, AdaptiveTestError, TestReport};
-pub use report::{BugSummary, ReportSummary};
 pub use committer::{Committer, CommitterConfig, CommitterError, CommitterStatus, ExecRecord};
 pub use coverage::CoverageReport;
 pub use detector::{Bug, BugDetector, BugKind, DetectorConfig};
@@ -64,6 +63,7 @@ pub use generator::PatternGenerator;
 pub use merger::{MergeOp, PatternMerger};
 pub use pattern::{MergedPattern, MergedStep, TestPattern};
 pub use record::{MasterState, StateRecord};
+pub use report::{BugSummary, ReportSummary};
 
 #[cfg(test)]
 mod tests {

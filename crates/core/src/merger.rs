@@ -81,7 +81,11 @@ impl PatternMerger {
     fn merge_sequential(&self, patterns: &[TestPattern]) -> MergedPattern {
         let mut steps = Vec::new();
         for (i, p) in patterns.iter().enumerate() {
-            steps.extend(p.symbols().iter().map(|&sym| MergedStep { pattern: i, sym }));
+            steps.extend(
+                p.symbols()
+                    .iter()
+                    .map(|&sym| MergedStep { pattern: i, sym }),
+            );
         }
         MergedPattern::new(steps)
     }
@@ -151,14 +155,26 @@ impl PatternMerger {
                 loop {
                     match (a.peek().is_some(), b.peek().is_some()) {
                         (true, true) => {
-                            steps.push(MergedStep { pattern: j, sym: a.next().expect("peeked") });
-                            steps.push(MergedStep { pattern: i, sym: b.next().expect("peeked") });
+                            steps.push(MergedStep {
+                                pattern: j,
+                                sym: a.next().expect("peeked"),
+                            });
+                            steps.push(MergedStep {
+                                pattern: i,
+                                sym: b.next().expect("peeked"),
+                            });
                         }
                         (true, false) => {
-                            steps.push(MergedStep { pattern: j, sym: a.next().expect("peeked") });
+                            steps.push(MergedStep {
+                                pattern: j,
+                                sym: a.next().expect("peeked"),
+                            });
                         }
                         (false, true) => {
-                            steps.push(MergedStep { pattern: i, sym: b.next().expect("peeked") });
+                            steps.push(MergedStep {
+                                pattern: i,
+                                sym: b.next().expect("peeked"),
+                            });
                         }
                         (false, false) => break,
                     }
@@ -229,10 +245,7 @@ fn enumerate_rec(
     current: &mut Vec<MergedStep>,
     out: &mut Vec<MergedPattern>,
 ) {
-    let done = cursors
-        .iter()
-        .zip(patterns)
-        .all(|(&c, p)| c == p.len());
+    let done = cursors.iter().zip(patterns).all(|(&c, p)| c == p.len());
     if done {
         out.push(MergedPattern::new(current.clone()));
         return;
@@ -310,7 +323,10 @@ mod tests {
                     .collect()
             })
             .collect();
-        assert!(distinct.len() > 5, "20 seeds should produce several interleavings");
+        assert!(
+            distinct.len() > 5,
+            "20 seeds should produce several interleavings"
+        );
     }
 
     #[test]
@@ -337,7 +353,12 @@ mod tests {
         // All distinct.
         let set: std::collections::HashSet<String> = all
             .iter()
-            .map(|m| format!("{:?}", m.steps().iter().map(|s| s.pattern).collect::<Vec<_>>()))
+            .map(|m| {
+                format!(
+                    "{:?}",
+                    m.steps().iter().map(|s| s.pattern).collect::<Vec<_>>()
+                )
+            })
             .collect();
         assert_eq!(set.len(), 3);
     }
@@ -346,8 +367,12 @@ mod tests {
     fn enumerate_all_respects_limit() {
         let patterns = vec![pat(&[1; 8]), pat(&[2; 8])];
         // C(16,8) = 12870 > 1000.
-        assert!(PatternMerger::new().enumerate_all(&patterns, 1000).is_none());
-        assert!(PatternMerger::new().enumerate_all(&patterns, 13000).is_some());
+        assert!(PatternMerger::new()
+            .enumerate_all(&patterns, 1000)
+            .is_none());
+        assert!(PatternMerger::new()
+            .enumerate_all(&patterns, 13000)
+            .is_some());
     }
 
     #[test]

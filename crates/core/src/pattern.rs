@@ -151,9 +151,18 @@ mod tests {
         let p = TestPattern::new(vec![tc, td]);
         assert_eq!(p.render(&a), "TC TD");
         let m = MergedPattern::new(vec![
-            MergedStep { pattern: 0, sym: tc },
-            MergedStep { pattern: 1, sym: tc },
-            MergedStep { pattern: 0, sym: td },
+            MergedStep {
+                pattern: 0,
+                sym: tc,
+            },
+            MergedStep {
+                pattern: 1,
+                sym: tc,
+            },
+            MergedStep {
+                pattern: 0,
+                sym: td,
+            },
         ]);
         assert_eq!(m.render(&a), "0:TC 1:TC 0:TD");
     }
@@ -161,9 +170,18 @@ mod tests {
     #[test]
     fn projection_recovers_sources() {
         let m = MergedPattern::new(vec![
-            MergedStep { pattern: 0, sym: sym(5) },
-            MergedStep { pattern: 1, sym: sym(9) },
-            MergedStep { pattern: 0, sym: sym(6) },
+            MergedStep {
+                pattern: 0,
+                sym: sym(5),
+            },
+            MergedStep {
+                pattern: 1,
+                sym: sym(9),
+            },
+            MergedStep {
+                pattern: 0,
+                sym: sym(6),
+            },
         ]);
         assert_eq!(m.project(0), vec![sym(5), sym(6)]);
         assert_eq!(m.project(1), vec![sym(9)]);
@@ -175,18 +193,39 @@ mod tests {
         let p0 = TestPattern::new(vec![sym(1), sym(2)]);
         let p1 = TestPattern::new(vec![sym(3)]);
         let good = MergedPattern::new(vec![
-            MergedStep { pattern: 1, sym: sym(3) },
-            MergedStep { pattern: 0, sym: sym(1) },
-            MergedStep { pattern: 0, sym: sym(2) },
+            MergedStep {
+                pattern: 1,
+                sym: sym(3),
+            },
+            MergedStep {
+                pattern: 0,
+                sym: sym(1),
+            },
+            MergedStep {
+                pattern: 0,
+                sym: sym(2),
+            },
         ]);
         assert!(good.preserves_order_of(&[p0.clone(), p1.clone()]));
         let reordered = MergedPattern::new(vec![
-            MergedStep { pattern: 0, sym: sym(2) },
-            MergedStep { pattern: 0, sym: sym(1) },
-            MergedStep { pattern: 1, sym: sym(3) },
+            MergedStep {
+                pattern: 0,
+                sym: sym(2),
+            },
+            MergedStep {
+                pattern: 0,
+                sym: sym(1),
+            },
+            MergedStep {
+                pattern: 1,
+                sym: sym(3),
+            },
         ]);
         assert!(!reordered.preserves_order_of(&[p0.clone(), p1.clone()]));
-        let missing = MergedPattern::new(vec![MergedStep { pattern: 0, sym: sym(1) }]);
+        let missing = MergedPattern::new(vec![MergedStep {
+            pattern: 0,
+            sym: sym(1),
+        }]);
         assert!(!missing.preserves_order_of(&[p0, p1]));
     }
 }

@@ -89,7 +89,11 @@ impl StateRecord {
             qs,
             if tp.is_empty() { "-".to_owned() } else { tp },
             self.sequence_number,
-            if rest.is_empty() { "-".to_owned() } else { rest },
+            if rest.is_empty() {
+                "-".to_owned()
+            } else {
+                rest
+            },
         )
     }
 }
@@ -152,7 +156,10 @@ mod tests {
     #[test]
     fn master_state_display() {
         assert_eq!(MasterState::Idle.to_string(), "idle");
-        assert_eq!(MasterState::Issuing(Service::Create).to_string(), "issue:TC");
+        assert_eq!(
+            MasterState::Issuing(Service::Create).to_string(),
+            "issue:TC"
+        );
         assert_eq!(MasterState::Finished.to_string(), "finished");
     }
 }

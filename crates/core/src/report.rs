@@ -5,13 +5,15 @@
 //! module distils the stable, machine-readable core — what CI dashboards
 //! and the experiment harness archive.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::adaptive::TestReport;
 use crate::detector::BugKind;
 
 /// A machine-readable bug entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BugSummary {
     /// Classification: `"slave_crash"`, `"command_timeout"`,
     /// `"deadlock"`, `"starvation"`, `"livelock"`, `"task_fault"`.
@@ -23,7 +25,8 @@ pub struct BugSummary {
 }
 
 /// A machine-readable run summary (stable across versions).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ReportSummary {
     /// The regular expression tested against.
     pub regex: String,
@@ -139,15 +142,26 @@ mod tests {
     fn bug_classification_covers_all_kinds() {
         use ptest_pcore::{KernelPanic, TaskFault, TaskId};
         let kinds = [
-            BugKind::SlaveCrash { panic: KernelPanic::OutOfMemory { requested: 1 } },
+            BugKind::SlaveCrash {
+                panic: KernelPanic::OutOfMemory { requested: 1 },
+            },
             BugKind::CommandTimeout { overdue: 1 },
-            BugKind::Deadlock { cycle: vec![TaskId::new(0)] },
-            BugKind::Starvation { task: TaskId::new(0), runnable: true },
-            BugKind::Livelock { tasks: vec![TaskId::new(0)] },
-            BugKind::TaskFault { task: TaskId::new(0), fault: TaskFault::StackOverflow },
+            BugKind::Deadlock {
+                cycle: vec![TaskId::new(0)],
+            },
+            BugKind::Starvation {
+                task: TaskId::new(0),
+                runnable: true,
+            },
+            BugKind::Livelock {
+                tasks: vec![TaskId::new(0)],
+            },
+            BugKind::TaskFault {
+                task: TaskId::new(0),
+                fault: TaskFault::StackOverflow,
+            },
         ];
-        let classes: std::collections::BTreeSet<&str> =
-            kinds.iter().map(classify).collect();
+        let classes: std::collections::BTreeSet<&str> = kinds.iter().map(classify).collect();
         assert_eq!(classes.len(), kinds.len(), "each kind has a distinct class");
     }
 }

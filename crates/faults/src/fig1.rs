@@ -103,7 +103,10 @@ pub fn s2_program() -> Program {
 
 fn spin_program(mine: VarId, theirs: VarId, window: u32) -> Program {
     let mut b = ProgramBuilder::new();
-    b.push(Op::WriteVar { var: mine, value: 1 }); // a / f
+    b.push(Op::WriteVar {
+        var: mine,
+        value: 1,
+    }); // a / f
     if window > 0 {
         b.push(Op::Compute(window));
     }
@@ -114,7 +117,10 @@ fn spin_program(mine: VarId, theirs: VarId, window: u32) -> Program {
     b.push(Op::Yield);
     b.jump_to("test");
     b.bind("done"); // d / i
-    b.push(Op::WriteVar { var: mine, value: 0 });
+    b.push(Op::WriteVar {
+        var: mine,
+        value: 0,
+    });
     b.push(Op::Exit); // e / j
     b.build().expect("fig1 program is valid")
 }
@@ -185,7 +191,8 @@ pub fn run(scenario: Fig1Scenario) -> Fig1Outcome {
             sys.run(scenario.resume_gap);
         }
         first = false;
-        sys.issue(SvcRequest::Resume { task }).expect("issue resume");
+        sys.issue(SvcRequest::Resume { task })
+            .expect("issue resume");
         // Await the response so command order = slave observation order.
         loop {
             sys.step();
@@ -202,12 +209,9 @@ pub fn run(scenario: Fig1Scenario) -> Fig1Outcome {
     });
     for cycle in 0..scenario.max_cycles {
         sys.step();
-        let both_done = [s1, s2].iter().all(|&t| {
-            matches!(
-                sys.kernel().task_state(t),
-                Some(TaskState::Terminated(_))
-            )
-        });
+        let both_done = [s1, s2]
+            .iter()
+            .all(|&t| matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_))));
         if both_done {
             return Fig1Outcome::Completed { cycles: cycle };
         }
@@ -298,9 +302,9 @@ pub fn run_with_master_threads(scenario: Fig1Scenario) -> Fig1Outcome {
 
     for cycle in 0..scenario.max_cycles {
         sys.step();
-        let both_done = [s1, s2].iter().all(|&t| {
-            matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_)))
-        });
+        let both_done = [s1, s2]
+            .iter()
+            .all(|&t| matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_))));
         if both_done {
             return Fig1Outcome::Completed { cycles: cycle };
         }
@@ -353,7 +357,10 @@ mod tests {
             resume_gap: 500,
             ..Fig1Scenario::default()
         });
-        assert!(matches!(outcome, Fig1Outcome::Completed { .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, Fig1Outcome::Completed { .. }),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -389,7 +396,10 @@ mod tests {
     #[test]
     fn master_thread_variant_agrees_with_direct_variant() {
         for order in [Fig1Order::S1First, Fig1Order::S2First] {
-            let scenario = Fig1Scenario { order, ..Fig1Scenario::default() };
+            let scenario = Fig1Scenario {
+                order,
+                ..Fig1Scenario::default()
+            };
             let direct = run(scenario);
             let threaded = run_with_master_threads(scenario);
             assert_eq!(

@@ -120,8 +120,7 @@ mod tests {
         // all three lifecycles overlap, which is the common case.
         let mut found = false;
         for seed in 0..10 {
-            let report =
-                AdaptiveTest::run(case2_config(seed), setup(Variant::Buggy)).unwrap();
+            let report = AdaptiveTest::run(case2_config(seed), setup(Variant::Buggy)).unwrap();
             if report.found(|k| matches!(k, BugKind::Deadlock { .. })) {
                 found = true;
                 let bug = report
@@ -141,14 +140,16 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "cyclic merge must uncover the deadlock within 10 seeds");
+        assert!(
+            found,
+            "cyclic merge must uncover the deadlock within 10 seeds"
+        );
     }
 
     #[test]
     fn fixed_variant_never_deadlocks() {
         for seed in 0..5 {
-            let report =
-                AdaptiveTest::run(case2_config(seed), setup(Variant::Fixed)).unwrap();
+            let report = AdaptiveTest::run(case2_config(seed), setup(Variant::Fixed)).unwrap();
             assert!(
                 !report.found(|k| matches!(k, BugKind::Deadlock { .. })),
                 "seed {seed}: {}",

@@ -4,9 +4,7 @@
 //! strategy catch?) and the extended examples.
 
 use ptest_master::{DualCoreSystem, SystemConfig};
-use ptest_pcore::{
-    Op, Priority, Program, ProgramBuilder, SvcReply, SvcRequest, TaskId, VarId,
-};
+use ptest_pcore::{Op, Priority, Program, ProgramBuilder, SvcReply, SvcRequest, TaskId, VarId};
 use ptest_soc::Cycles;
 
 /// The shared counter used by the lost-update race.
@@ -43,7 +41,11 @@ pub fn starvation_system() -> (DualCoreSystem, TaskId, TaskId) {
     let worker = kernel.register_program(worker_program(100));
     let SvcReply::Created(hog_task) = kernel
         .dispatch(
-            SvcRequest::Create { program: hog, priority: Priority::new(200), stack_bytes: None },
+            SvcRequest::Create {
+                program: hog,
+                priority: Priority::new(200),
+                stack_bytes: None,
+            },
             Cycles::ZERO,
         )
         .expect("create hog")
@@ -52,7 +54,11 @@ pub fn starvation_system() -> (DualCoreSystem, TaskId, TaskId) {
     };
     let SvcReply::Created(worker_task) = kernel
         .dispatch(
-            SvcRequest::Create { program: worker, priority: Priority::new(10), stack_bytes: None },
+            SvcRequest::Create {
+                program: worker,
+                priority: Priority::new(10),
+                stack_bytes: None,
+            },
             Cycles::ZERO,
         )
         .expect("create worker")
@@ -109,7 +115,11 @@ pub fn priority_inversion_system() -> (DualCoreSystem, TaskId, TaskId, TaskId) {
     let create = |kernel: &mut ptest_pcore::Kernel, prog, prio| {
         let SvcReply::Created(t) = kernel
             .dispatch(
-                SvcRequest::Create { program: prog, priority: Priority::new(prio), stack_bytes: None },
+                SvcRequest::Create {
+                    program: prog,
+                    priority: Priority::new(prio),
+                    stack_bytes: None,
+                },
                 Cycles::ZERO,
             )
             .expect("create")
@@ -145,13 +155,22 @@ pub fn race_system(writers: usize, rounds: u16) -> (DualCoreSystem, Vec<TaskId>)
     for w in 0..writers {
         let prog = {
             let mut b = ProgramBuilder::new();
-            b.push(Op::AddReg { reg: 1, delta: i64::from(rounds) });
+            b.push(Op::AddReg {
+                reg: 1,
+                delta: i64::from(rounds),
+            });
             b.bind("loop");
             // read counter -> r0; yield inside the window; write r0+1 back
-            b.push(Op::ReadVar { var: RACE_COUNTER, reg: 0 });
+            b.push(Op::ReadVar {
+                var: RACE_COUNTER,
+                reg: 0,
+            });
             b.push(Op::Yield); // the race window
             b.push(Op::AddReg { reg: 0, delta: 1 });
-            b.push(Op::WriteVarReg { var: RACE_COUNTER, reg: 0 });
+            b.push(Op::WriteVarReg {
+                var: RACE_COUNTER,
+                reg: 0,
+            });
             b.push(Op::AddReg { reg: 1, delta: -1 });
             b.branch_if_reg_eq(1, 0, "done");
             b.jump_to("loop");
@@ -254,9 +273,10 @@ mod tests {
         let (mut sys, tasks) = race_system(2, 50);
         for _ in 0..200_000u64 {
             sys.step();
-            if tasks.iter().all(|&t| {
-                matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_)))
-            }) {
+            if tasks
+                .iter()
+                .all(|&t| matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_))))
+            {
                 break;
             }
         }
@@ -269,12 +289,17 @@ mod tests {
         let (mut sys, tasks) = race_system(1, 20);
         for _ in 0..100_000u64 {
             sys.step();
-            if tasks.iter().all(|&t| {
-                matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_)))
-            }) {
+            if tasks
+                .iter()
+                .all(|&t| matches!(sys.kernel().task_state(t), Some(TaskState::Terminated(_))))
+            {
                 break;
             }
         }
-        assert_eq!(lost_updates(&sys, 1, 20), 0, "one writer cannot race itself");
+        assert_eq!(
+            lost_updates(&sys, 1, 20),
+            0,
+            "one writer cannot race itself"
+        );
     }
 }

@@ -206,9 +206,9 @@ impl DualCoreSystem {
         let _ = self.kernel.tick(now);
 
         // --- ARM side: deliver responses, then run one thread op.
-        let responses =
-            self.master_port
-                .poll_responses(&mut self.sram, &mut self.mailboxes, now);
+        let responses = self
+            .master_port
+            .poll_responses(&mut self.sram, &mut self.mailboxes, now);
         for resp in responses {
             let claimed = self.threads.iter_mut().any(|t| t.deliver(&resp));
             if !claimed {
@@ -235,10 +235,7 @@ impl DualCoreSystem {
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
             self.step();
-            if self.threads_done()
-                && self.pending_commands() == 0
-                && self.kernel_idle()
-            {
+            if self.threads_done() && self.pending_commands() == 0 && self.kernel_idle() {
                 return true;
             }
         }
@@ -478,7 +475,10 @@ mod tests {
         let mut s = sys();
         let prog = s.kernel_mut().register_program(
             Program::new(vec![
-                ptest_pcore::Op::WriteVar { var: VarId(0), value: 7 },
+                ptest_pcore::Op::WriteVar {
+                    var: VarId(0),
+                    value: 7,
+                },
                 ptest_pcore::Op::Exit,
             ])
             .unwrap(),
@@ -501,8 +501,11 @@ mod tests {
         let p = exit_prog(&mut s);
         // Park a long-running task so its memory stays live.
         let hog = s.kernel_mut().register_program(
-            Program::new(vec![ptest_pcore::Op::Compute(1_000_000), ptest_pcore::Op::Exit])
-                .unwrap(),
+            Program::new(vec![
+                ptest_pcore::Op::Compute(1_000_000),
+                ptest_pcore::Op::Exit,
+            ])
+            .unwrap(),
         );
         s.issue(SvcRequest::Create {
             program: hog,
@@ -552,7 +555,11 @@ mod tests {
         let mut s = sys();
         let m = s.add_thread(
             "M1",
-            vec![MasterOp::SleepFor(200), MasterOp::Compute(5), MasterOp::Done],
+            vec![
+                MasterOp::SleepFor(200),
+                MasterOp::Compute(5),
+                MasterOp::Done,
+            ],
         );
         s.run(100);
         assert!(!s.thread(m).unwrap().is_done(), "still sleeping");

@@ -480,7 +480,10 @@ mod tests {
         // 60 bytes free but split 30 + 30: a 40-byte alloc needs compaction.
         assert!(h.find_gap(40).is_none());
         let got = h.alloc(40, t(3));
-        assert!(got.is_ok(), "GC-triggered compaction should make room: {got:?}");
+        assert!(
+            got.is_ok(),
+            "GC-triggered compaction should make room: {got:?}"
+        );
         assert!(h.stats().gc_runs >= 1);
     }
 
@@ -520,7 +523,10 @@ mod tests {
         assert_eq!(h.collect_garbage(), 0, "faulty GC reclaims nothing");
         assert_eq!(h.stats().leaked, 60);
         // The leaked bytes are gone: a 50-byte alloc must fail forever.
-        assert!(matches!(h.alloc(50, t(1)), Err(HeapError::OutOfMemory { .. })));
+        assert!(matches!(
+            h.alloc(50, t(1)),
+            Err(HeapError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
@@ -551,7 +557,10 @@ mod tests {
         h.free(c).unwrap();
         // 60 free but fragmented; with compaction disabled a 40-byte
         // allocation fails even after GC.
-        assert!(matches!(h.alloc(40, t(3)), Err(HeapError::OutOfMemory { .. })));
+        assert!(matches!(
+            h.alloc(40, t(3)),
+            Err(HeapError::OutOfMemory { .. })
+        ));
         assert!(h.fragmentation() > 0.0);
     }
 

@@ -95,7 +95,10 @@ impl fmt::Display for KernelPanic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KernelPanic::OutOfMemory { requested } => {
-                write!(f, "kernel panic: out of memory ({requested} bytes requested)")
+                write!(
+                    f,
+                    "kernel panic: out of memory ({requested} bytes requested)"
+                )
             }
         }
     }
@@ -332,7 +335,8 @@ impl KernelSnapshot {
     }
 }
 
-/// The pCore kernel simulator. See the [module docs](self).
+/// The pCore kernel simulator. See the [crate docs](crate) for the
+/// slave-system overview.
 #[derive(Debug, Clone)]
 pub struct Kernel {
     cfg: KernelConfig,
@@ -424,11 +428,7 @@ impl Kernel {
     /// Number of live tasks.
     #[must_use]
     pub fn live_task_count(&self) -> usize {
-        self.tasks
-            .iter()
-            .flatten()
-            .filter(|t| t.is_live())
-            .count()
+        self.tasks.iter().flatten().filter(|t| t.is_live()).count()
     }
 
     /// The state of a task slot, if it ever held a task.
@@ -550,15 +550,13 @@ impl Kernel {
                 .copied()
                 .map(SvcReply::Value)
                 .ok_or(SvcError::NoSuchVar(var)),
-            SvcRequest::PokeVar { var, value } => {
-                match self.vars.get_mut(usize::from(var.0)) {
-                    Some(slot) => {
-                        *slot = value;
-                        Ok(SvcReply::Done)
-                    }
-                    None => Err(SvcError::NoSuchVar(var)),
+            SvcRequest::PokeVar { var, value } => match self.vars.get_mut(usize::from(var.0)) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(SvcReply::Done)
                 }
-            }
+                None => Err(SvcError::NoSuchVar(var)),
+            },
         }
     }
 
@@ -716,12 +714,8 @@ impl Kernel {
     }
 
     fn fault(&mut self, task: TaskId, fault: TaskFault) {
-        self.trace.record(
-            self.now,
-            CoreId::Dsp,
-            "fault",
-            format!("{task}: {fault}"),
-        );
+        self.trace
+            .record(self.now, CoreId::Dsp, "fault", format!("{task}: {fault}"));
         self.terminate(task, ExitKind::Faulted(fault));
     }
 
@@ -1172,7 +1166,12 @@ mod tests {
         let high = create(&mut k, p, 9);
         run(&mut k, 10);
         let snap = k.snapshot();
-        let high_cycles = snap.tasks.iter().find(|t| t.id == high).unwrap().ops_retired;
+        let high_cycles = snap
+            .tasks
+            .iter()
+            .find(|t| t.id == high)
+            .unwrap()
+            .ops_retired;
         let low_cycles = snap.tasks.iter().find(|t| t.id == low).unwrap().ops_retired;
         assert!(high_cycles > 0);
         assert_eq!(low_cycles, 0, "low-priority task must not run");
@@ -1187,12 +1186,14 @@ mod tests {
             k.dispatch(SvcRequest::Resume { task: t }, Cycles::ZERO),
             Err(SvcError::NotSuspended(t))
         );
-        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO).unwrap();
+        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO)
+            .unwrap();
         assert_eq!(
             k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO),
             Err(SvcError::AlreadySuspended(t))
         );
-        k.dispatch(SvcRequest::Resume { task: t }, Cycles::ZERO).unwrap();
+        k.dispatch(SvcRequest::Resume { task: t }, Cycles::ZERO)
+            .unwrap();
         assert_eq!(k.is_suspended(t), Some(false));
     }
 
@@ -1201,7 +1202,8 @@ mod tests {
         let mut k = kernel();
         let p = k.register_program(Program::new(vec![Op::Compute(1000), Op::Exit]).unwrap());
         let t = create(&mut k, p, 5);
-        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO).unwrap();
+        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::ZERO)
+            .unwrap();
         run(&mut k, 10);
         let snap = k.snapshot();
         assert_eq!(snap.tasks[0].ops_retired, 0);
@@ -1214,7 +1216,8 @@ mod tests {
         let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
         let t = create(&mut k, p, 5);
         run(&mut k, 3);
-        k.dispatch(SvcRequest::Yield { task: t }, Cycles::new(3)).unwrap();
+        k.dispatch(SvcRequest::Yield { task: t }, Cycles::new(3))
+            .unwrap();
         run(&mut k, 2);
         assert_eq!(
             k.task_state(t),
@@ -1227,7 +1230,8 @@ mod tests {
         let mut k = kernel();
         let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
         let t = create(&mut k, p, 5);
-        k.dispatch(SvcRequest::Delete { task: t }, Cycles::ZERO).unwrap();
+        k.dispatch(SvcRequest::Delete { task: t }, Cycles::ZERO)
+            .unwrap();
         assert_eq!(k.live_task_count(), 0);
         let t2 = create(&mut k, p, 6);
         assert_eq!(t2, t, "slot is reused");
@@ -1239,8 +1243,8 @@ mod tests {
         let p = exit_prog(&mut k);
         let t = create(&mut k, p, 5);
         run(&mut k, 5); // task exits on its own
-        // First terminal command reaps the zombie (delete racing with
-        // self-exit is legitimate)…
+                        // First terminal command reaps the zombie (delete racing with
+                        // self-exit is legitimate)…
         assert_eq!(
             k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(10)),
             Ok(SvcReply::Done)
@@ -1251,7 +1255,12 @@ mod tests {
             Err(SvcError::TaskNotLive(t))
         );
         assert_eq!(
-            k.dispatch(SvcRequest::Delete { task: TaskId::new(9) }, Cycles::new(12)),
+            k.dispatch(
+                SvcRequest::Delete {
+                    task: TaskId::new(9)
+                },
+                Cycles::new(12)
+            ),
             Err(SvcError::NoSuchTask(TaskId::new(9)))
         );
     }
@@ -1287,20 +1296,29 @@ mod tests {
         let b = create(&mut k, p, 5);
         assert_eq!(
             k.dispatch(
-                SvcRequest::ChangePriority { task: a, priority: Priority::new(5) },
+                SvcRequest::ChangePriority {
+                    task: a,
+                    priority: Priority::new(5)
+                },
                 Cycles::ZERO
             ),
             Err(SvcError::PriorityInUse(Priority::new(5)))
         );
         k.dispatch(
-            SvcRequest::ChangePriority { task: a, priority: Priority::new(9) },
+            SvcRequest::ChangePriority {
+                task: a,
+                priority: Priority::new(9),
+            },
             Cycles::ZERO,
         )
         .unwrap();
         run(&mut k, 4);
         let snap = k.snapshot();
         assert!(snap.tasks.iter().find(|t| t.id == a).unwrap().ops_retired > 0);
-        assert_eq!(snap.tasks.iter().find(|t| t.id == b).unwrap().ops_retired, 0);
+        assert_eq!(
+            snap.tasks.iter().find(|t| t.id == b).unwrap().ops_retired,
+            0
+        );
     }
 
     #[test]
@@ -1352,21 +1370,27 @@ mod tests {
         let c = create(&mut k, consumer, 9); // high priority: waits first
         let p = create(&mut k, producer, 1);
         run(&mut k, 30);
-        assert!(matches!(k.task_state(c), Some(TaskState::Terminated(ExitKind::Normal))));
-        assert!(matches!(k.task_state(p), Some(TaskState::Terminated(ExitKind::Normal))));
+        assert!(matches!(
+            k.task_state(c),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        ));
+        assert!(matches!(
+            k.task_state(p),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        ));
     }
 
     #[test]
     fn stack_overflow_faults_task() {
         let mut k = kernel();
-        let p = k.register_program(
-            Program::new(vec![Op::StackProbe(100_000), Op::Exit]).unwrap(),
-        );
+        let p = k.register_program(Program::new(vec![Op::StackProbe(100_000), Op::Exit]).unwrap());
         let t = create(&mut k, p, 5);
         run(&mut k, 3);
         assert_eq!(
             k.task_state(t),
-            Some(TaskState::Terminated(ExitKind::Faulted(TaskFault::StackOverflow)))
+            Some(TaskState::Terminated(ExitKind::Faulted(
+                TaskFault::StackOverflow
+            )))
         );
         assert!(k.panic().is_none(), "task faults do not kill the kernel");
     }
@@ -1382,7 +1406,9 @@ mod tests {
         run(&mut k, 5);
         assert_eq!(
             k.task_state(t),
-            Some(TaskState::Terminated(ExitKind::Faulted(TaskFault::RecursiveLock)))
+            Some(TaskState::Terminated(ExitKind::Faulted(
+                TaskFault::RecursiveLock
+            )))
         );
     }
 
@@ -1395,7 +1421,9 @@ mod tests {
         run(&mut k, 3);
         assert_eq!(
             k.task_state(t),
-            Some(TaskState::Terminated(ExitKind::Faulted(TaskFault::UnlockNotOwner)))
+            Some(TaskState::Terminated(ExitKind::Faulted(
+                TaskFault::UnlockNotOwner
+            )))
         );
     }
 
@@ -1460,8 +1488,14 @@ mod tests {
     #[test]
     fn peek_poke_vars() {
         let mut k = kernel();
-        k.dispatch(SvcRequest::PokeVar { var: VarId(3), value: 42 }, Cycles::ZERO)
-            .unwrap();
+        k.dispatch(
+            SvcRequest::PokeVar {
+                var: VarId(3),
+                value: 42,
+            },
+            Cycles::ZERO,
+        )
+        .unwrap();
         assert_eq!(
             k.dispatch(SvcRequest::PeekVar { var: VarId(3) }, Cycles::ZERO),
             Ok(SvcReply::Value(42))
@@ -1488,7 +1522,10 @@ mod tests {
         let lo = create(&mut k, worker, 1);
         run(&mut k, 100);
         assert!(
-            matches!(k.task_state(lo), Some(TaskState::Terminated(ExitKind::Normal))),
+            matches!(
+                k.task_state(lo),
+                Some(TaskState::Terminated(ExitKind::Normal))
+            ),
             "low-priority worker should finish thanks to yields: {:?}",
             k.task_state(lo)
         );
@@ -1537,7 +1574,8 @@ mod tests {
             k.task_state(t),
             Some(TaskState::Blocked(WaitReason::Semaphore(_)))
         ));
-        k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(10)).unwrap();
+        k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(10))
+            .unwrap();
         assert_eq!(k.live_task_count(), 0);
         // A later post must not resurrect or wake the deleted task.
         let poster = k.register_program(Program::new(vec![Op::SemPost(s), Op::Exit]).unwrap());
@@ -1569,17 +1607,23 @@ mod tests {
         let waiter = {
             let mut b = ProgramBuilder::new();
             b.push(Op::MutexLock(m));
-            b.push(Op::WriteVar { var: VarId(0), value: 1 }) // mark who won
-                .push(Op::MutexUnlock(m))
-                .push(Op::Exit);
+            b.push(Op::WriteVar {
+                var: VarId(0),
+                value: 1,
+            }) // mark who won
+            .push(Op::MutexUnlock(m))
+            .push(Op::Exit);
             k.register_program(b.build().unwrap())
         };
         let waiter2 = {
             let mut b = ProgramBuilder::new();
             b.push(Op::MutexLock(m));
-            b.push(Op::WriteVar { var: VarId(0), value: 2 })
-                .push(Op::MutexUnlock(m))
-                .push(Op::Exit);
+            b.push(Op::WriteVar {
+                var: VarId(0),
+                value: 2,
+            })
+            .push(Op::MutexUnlock(m))
+            .push(Op::Exit);
             k.register_program(b.build().unwrap())
         };
         // Low-prio holder runs first (alone), then two waiters block.
@@ -1588,9 +1632,12 @@ mod tests {
         let w1 = create(&mut k, waiter, 10);
         let w2 = create(&mut k, waiter2, 20);
         run(&mut k, 10); // both block; w2 ahead (higher priority)
-        // Boost w1 above w2: the queue must reorder, so w1 wins the lock.
+                         // Boost w1 above w2: the queue must reorder, so w1 wins the lock.
         k.dispatch(
-            SvcRequest::ChangePriority { task: w1, priority: Priority::new(30) },
+            SvcRequest::ChangePriority {
+                task: w1,
+                priority: Priority::new(30),
+            },
             Cycles::new(20),
         )
         .unwrap();
@@ -1609,7 +1656,8 @@ mod tests {
         );
         let t = create(&mut k, p, 5);
         run(&mut k, 5); // t holds the mutex
-        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::new(5)).unwrap();
+        k.dispatch(SvcRequest::Suspend { task: t }, Cycles::new(5))
+            .unwrap();
         let p2 = k.register_program(
             Program::new(vec![Op::MutexLock(m), Op::MutexUnlock(m), Op::Exit]).unwrap(),
         );
@@ -1620,7 +1668,8 @@ mod tests {
             Some(TaskState::Blocked(WaitReason::Mutex(_)))
         ));
         // Deleting the suspended holder hands the mutex to the waiter.
-        k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(20)).unwrap();
+        k.dispatch(SvcRequest::Delete { task: t }, Cycles::new(20))
+            .unwrap();
         run(&mut k, 20);
         assert!(matches!(
             k.task_state(t2),

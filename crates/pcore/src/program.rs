@@ -196,7 +196,11 @@ impl fmt::Display for ProgramError {
                 "instruction {at} branches to {target} but program length is {len}"
             ),
             ProgramError::BadRegister { at, reg } => {
-                write!(f, "instruction {at} uses register r{reg} (max r{})", NUM_REGS - 1)
+                write!(
+                    f,
+                    "instruction {at} uses register r{reg} (max r{})",
+                    NUM_REGS - 1
+                )
             }
             ProgramError::Empty => write!(f, "program has no instructions"),
             ProgramError::TooLong { len } => {
@@ -303,7 +307,9 @@ impl Program {
     /// A trivial program that exits immediately.
     #[must_use]
     pub fn exit_immediately() -> Program {
-        Program { ops: vec![Op::Exit] }
+        Program {
+            ops: vec![Op::Exit],
+        }
     }
 }
 
@@ -433,7 +439,14 @@ mod tests {
     #[test]
     fn rejects_out_of_range_branch() {
         let err = Program::new(vec![Op::Jump(5), Op::Exit]).unwrap_err();
-        assert!(matches!(err, ProgramError::BranchOutOfRange { at: 0, target: 5, len: 2 }));
+        assert!(matches!(
+            err,
+            ProgramError::BranchOutOfRange {
+                at: 0,
+                target: 5,
+                len: 2
+            }
+        ));
     }
 
     #[test]
@@ -459,7 +472,14 @@ mod tests {
         b.bind("end");
         b.push(Op::Exit);
         let p = b.build().unwrap();
-        assert_eq!(p.op(1), Some(Op::BranchIfVarEq { var: VarId(0), value: 1, target: 3 }));
+        assert_eq!(
+            p.op(1),
+            Some(Op::BranchIfVarEq {
+                var: VarId(0),
+                value: 1,
+                target: 3
+            })
+        );
         assert_eq!(p.op(2), Some(Op::Jump(0)));
     }
 
@@ -470,7 +490,10 @@ mod tests {
         b.push(Op::Exit);
         assert!(matches!(
             b.build(),
-            Err(ProgramError::BranchOutOfRange { target: u16::MAX, .. })
+            Err(ProgramError::BranchOutOfRange {
+                target: u16::MAX,
+                ..
+            })
         ));
     }
 
@@ -481,8 +504,14 @@ mod tests {
             Op::Alloc { bytes: 1, reg: 0 },
             Op::Free { reg: 0 },
             Op::StackProbe(16),
-            Op::ReadVar { var: VarId(0), reg: 0 },
-            Op::WriteVar { var: VarId(0), value: 0 },
+            Op::ReadVar {
+                var: VarId(0),
+                reg: 0,
+            },
+            Op::WriteVar {
+                var: VarId(0),
+                value: 0,
+            },
             Op::Yield,
             Op::SemWait(SemId(0)),
             Op::MutexLock(MutexId(0)),
@@ -499,7 +528,12 @@ mod tests {
         assert_eq!(Op::Compute(7).to_string(), "compute 7");
         assert_eq!(Op::MutexLock(MutexId(2)).to_string(), "lock mtx2");
         assert_eq!(
-            Op::BranchIfVarEq { var: VarId(1), value: 0, target: 9 }.to_string(),
+            Op::BranchIfVarEq {
+                var: VarId(1),
+                value: 0,
+                target: 9
+            }
+            .to_string(),
             "if v1 == 0 goto 9"
         );
     }

@@ -142,7 +142,9 @@ impl FromStr for Service {
         Service::ALL
             .into_iter()
             .find(|svc| svc.abbrev() == s || svc.full_name() == s)
-            .ok_or_else(|| ParseServiceError { input: s.to_owned() })
+            .ok_or_else(|| ParseServiceError {
+                input: s.to_owned(),
+            })
     }
 }
 
@@ -192,7 +194,10 @@ mod tests {
 
     #[test]
     fn descriptions_match_table_one() {
-        assert_eq!(Service::Yield.description(), "Terminate the current running task");
+        assert_eq!(
+            Service::Yield.description(),
+            "Terminate the current running task"
+        );
         assert_eq!(Service::Create.description(), "Create a task");
     }
 }

@@ -275,7 +275,11 @@ mod tests {
         let _ = m.lock(t(1), p(2));
         assert_eq!(m.force_release(t(0)), Some(t(1)));
         assert_eq!(m.owner(), Some(t(1)));
-        assert_eq!(m.force_release(t(0)), None, "non-owner force release is a no-op");
+        assert_eq!(
+            m.force_release(t(0)),
+            None,
+            "non-owner force release is a no-op"
+        );
     }
 
     #[test]

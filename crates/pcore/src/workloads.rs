@@ -25,9 +25,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> XorShift64 {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     fn next(&mut self) -> u64 {
@@ -131,7 +129,10 @@ pub fn quicksort(spec: QuicksortSpec) -> (Program, QuicksortProfile) {
 
     let mut b = ProgramBuilder::new();
     let buf_bytes = (spec.elements as u32) * spec.elem_bytes;
-    b.push(Op::Alloc { bytes: buf_bytes, reg: 0 });
+    b.push(Op::Alloc {
+        bytes: buf_bytes,
+        reg: 0,
+    });
     let mut max_depth = 0usize;
     let mut compute_cycles = 0u64;
     for &(depth, len) in &events {
@@ -158,8 +159,7 @@ pub fn quicksort(spec: QuicksortSpec) -> (Program, QuicksortProfile) {
 /// A pure compute loop: busy for `cycles`, then exit.
 #[must_use]
 pub fn compute_loop(cycles: u32) -> Program {
-    Program::new(vec![Op::Compute(cycles.max(1)), Op::Exit])
-        .expect("compute loop program is valid")
+    Program::new(vec![Op::Compute(cycles.max(1)), Op::Exit]).expect("compute loop program is valid")
 }
 
 /// A bounded producer/consumer pair over two counting semaphores (the
@@ -183,7 +183,10 @@ pub fn producer_consumer(
     assert!(items > 0, "need at least one item");
     let producer = {
         let mut b = ProgramBuilder::new();
-        b.push(Op::AddReg { reg: 1, delta: i64::from(items) });
+        b.push(Op::AddReg {
+            reg: 1,
+            delta: i64::from(items),
+        });
         b.bind("loop");
         b.push(Op::SemWait(slots));
         b.push(Op::Compute(work.max(1))); // produce
@@ -197,7 +200,10 @@ pub fn producer_consumer(
     };
     let consumer = {
         let mut b = ProgramBuilder::new();
-        b.push(Op::AddReg { reg: 1, delta: i64::from(items) });
+        b.push(Op::AddReg {
+            reg: 1,
+            delta: i64::from(items),
+        });
         b.bind("loop");
         b.push(Op::SemWait(filled));
         b.push(Op::Compute(work.max(1))); // consume
@@ -222,7 +228,10 @@ pub fn producer_consumer(
 pub fn alloc_churn(rounds: u16, bytes: u32, work: u32) -> Program {
     assert!(rounds > 0, "alloc churn needs at least one round");
     let mut b = ProgramBuilder::new();
-    b.push(Op::AddReg { reg: 1, delta: i64::from(rounds) });
+    b.push(Op::AddReg {
+        reg: 1,
+        delta: i64::from(rounds),
+    });
     b.bind("loop");
     b.push(Op::Alloc { bytes, reg: 0 });
     b.push(Op::Compute(work.max(1)));
@@ -250,7 +259,10 @@ mod tests {
         assert!(profile.partitions >= 64 && profile.partitions < 256);
         assert!(profile.max_depth >= 7, "at least log2(128) deep");
         assert!(profile.max_depth < 40, "random input stays shallow");
-        assert!(profile.peak_stack_bytes <= 512, "fits the paper's 512 B stacks");
+        assert!(
+            profile.peak_stack_bytes <= 512,
+            "fits the paper's 512 B stacks"
+        );
         assert!(profile.compute_cycles > 128);
         assert!(prog.len() > 10);
     }
@@ -304,7 +316,10 @@ mod tests {
                 TickOutcome::Panicked => panic!("kernel panicked"),
             }
         }
-        assert_eq!(k.task_state(t), Some(TaskState::Terminated(ExitKind::Normal)));
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        );
         assert!(
             i > profile.compute_cycles,
             "must have consumed at least the compute cycles"
@@ -393,11 +408,17 @@ mod tests {
                 }
             }
             assert!(
-                matches!(k.task_state(p), Some(TaskState::Terminated(ExitKind::Normal))),
+                matches!(
+                    k.task_state(p),
+                    Some(TaskState::Terminated(ExitKind::Normal))
+                ),
                 "producer (prio {pp}) must finish"
             );
             assert!(
-                matches!(k.task_state(c), Some(TaskState::Terminated(ExitKind::Normal))),
+                matches!(
+                    k.task_state(c),
+                    Some(TaskState::Terminated(ExitKind::Normal))
+                ),
                 "consumer (prio {cp}) must finish"
             );
         }

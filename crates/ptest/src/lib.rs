@@ -62,9 +62,7 @@ pub use ptest_master as master;
 pub use ptest_pcore as pcore;
 pub use ptest_soc as soc;
 
-pub use ptest_automata::{
-    Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym,
-};
+pub use ptest_automata::{Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym};
 pub use ptest_core::{
     AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector, BugKind, Committer, CommitterConfig,
     CommitterStatus, CoverageReport, DetectorConfig, MergeOp, MergedPattern, PatternGenerator,

@@ -74,7 +74,10 @@ mod tests {
             capacity: 12,
         };
         let s = e.to_string();
-        assert!(s.contains("10") && s.contains('4') && s.contains("12"), "{s}");
+        assert!(
+            s.contains("10") && s.contains('4') && s.contains("12"),
+            "{s}"
+        );
     }
 
     #[test]

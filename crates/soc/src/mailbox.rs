@@ -64,7 +64,9 @@ impl Mailbox {
     /// after the receiver drains a word.
     pub fn post(&mut self, word: u32) -> Result<(), MailboxError> {
         if self.is_full() {
-            return Err(MailboxError::Full { mailbox: usize::MAX });
+            return Err(MailboxError::Full {
+                mailbox: usize::MAX,
+            });
         }
         self.fifo.push_back(word);
         Ok(())

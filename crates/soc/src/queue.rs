@@ -157,7 +157,11 @@ mod tests {
         q.schedule(Cycles::new(30), 3);
         q.schedule(Cycles::new(10), 1);
         q.schedule(Cycles::new(20), 2);
-        let fired: Vec<i32> = q.pop_due(Cycles::new(100)).into_iter().map(|(_, p)| p).collect();
+        let fired: Vec<i32> = q
+            .pop_due(Cycles::new(100))
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
         assert_eq!(fired, vec![1, 2, 3]);
     }
 
@@ -167,7 +171,11 @@ mod tests {
         q.schedule(Cycles::new(5), "first");
         q.schedule(Cycles::new(5), "second");
         q.schedule(Cycles::new(5), "third");
-        let fired: Vec<&str> = q.pop_due(Cycles::new(5)).into_iter().map(|(_, p)| p).collect();
+        let fired: Vec<&str> = q
+            .pop_due(Cycles::new(5))
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
         assert_eq!(fired, vec!["first", "second", "third"]);
     }
 
@@ -188,7 +196,11 @@ mod tests {
         q.schedule(Cycles::new(10), "b");
         assert!(q.cancel(a));
         assert!(!q.cancel(a), "double cancel reports false");
-        let fired: Vec<&str> = q.pop_due(Cycles::new(10)).into_iter().map(|(_, p)| p).collect();
+        let fired: Vec<&str> = q
+            .pop_due(Cycles::new(10))
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
         assert_eq!(fired, vec!["b"]);
     }
 

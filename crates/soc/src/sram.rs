@@ -48,7 +48,10 @@ impl SharedSram {
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<(), SramError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(SramError::OutOfBounds {
                 offset,
                 len,
@@ -176,7 +179,11 @@ mod tests {
         let s = SharedSram::new(4);
         assert!(matches!(
             s.read_u32_le(1),
-            Err(SramError::OutOfBounds { offset: 1, len: 4, capacity: 4 })
+            Err(SramError::OutOfBounds {
+                offset: 1,
+                len: 4,
+                capacity: 4
+            })
         ));
         assert!(s.read_u8(4).is_err());
     }

@@ -21,7 +21,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.at, self.core, self.kind, self.detail)
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.core, self.kind, self.detail
+        )
     }
 }
 
@@ -120,7 +124,11 @@ impl TraceBuffer {
     /// Events matching a `kind` filter, oldest first.
     #[must_use]
     pub fn of_kind(&self, kind: &str) -> Vec<TraceEvent> {
-        self.events.iter().filter(|e| e.kind == kind).cloned().collect()
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
     }
 
     /// Discards all held events (the drop counter is preserved).
@@ -196,7 +204,9 @@ mod tests {
             detail: "mailbox 0".into(),
         };
         let s = e.to_string();
-        assert!(s.contains("7cy") && s.contains("ARM") && s.contains("irq") && s.contains("mailbox 0"));
+        assert!(
+            s.contains("7cy") && s.contains("ARM") && s.contains("irq") && s.contains("mailbox 0")
+        );
     }
 
     #[test]

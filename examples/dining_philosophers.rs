@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("seed {seed}: no deadlock ({})", report.summary());
     }
-    assert!(detected, "cyclic merge finds the deadlock within a few seeds");
+    assert!(
+        detected,
+        "cyclic merge finds the deadlock within a few seeds"
+    );
 
     println!("\n--- buggy variant, sequential merge (no overlap => no bug) ---");
     for seed in 0..3 {

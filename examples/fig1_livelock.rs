@@ -13,8 +13,14 @@ fn main() {
     println!("S2: f: y=1;  g: while(x==1)  h: yield();  i: y=0;  j: end\n");
 
     for (label, order) in [
-        ("L -> K  (resume S2 first: the completing order)", Fig1Order::S2First),
-        ("K -> L  (resume S1 first: the fault order)", Fig1Order::S1First),
+        (
+            "L -> K  (resume S2 first: the completing order)",
+            Fig1Order::S2First,
+        ),
+        (
+            "K -> L  (resume S1 first: the fault order)",
+            Fig1Order::S1First,
+        ),
     ] {
         let outcome = run(Fig1Scenario {
             order,
@@ -25,9 +31,7 @@ fn main() {
                 println!("{label}\n  -> completed after {cycles} cycles\n");
             }
             Fig1Outcome::Livelock { tasks } => {
-                println!(
-                    "{label}\n  -> LIVELOCK: tasks {tasks:?} yield to each other forever\n"
-                );
+                println!("{label}\n  -> LIVELOCK: tasks {tasks:?} yield to each other forever\n");
             }
         }
     }

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare hidden vs learned branch probabilities at the running state.
     let running = dfa
-        .next(dfa.start(), regex.alphabet().sym("TC").expect("TC interned"))
+        .next(
+            dfa.start(),
+            regex.alphabet().sym("TC").expect("TC interned"),
+        )
         .expect("TC leaves the start state");
     println!("\n{:<6} {:>8} {:>8}", "svc", "hidden", "learned");
     for name in ["TCH", "TS", "TD", "TY"] {

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = AdaptiveTest::run(config, |sys| {
         // The slave workload each created task runs: compute long enough
         // to outlive its command lifecycle, then exit.
-        let program = Program::new(vec![Op::Compute(2_000), Op::Exit])
-            .expect("valid work-model program");
+        let program =
+            Program::new(vec![Op::Compute(2_000), Op::Exit]).expect("valid work-model program");
         vec![sys.kernel_mut().register_program(program)]
     })?;
 

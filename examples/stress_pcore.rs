@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("--- {label} ---");
         println!("{}", report.summary());
         let crashed = report.found(|k| {
-            matches!(k, BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. })
+            matches!(
+                k,
+                BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+            )
         });
         if crashed {
             let bug = &report.bugs[0];
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  {line}");
             }
         } else {
-            println!("no crash: slave survived {} commands", report.commands_issued);
+            println!(
+                "no crash: slave survived {} commands",
+                report.commands_issued
+            );
         }
         println!();
     }

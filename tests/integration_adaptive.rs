@@ -78,19 +78,32 @@ fn custom_regex_and_distribution_flow_through() {
     assert!(report.bugs.is_empty());
     // Only TC/TD/TY appear in the coverage counts.
     for svc in report.coverage.service_counts.keys() {
-        assert!(["TC", "TD", "TY"].contains(&svc.as_str()), "unexpected {svc}");
+        assert!(
+            ["TC", "TD", "TY"].contains(&svc.as_str()),
+            "unexpected {svc}"
+        );
     }
 }
 
 #[test]
 fn coverage_grows_with_pattern_size() {
     let small = AdaptiveTest::run(
-        AdaptiveTestConfig { n: 1, s: 2, seed: 9, ..AdaptiveTestConfig::default() },
+        AdaptiveTestConfig {
+            n: 1,
+            s: 2,
+            seed: 9,
+            ..AdaptiveTestConfig::default()
+        },
         compute_setup,
     )
     .unwrap();
     let large = AdaptiveTest::run(
-        AdaptiveTestConfig { n: 8, s: 24, seed: 9, ..AdaptiveTestConfig::default() },
+        AdaptiveTestConfig {
+            n: 8,
+            s: 24,
+            seed: 9,
+            ..AdaptiveTestConfig::default()
+        },
         compute_setup,
     )
     .unwrap();
@@ -145,10 +158,12 @@ fn slave_kernel_survives_error_heavy_patterns() {
     let report = AdaptiveTest::run(cfg, compute_setup).unwrap();
     // Crash is legitimate here (OOM panics the kernel on create); but if
     // no crash was reported the run must have completed.
-    if !report.found(|k| matches!(
-        k,
-        BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
-    )) {
+    if !report.found(|k| {
+        matches!(
+            k,
+            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+        )
+    }) {
         assert!(report.completed, "{}", report.summary());
     }
 }

@@ -1,9 +1,7 @@
 //! pTest vs the ConTest-style and CHESS-style baselines on shared
 //! scenarios — the comparison the paper argues qualitatively in §I.
 
-use ptest::baselines::{
-    RandomTester, RandomTesterConfig, SystematicConfig, SystematicExplorer,
-};
+use ptest::baselines::{RandomTester, RandomTesterConfig, SystematicConfig, SystematicExplorer};
 use ptest::faults::philosophers::{self, Variant};
 use ptest::pcore::{GcFaultMode, Op, Program};
 use ptest::{
@@ -33,7 +31,8 @@ fn ptest_wastes_no_commands_where_random_wastes_many() {
     .unwrap();
     assert!(ptest_report.completed);
     assert_eq!(
-        ptest_report.ordering_errors(), 0,
+        ptest_report.ordering_errors(),
+        0,
         "PFA-generated patterns are always legal: {}",
         ptest_report.summary()
     );
@@ -53,7 +52,10 @@ fn ptest_wastes_no_commands_where_random_wastes_many() {
 #[test]
 fn both_ptest_and_random_find_the_gc_crash() {
     let crash = |k: &BugKind| {
-        matches!(k, BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. })
+        matches!(
+            k,
+            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+        )
     };
 
     let mut cfg = AdaptiveTestConfig {
@@ -121,8 +123,9 @@ fn systematic_explorer_is_exhaustive_but_explodes() {
 
     // Paper-scale space: 16 patterns of size 8 — the multinomial explodes
     // far past any practical limit, which is the CHESS trade-off.
-    let big: Vec<TestPattern> =
-        (0..16).map(|_| TestPattern::new(vec![tc, tch, tch, tch, tch, tch, tch, td])).collect();
+    let big: Vec<TestPattern> = (0..16)
+        .map(|_| TestPattern::new(vec![tc, tch, tch, tch, tch, tch, tch, td]))
+        .collect();
     let refused = explorer.explore(&big, &a, worker_setup);
     assert_eq!(refused.space_size, None, "the space must be refused");
     assert_eq!(refused.runs, 0);

@@ -22,7 +22,10 @@ fn case1_crash_only_with_faulty_gc() {
     let faulty = StressSpec::paper(2);
     let healthy = StressSpec::healthy(2);
     let crash_pred = |k: &BugKind| {
-        matches!(k, BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. })
+        matches!(
+            k,
+            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+        )
     };
     let r1 = AdaptiveTest::run(stress_config(&faulty), stress_setup(faulty)).unwrap();
     let r2 = AdaptiveTest::run(stress_config(&healthy), stress_setup(healthy)).unwrap();
@@ -71,18 +74,12 @@ fn producer_consumer_survives_command_churn() {
         let slots = kernel.create_semaphore(2);
         let filled = kernel.create_semaphore(0);
         let (prod, cons) = producer_consumer(20, slots, filled, 5);
-        vec![
-            kernel.register_program(prod),
-            kernel.register_program(cons),
-        ]
+        vec![kernel.register_program(prod), kernel.register_program(cons)]
     })
     .unwrap();
     assert!(report.completed, "{}", report.summary());
     assert!(
-        !report.found(|k| matches!(
-            k,
-            BugKind::Deadlock { .. } | BugKind::SlaveCrash { .. }
-        )),
+        !report.found(|k| matches!(k, BugKind::Deadlock { .. } | BugKind::SlaveCrash { .. })),
         "{}",
         report.summary()
     );
@@ -130,12 +127,7 @@ fn lost_update_race_needs_value_oracle() {
             hang_bugs += det
                 .observe(&sys, None, false)
                 .iter()
-                .filter(|b| {
-                    matches!(
-                        b.kind,
-                        BugKind::Deadlock { .. } | BugKind::Livelock { .. }
-                    )
-                })
+                .filter(|b| matches!(b.kind, BugKind::Deadlock { .. } | BugKind::Livelock { .. }))
                 .count();
         }
         if tasks

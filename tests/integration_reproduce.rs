@@ -75,7 +75,11 @@ fn deadlock_reproduces_with_same_cycle() {
             _ => None,
         })
     };
-    assert_eq!(cycle_of(&first), cycle_of(&again), "identical wait-for cycle");
+    assert_eq!(
+        cycle_of(&first),
+        cycle_of(&again),
+        "identical wait-for cycle"
+    );
 }
 
 #[test]

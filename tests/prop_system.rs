@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use ptest::pcore::{Op, Program};
 use ptest::{
-    AdaptiveTest, AdaptiveTestConfig, BugKind, CommitterStatus, DualCoreSystem, MergeOp,
-    ProgramId,
+    AdaptiveTest, AdaptiveTestConfig, BugKind, CommitterStatus, DualCoreSystem, MergeOp, ProgramId,
 };
 
 fn compute_setup(sys: &mut DualCoreSystem) -> Vec<ProgramId> {

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple wall-clock timing loop instead of criterion's statistics.
+//!
+//! `cargo bench` prints median-of-samples timings; `cargo bench --no-run`
+//! (the tier-1 requirement) just needs all of this to compile.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export: benches in this workspace use `std::hint::black_box`, but the
+/// real criterion also offers its own; keep both paths working.
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Renders the full id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up, then the measured samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.nanos.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn median_nanos(&mut self) -> u128 {
+        if self.nanos.is_empty() {
+            return 0;
+        }
+        self.nanos.sort_unstable();
+        self.nanos[self.nanos.len() / 2]
+    }
+}
+
+fn run_one(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        nanos: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    let median = bencher.median_nanos();
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0 => {
+            let rate = n as f64 * 1e9 / median as f64;
+            println!("{id:<48} {median:>12} ns/iter  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if median > 0 => {
+            let rate = n as f64 * 1e9 / median as f64;
+            println!("{id:<48} {median:>12} ns/iter  ({rate:.0} B/s)");
+        }
+        _ => println!("{id:<48} {median:>12} ns/iter"),
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), DEFAULT_SAMPLES, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the declared throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(&id, self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(&id, self.samples, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; mirrors the real API).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

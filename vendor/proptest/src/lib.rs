@@ -1,0 +1,501 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest this workspace uses: `Strategy` with
+//! `prop_map`, range and tuple strategies, `Just`, `prop_oneof!`, the
+//! `proptest!` test macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Unlike the real proptest there is no shrinking and no persisted failure
+//! file: each test runs `cases` deterministic iterations (case `i` derives
+//! its RNG from a fixed seed and `i`), and assertion failures panic with the
+//! case number so a failure is directly reproducible.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; `cases` bounds iterations per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Base RNG seed; case `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// An error a property body may return explicitly
+/// (`return Err(TestCaseError::fail(..))`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "test case failed: {}", self.0)
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Builds a recursive strategy: at each of `depth` levels, generation
+    /// picks uniformly between the base (`self`) and `recurse` applied to
+    /// the level below. `_desired_size`/`_expected_branch_size` are
+    /// accepted for real-proptest compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = BoxedStrategy::new(self);
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = BoxedStrategy::new(recurse(strat));
+            strat = BoxedStrategy::new(Union::new(vec![leaf.clone(), deeper]));
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> BoxedStrategy<T> {
+    /// Erases `strategy`'s type.
+    pub fn new(strategy: impl Strategy<Value = T> + 'static) -> Self {
+        BoxedStrategy(std::rc::Rc::new(strategy))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+/// The standard strategy for `T`: uniform over the whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform values over all of `T`.
+#[must_use]
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates `None` 25% of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniformN`).
+pub mod array {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// An `[S::Value; N]` strategy with independent elements.
+    #[derive(Debug, Clone)]
+    pub struct ArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),*) => {$(
+            /// Array of independent draws from `element`.
+            pub fn $name<S: Strategy>(element: S) -> ArrayStrategy<S, $n> {
+                ArrayStrategy { element }
+            }
+        )*};
+    }
+    uniform_fns!(
+        uniform4 => 4, uniform8 => 8, uniform16 => 16,
+        uniform24 => 24, uniform32 => 32
+    );
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length range for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.0.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice between type-erased alternative strategies
+/// (the engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $arm:expr ),+ $(,)? ) => {{
+        let arms: ::std::vec::Vec<$crate::BoxedStrategy<_>> =
+            ::std::vec![ $( $crate::BoxedStrategy::new($arm) ),+ ];
+        $crate::Union::new(arms)
+    }};
+}
+
+/// Property assertion; panics (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Property equality assertion; panics (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion; panics (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+#[doc(hidden)]
+pub fn __case_rng(cfg: &ProptestConfig, case: u32) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed.wrapping_add(u64::from(case)))
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut case_rng = $crate::__case_rng(&config, case);
+                $( let $arg = $crate::Strategy::generate(&($strategy), &mut case_rng); )+
+                // Bodies may `return Err(TestCaseError::..)` / `Ok(())`
+                // early, as with the real proptest; a trailing `Ok(())` is
+                // appended for bodies that just fall off the end.
+                let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = run() {
+                    ::std::panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+/// The usual glob import: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Mode {
+        A,
+        B(usize),
+    }
+
+    fn arb_mode() -> impl Strategy<Value = Mode> {
+        prop_oneof![Just(Mode::A), (1usize..5).prop_map(Mode::B)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 1usize..6, seed in 0u64..1_000) {
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(seed < 1_000);
+        }
+
+        #[test]
+        fn oneof_generates_all_arms(mode in arb_mode()) {
+            match mode {
+                Mode::A => {}
+                Mode::B(n) => prop_assert!((1..5).contains(&n)),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = ProptestConfig::with_cases(4);
+        let strat = (0u64..100, 1usize..7);
+        for case in 0..cfg.cases {
+            let a = strat.generate(&mut crate::__case_rng(&cfg, case));
+            let b = strat.generate(&mut crate::__case_rng(&cfg, case));
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for plain
+//! structs with named fields, generating impls of the stub `serde` crate's
+//! `Serialize`/`Deserialize` traits (the miniserde-style `Value` model).
+//! Written against `proc_macro` directly — the real `syn`/`quote` stack is
+//! unavailable offline. Tuple structs, enums and generics are unsupported
+//! and produce a compile error naming this limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `[attrs] [vis] struct Name { [attrs] [vis] field: Ty, ... }`.
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "stub serde_derive only supports structs, found {other:?}"
+            ))
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("stub serde_derive does not support generic structs".into())
+            }
+            Some(_) => continue,
+            None => return Err("stub serde_derive requires a braced struct body".into()),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        fields.push(field);
+        // Consume `: Type` up to the next top-level comma. Groups nest
+        // angle brackets, but `<`/`>` arrive as plain puncts — track depth.
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => continue 'fields,
+                _ => {}
+            }
+        }
+        break;
+    }
+
+    Ok(StructDef { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the stub `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(def) => def,
+        Err(msg) => return compile_error(&msg),
+    };
+    let entries: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the stub `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(def) => def,
+        Err(msg) => return compile_error(&msg),
+    };
+    let fields: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(v.field({f:?}).ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !matches!(v, ::serde::Value::Obj(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         concat!(\"expected object for `\", stringify!({name}), \"`\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .unwrap()
+}
