@@ -111,9 +111,13 @@ impl TransitionCounts {
     /// assignment with additive (Laplace) smoothing `alpha` over the
     /// skeleton's transitions.
     ///
-    /// With `alpha == 0` a state never observed keeps no mass and the
-    /// conversion falls back to uniform for that state, so the resulting
-    /// assignment is always valid.
+    /// The result is always a **valid** PFA distribution (Eq. 1 demands
+    /// strictly positive transition probabilities): a state never
+    /// observed falls back to uniform, and with `alpha == 0` a
+    /// transition with zero counts at an otherwise-observed state keeps
+    /// a floor probability of [`Self::MIN_PROBABILITY`] (the observed
+    /// transitions are rescaled accordingly) instead of dropping to an
+    /// illegal hard zero.
     #[must_use]
     pub fn to_assignment(
         &self,
@@ -131,19 +135,32 @@ impl TransitionCounts {
                 .iter()
                 .map(|(sym, _)| self.count(state, *sym) as f64 + alpha)
                 .sum();
+            let zeros = outgoing
+                .iter()
+                .filter(|(sym, _)| self.count(state, *sym) as f64 + alpha <= 0.0)
+                .count();
+            let rescale = 1.0 - zeros as f64 * Self::MIN_PROBABILITY;
             for (sym, _) in &outgoing {
                 let name = alphabet.name(*sym).unwrap_or("?").to_owned();
                 let c = self.count(state, *sym) as f64 + alpha;
-                let p = if total > 0.0 {
-                    c / total
-                } else {
+                let p = if total <= 0.0 {
                     1.0 / outgoing.len() as f64
+                } else if c <= 0.0 {
+                    Self::MIN_PROBABILITY
+                } else {
+                    (c / total) * rescale
                 };
                 map.insert((state, name), p);
             }
         }
         ProbabilityAssignment::Explicit(map)
     }
+
+    /// Floor probability kept on never-observed transitions when
+    /// converting unsmoothed (`alpha == 0`) counts — small enough not to
+    /// disturb the maximum-likelihood estimates, large enough to keep
+    /// the assignment strictly positive as Eq. 1 requires.
+    pub const MIN_PROBABILITY: f64 = 1e-9;
 }
 
 /// One-shot convenience: count every trace and build the assignment.
@@ -278,6 +295,27 @@ mod tests {
             pfa.probability(running, ty) > 0.0,
             "smoothing keeps TY alive"
         );
+    }
+
+    #[test]
+    fn unsmoothed_partial_observations_stay_strictly_positive() {
+        // Only TD-terminated traces with alpha = 0: TCH/TS/TY have zero
+        // counts at the running state, but the assignment must still
+        // build a valid PFA (Eq. 1 forbids hard-zero transitions).
+        let (re, dfa) = pcore();
+        let traces = vec![trace(&re, &["TC", "TD"]); 10];
+        let learned = learn_assignment(&dfa, re.alphabet(), &traces, 0.0).unwrap();
+        let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &learned).unwrap();
+        pfa.validate().unwrap();
+        let running = dfa
+            .next(dfa.start(), re.alphabet().sym("TC").unwrap())
+            .unwrap();
+        let td = re.alphabet().sym("TD").unwrap();
+        let ty = re.alphabet().sym("TY").unwrap();
+        assert!(pfa.probability(running, td) > 0.99, "MLE mass stays on TD");
+        let p_ty = pfa.probability(running, ty);
+        assert!(p_ty > 0.0, "unseen transitions keep a floor");
+        assert!(p_ty < 1e-6, "but no meaningful mass");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use ptest_automata::Alphabet;
 use ptest_core::{
     Bug, BugDetector, BugKind, Committer, CommitterConfig, CommitterStatus, DetectorConfig,
-    MergedPattern,
+    MergedPattern, Scenario,
 };
 use ptest_master::{DualCoreSystem, SystemConfig};
 use ptest_pcore::ProgramId;
@@ -27,6 +27,30 @@ pub struct RunKnobs {
     pub inter_command_gap: u64,
     /// Stack size for created tasks.
     pub stack_bytes: Option<u32>,
+    /// How long a command may stay unanswered before the committer
+    /// declares a timeout.
+    pub response_timeout: ptest_soc::Cycles,
+}
+
+impl RunKnobs {
+    /// Derives run knobs from a scenario's adaptive configuration, so a
+    /// baseline executes a scenario under the same environmental
+    /// conditions (system, detector, pacing, budgets) the adaptive
+    /// tester would.
+    #[must_use]
+    pub fn from_scenario(scenario: &dyn Scenario) -> RunKnobs {
+        let cfg = scenario.base_config();
+        RunKnobs {
+            system: cfg.system,
+            detector: cfg.detector,
+            check_interval: cfg.check_interval,
+            max_cycles: cfg.max_cycles,
+            drain_cycles: cfg.drain_cycles,
+            inter_command_gap: cfg.inter_command_gap,
+            stack_bytes: cfg.stack_bytes,
+            response_timeout: cfg.response_timeout,
+        }
+    }
 }
 
 impl Default for RunKnobs {
@@ -39,6 +63,7 @@ impl Default for RunKnobs {
             drain_cycles: 60_000,
             inter_command_gap: 30,
             stack_bytes: None,
+            response_timeout: ptest_soc::Cycles::new(50_000),
         }
     }
 }
@@ -86,6 +111,7 @@ pub fn run_merged(
             programs,
             stack_bytes: knobs.stack_bytes,
             inter_command_gap: knobs.inter_command_gap,
+            response_timeout: knobs.response_timeout,
             ..CommitterConfig::default()
         },
     )
@@ -132,11 +158,29 @@ pub fn run_merged(
     }
 }
 
+/// Executes `merged` on a fresh system prepared by `scenario` — the
+/// [`Scenario`]-first face of [`run_merged`], giving the systematic
+/// explorer and ablation experiments the same repeatable setup the
+/// adaptive engine and campaigns use.
+///
+/// # Panics
+///
+/// As for [`run_merged`].
+#[must_use]
+pub fn run_merged_scenario(
+    merged: MergedPattern,
+    alphabet: &Alphabet,
+    knobs: &RunKnobs,
+    scenario: &dyn Scenario,
+) -> RunOutcome {
+    run_merged(merged, alphabet, knobs, |sys| scenario.setup(sys))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ptest_automata::GenerateOptions;
-    use ptest_core::{MergeOp, PatternGenerator, PatternMerger};
+    use ptest_core::{FnScenario, MergeOp, PatternGenerator, PatternMerger};
     use ptest_pcore::{Op, Program};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -155,5 +199,26 @@ mod tests {
         assert_eq!(outcome.status, CommitterStatus::Done);
         assert!(outcome.bugs.is_empty());
         assert!(outcome.commands > 0);
+    }
+
+    #[test]
+    fn scenario_run_matches_closure_run() {
+        let g = PatternGenerator::pcore_paper().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let patterns = g.generate_batch(&mut rng, 2, GenerateOptions::sized(6));
+        let merged = PatternMerger::new().merge(&patterns, MergeOp::cyclic());
+        let setup = |sys: &mut DualCoreSystem| {
+            vec![sys
+                .kernel_mut()
+                .register_program(Program::new(vec![Op::Compute(10), Op::Exit]).unwrap())]
+        };
+        let scenario = FnScenario::new("compute", ptest_core::AdaptiveTestConfig::default(), setup);
+        let knobs = RunKnobs::from_scenario(&scenario);
+        let via_scenario =
+            run_merged_scenario(merged.clone(), g.regex().alphabet(), &knobs, &scenario);
+        let via_closure = run_merged(merged, g.regex().alphabet(), &knobs, setup);
+        assert_eq!(via_scenario.commands, via_closure.commands);
+        assert_eq!(via_scenario.cycles, via_closure.cycles);
+        assert_eq!(via_scenario.status, via_closure.status);
     }
 }

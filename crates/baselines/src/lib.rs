@@ -22,7 +22,7 @@ pub mod harness;
 mod random;
 mod systematic;
 
-pub use harness::{run_merged, RunKnobs, RunOutcome};
+pub use harness::{run_merged, run_merged_scenario, RunKnobs, RunOutcome};
 pub use random::{RandomTestReport, RandomTester, RandomTesterConfig};
 pub use systematic::{SystematicConfig, SystematicExplorer, SystematicReport};
 

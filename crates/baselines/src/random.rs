@@ -100,6 +100,16 @@ impl RandomTester {
         RandomTester { cfg }
     }
 
+    /// Runs the session against a [`Scenario`]'s setup — the entry point
+    /// campaigns and comparisons share with the adaptive tester. The
+    /// random tester keeps its own command budget and pacing (`cfg`);
+    /// only the scenario's slave preparation is reused.
+    ///
+    /// [`Scenario`]: ptest_core::Scenario
+    pub fn run_scenario(&self, scenario: &dyn ptest_core::Scenario) -> RandomTestReport {
+        self.run(|sys| scenario.setup(sys))
+    }
+
     /// Runs the session: `setup` registers scenario programs (one per
     /// worker, cycled).
     pub fn run(

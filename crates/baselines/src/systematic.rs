@@ -133,6 +133,20 @@ impl SystematicExplorer {
         report
     }
 
+    /// Enumerates and executes the interleavings of `patterns`, preparing
+    /// each fresh system from `scenario` — the [`Scenario`]-first face of
+    /// [`SystematicExplorer::explore`].
+    ///
+    /// [`Scenario`]: ptest_core::Scenario
+    pub fn explore_scenario(
+        &self,
+        patterns: &[TestPattern],
+        alphabet: &Alphabet,
+        scenario: &dyn ptest_core::Scenario,
+    ) -> SystematicReport {
+        self.explore(patterns, alphabet, |sys| scenario.setup(sys))
+    }
+
     fn run_one(
         &self,
         merged: MergedPattern,
@@ -209,6 +223,20 @@ mod tests {
         });
         assert_eq!(report.space_size, None, "space explosion must be refused");
         assert_eq!(report.runs, 0);
+    }
+
+    #[test]
+    fn scenario_exploration_matches_closure_exploration() {
+        let (patterns, alphabet) = lifecycle_patterns(2);
+        let explorer = SystematicExplorer::new(SystematicConfig::default());
+        let scenario = philosophers::PhilosophersScenario::buggy();
+        let via_scenario = explorer.explore_scenario(&patterns, &alphabet, &scenario);
+        let via_closure = explorer.explore(&patterns, &alphabet, |sys| {
+            philosophers::setup(Variant::Buggy)(sys)
+        });
+        assert_eq!(via_scenario.runs, via_closure.runs);
+        assert_eq!(via_scenario.total_commands, via_closure.total_commands);
+        assert_eq!(via_scenario.first_bug_run, via_closure.first_bug_run);
     }
 
     #[test]

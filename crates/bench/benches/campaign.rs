@@ -1,0 +1,71 @@
+//! Criterion benches of the campaign engine: trials/sec on the stress
+//! scenario at 1/2/4/8 worker threads — the repo's first perf-trajectory
+//! point for the parallel layer. The aggregate result is identical at
+//! every worker count (the determinism invariant); only wall-clock
+//! should move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptest::campaign::{Campaign, CampaignConfig, LearningConfig};
+use ptest::faults::stress::StressScenario;
+use std::hint::black_box;
+
+const TRIALS: usize = 8;
+
+fn bench_campaign_workers(c: &mut Criterion) {
+    let scenario = StressScenario::light();
+    let mut group = c.benchmark_group("campaign_stress_trials");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRIALS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let report = Campaign::run(
+                        &CampaignConfig {
+                            trials_per_round: TRIALS,
+                            rounds: 1,
+                            workers,
+                            master_seed: 1,
+                            learning: LearningConfig {
+                                enabled: false,
+                                ..LearningConfig::default()
+                            },
+                        },
+                        black_box(&scenario),
+                    )
+                    .unwrap();
+                    black_box(report.total_trials())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_campaign_learning(c: &mut Criterion) {
+    let scenario = StressScenario::light();
+    let mut group = c.benchmark_group("campaign_learning");
+    group.sample_size(10);
+    group.bench_function("2_rounds_4_workers", |b| {
+        b.iter(|| {
+            let report = Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 4,
+                    rounds: 2,
+                    workers: 4,
+                    master_seed: 1,
+                    learning: LearningConfig::default(),
+                },
+                black_box(&scenario),
+            )
+            .unwrap();
+            black_box(report.total_bugs())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_workers, bench_campaign_learning);
+criterion_main!(benches);

@@ -4,16 +4,18 @@
 //!
 //! Sweeps PD skews over the pCore lifecycle PFA and measures (a) pattern
 //! shape statistics and (b) deadlock detection rate on the philosophers
-//! scenario. Distributions that keep tasks alive (TCH-heavy, late TD/TY)
-//! detect the concurrency fault far more often than churn-heavy ones.
+//! scenario, each distribution as a 12-trial parallel campaign. A final
+//! learning-enabled campaign starts from the *uniform* distribution and
+//! shows the feedback loop rediscovering a detection-friendly skew.
 //!
 //! ```sh
 //! cargo run --release -p ptest-bench --bin exp_ablation_pd
 //! ```
 
 use ptest::automata::GenerateOptions;
-use ptest::faults::philosophers::{case2_config, setup, Variant};
-use ptest::{AdaptiveTest, BugKind, PatternGenerator, ProbabilityAssignment, Regex};
+use ptest::faults::philosophers::PhilosophersScenario;
+use ptest::{Configured, PatternGenerator, ProbabilityAssignment, Regex};
+use ptest_bench::{adaptive_campaign, class_detection, run_campaign, sweep_campaign};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -81,28 +83,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\ndeadlock detection on the philosophers (12 seeds each):");
+    println!("\ndeadlock detection on the philosophers (12-trial campaigns):");
     println!("| distribution | detection rate |");
     println!("|---|---|");
     for (label, assignment) in &distributions {
-        let mut hits = 0;
-        let seeds = 12u64;
-        for seed in 0..seeds {
-            let mut cfg = case2_config(seed);
+        let scenario = Configured::adjust(PhilosophersScenario::buggy(), |cfg| {
             cfg.pd = assignment.clone();
-            let report = AdaptiveTest::run(cfg, setup(Variant::Buggy))?;
-            if report.found(|k| matches!(k, BugKind::Deadlock { .. })) {
-                hits += 1;
-            }
-        }
+        });
+        let report = run_campaign(&sweep_campaign(12, 0), &scenario);
+        let round = &report.rounds[0];
+        let (deadlocks, _) = class_detection(round, &["deadlock"]);
         println!(
-            "| {label} | {:.0}% ({hits}/{seeds}) |",
-            100.0 * f64::from(hits) / seeds as f64
+            "| {label} | {:.0}% ({deadlocks}/{}) |",
+            100.0 * deadlocks as f64 / round.trials.len() as f64,
+            round.trials.len()
         );
     }
     println!("\nshape check: distributions that keep tasks alive longer (TCH-heavy)");
     println!("detect the deadlock most often; churn-heavy distributions delete the");
     println!("philosophers before the cyclic acquisition can form — the 'adaptive'");
     println!("knob the paper's title refers to.");
+
+    // The feedback loop, starting blind: uniform PD, learning on.
+    let blind = Configured::adjust(PhilosophersScenario::buggy(), |cfg| {
+        cfg.pd = ProbabilityAssignment::Uniform;
+    });
+    let report = run_campaign(&adaptive_campaign(12, 3, 0), &blind);
+    println!("\ncross-trial learning from a uniform start (12 trials/round):");
+    ptest_bench::print_round_table(&report);
     Ok(())
 }

@@ -1,9 +1,11 @@
 //! Experiment E8 — pTest vs the ConTest-style random tester and the
 //! CHESS-style systematic explorer (the paper's §I comparison, measured).
 //!
-//! Three scenarios:
+//! All three testers now drive the same [`Scenario`] abstraction. Three
+//! comparisons:
 //!   1. legality: share of command budget wasted on illegal orders;
-//!   2. the GC crash (case study 1 shape): commands to detection;
+//!   2. the GC crash (case study 1 shape): detection across a parallel
+//!      campaign vs a random-tester session with the same budget;
 //!   3. a 2-task AB-BA deadlock: detection + cost, plus the systematic
 //!      space explosion at paper scale.
 //!
@@ -13,45 +15,36 @@
 
 use ptest::baselines::{RandomTester, RandomTesterConfig, SystematicConfig, SystematicExplorer};
 use ptest::faults::philosophers::{philosopher_program, Variant};
-use ptest::pcore::{GcFaultMode, Op, Program};
 use ptest::{
-    AdaptiveTest, AdaptiveTestConfig, BugKind, DualCoreSystem, PatternGenerator, ProgramId,
-    TestPattern,
+    AdaptiveTest, AdaptiveTestConfig, BugKind, FnScenario, PatternGenerator, Scenario, TestPattern,
 };
-
-fn worker(sys: &mut DualCoreSystem) -> Vec<ProgramId> {
-    vec![sys
-        .kernel_mut()
-        .register_program(Program::new(vec![Op::Compute(30), Op::Exit]).expect("valid"))]
-}
+use ptest_bench::{
+    class_detection, crash_kind, gc_leak_config, run_campaign, sweep_campaign, worker_scenario,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== E8: pTest vs ConTest-style random vs CHESS-style systematic ==\n");
 
     // --- 1. Legality. Long-lived workers so every command targets a live
     // task: remaining rejections are pure service-order violations.
-    let server_worker = |sys: &mut DualCoreSystem| {
-        vec![sys
-            .kernel_mut()
-            .register_program(Program::new(vec![Op::Compute(5_000_000), Op::Exit]).expect("valid"))]
-    };
-    println!("1) command legality on a healthy slave (same budget):");
-    let ptest_report = AdaptiveTest::run(
+    let server = worker_scenario(
+        "long-lived-server",
+        5_000_000,
         AdaptiveTestConfig {
             n: 3,
             s: 16,
-            seed: 8,
             cyclic_generation: true,
             ..AdaptiveTestConfig::default()
         },
-        server_worker,
-    )?;
+    );
+    println!("1) command legality on a healthy slave (same budget):");
+    let ptest_report = AdaptiveTest::run_scenario(&server, 8)?;
     let random_report = RandomTester::new(RandomTesterConfig {
         command_budget: ptest_report.commands_issued.max(100),
         seed: 8,
         ..RandomTesterConfig::default()
     })
-    .run(server_worker);
+    .run_scenario(&server);
     println!("| tester | commands | ordering errors | total errors |");
     println!("|---|---|---|---|");
     println!(
@@ -65,38 +58,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         random_report.commands_issued, random_report.ordering_errors, random_report.error_replies
     );
 
-    // --- 2. GC crash.
+    // --- 2. GC crash: a parallel pTest campaign vs one random session.
     println!("\n2) commands to detect the GC crash (case-study-1 shape):");
-    let crash = |k: &BugKind| {
-        matches!(
-            k,
-            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
-        )
-    };
-    let mut cfg = AdaptiveTestConfig {
-        n: 4,
-        s: 64,
-        seed: 3,
-        cyclic_generation: true,
-        max_cycles: 30_000_000,
-        ..AdaptiveTestConfig::default()
-    };
-    cfg.system.kernel.heap_bytes = 6 * 1024;
-    cfg.system.kernel.gc_fault = GcFaultMode::LeakDeadBlocks { leak_every: 1 };
-    let p = AdaptiveTest::run(cfg, worker)?;
+    let gc_scenario = worker_scenario("gc-crash", 30, gc_leak_config(6 * 1024, 1));
+    let campaign = run_campaign(&sweep_campaign(4, 3), &gc_scenario);
+    let round = &campaign.rounds[0];
+    let (crashes, mean_crash_commands) = class_detection(round, ptest_bench::CRASH_CLASSES);
     let mut rcfg = RandomTesterConfig {
         command_budget: 10_000,
         seed: 3,
         max_cycles: 30_000_000,
         ..RandomTesterConfig::default()
     };
-    rcfg.system.kernel.heap_bytes = 6 * 1024;
-    rcfg.system.kernel.gc_fault = GcFaultMode::LeakDeadBlocks { leak_every: 1 };
-    let r = RandomTester::new(rcfg).run(worker);
+    rcfg.system = gc_scenario.base_config().system;
+    let r = RandomTester::new(rcfg).run_scenario(&gc_scenario);
     println!("| tester | found? | commands issued |");
     println!("|---|---|---|");
-    println!("| pTest | {} | {} |", p.found(crash), p.commands_issued);
-    println!("| random | {} | {} |", r.found(crash), r.commands_issued);
+    println!(
+        "| pTest (4-trial campaign) | {}/{} trials | {} mean |",
+        crashes,
+        round.trials.len(),
+        ptest_bench::fmt_mean(mean_crash_commands)
+    );
+    println!(
+        "| random | {} | {} |",
+        r.found(crash_kind),
+        r.commands_issued
+    );
 
     // --- 3. AB-BA deadlock + space explosion.
     println!("\n3) 2-task AB-BA deadlock (systematic is feasible here):");
@@ -109,15 +97,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TestPattern::new(vec![tc, tch, td]),
         TestPattern::new(vec![tc, tch, td]),
     ];
-    let ab_ba_setup = |sys: &mut DualCoreSystem| {
+    let ab_ba = FnScenario::new("ab-ba", AdaptiveTestConfig::default(), |sys| {
         let kernel = sys.kernel_mut();
         let forks = vec![kernel.create_mutex(), kernel.create_mutex()];
         (0..2)
             .map(|i| kernel.register_program(philosopher_program(i, &forks, Variant::Buggy)))
             .collect::<Vec<_>>()
-    };
+    });
     let explorer = SystematicExplorer::new(SystematicConfig::default());
-    let sys_report = explorer.explore(&patterns, &a, ab_ba_setup);
+    let sys_report = explorer.explore_scenario(&patterns, &a, &ab_ba);
     println!("| tester | found? | runs | commands |");
     println!("|---|---|---|---|");
     println!(
@@ -134,7 +122,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let big: Vec<TestPattern> = (0..16)
         .map(|_| TestPattern::new(vec![tc, tch, tch, tch, tch, tch, tch, td]))
         .collect();
-    let refused = explorer.explore(&big, &a, worker);
+    let worker = worker_scenario("worker", 30, AdaptiveTestConfig::default());
+    let refused = explorer.explore_scenario(&big, &a, &worker);
     println!(
         "| systematic @ paper scale (16 patterns × 8) | refused: space > limit \
          (runs={}) | — | — |",

@@ -1,95 +1,65 @@
 //! Experiment E4 — case study 1: the 16-task quick-sort stress test and
 //! the garbage-collection crash.
 //!
-//! Reproduces the paper's first testing period: 16 active tasks each
-//! quick-sorting 128 two-byte integers on 512-byte stacks under
-//! create/delete churn. With the injected GC defect pCore crashes with
-//! memory exhaustion; the healthy control survives the same command
-//! stream. Also sweeps the heap size (smaller heap → earlier crash) and
-//! the leak period (rarer leak → later crash).
+//! Reproduces the paper's first testing period as parallel-seed
+//! campaigns: 16 active tasks each quick-sorting 128 two-byte integers
+//! on 512-byte stacks under create/delete churn. With the injected GC
+//! defect pCore crashes with memory exhaustion; the healthy control
+//! survives the same command stream. Also sweeps the heap size (smaller
+//! heap → earlier crash) and the leak period (rarer leak → later crash).
 //!
 //! ```sh
 //! cargo run --release -p ptest-bench --bin exp_case1
 //! ```
 
-use ptest::faults::stress::{stress_config, stress_setup, StressSpec};
+use ptest::faults::stress::{StressScenario, StressSpec};
 use ptest::pcore::GcFaultMode;
-use ptest::{AdaptiveTest, BugKind};
+use ptest_bench::{
+    class_detection, fmt_mean, print_campaign_json, run_campaign, sweep_campaign, CRASH_CLASSES,
+};
 
-fn crashed(report: &ptest::TestReport) -> bool {
-    report.found(|k| {
-        matches!(
-            k,
-            BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
-        )
-    })
+const TRIALS: usize = 6;
+
+fn row(label: &str, spec: StressSpec) {
+    let report = run_campaign(&sweep_campaign(TRIALS, 1), &StressScenario { spec });
+    let round = &report.rounds[0];
+    let (crashes, mean_commands) = class_detection(round, CRASH_CLASSES);
+    println!(
+        "| {label} | {crashes}/{} | {} | {} |",
+        round.trials.len(),
+        fmt_mean(mean_commands),
+        round.total_cycles / round.trials.len() as u64,
+    );
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     println!("== E4: case study 1 — GC crash under 16-task quick-sort stress ==\n");
-    println!("| configuration | crash? | commands to detection | cycles |");
+    println!("| configuration | crashes | mean commands to detection | mean cycles |");
     println!("|---|---|---|---|");
-    for (label, spec) in [
-        ("faulty GC (paper)", StressSpec::paper(1)),
-        ("healthy GC (control)", StressSpec::healthy(1)),
-    ] {
-        let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec))?;
-        println!(
-            "| {label} | {} | {} | {} |",
-            if crashed(&report) {
-                "CRASH"
-            } else {
-                "survived"
-            },
-            report
-                .commands_to_first_bug()
-                .map_or("—".to_owned(), |c| c.to_string()),
-            report.cycles
-        );
-    }
+    row("faulty GC (paper)", StressSpec::paper(1));
+    row("healthy GC (control)", StressSpec::healthy(1));
 
-    println!("\nheap-size sweep (faulty GC, seed 1): smaller heap crashes sooner");
-    println!("| heap bytes | crash? | commands to detection |");
-    println!("|---|---|---|");
+    println!("\nheap-size sweep (faulty GC): smaller heap crashes sooner");
+    println!("| heap | crashes | mean commands to detection | mean cycles |");
+    println!("|---|---|---|---|");
     for kb in [12u32, 16, 24, 32, 48] {
         let mut spec = StressSpec::paper(1);
         spec.heap_bytes = kb * 1024;
-        let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec))?;
-        println!(
-            "| {} KB | {} | {} |",
-            kb,
-            if crashed(&report) {
-                "CRASH"
-            } else {
-                "survived"
-            },
-            report
-                .commands_to_first_bug()
-                .map_or("—".to_owned(), |c| c.to_string()),
-        );
+        row(&format!("{kb} KB"), spec);
     }
 
-    println!("\nleak-period sweep (24 KB heap, seed 1): rarer leaks crash later");
-    println!("| leak every N-th GC | crash? | commands to detection |");
-    println!("|---|---|---|");
+    println!("\nleak-period sweep (24 KB heap): rarer leaks crash later");
+    println!("| leak every N-th GC | crashes | mean commands to detection | mean cycles |");
+    println!("|---|---|---|---|");
     for period in [1u32, 2, 4, 8] {
         let mut spec = StressSpec::paper(1);
         spec.gc_fault = GcFaultMode::LeakDeadBlocks { leak_every: period };
-        let report = AdaptiveTest::run(stress_config(&spec), stress_setup(spec))?;
-        println!(
-            "| {period} | {} | {} |",
-            if crashed(&report) {
-                "CRASH"
-            } else {
-                "survived"
-            },
-            report
-                .commands_to_first_bug()
-                .map_or("—".to_owned(), |c| c.to_string()),
-        );
+        row(&format!("leak_every = {period}"), spec);
     }
-    println!("\nshape check: crash appears only with the GC fault, earlier with");
+    println!("\nshape check: crashes appear only with the GC fault, earlier with");
     println!("smaller heaps and more frequent leaks — the paper's 'failure of");
     println!("garbage collection' under sustained churn.");
-    Ok(())
+
+    let archive = run_campaign(&sweep_campaign(TRIALS, 1), &StressScenario::paper());
+    print_campaign_json("campaign archive (paper spec):", &archive);
 }

@@ -1,20 +1,24 @@
 //! Experiment E5 — case study 2: the dining-philosophers deadlock and
 //! the influence of the merge policy (`op`).
 //!
-//! For each merge policy, runs 20 seeds of the buggy three-philosopher
-//! scenario and reports the deadlock detection rate and mean commands to
-//! detection; the fixed variant is the control.
+//! For each merge policy, a 20-trial campaign (parallel seeds) of the
+//! buggy three-philosopher scenario measures the deadlock detection rate
+//! and mean commands to detection; the fixed variant is the control.
+//! A second, learning-enabled campaign shows the cross-trial feedback
+//! loop on the cyclic merge, with the per-round JSON report archived.
 //!
 //! ```sh
 //! cargo run --release -p ptest-bench --bin exp_case2
 //! ```
 
-use ptest::faults::philosophers::{case2_config, setup, Variant};
-use ptest::{AdaptiveTest, BugKind, MergeOp};
+use ptest::faults::philosophers::PhilosophersScenario;
+use ptest::{Configured, MergeOp};
+use ptest_bench::{
+    adaptive_campaign, class_detection, fmt_mean, print_campaign_json, run_campaign, sweep_campaign,
+};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     println!("== E5: case study 2 — dining-philosophers deadlock vs merge policy ==\n");
-    let seeds: Vec<u64> = (0..20).collect();
     println!("| merge op | variant | detection rate | mean commands to detection |");
     println!("|---|---|---|---|");
     for (label, op) in [
@@ -24,28 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Staggered(4)", MergeOp::Staggered { overlap: 4 }),
         ("Sequential", MergeOp::Sequential),
     ] {
-        for variant in [Variant::Buggy, Variant::Fixed] {
-            let mut hits = 0u32;
-            let mut cmd_sum = 0u64;
-            for &seed in &seeds {
-                let mut cfg = case2_config(seed);
-                cfg.op = op;
-                let report = AdaptiveTest::run(cfg, setup(variant))?;
-                if report.found(|k| matches!(k, BugKind::Deadlock { .. })) {
-                    hits += 1;
-                    cmd_sum += report.commands_issued;
-                }
-            }
-            let rate = f64::from(hits) / seeds.len() as f64;
-            let mean = if hits > 0 {
-                format!("{:.1}", cmd_sum as f64 / f64::from(hits))
-            } else {
-                "—".to_owned()
-            };
+        for scenario in [PhilosophersScenario::buggy(), PhilosophersScenario::fixed()] {
+            let swept = Configured::adjust(scenario, |cfg| cfg.op = op);
+            let report = run_campaign(&sweep_campaign(20, 0), &swept);
+            let round = &report.rounds[0];
+            let (deadlocks, mean_commands) = class_detection(round, &["deadlock"]);
             println!(
-                "| {label} | {variant:?} | {:.0}% ({hits}/{}) | {mean} |",
-                rate * 100.0,
-                seeds.len()
+                "| {label} | {:?} | {:.0}% ({deadlocks}/{}) | {} |",
+                scenario.variant,
+                100.0 * deadlocks as f64 / round.trials.len() as f64,
+                round.trials.len(),
+                fmt_mean(mean_commands),
             );
         }
     }
@@ -54,5 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("'we set the pattern merger … to force cyclic execution sequences'.");
     println!("Coarser interleavings and Sequential miss the window; the Fixed");
     println!("lock order never deadlocks under any policy.");
-    Ok(())
+
+    let adaptive = run_campaign(&adaptive_campaign(12, 2, 0), &PhilosophersScenario::buggy());
+    print_campaign_json(
+        "campaign archive (cyclic merge, learning on, 2 rounds):",
+        &adaptive,
+    );
 }

@@ -8,7 +8,8 @@
 //! cargo run --release -p ptest-bench --bin exp_fig1
 //! ```
 
-use ptest::faults::fig1::{run, Fig1Order, Fig1Outcome, Fig1Scenario};
+use ptest::faults::fig1::{run, Fig1AdaptiveScenario, Fig1Order, Fig1Outcome, Fig1Scenario};
+use ptest_bench::{adaptive_campaign, print_round_table, run_campaign};
 
 fn outcome_str(o: &Fig1Outcome) -> String {
     match o {
@@ -64,4 +65,14 @@ fn main() {
         println!("| {gap} | {} |", outcome_str(&o));
     }
     println!("\nshape check: the fault fires exactly when L lands inside S1's a→b window.");
+
+    // The same fault hunted by the campaign engine: committer-driven
+    // creates play K/L, and cross-trial learning steers the distribution
+    // toward long-lived patterns that keep both spinners alive.
+    println!("\nadaptive campaign on the Figure 1 scenario (learning on):");
+    let report = run_campaign(
+        &adaptive_campaign(12, 3, 2009),
+        &Fig1AdaptiveScenario::default(),
+    );
+    print_round_table(&report);
 }

@@ -1,0 +1,430 @@
+//! The campaign engine: Algorithm 1 lifted from one run to a fleet.
+//!
+//! A campaign executes `rounds × trials_per_round` independent adaptive
+//! trials of one [`Scenario`]. Within a round the trials run concurrently
+//! on a [`std::thread`] worker pool — every trial owns a private
+//! deterministic [`DualCoreSystem`](ptest_master::DualCoreSystem), so
+//! trials embarrass­ingly parallelize. Between rounds the engine closes
+//! the paper's adaptive loop at fleet scale: each trial's execution trace
+//! feeds the [`TransitionCounts`] accumulator, and the counts are
+//! re-estimated into the probability distribution the *next* round's
+//! patterns are generated from. When any trial of a round found bugs and
+//! `bug_biased` learning is on, only bug-revealing trials contribute —
+//! steering later rounds toward fault-revealing interleavings.
+//!
+//! Determinism is a hard invariant: trial seeds derive from the master
+//! seed by index, results aggregate in index order, and the report
+//! records nothing about the pool — so a campaign's outcome is a pure
+//! function of (scenario, configuration, master seed), independent of
+//! worker count.
+
+use std::fmt;
+
+use ptest_automata::{Pfa, TransitionCounts};
+use ptest_core::{AdaptiveTestConfig, AdaptiveTestError, Scenario, TestReport, TrialEngine};
+
+use crate::learning;
+use crate::pool;
+use crate::report::{CampaignReport, LearnedDistribution, RoundReport, TrialOutcome};
+
+/// Knobs of the cross-trial feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningConfig {
+    /// Whether to re-learn the distribution between rounds at all.
+    pub enabled: bool,
+    /// Laplace smoothing over the skeleton's transitions — keeps rarely
+    /// observed services alive in later rounds.
+    pub alpha: f64,
+    /// When any trial of a round found bugs, learn only from the
+    /// bug-revealing trials (the adaptive bias of the paper's loop);
+    /// otherwise every trial contributes.
+    pub bug_biased: bool,
+}
+
+impl Default for LearningConfig {
+    fn default() -> LearningConfig {
+        LearningConfig {
+            enabled: true,
+            alpha: 0.5,
+            bug_biased: true,
+        }
+    }
+}
+
+/// Configuration of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Independent trials per feedback round.
+    pub trials_per_round: usize,
+    /// Feedback rounds (1 = no cross-trial adaptation takes effect).
+    pub rounds: usize,
+    /// Worker threads. Affects wall-clock time only, never results.
+    pub workers: usize,
+    /// Master seed; every trial seed derives from it deterministically.
+    pub master_seed: u64,
+    /// The feedback loop.
+    pub learning: LearningConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            trials_per_round: 16,
+            rounds: 2,
+            workers: 4,
+            master_seed: 2009,
+            learning: LearningConfig::default(),
+        }
+    }
+}
+
+/// Error running a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A trial (or the round's PFA compilation) failed.
+    Adaptive(AdaptiveTestError),
+    /// `rounds` or `trials_per_round` was zero.
+    EmptyCampaign,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Adaptive(e) => write!(f, "trial error: {e}"),
+            CampaignError::EmptyCampaign => {
+                write!(f, "campaign needs at least one round and one trial")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<AdaptiveTestError> for CampaignError {
+    fn from(e: AdaptiveTestError) -> CampaignError {
+        CampaignError::Adaptive(e)
+    }
+}
+
+/// Derives the seed of `trial` in `round` from the master seed
+/// (splitmix64 over the indices — decorrelated, collision-free in
+/// practice, and stable across platforms).
+#[must_use]
+pub fn trial_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
+    const ROUND_STRIDE: u64 = 0xA24B_AED4_963E_E407;
+    let mixed = splitmix64(master_seed ^ (round as u64).wrapping_mul(ROUND_STRIDE));
+    splitmix64(mixed ^ trial as u64)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The campaign runner.
+#[derive(Debug)]
+pub struct Campaign;
+
+impl Campaign {
+    /// Runs the full campaign of `scenario` under `cfg` and returns the
+    /// aggregate report.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::EmptyCampaign`] on a zero-round or zero-trial
+    /// configuration; [`CampaignError::Adaptive`] if the scenario's
+    /// regex/distribution is invalid or a trial's committer rejects its
+    /// configuration.
+    pub fn run(
+        cfg: &CampaignConfig,
+        scenario: &dyn Scenario,
+    ) -> Result<CampaignReport, CampaignError> {
+        if cfg.rounds == 0 || cfg.trials_per_round == 0 {
+            return Err(CampaignError::EmptyCampaign);
+        }
+        let base = scenario.base_config();
+        let mut pd = base.pd.clone();
+        let mut counts = TransitionCounts::new();
+        let mut rounds = Vec::with_capacity(cfg.rounds);
+
+        for round in 0..cfg.rounds {
+            let engine = TrialEngine::new(AdaptiveTestConfig {
+                pd: pd.clone(),
+                ..base.clone()
+            })?;
+
+            // Fan the round's trials across the pool; results come back
+            // in trial-index order regardless of scheduling.
+            let results = pool::run_indexed(cfg.workers, cfg.trials_per_round, |trial| {
+                engine.run_scenario_trial(scenario, trial_seed(cfg.master_seed, round, trial))
+            });
+            let mut reports: Vec<TestReport> = Vec::with_capacity(results.len());
+            for result in results {
+                reports.push(result?);
+            }
+
+            // Close the feedback loop: fold this round's trace-derived
+            // counts into the campaign-cumulative accumulator (bug-biased
+            // when bugs exist) and re-learn the distribution the next
+            // round generates from.
+            let dfa = engine.generator().dfa();
+            let alphabet = engine.generator().regex().alphabet();
+            let mut traces_learned = 0u64;
+            let mut learned = None;
+            if cfg.learning.enabled {
+                let any_bugs = reports.iter().any(|r| !r.bugs.is_empty());
+                for report in &reports {
+                    if cfg.learning.bug_biased && any_bugs && report.bugs.is_empty() {
+                        continue;
+                    }
+                    traces_learned += learning::observe_report(&mut counts, report, dfa);
+                }
+                pd = counts.to_assignment(dfa, alphabet, cfg.learning.alpha);
+                // Compile eagerly so an invalid learned assignment fails
+                // loudly here, attributed to this round — not on the next
+                // round's TrialEngine::new (or, on the final round, never).
+                let pfa = Pfa::from_dfa(dfa, alphabet.clone(), &pd)
+                    .map_err(|e| CampaignError::Adaptive(AdaptiveTestError::Pfa(e)))?;
+                learned = Some(LearnedDistribution::from_pfa(&pfa, alphabet));
+            }
+
+            rounds.push(assemble_round(
+                round,
+                &engine,
+                cfg.master_seed,
+                &reports,
+                traces_learned,
+                learned,
+            ));
+        }
+
+        Ok(CampaignReport {
+            scenario: scenario.name().to_owned(),
+            master_seed: cfg.master_seed,
+            trials_per_round: cfg.trials_per_round,
+            rounds,
+        })
+    }
+}
+
+fn assemble_round(
+    round: usize,
+    engine: &TrialEngine,
+    master_seed: u64,
+    reports: &[TestReport],
+    traces_learned: u64,
+    learned: Option<LearnedDistribution>,
+) -> RoundReport {
+    let alphabet = engine.generator().regex().alphabet();
+    let distribution = LearnedDistribution::from_pfa(engine.generator().pfa(), alphabet);
+    let mut trials = Vec::with_capacity(reports.len());
+    let mut trials_with_bugs = 0usize;
+    let mut bugs = 0usize;
+    let mut total_commands = 0u64;
+    let mut total_cycles = 0u64;
+    let mut first_bug_sum = 0u64;
+    for (trial, report) in reports.iter().enumerate() {
+        if !report.bugs.is_empty() {
+            trials_with_bugs += 1;
+        }
+        bugs += report.bugs.len();
+        total_commands += report.commands_issued;
+        total_cycles += report.cycles;
+        let commands_to_first_bug = report.commands_to_first_bug();
+        first_bug_sum += commands_to_first_bug.unwrap_or(0);
+        trials.push(TrialOutcome {
+            trial,
+            seed: trial_seed(master_seed, round, trial),
+            commands_to_first_bug,
+            summary: report.machine_summary(),
+        });
+    }
+    let mean_commands_to_first_bug = if trials_with_bugs > 0 {
+        Some(first_bug_sum as f64 / trials_with_bugs as f64)
+    } else {
+        None
+    };
+    RoundReport {
+        round,
+        distribution,
+        trials,
+        trials_with_bugs,
+        bugs,
+        total_commands,
+        total_cycles,
+        mean_commands_to_first_bug,
+        traces_learned,
+        learned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_core::FnScenario;
+    use ptest_pcore::{Op, Program};
+
+    fn compute_scenario(n: usize, s: usize) -> impl Scenario {
+        FnScenario::new(
+            "compute",
+            AdaptiveTestConfig {
+                n,
+                s,
+                ..AdaptiveTestConfig::default()
+            },
+            |sys| {
+                vec![sys
+                    .kernel_mut()
+                    .register_program(Program::new(vec![Op::Compute(20), Op::Exit]).unwrap())]
+            },
+        )
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..8 {
+            for trial in 0..64 {
+                assert!(seen.insert(trial_seed(7, round, trial)));
+            }
+        }
+        assert_eq!(trial_seed(7, 3, 5), trial_seed(7, 3, 5));
+        assert_ne!(trial_seed(7, 3, 5), trial_seed(8, 3, 5));
+    }
+
+    #[test]
+    fn campaign_runs_all_trials_across_rounds() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 5,
+                rounds: 3,
+                workers: 2,
+                master_seed: 1,
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        assert_eq!(report.total_trials(), 15);
+        assert_eq!(report.rounds.len(), 3);
+        for (i, round) in report.rounds.iter().enumerate() {
+            assert_eq!(round.round, i);
+            assert_eq!(round.trials.len(), 5);
+            assert!(round.total_commands > 0);
+            assert!(round.learned.is_some(), "learning is on by default");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let scenario = compute_scenario(2, 4);
+        let run = |workers| {
+            Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 6,
+                    rounds: 2,
+                    workers,
+                    master_seed: 99,
+                    ..CampaignConfig::default()
+                },
+                &scenario,
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        let eight = run(8);
+        assert_eq!(one, four);
+        assert_eq!(four, eight);
+    }
+
+    #[test]
+    fn learning_disabled_keeps_the_distribution_fixed() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 3,
+                rounds: 3,
+                workers: 2,
+                master_seed: 5,
+                learning: LearningConfig {
+                    enabled: false,
+                    ..LearningConfig::default()
+                },
+            },
+            &scenario,
+        )
+        .unwrap();
+        for round in &report.rounds {
+            assert_eq!(round.traces_learned, 0);
+            assert!(round.learned.is_none());
+            assert_eq!(round.distribution, report.rounds[0].distribution);
+        }
+    }
+
+    #[test]
+    fn learning_shifts_the_distribution_between_rounds() {
+        let scenario = compute_scenario(3, 6);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 4,
+                rounds: 2,
+                workers: 2,
+                master_seed: 42,
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        assert!(report.rounds[0].traces_learned > 0);
+        // Round 1 generates from what round 0 learned.
+        assert_eq!(
+            report.rounds[0].learned.as_ref().unwrap(),
+            &report.rounds[1].distribution
+        );
+    }
+
+    #[test]
+    fn empty_campaigns_are_rejected() {
+        let scenario = compute_scenario(1, 2);
+        assert!(matches!(
+            Campaign::run(
+                &CampaignConfig {
+                    rounds: 0,
+                    ..CampaignConfig::default()
+                },
+                &scenario
+            ),
+            Err(CampaignError::EmptyCampaign)
+        ));
+        assert!(matches!(
+            Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 0,
+                    ..CampaignConfig::default()
+                },
+                &scenario
+            ),
+            Err(CampaignError::EmptyCampaign)
+        ));
+    }
+
+    #[test]
+    fn bad_scenario_regex_is_reported() {
+        let scenario = FnScenario::new(
+            "bad",
+            AdaptiveTestConfig {
+                regex_source: "((".to_owned(),
+                ..AdaptiveTestConfig::default()
+            },
+            |_sys| Vec::new(),
+        );
+        assert!(matches!(
+            Campaign::run(&CampaignConfig::default(), &scenario),
+            Err(CampaignError::Adaptive(AdaptiveTestError::Regex(_)))
+        ));
+    }
+}

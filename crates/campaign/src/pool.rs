@@ -1,0 +1,76 @@
+//! A minimal deterministic worker pool.
+//!
+//! Trials are pure functions of their index (each derives its own seed
+//! and runs on a private simulated system), so parallelism only needs to
+//! hand out indices and collect results *by index*. Workers race for
+//! indices through an atomic counter; results land in per-index slots,
+//! so the assembled output vector is identical no matter how many
+//! workers ran or how the OS scheduled them — the property the campaign
+//! determinism tests pin down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` jobs on up to `workers` OS threads and returns the
+/// results in job-index order. `workers` is clamped to `[1, jobs]`; with
+/// one worker the jobs run inline on the calling thread.
+pub(crate) fn run_indexed<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs);
+    if workers == 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = job(i);
+                *slots[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 4, 8, 64] {
+            let out = run_indexed(workers, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty() {
+        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = run_indexed(8, 1, |i| i + 100);
+        assert_eq!(out, vec![100]);
+    }
+}

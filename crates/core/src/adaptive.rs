@@ -15,19 +15,18 @@
 //! report's scenario and arrives at the same outcome — the paper's bug
 //! reproduction story, made checkable.
 
-use ptest_automata::{GenerateOptions, ProbabilityAssignment, Regex};
+use ptest_automata::{ProbabilityAssignment, Regex};
 use ptest_master::{DualCoreSystem, SystemConfig};
 use ptest_pcore::ProgramId;
 use ptest_soc::Cycles;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::committer::{Committer, CommitterConfig, CommitterError, CommitterStatus};
-use crate::coverage::{self, CoverageReport};
-use crate::detector::{Bug, BugDetector, BugKind, DetectorConfig};
-use crate::generator::PatternGenerator;
-use crate::merger::{MergeOp, PatternMerger};
+use crate::committer::{CommitterError, CommitterStatus};
+use crate::coverage::CoverageReport;
+use crate::detector::{Bug, BugKind, DetectorConfig};
+use crate::merger::MergeOp;
 use crate::pattern::{MergedPattern, TestPattern};
+use crate::scenario::Scenario;
+use crate::trial::TrialEngine;
 
 /// Full configuration of one adaptive-test run (Algorithm 1's inputs
 /// plus the environmental knobs of this reproduction).
@@ -60,7 +59,7 @@ pub struct AdaptiveTestConfig {
     /// Committer knobs (programs are supplied by the scenario setup).
     pub response_timeout: Cycles,
     /// Master-side pacing between commands (see
-    /// [`CommitterConfig::inter_command_gap`]).
+    /// [`CommitterConfig::inter_command_gap`](crate::CommitterConfig::inter_command_gap)).
     pub inter_command_gap: u64,
     /// Stack size for created tasks.
     pub stack_bytes: Option<u32>,
@@ -228,6 +227,10 @@ impl AdaptiveTest {
     /// and returns the programs that `task_create` commands should start
     /// (one per pattern, cycled if shorter).
     ///
+    /// This is a thin single-trial wrapper over [`TrialEngine`], the
+    /// engine the campaign layer fans out across worker threads: compile
+    /// the PFA pipeline once, run one trial at the configured seed.
+    ///
     /// # Errors
     ///
     /// [`AdaptiveTestError`] if the regex, distribution, or committer
@@ -236,89 +239,21 @@ impl AdaptiveTest {
         cfg: AdaptiveTestConfig,
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
     ) -> Result<TestReport, AdaptiveTestError> {
-        // --- Algorithm 1, lines 1-3: generate T[1..n].
-        let regex = Regex::parse(&cfg.regex_source).map_err(AdaptiveTestError::Regex)?;
-        let generator = PatternGenerator::new(regex, &cfg.pd).map_err(AdaptiveTestError::Pfa)?;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let opts = if cfg.cyclic_generation {
-            GenerateOptions::cyclic(cfg.s)
-        } else {
-            GenerateOptions::sized(cfg.s)
-        };
-        let patterns = generator.generate_batch(&mut rng, cfg.n, opts);
+        let seed = cfg.seed;
+        TrialEngine::new(cfg)?.run_trial(seed, setup)
+    }
 
-        // --- Line 4: merge.
-        let merged = PatternMerger::new().merge(&patterns, cfg.op);
-
-        // --- System + committer + detector (lines 5-10).
-        let mut sys = DualCoreSystem::new(cfg.system.clone());
-        let programs = setup(&mut sys);
-        let mut committer = Committer::new(
-            merged.clone(),
-            generator.regex().alphabet(),
-            CommitterConfig {
-                response_timeout: cfg.response_timeout,
-                programs,
-                stack_bytes: cfg.stack_bytes,
-                priority_band: 15,
-                inter_command_gap: cfg.inter_command_gap,
-            },
-        )
-        .map_err(AdaptiveTestError::Committer)?;
-        let mut detector = BugDetector::new(cfg.detector);
-
-        let mut bugs: Vec<Bug> = Vec::new();
-        let mut cycles = 0u64;
-        let mut done_at: Option<u64> = None;
-        while cycles < cfg.max_cycles {
-            cycles += 1;
-            sys.step();
-            let status = committer.step(&mut sys);
-            let committer_done = status != CommitterStatus::Running;
-            if committer_done && done_at.is_none() {
-                done_at = Some(cycles);
-            }
-            if cycles.is_multiple_of(cfg.check_interval) {
-                bugs.extend(detector.observe(&sys, Some(&committer), committer_done));
-            }
-            // Stop once a crash-class bug is in hand, or after the drain
-            // period following completion.
-            let fatal = bugs.iter().any(|b| {
-                matches!(
-                    b.kind,
-                    BugKind::SlaveCrash { .. }
-                        | BugKind::CommandTimeout { .. }
-                        | BugKind::Deadlock { .. }
-                        | BugKind::Livelock { .. }
-                )
-            });
-            if fatal {
-                break;
-            }
-            if let Some(done) = done_at {
-                let quiescent = sys.snapshot().live_tasks() == 0;
-                if quiescent || cycles - done >= cfg.drain_cycles {
-                    // Final sweep before ending.
-                    bugs.extend(detector.observe(&sys, Some(&committer), true));
-                    break;
-                }
-            }
-        }
-
-        let coverage = coverage::measure(&patterns, generator.dfa(), generator.regex().alphabet());
-        Ok(TestReport {
-            bugs,
-            commands_issued: committer.commands_issued(),
-            error_replies: committer.error_replies(),
-            cycles,
-            committer_status: committer.status(),
-            completed: committer.status() == CommitterStatus::Done,
-            coverage,
-            exec_records: committer.records().to_vec(),
-            patterns,
-            merged,
-            config: cfg,
-        })
+    /// Runs one seeded trial of a [`Scenario`] (its base configuration
+    /// with `seed` substituted).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdaptiveTest::run`].
+    pub fn run_scenario(
+        scenario: &dyn Scenario,
+        seed: u64,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        TrialEngine::new(scenario.base_config())?.run_scenario_trial(scenario, seed)
     }
 
     /// Re-runs the scenario of a report (same configuration, same seed).
@@ -430,6 +365,32 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.patterns, b.patterns);
+    }
+
+    #[test]
+    fn run_scenario_matches_closure_run() {
+        let scenario = crate::FnScenario::new(
+            "quick",
+            AdaptiveTestConfig {
+                n: 3,
+                s: 6,
+                ..AdaptiveTestConfig::default()
+            },
+            quick_setup,
+        );
+        let via_scenario = AdaptiveTest::run_scenario(&scenario, 42).unwrap();
+        let via_closure = AdaptiveTest::run(
+            AdaptiveTestConfig {
+                n: 3,
+                s: 6,
+                seed: 42,
+                ..AdaptiveTestConfig::default()
+            },
+            quick_setup,
+        )
+        .unwrap();
+        assert_eq!(via_scenario.patterns, via_closure.patterns);
+        assert_eq!(via_scenario.cycles, via_closure.cycles);
     }
 
     #[test]

@@ -54,6 +54,8 @@ mod merger;
 mod pattern;
 mod record;
 mod report;
+mod scenario;
+mod trial;
 
 pub use adaptive::{AdaptiveTest, AdaptiveTestConfig, AdaptiveTestError, TestReport};
 pub use committer::{Committer, CommitterConfig, CommitterError, CommitterStatus, ExecRecord};
@@ -64,6 +66,8 @@ pub use merger::{MergeOp, PatternMerger};
 pub use pattern::{MergedPattern, MergedStep, TestPattern};
 pub use record::{MasterState, StateRecord};
 pub use report::{BugSummary, ReportSummary};
+pub use scenario::{Configured, FnScenario, Scenario};
+pub use trial::TrialEngine;
 
 #[cfg(test)]
 mod tests {

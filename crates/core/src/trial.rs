@@ -1,0 +1,238 @@
+//! The single-trial execution engine underlying [`AdaptiveTest`] and the
+//! campaign layer.
+//!
+//! Compiling the regular expression and attaching the probability
+//! distribution (`ConvertToNFA` + `ConstructPFA` of Algorithm 2) is the
+//! expensive, trial-independent part of a run. A [`TrialEngine`] performs
+//! it **once**; [`TrialEngine::run_trial`] then executes arbitrarily many
+//! seeded trials against the compiled PFA — which is what lets a campaign
+//! fan hundreds of trials across worker threads without recompiling per
+//! trial. [`AdaptiveTest::run`] is a thin wrapper: compile, run one
+//! trial.
+//!
+//! [`AdaptiveTest`]: crate::AdaptiveTest
+//! [`AdaptiveTest::run`]: crate::AdaptiveTest::run
+
+use ptest_automata::{GenerateOptions, Regex};
+use ptest_master::DualCoreSystem;
+use ptest_pcore::ProgramId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adaptive::{AdaptiveTestConfig, AdaptiveTestError, TestReport};
+use crate::committer::{Committer, CommitterConfig, CommitterStatus};
+use crate::coverage;
+use crate::detector::{Bug, BugDetector, BugKind};
+use crate::generator::PatternGenerator;
+use crate::merger::PatternMerger;
+use crate::scenario::Scenario;
+
+/// A compiled adaptive-test configuration: the PFA pipeline built once,
+/// reusable across any number of seeded trials (and across threads — the
+/// engine is `Send + Sync`).
+#[derive(Debug, Clone)]
+pub struct TrialEngine {
+    config: AdaptiveTestConfig,
+    generator: PatternGenerator,
+}
+
+impl TrialEngine {
+    /// Compiles `config`'s regular expression and probability
+    /// distribution into a reusable engine.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveTestError`] if the regex or distribution is invalid.
+    pub fn new(config: AdaptiveTestConfig) -> Result<TrialEngine, AdaptiveTestError> {
+        let regex = Regex::parse(&config.regex_source).map_err(AdaptiveTestError::Regex)?;
+        let generator = PatternGenerator::new(regex, &config.pd).map_err(AdaptiveTestError::Pfa)?;
+        Ok(TrialEngine { config, generator })
+    }
+
+    /// The compiled pattern generator (PFA + legality oracle).
+    #[must_use]
+    pub fn generator(&self) -> &PatternGenerator {
+        &self.generator
+    }
+
+    /// The configuration this engine was compiled from.
+    #[must_use]
+    pub fn config(&self) -> &AdaptiveTestConfig {
+        &self.config
+    }
+
+    /// Runs one seeded trial: generate, merge, fork the detector, commit
+    /// (Algorithm 1 lines 1–10). `seed` overrides the configured seed and
+    /// is echoed into the report, so every campaign trial is individually
+    /// reproducible via [`AdaptiveTest::reproduce`].
+    ///
+    /// [`AdaptiveTest::reproduce`]: crate::AdaptiveTest::reproduce
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveTestError::Committer`] if the committer rejects the
+    /// configuration (no programs, too many patterns, …).
+    pub fn run_trial(
+        &self,
+        seed: u64,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        let cfg = AdaptiveTestConfig {
+            seed,
+            ..self.config.clone()
+        };
+
+        // --- Algorithm 1, lines 1-3: generate T[1..n].
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let opts = if cfg.cyclic_generation {
+            GenerateOptions::cyclic(cfg.s)
+        } else {
+            GenerateOptions::sized(cfg.s)
+        };
+        let patterns = self.generator.generate_batch(&mut rng, cfg.n, opts);
+
+        // --- Line 4: merge.
+        let merged = PatternMerger::new().merge(&patterns, cfg.op);
+
+        // --- System + committer + detector (lines 5-10).
+        let mut sys = DualCoreSystem::new(cfg.system.clone());
+        let programs = setup(&mut sys);
+        let mut committer = Committer::new(
+            merged.clone(),
+            self.generator.regex().alphabet(),
+            CommitterConfig {
+                response_timeout: cfg.response_timeout,
+                programs,
+                stack_bytes: cfg.stack_bytes,
+                priority_band: 15,
+                inter_command_gap: cfg.inter_command_gap,
+            },
+        )
+        .map_err(AdaptiveTestError::Committer)?;
+        let mut detector = BugDetector::new(cfg.detector);
+
+        let mut bugs: Vec<Bug> = Vec::new();
+        let mut cycles = 0u64;
+        let mut done_at: Option<u64> = None;
+        while cycles < cfg.max_cycles {
+            cycles += 1;
+            sys.step();
+            let status = committer.step(&mut sys);
+            let committer_done = status != CommitterStatus::Running;
+            if committer_done && done_at.is_none() {
+                done_at = Some(cycles);
+            }
+            if cycles.is_multiple_of(cfg.check_interval) {
+                bugs.extend(detector.observe(&sys, Some(&committer), committer_done));
+            }
+            // Stop once a crash-class bug is in hand, or after the drain
+            // period following completion.
+            let fatal = bugs.iter().any(|b| {
+                matches!(
+                    b.kind,
+                    BugKind::SlaveCrash { .. }
+                        | BugKind::CommandTimeout { .. }
+                        | BugKind::Deadlock { .. }
+                        | BugKind::Livelock { .. }
+                )
+            });
+            if fatal {
+                break;
+            }
+            if let Some(done) = done_at {
+                let quiescent = sys.snapshot().live_tasks() == 0;
+                if quiescent || cycles - done >= cfg.drain_cycles {
+                    // Final sweep before ending.
+                    bugs.extend(detector.observe(&sys, Some(&committer), true));
+                    break;
+                }
+            }
+        }
+
+        let coverage = coverage::measure(
+            &patterns,
+            self.generator.dfa(),
+            self.generator.regex().alphabet(),
+        );
+        Ok(TestReport {
+            bugs,
+            commands_issued: committer.commands_issued(),
+            error_replies: committer.error_replies(),
+            cycles,
+            committer_status: committer.status(),
+            completed: committer.status() == CommitterStatus::Done,
+            coverage,
+            exec_records: committer.records().to_vec(),
+            patterns,
+            merged,
+            config: cfg,
+        })
+    }
+
+    /// Runs one seeded trial of a [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_scenario_trial(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial(seed, |sys| scenario.setup(sys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveTest;
+    use ptest_pcore::{Op, Program};
+
+    fn quick_setup(sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        vec![sys
+            .kernel_mut()
+            .register_program(Program::new(vec![Op::Compute(20), Op::Exit]).unwrap())]
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrialEngine>();
+    }
+
+    #[test]
+    fn engine_trial_matches_adaptive_test_run() {
+        let cfg = AdaptiveTestConfig {
+            n: 3,
+            s: 6,
+            seed: 42,
+            ..AdaptiveTestConfig::default()
+        };
+        let via_engine = TrialEngine::new(cfg.clone())
+            .unwrap()
+            .run_trial(42, quick_setup)
+            .unwrap();
+        let via_run = AdaptiveTest::run(cfg, quick_setup).unwrap();
+        assert_eq!(via_engine.patterns, via_run.patterns);
+        assert_eq!(via_engine.commands_issued, via_run.commands_issued);
+        assert_eq!(via_engine.cycles, via_run.cycles);
+        assert_eq!(via_engine.bugs.len(), via_run.bugs.len());
+    }
+
+    #[test]
+    fn one_engine_serves_many_seeds() {
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let a = engine.run_trial(1, quick_setup).unwrap();
+        let b = engine.run_trial(2, quick_setup).unwrap();
+        let a2 = engine.run_trial(1, quick_setup).unwrap();
+        assert_ne!(a.patterns, b.patterns, "different seeds, different runs");
+        assert_eq!(a.patterns, a2.patterns, "same seed, same run");
+        assert_eq!(a.config.seed, 1, "trial seed is echoed for reproduction");
+    }
+}

@@ -23,10 +23,11 @@
 //! between the two statements takes time; the simulator must be told how
 //! much.
 
-use ptest_core::{BugDetector, BugKind, DetectorConfig};
+use ptest_core::{AdaptiveTestConfig, BugDetector, BugKind, DetectorConfig, MergeOp, Scenario};
 use ptest_master::{DualCoreSystem, SystemConfig};
 use ptest_pcore::{
-    Op, Priority, Program, ProgramBuilder, SvcReply, SvcRequest, TaskId, TaskState, VarId,
+    Op, Priority, Program, ProgramBuilder, ProgramId, SvcReply, SvcRequest, TaskId, TaskState,
+    VarId,
 };
 use ptest_soc::Cycles;
 
@@ -319,6 +320,57 @@ pub fn run_with_master_threads(scenario: Fig1Scenario) -> Fig1Outcome {
     Fig1Outcome::Livelock { tasks: live }
 }
 
+/// The Figure 1 fault as an adaptive-test [`Scenario`]: the committer's
+/// `task_create` commands play the role of the master's `K`/`L` resumes.
+/// Pattern 0 starts S1 (spin-wait on `y`, with the `a→b` compute window)
+/// and pattern 1 starts S2 (spin-wait on `x`); whenever the merged
+/// pattern lands both creates inside S1's window — and neither task is
+/// deleted before the spin closes — the mutual yield loop forms and the
+/// detector reports a livelock. Distributions that keep tasks alive
+/// (pattern truncated before its terminal `TD`/`TY`) reveal the fault;
+/// churn-heavy ones destroy the processes before it can form, which is
+/// exactly the signal the campaign's cross-trial learning feeds on.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1AdaptiveScenario {
+    /// Compute cycles between S1's `a:` and `b:` statements.
+    pub window: u32,
+}
+
+impl Default for Fig1AdaptiveScenario {
+    fn default() -> Fig1AdaptiveScenario {
+        Fig1AdaptiveScenario { window: 400 }
+    }
+}
+
+impl Scenario for Fig1AdaptiveScenario {
+    fn name(&self) -> &str {
+        "fig1-livelock"
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        AdaptiveTestConfig {
+            n: 2,
+            s: 8,
+            op: MergeOp::cyclic(),
+            check_interval: 25,
+            inter_command_gap: 30,
+            detector: DetectorConfig {
+                progress_window: Cycles::new(20_000),
+                ..DetectorConfig::default()
+            },
+            max_cycles: 400_000,
+            ..AdaptiveTestConfig::default()
+        }
+    }
+
+    fn setup(&self, sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        let kernel = sys.kernel_mut();
+        let p1 = kernel.register_program(s1_program(self.window));
+        let p2 = kernel.register_program(s2_program());
+        vec![p1, p2]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +442,25 @@ mod tests {
         assert!(
             matches!(bad, Fig1Outcome::Livelock { .. }),
             "M1-before-M2 schedule livelocks: {bad:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_scenario_finds_the_livelock_within_a_few_seeds() {
+        use ptest_core::AdaptiveTest;
+        let scenario = Fig1AdaptiveScenario::default();
+        let mut found = false;
+        for seed in 0..12 {
+            let report = AdaptiveTest::run_scenario(&scenario, seed).unwrap();
+            assert_eq!(report.ordering_errors(), 0, "PFA keeps orders legal");
+            if report.found(|k| matches!(k, BugKind::Livelock { .. })) {
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "cyclic creates must land inside S1's window for some seed"
         );
     }
 

@@ -8,7 +8,7 @@
 //! pTest's wait-for-graph detector reports. The corrected version breaks
 //! the cycle by reversing one philosopher's acquisition order.
 
-use ptest_core::{AdaptiveTestConfig, DetectorConfig, MergeOp};
+use ptest_core::{AdaptiveTestConfig, DetectorConfig, MergeOp, Scenario};
 use ptest_master::DualCoreSystem;
 use ptest_pcore::{MutexId, Op, Program, ProgramBuilder, ProgramId};
 use ptest_soc::Cycles;
@@ -109,6 +109,53 @@ pub fn case2_config(seed: u64) -> AdaptiveTestConfig {
     }
 }
 
+/// Case study 2 as a campaign-ready [`Scenario`]: three philosopher
+/// programs over three fork mutexes, under [`case2_config`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhilosophersScenario {
+    /// Buggy (left-first) or corrected lock order.
+    pub variant: Variant,
+}
+
+impl PhilosophersScenario {
+    /// The paper's deadlock-prone variant.
+    #[must_use]
+    pub fn buggy() -> PhilosophersScenario {
+        PhilosophersScenario {
+            variant: Variant::Buggy,
+        }
+    }
+
+    /// The corrected control variant.
+    #[must_use]
+    pub fn fixed() -> PhilosophersScenario {
+        PhilosophersScenario {
+            variant: Variant::Fixed,
+        }
+    }
+}
+
+impl Scenario for PhilosophersScenario {
+    fn name(&self) -> &str {
+        match self.variant {
+            Variant::Buggy => "philosophers-buggy",
+            Variant::Fixed => "philosophers-fixed",
+        }
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        case2_config(0)
+    }
+
+    fn setup(&self, sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        let kernel = sys.kernel_mut();
+        let forks: Vec<MutexId> = (0..PHILOSOPHERS).map(|_| kernel.create_mutex()).collect();
+        (0..PHILOSOPHERS)
+            .map(|i| kernel.register_program(philosopher_program(i, &forks, self.variant)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +219,18 @@ mod tests {
                 report.summary()
             );
         }
+    }
+
+    #[test]
+    fn scenario_setup_matches_closure_setup() {
+        let scenario = PhilosophersScenario::buggy();
+        let mut a = DualCoreSystem::new(scenario.base_config().system);
+        let mut b = DualCoreSystem::new(case2_config(0).system);
+        assert_eq!(scenario.setup(&mut a), setup(Variant::Buggy)(&mut b));
+        let report = AdaptiveTest::run_scenario(&scenario, 3).unwrap();
+        let direct = AdaptiveTest::run(case2_config(3), setup(Variant::Buggy)).unwrap();
+        assert_eq!(report.commands_issued, direct.commands_issued);
+        assert_eq!(report.bugs.len(), direct.bugs.len());
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! baseline-comparison experiment (which bug classes does each testing
 //! strategy catch?) and the extended examples.
 
+use ptest_core::{AdaptiveTestConfig, MergeOp, Scenario};
 use ptest_master::{DualCoreSystem, SystemConfig};
-use ptest_pcore::{Op, Priority, Program, ProgramBuilder, SvcReply, SvcRequest, TaskId, VarId};
+use ptest_pcore::{
+    Op, Priority, Program, ProgramBuilder, ProgramId, SvcReply, SvcRequest, TaskId, VarId,
+};
 use ptest_soc::Cycles;
 
 /// The shared counter used by the lost-update race.
@@ -134,6 +137,35 @@ pub fn priority_inversion_system() -> (DualCoreSystem, TaskId, TaskId, TaskId) {
     (sys, low, medium, high)
 }
 
+/// The unsynchronized counter-increment program of the lost-update race:
+/// `rounds` iterations of read → yield (the race window) → write-back.
+#[must_use]
+pub fn race_writer_program(rounds: u16) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.push(Op::AddReg {
+        reg: 1,
+        delta: i64::from(rounds),
+    });
+    b.bind("loop");
+    // read counter -> r0; yield inside the window; write r0+1 back
+    b.push(Op::ReadVar {
+        var: RACE_COUNTER,
+        reg: 0,
+    });
+    b.push(Op::Yield); // the race window
+    b.push(Op::AddReg { reg: 0, delta: 1 });
+    b.push(Op::WriteVarReg {
+        var: RACE_COUNTER,
+        reg: 0,
+    });
+    b.push(Op::AddReg { reg: 1, delta: -1 });
+    b.branch_if_reg_eq(1, 0, "done");
+    b.jump_to("loop");
+    b.bind("done");
+    b.push(Op::Exit);
+    b.build().expect("race writer program is valid")
+}
+
 /// Builds the lost-update race: `writers` tasks each add 1 to a shared
 /// counter `rounds` times *without synchronization* (read, compute,
 /// write back). Returns the system and the task ids.
@@ -153,31 +185,7 @@ pub fn race_system(writers: usize, rounds: u16) -> (DualCoreSystem, Vec<TaskId>)
     let kernel = sys.kernel_mut();
     let mut tasks = Vec::new();
     for w in 0..writers {
-        let prog = {
-            let mut b = ProgramBuilder::new();
-            b.push(Op::AddReg {
-                reg: 1,
-                delta: i64::from(rounds),
-            });
-            b.bind("loop");
-            // read counter -> r0; yield inside the window; write r0+1 back
-            b.push(Op::ReadVar {
-                var: RACE_COUNTER,
-                reg: 0,
-            });
-            b.push(Op::Yield); // the race window
-            b.push(Op::AddReg { reg: 0, delta: 1 });
-            b.push(Op::WriteVarReg {
-                var: RACE_COUNTER,
-                reg: 0,
-            });
-            b.push(Op::AddReg { reg: 1, delta: -1 });
-            b.branch_if_reg_eq(1, 0, "done");
-            b.jump_to("loop");
-            b.bind("done");
-            b.push(Op::Exit);
-            kernel.register_program(b.build().expect("valid"))
-        };
+        let prog = kernel.register_program(race_writer_program(rounds));
         let SvcReply::Created(t) = kernel
             .dispatch(
                 SvcRequest::Create {
@@ -202,6 +210,90 @@ pub fn lost_updates(sys: &DualCoreSystem, writers: usize, rounds: u16) -> i64 {
     let expected = (writers as i64) * i64::from(rounds);
     let actual = sys.kernel().var(RACE_COUNTER).unwrap_or(0);
     expected - actual
+}
+
+/// The lost-update race as a campaign-ready [`Scenario`]: each test
+/// pattern controls one unsynchronized counter writer. The adaptive
+/// detector does not flag lost updates — consult [`lost_updates`] after
+/// the run — but the scenario exercises the engine on a workload whose
+/// tasks interleave through a real shared-memory window.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceWorkloadScenario {
+    /// Concurrent writer tasks (= patterns).
+    pub writers: usize,
+    /// Increments per writer.
+    pub rounds: u16,
+}
+
+impl Default for RaceWorkloadScenario {
+    fn default() -> RaceWorkloadScenario {
+        RaceWorkloadScenario {
+            writers: 3,
+            rounds: 20,
+        }
+    }
+}
+
+impl Scenario for RaceWorkloadScenario {
+    fn name(&self) -> &str {
+        "lost-update-race"
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        AdaptiveTestConfig {
+            n: self.writers,
+            s: 8,
+            op: MergeOp::cyclic(),
+            inter_command_gap: 30,
+            ..AdaptiveTestConfig::default()
+        }
+    }
+
+    fn setup(&self, sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        (0..self.writers)
+            .map(|_| {
+                sys.kernel_mut()
+                    .register_program(race_writer_program(self.rounds))
+            })
+            .collect()
+    }
+}
+
+/// CPU starvation as a campaign-ready [`Scenario`]: pattern 0 starts a
+/// well-behaved worker, pattern 1 a non-yielding hog in a *higher*
+/// priority band. Once the merged pattern is delivered, the hog keeps
+/// spinning and the worker never runs — the detector reports starvation
+/// (and the hog's no-termination livelock).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StarvationScenario;
+
+impl Scenario for StarvationScenario {
+    fn name(&self) -> &str {
+        "cpu-starvation"
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        AdaptiveTestConfig {
+            n: 2,
+            s: 6,
+            op: MergeOp::cyclic(),
+            detector: ptest_core::DetectorConfig {
+                progress_window: Cycles::new(10_000),
+                ..ptest_core::DetectorConfig::default()
+            },
+            max_cycles: 400_000,
+            ..AdaptiveTestConfig::default()
+        }
+    }
+
+    fn setup(&self, sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        let kernel = sys.kernel_mut();
+        let worker = kernel.register_program(worker_program(100));
+        let hog = kernel.register_program(cpu_hog_program());
+        // Pattern 1 draws from the higher priority band, so the hog
+        // outranks the worker exactly as in `starvation_system`.
+        vec![worker, hog]
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +374,30 @@ mod tests {
         }
         let lost = lost_updates(&sys, 2, 50);
         assert!(lost > 0, "yield window must lose updates, lost {lost}");
+    }
+
+    #[test]
+    fn starvation_scenario_is_detected_by_the_adaptive_engine() {
+        use ptest_core::AdaptiveTest;
+        let scenario = StarvationScenario;
+        let mut found = false;
+        for seed in 0..8 {
+            let report = AdaptiveTest::run_scenario(&scenario, seed).unwrap();
+            if report.found(|k| matches!(k, BugKind::Starvation { .. } | BugKind::Livelock { .. }))
+            {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "the hog must starve the worker for some seed");
+    }
+
+    #[test]
+    fn race_scenario_runs_and_stays_legal() {
+        use ptest_core::AdaptiveTest;
+        let report = AdaptiveTest::run_scenario(&RaceWorkloadScenario::default(), 4).unwrap();
+        assert_eq!(report.ordering_errors(), 0);
+        assert!(report.commands_issued > 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! period, pTest detected the crash of pCore that was caused by the
 //! failure of garbage collection."
 
-use ptest_core::{AdaptiveTestConfig, MergeOp};
+use ptest_core::{AdaptiveTestConfig, MergeOp, Scenario};
 use ptest_master::DualCoreSystem;
 use ptest_pcore::workloads::{quicksort, QuicksortSpec};
 use ptest_pcore::{GcFaultMode, ProgramId};
@@ -102,6 +102,75 @@ pub fn stress_setup(spec: StressSpec) -> impl FnOnce(&mut DualCoreSystem) -> Vec
     }
 }
 
+/// Case study 1 as a campaign-ready [`Scenario`]: `spec.tasks` quick-sort
+/// programs churned under [`stress_config`]. The quicksort input
+/// permutations derive from `spec.seed` (fixed per campaign); the
+/// per-trial seed varies the generated service patterns.
+#[derive(Debug, Clone, Copy)]
+pub struct StressScenario {
+    /// The stress parameters.
+    pub spec: StressSpec,
+}
+
+impl StressScenario {
+    /// The paper's faulty-GC stress.
+    #[must_use]
+    pub fn paper() -> StressScenario {
+        StressScenario {
+            spec: StressSpec::paper(1),
+        }
+    }
+
+    /// The healthy-GC control.
+    #[must_use]
+    pub fn healthy() -> StressScenario {
+        StressScenario {
+            spec: StressSpec::healthy(1),
+        }
+    }
+
+    /// A lightened variant (fewer lifecycles, fewer tasks) for benches
+    /// and smoke tests where the full 16-task churn is overkill.
+    #[must_use]
+    pub fn light() -> StressScenario {
+        StressScenario {
+            spec: StressSpec {
+                tasks: 4,
+                lifecycles: 4,
+                heap_bytes: 8 * 1024,
+                ..StressSpec::paper(1)
+            },
+        }
+    }
+}
+
+impl Scenario for StressScenario {
+    fn name(&self) -> &str {
+        match self.spec.gc_fault {
+            GcFaultMode::None => "stress-healthy-gc",
+            _ => "stress-faulty-gc",
+        }
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        stress_config(&self.spec)
+    }
+
+    fn setup(&self, sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        (0..self.spec.tasks)
+            .map(|i| {
+                let (program, _) = quicksort(QuicksortSpec {
+                    elements: self.spec.elements,
+                    elem_bytes: self.spec.elem_bytes,
+                    seed: self.spec.seed.wrapping_add(i as u64),
+                    worst_case: false,
+                });
+                sys.kernel_mut().register_program(program)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +199,22 @@ mod tests {
             "control run must survive: {}",
             report.summary()
         );
+    }
+
+    #[test]
+    fn scenario_reproduces_the_gc_crash() {
+        let scenario = StressScenario::paper();
+        let report = AdaptiveTest::run_scenario(&scenario, 1).unwrap();
+        assert!(
+            report.found(|k| matches!(
+                k,
+                BugKind::SlaveCrash { .. } | BugKind::CommandTimeout { .. }
+            )),
+            "{}",
+            report.summary()
+        );
+        assert_eq!(scenario.name(), "stress-faulty-gc");
+        assert_eq!(StressScenario::healthy().name(), "stress-healthy-gc");
     }
 
     #[test]

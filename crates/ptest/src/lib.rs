@@ -7,6 +7,7 @@
 //!
 //! | layer | crate | contents |
 //! |---|---|---|
+//! | campaign | [`campaign`] | parallel multi-trial engine with cross-trial distribution learning |
 //! | tool | [`core`](mod@crate::core) | pattern generator (PFA), pattern merger, committer, bug detector, Algorithm 1 |
 //! | automata | [`automata`] | regex → NFA → DFA → PFA pipeline, distribution learning |
 //! | baselines | [`baselines`] | ConTest-style random and CHESS-style systematic testers |
@@ -49,6 +50,30 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Running a campaign
+//!
+//! A [`Campaign`] fans many seeded trials of one [`Scenario`] across a
+//! worker-thread pool and re-learns the probability distribution from
+//! the trials' execution traces between rounds — the paper's adaptive
+//! loop at fleet scale. Results are deterministic: the aggregate report
+//! is a pure function of (scenario, configuration, master seed),
+//! independent of worker count.
+//!
+//! ```
+//! use ptest::campaign::{Campaign, CampaignConfig};
+//! use ptest::faults::philosophers::PhilosophersScenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = Campaign::run(
+//!     &CampaignConfig { trials_per_round: 4, rounds: 2, workers: 2, ..CampaignConfig::default() },
+//!     &PhilosophersScenario::buggy(),
+//! )?;
+//! println!("{}", report.summary());
+//! println!("{}", ptest::campaign_report_to_json(&report)?);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +81,7 @@
 pub use ptest_automata as automata;
 pub use ptest_baselines as baselines;
 pub use ptest_bridge as bridge;
+pub use ptest_campaign as campaign;
 pub use ptest_core as core;
 pub use ptest_faults as faults;
 pub use ptest_master as master;
@@ -63,10 +89,12 @@ pub use ptest_pcore as pcore;
 pub use ptest_soc as soc;
 
 pub use ptest_automata::{Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym};
+pub use ptest_campaign::{Campaign, CampaignConfig, CampaignReport, LearningConfig, RoundReport};
 pub use ptest_core::{
     AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector, BugKind, Committer, CommitterConfig,
-    CommitterStatus, CoverageReport, DetectorConfig, MergeOp, MergedPattern, PatternGenerator,
-    PatternMerger, StateRecord, TestPattern, TestReport,
+    CommitterStatus, Configured, CoverageReport, DetectorConfig, FnScenario, MergeOp,
+    MergedPattern, PatternGenerator, PatternMerger, Scenario, StateRecord, TestPattern, TestReport,
+    TrialEngine,
 };
 pub use ptest_master::{DualCoreSystem, MasterOp, SystemConfig};
 pub use ptest_pcore::{
@@ -95,6 +123,29 @@ pub fn summary_from_json(json: &str) -> Result<core::ReportSummary, serde_json::
     serde_json::from_str(json)
 }
 
+/// Serializes a campaign's aggregate report as pretty JSON — the
+/// per-round archive format the experiment binaries emit. Because the
+/// report is a pure function of (scenario, configuration, master seed),
+/// the JSON is byte-identical across worker counts; the determinism
+/// property tests compare exactly these strings.
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (practically unreachable for this
+/// data).
+pub fn campaign_report_to_json(report: &CampaignReport) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(report)
+}
+
+/// Parses a campaign report back from JSON.
+///
+/// # Errors
+///
+/// `serde_json` errors on malformed input.
+pub fn campaign_report_from_json(json: &str) -> Result<CampaignReport, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
 #[cfg(test)]
 mod tests {
     use ptest_pcore::{Op, Program};
@@ -106,6 +157,37 @@ mod tests {
         assert_eq!(cfg.n, 4);
         let re = crate::Regex::pcore_task_lifecycle();
         assert_eq!(re.alphabet().len(), 6);
+    }
+
+    #[test]
+    fn campaign_json_roundtrip() {
+        let scenario = crate::FnScenario::new(
+            "compute",
+            crate::AdaptiveTestConfig {
+                n: 2,
+                s: 4,
+                ..crate::AdaptiveTestConfig::default()
+            },
+            |sys| {
+                vec![sys
+                    .kernel_mut()
+                    .register_program(Program::new(vec![Op::Compute(10), Op::Exit]).unwrap())]
+            },
+        );
+        let report = crate::Campaign::run(
+            &crate::CampaignConfig {
+                trials_per_round: 3,
+                rounds: 2,
+                workers: 2,
+                ..crate::CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let json = crate::campaign_report_to_json(&report).unwrap();
+        assert!(json.contains("\"trials_per_round\""));
+        let parsed = crate::campaign_report_from_json(&json).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Campaign quick-start: hunt the dining-philosophers deadlock with a
+//! parallel, cross-trial-learning fleet.
+//!
+//! ```sh
+//! cargo run --release --example campaign -- --workers 4 --rounds 3 --trials 12
+//! ```
+//!
+//! Results are deterministic: the aggregate report depends only on the
+//! scenario, the configuration and the master seed — never on
+//! `--workers`.
+
+use ptest::faults::philosophers::PhilosophersScenario;
+use ptest::{Campaign, CampaignConfig, LearningConfig};
+
+fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = CampaignConfig {
+        trials_per_round: arg("--trials", 12),
+        rounds: arg("--rounds", 3),
+        workers: arg("--workers", 4),
+        master_seed: arg("--seed", 2009) as u64,
+        learning: LearningConfig::default(),
+    };
+    println!(
+        "hunting the philosophers deadlock: {} rounds x {} trials on {} workers\n",
+        cfg.rounds, cfg.trials_per_round, cfg.workers
+    );
+
+    let report = Campaign::run(&cfg, &PhilosophersScenario::buggy())?;
+    println!("| round | detection rate | mean commands to detection | traces learned |");
+    println!("|---|---|---|---|");
+    for round in &report.rounds {
+        println!(
+            "| {} | {:.0}% ({}/{}) | {} | {} |",
+            round.round,
+            round.detection_rate() * 100.0,
+            round.trials_with_bugs,
+            round.trials.len(),
+            round
+                .mean_commands_to_first_bug
+                .map_or("—".to_owned(), |m| format!("{m:.1}")),
+            round.traces_learned,
+        );
+    }
+    println!("\n{}", report.summary());
+    if let Some((round, trial)) = report.first_bug() {
+        let outcome = &report.rounds[round].trials[trial];
+        println!(
+            "first hit: round {round}, trial {trial} (seed {}) -> {}",
+            outcome.seed, outcome.summary.bugs[0].detail
+        );
+    }
+    assert!(
+        report.trials_with_bugs() > 0,
+        "the buggy philosophers must deadlock somewhere in the fleet"
+    );
+    Ok(())
+}
