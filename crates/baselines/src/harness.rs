@@ -137,6 +137,7 @@ pub fn run_merged(
                 BugKind::SlaveCrash { .. }
                     | BugKind::CommandTimeout { .. }
                     | BugKind::Deadlock { .. }
+                    | BugKind::CrossCoreDeadlock { .. }
                     | BugKind::Livelock { .. }
             )
         });

@@ -1,0 +1,75 @@
+//! Criterion benches of the N-slave platform: `MultiCoreSystem::step`
+//! throughput (simulated cycles per second) at 1, 2 and 4 slaves, with
+//! every slave running a compute-bound task, and the overhead of the
+//! cross-core coupling paths (semaphore links, shared-variable
+//! mirroring).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ptest::pcore::{Op, Priority, Program, SvcRequest, VarId};
+use ptest::{MultiCoreSystem, SystemConfig};
+use std::hint::black_box;
+
+/// A system with one spinning compute task per slave, past its start-up
+/// transient (commands delivered, tasks running).
+fn busy_system(slaves: usize) -> MultiCoreSystem {
+    let mut sys = MultiCoreSystem::new(SystemConfig::with_slaves(slaves));
+    for slave in 0..slaves {
+        let prog = sys
+            .kernel_of_mut(slave)
+            .register_program(Program::new(vec![Op::Compute(1_000_000_000), Op::Exit]).unwrap());
+        sys.issue_to(
+            slave,
+            SvcRequest::Create {
+                program: prog,
+                priority: Priority::new(5),
+                stack_bytes: None,
+            },
+        )
+        .unwrap();
+    }
+    sys.run(100);
+    sys.take_responses();
+    sys
+}
+
+fn bench_step_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicore_step");
+    group.throughput(Throughput::Elements(1));
+    for slaves in [1usize, 2, 4] {
+        group.bench_function(format!("busy_{slaves}_slaves"), |b| {
+            let mut sys = busy_system(slaves);
+            b.iter(|| {
+                sys.step();
+                black_box(sys.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coupling_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicore_coupling");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("step_with_idle_sem_link", |b| {
+        let mut sys = busy_system(2);
+        let out = sys.kernel_of_mut(0).create_semaphore(0);
+        let inb = sys.kernel_of_mut(1).create_semaphore(0);
+        sys.link_semaphores(0, out, 1, inb).unwrap();
+        b.iter(|| {
+            sys.step();
+            black_box(sys.now())
+        })
+    });
+    group.bench_function("step_with_shared_var", |b| {
+        let mut sys = busy_system(2);
+        sys.share_var(VarId(6), 0x3_0000).unwrap();
+        b.iter(|| {
+            sys.step();
+            black_box(sys.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_scaling, bench_coupling_overhead);
+criterion_main!(benches);

@@ -280,6 +280,39 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Compile-time exhaustiveness guard: the strategies below must cover
+    /// *every* variant of the wire enums. Adding a variant to
+    /// `SvcRequest`, `SvcReply` or `SvcError` makes these matches
+    /// non-exhaustive and breaks the build until the corresponding
+    /// strategy (and codec arm) is extended.
+    #[allow(dead_code)]
+    fn strategies_cover_every_variant(req: &SvcRequest, result: &Result<SvcReply, SvcError>) {
+        match req {
+            SvcRequest::Create { .. }
+            | SvcRequest::Delete { .. }
+            | SvcRequest::Suspend { .. }
+            | SvcRequest::Resume { .. }
+            | SvcRequest::ChangePriority { .. }
+            | SvcRequest::Yield { .. }
+            | SvcRequest::PeekVar { .. }
+            | SvcRequest::PokeVar { .. } => {}
+        }
+        match result {
+            Ok(SvcReply::Done | SvcReply::Created(_) | SvcReply::Value(_)) => {}
+            Err(
+                SvcError::NoFreeSlot
+                | SvcError::PriorityInUse(_)
+                | SvcError::NoSuchTask(_)
+                | SvcError::TaskNotLive(_)
+                | SvcError::AlreadySuspended(_)
+                | SvcError::NotSuspended(_)
+                | SvcError::NoSuchProgram(_)
+                | SvcError::NoSuchVar(_)
+                | SvcError::KernelPanicked,
+            ) => {}
+        }
+    }
+
     fn arb_request() -> impl Strategy<Value = SvcRequest> {
         prop_oneof![
             (0u16..64, 1u8..=255, proptest::option::of(1u32..100_000)).prop_map(

@@ -9,14 +9,21 @@
 //!   commands ([`SvcRequest`](ptest_pcore::SvcRequest)) and responses.
 //! * [`ring`] — single-producer single-consumer rings laid out in shared
 //!   SRAM, accessed only through bounds-checked SRAM reads/writes.
+//! * [`BridgeLayout`] — where one slave's command/response ring pair
+//!   lives; [`BridgeLayout::for_slaves`] partitions the shared SRAM into
+//!   one disjoint window per slave of an N-slave platform
+//!   ([`BridgeLayout::standard`] is slave 0's window, unchanged from the
+//!   dual-core original).
 //! * [`MasterPort`] — the ARM-side endpoint: encodes commands, rings the
-//!   doorbell mailbox, polls responses, tracks outstanding commands and
-//!   exposes [`MasterPort::overdue`] so a silent (crashed) slave becomes
-//!   observable as command timeouts.
-//! * [`SlaveEndpoint`] — the DSP-side interrupt handler: drains the
-//!   command ring, dispatches into the [`Kernel`](ptest_pcore::Kernel),
-//!   and writes responses. It goes silent when the kernel panics, exactly
-//!   like firmware dying with its kernel.
+//!   target slave's doorbell mailbox, polls responses from every lane,
+//!   and tracks outstanding commands both in aggregate and per slave
+//!   ([`MasterPort::overdue`]/[`MasterPort::overdue_for`]) so a silent
+//!   (crashed) slave becomes observable as command timeouts.
+//! * [`SlaveEndpoint`] — one DSP-side interrupt handler per slave: drains
+//!   that slave's command ring, dispatches into its
+//!   [`Kernel`](ptest_pcore::Kernel), and writes responses. It goes
+//!   silent when the kernel panics, exactly like firmware dying with its
+//!   kernel.
 //!
 //! ## Example
 //!

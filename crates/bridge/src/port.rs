@@ -11,7 +11,10 @@ use crate::codec::{
 };
 use crate::ring::{RingError, SramRing};
 
-/// Where the bridge's rings live in shared SRAM.
+/// Where one slave's bridge rings live in shared SRAM.
+///
+/// An N-slave platform uses N layouts, one per slave, occupying disjoint
+/// windows carved out of the shared SRAM (see [`BridgeLayout::for_slaves`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BridgeLayout {
     /// Command ring (master → slave).
@@ -20,25 +23,61 @@ pub struct BridgeLayout {
     pub resp_ring: SramRing,
 }
 
+const fn align16(x: usize) -> usize {
+    (x + 15) & !15
+}
+
 impl BridgeLayout {
-    /// The default layout used by the system wiring: a 32-deep command
-    /// ring at offset `0x100` and a 32-deep response ring right after it.
+    /// Records per ring.
+    pub const RING_CAPACITY: u32 = 32;
+
+    /// SRAM offset of slave 0's window (below it live the boot vectors of
+    /// the original firmware image).
+    pub const BASE_OFFSET: usize = 0x100;
+
+    /// Bytes of shared SRAM one slave's window occupies: a
+    /// [`RING_CAPACITY`](Self::RING_CAPACITY)-deep command ring plus an
+    /// equally deep response ring, each 16-byte aligned.
+    pub const SLAVE_WINDOW_BYTES: usize =
+        align16(8 + CMD_RECORD_BYTES * Self::RING_CAPACITY as usize)
+            + align16(8 + RESP_RECORD_BYTES * Self::RING_CAPACITY as usize);
+
+    /// The default layout used by the legacy dual-core wiring: slave 0's
+    /// window — a 32-deep command ring at offset `0x100` and a 32-deep
+    /// response ring right after it.
     #[must_use]
     pub fn standard() -> BridgeLayout {
+        BridgeLayout::for_slave(0)
+    }
+
+    /// The layout of slave `slave`'s window. Windows are laid out
+    /// back-to-back from [`BridgeLayout::BASE_OFFSET`] with a stride of
+    /// [`BridgeLayout::SLAVE_WINDOW_BYTES`]; `for_slave(0)` is bit-identical
+    /// to the historical [`BridgeLayout::standard`].
+    #[must_use]
+    pub fn for_slave(slave: usize) -> BridgeLayout {
+        let base = Self::BASE_OFFSET + slave * Self::SLAVE_WINDOW_BYTES;
         let cmd_ring = SramRing {
-            base: 0x100,
+            base,
             record_bytes: CMD_RECORD_BYTES,
-            capacity: 32,
+            capacity: Self::RING_CAPACITY,
         };
         let resp_ring = SramRing {
-            base: cmd_ring.base + cmd_ring.footprint().next_multiple_of(16),
+            base: base + align16(cmd_ring.footprint()),
             record_bytes: RESP_RECORD_BYTES,
-            capacity: 32,
+            capacity: Self::RING_CAPACITY,
         };
         BridgeLayout {
             cmd_ring,
             resp_ring,
         }
+    }
+
+    /// Partitioned layouts for an `slaves`-slave platform: one
+    /// command/response ring pair per slave in disjoint SRAM windows.
+    #[must_use]
+    pub fn for_slaves(slaves: usize) -> Vec<BridgeLayout> {
+        (0..slaves).map(BridgeLayout::for_slave).collect()
     }
 
     /// Initialises both ring headers in SRAM.
@@ -64,6 +103,11 @@ impl Default for BridgeLayout {
 pub enum BridgeError {
     /// The command ring is full (more than 32 unserviced commands).
     CommandRingFull,
+    /// The target slave index exceeds the port's lane count.
+    NoSuchSlave {
+        /// The requested slave index.
+        slave: usize,
+    },
     /// An SRAM layout violation (configuration bug).
     Sram(ptest_soc::SramError),
 }
@@ -72,6 +116,7 @@ impl std::fmt::Display for BridgeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BridgeError::CommandRingFull => write!(f, "command ring is full"),
+            BridgeError::NoSuchSlave { slave } => write!(f, "no bridge lane for slave {slave}"),
             BridgeError::Sram(e) => write!(f, "bridge sram access failed: {e}"),
         }
     }
@@ -100,6 +145,8 @@ impl From<ptest_soc::SramError> for BridgeError {
 pub struct CmdResponse {
     /// Correlation id.
     pub id: CmdId,
+    /// The slave that answered.
+    pub slave: usize,
     /// The request as originally issued.
     pub request: SvcRequest,
     /// The slave's reply.
@@ -121,41 +168,93 @@ pub struct PortStats {
     pub ring_full_rejections: u64,
 }
 
-/// The master-side endpoint: issues commands and collects responses.
+/// One in-flight command on the master side.
+#[derive(Debug, Clone)]
+struct PendingCmd {
+    slave: usize,
+    request: SvcRequest,
+    issued_at: Cycles,
+}
+
+/// The master-side endpoint: issues commands to any slave over per-slave
+/// lanes (one command/response ring pair each) and collects responses.
+/// Command ids are unique across lanes, and issue/poll/overdue tracking is
+/// kept both in aggregate and per slave.
 ///
 /// The port does not own the hardware; the system wiring passes the shared
 /// [`SharedSram`] and [`MailboxBank`] into each call, mirroring how real
 /// firmware banks on memory-mapped peripherals.
 #[derive(Debug, Clone)]
 pub struct MasterPort {
-    layout: BridgeLayout,
+    lanes: Vec<BridgeLayout>,
     next_id: u32,
-    pending: HashMap<CmdId, (SvcRequest, Cycles)>,
+    pending: HashMap<CmdId, PendingCmd>,
     stats: PortStats,
+    lane_stats: Vec<PortStats>,
 }
 
 impl MasterPort {
-    /// Creates a port over the given layout.
+    /// Creates a single-lane port over the given layout (the legacy
+    /// dual-core wiring: everything targets slave 0).
     #[must_use]
     pub fn new(layout: BridgeLayout) -> MasterPort {
+        MasterPort::for_slaves(vec![layout])
+    }
+
+    /// Creates a port with one lane per slave layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty — a master with nothing to command is a
+    /// wiring bug.
+    #[must_use]
+    pub fn for_slaves(lanes: Vec<BridgeLayout>) -> MasterPort {
+        assert!(!lanes.is_empty(), "master port needs at least one lane");
+        let lane_stats = vec![PortStats::default(); lanes.len()];
         MasterPort {
-            layout,
+            lanes,
             next_id: 1,
             pending: HashMap::new(),
             stats: PortStats::default(),
+            lane_stats,
         }
     }
 
-    /// Issue counterstats.
+    /// Number of slave lanes.
+    #[must_use]
+    pub fn slave_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Aggregate issue counters across all lanes.
     #[must_use]
     pub fn stats(&self) -> PortStats {
         self.stats
     }
 
-    /// Number of commands awaiting a response.
+    /// Issue counters of one slave's lane, or `None` for an unknown slave.
+    #[must_use]
+    pub fn stats_for(&self, slave: usize) -> Option<PortStats> {
+        self.lane_stats.get(slave).copied()
+    }
+
+    /// Number of commands awaiting a response (all slaves).
     #[must_use]
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of commands awaiting a response from one slave.
+    #[must_use]
+    pub fn pending_count_for(&self, slave: usize) -> usize {
+        self.pending.values().filter(|p| p.slave == slave).count()
+    }
+
+    /// The slave a pending command targets, or `None` if it is not in
+    /// flight.
+    #[must_use]
+    pub fn slave_of(&self, id: CmdId) -> Option<usize> {
+        self.pending.get(&id).map(|p| p.slave)
     }
 
     /// Commands issued before `now - timeout` that are still unanswered —
@@ -165,20 +264,31 @@ impl MasterPort {
         let mut ids: Vec<CmdId> = self
             .pending
             .iter()
-            .filter(|(_, (_, at))| now.since(*at) > timeout)
+            .filter(|(_, p)| now.since(p.issued_at) > timeout)
             .map(|(id, _)| *id)
             .collect();
         ids.sort();
         ids
     }
 
-    /// Issues a command: writes the record into the command ring and rings
-    /// the doorbell mailbox (coalesced — the doorbell is only posted when
-    /// the mailbox is empty, since one interrupt drains the whole ring).
+    /// [`MasterPort::overdue`], restricted to commands targeting `slave`.
+    #[must_use]
+    pub fn overdue_for(&self, slave: usize, now: Cycles, timeout: Cycles) -> Vec<CmdId> {
+        let mut ids: Vec<CmdId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.slave == slave && now.since(p.issued_at) > timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Issues a command to slave 0 (the legacy dual-core path).
     ///
     /// # Errors
     ///
-    /// [`BridgeError::CommandRingFull`] if 32 commands are already queued.
+    /// As for [`MasterPort::issue_to`].
     pub fn issue(
         &mut self,
         sram: &mut SharedSram,
@@ -186,54 +296,104 @@ impl MasterPort {
         req: SvcRequest,
         now: Cycles,
     ) -> Result<CmdId, BridgeError> {
+        self.issue_to(0, sram, mailboxes, req, now)
+    }
+
+    /// Issues a command to slave `slave`: writes the record into that
+    /// lane's command ring and rings the slave's doorbell mailbox
+    /// (coalesced — the doorbell is only posted when the mailbox is empty,
+    /// since one interrupt drains the whole ring).
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::NoSuchSlave`] for an out-of-range slave index;
+    /// [`BridgeError::CommandRingFull`] if 32 commands are already queued
+    /// on the lane.
+    pub fn issue_to(
+        &mut self,
+        slave: usize,
+        sram: &mut SharedSram,
+        mailboxes: &mut MailboxBank,
+        req: SvcRequest,
+        now: Cycles,
+    ) -> Result<CmdId, BridgeError> {
+        let Some(lane) = self.lanes.get(slave) else {
+            return Err(BridgeError::NoSuchSlave { slave });
+        };
         let id = CmdId(self.next_id);
         let record = encode_cmd(id, &req);
-        match self.layout.cmd_ring.push(sram, &record) {
+        match lane.cmd_ring.push(sram, &record) {
             Ok(()) => {}
             Err(e) => {
                 if matches!(e, RingError::Full) {
                     self.stats.ring_full_rejections += 1;
+                    self.lane_stats[slave].ring_full_rejections += 1;
                 }
                 return Err(e.into());
             }
         }
         self.next_id += 1;
-        if mailboxes.pending(MailboxBank::ARM_TO_DSP_CMD) == 0 {
+        if mailboxes.pending(MailboxBank::cmd_index(slave)) == 0 {
             // Coalesced doorbell; the FIFO can only be full transiently.
-            let _ = mailboxes.post(MailboxBank::ARM_TO_DSP_CMD, id.0);
+            let _ = mailboxes.post(MailboxBank::cmd_index(slave), id.0);
         }
-        self.pending.insert(id, (req, now));
+        self.pending.insert(
+            id,
+            PendingCmd {
+                slave,
+                request: req,
+                issued_at: now,
+            },
+        );
         self.stats.issued += 1;
+        self.lane_stats[slave].issued += 1;
         Ok(id)
     }
 
-    /// Drains the response ring, matching responses to pending commands.
+    /// Drains every lane's response ring in slave order, matching
+    /// responses to pending commands.
     pub fn poll_responses(
         &mut self,
         sram: &mut SharedSram,
         mailboxes: &mut MailboxBank,
         now: Cycles,
     ) -> Vec<CmdResponse> {
-        // Acknowledge the response doorbell(s).
-        while mailboxes.take(MailboxBank::DSP_TO_ARM_RESP).is_some() {}
         let mut out = Vec::new();
+        for slave in 0..self.lanes.len() {
+            self.poll_slave_responses(slave, sram, mailboxes, now, &mut out);
+        }
+        out
+    }
+
+    fn poll_slave_responses(
+        &mut self,
+        slave: usize,
+        sram: &mut SharedSram,
+        mailboxes: &mut MailboxBank,
+        now: Cycles,
+        out: &mut Vec<CmdResponse>,
+    ) {
+        // Acknowledge the lane's response doorbell(s).
+        while mailboxes.take(MailboxBank::resp_index(slave)).is_some() {}
+        let resp_ring = self.lanes[slave].resp_ring;
         let mut buf = [0u8; RESP_RECORD_BYTES];
-        while let Ok(true) = self.layout.resp_ring.pop(sram, &mut buf) {
+        while let Ok(true) = resp_ring.pop(sram, &mut buf) {
             let Ok((id, result)) = decode_resp(&buf) else {
                 continue; // corrupt record: drop, keep draining
             };
-            if let Some((request, issued_at)) = self.pending.remove(&id) {
+            if let Some(p) = self.pending.remove(&id) {
                 self.stats.completed += 1;
+                self.lane_stats[slave].completed += 1;
                 out.push(CmdResponse {
                     id,
-                    request,
+                    slave: p.slave,
+                    request: p.request,
                     result,
-                    issued_at,
+                    issued_at: p.issued_at,
                     completed_at: now,
                 });
             }
         }
-        out
     }
 }
 
@@ -255,17 +415,33 @@ pub struct EndpointStats {
 #[derive(Debug, Clone)]
 pub struct SlaveEndpoint {
     layout: BridgeLayout,
+    slave: usize,
     stats: EndpointStats,
 }
 
 impl SlaveEndpoint {
-    /// Creates an endpoint over the given layout.
+    /// Creates the slave-0 endpoint over the given layout (the legacy
+    /// dual-core wiring).
     #[must_use]
     pub fn new(layout: BridgeLayout) -> SlaveEndpoint {
+        SlaveEndpoint::for_slave(layout, 0)
+    }
+
+    /// Creates the endpoint of slave `slave`, listening on that slave's
+    /// mailbox block.
+    #[must_use]
+    pub fn for_slave(layout: BridgeLayout, slave: usize) -> SlaveEndpoint {
         SlaveEndpoint {
             layout,
+            slave,
             stats: EndpointStats::default(),
         }
+    }
+
+    /// The slave index this endpoint serves.
+    #[must_use]
+    pub fn slave(&self) -> usize {
+        self.slave
     }
 
     /// Endpoint counters.
@@ -274,9 +450,10 @@ impl SlaveEndpoint {
         self.stats
     }
 
-    /// Services the command doorbell: if the mailbox interrupt is pending,
-    /// drains the command ring (up to `budget` commands), dispatching each
-    /// into `kernel` and pushing a response. Returns the number serviced.
+    /// Services the command doorbell: if the slave's mailbox interrupt is
+    /// pending, drains the command ring (up to `budget` commands),
+    /// dispatching each into `kernel` and pushing a response. Returns the
+    /// number serviced.
     pub fn service(
         &mut self,
         sram: &mut SharedSram,
@@ -288,12 +465,15 @@ impl SlaveEndpoint {
         if kernel.panic().is_some() {
             return 0; // dead slave: leave doorbells unanswered
         }
-        if !mailboxes.irq_pending(CoreId::Dsp) {
+        if !mailboxes.irq_pending(CoreId::slave(self.slave)) {
             return 0;
         }
         // Acknowledge all queued doorbells; one service drains the ring.
-        while mailboxes.take(MailboxBank::ARM_TO_DSP_CMD).is_some() {}
-        while mailboxes.take(MailboxBank::ARM_TO_DSP_DATA).is_some() {}
+        while mailboxes.take(MailboxBank::cmd_index(self.slave)).is_some() {}
+        while mailboxes
+            .take(MailboxBank::data_index(self.slave))
+            .is_some()
+        {}
 
         let mut serviced = 0;
         let mut buf = [0u8; CMD_RECORD_BYTES];
@@ -307,8 +487,8 @@ impl SlaveEndpoint {
                     let resp = encode_resp(id, &result);
                     if self.layout.resp_ring.push(sram, &resp).is_err() {
                         self.stats.resp_drops += 1;
-                    } else if mailboxes.pending(MailboxBank::DSP_TO_ARM_RESP) == 0 {
-                        let _ = mailboxes.post(MailboxBank::DSP_TO_ARM_RESP, id.0);
+                    } else if mailboxes.pending(MailboxBank::resp_index(self.slave)) == 0 {
+                        let _ = mailboxes.post(MailboxBank::resp_index(self.slave), id.0);
                     }
                     self.stats.serviced += 1;
                     serviced += 1;
@@ -398,7 +578,7 @@ mod tests {
                 .unwrap();
         }
         // Only one doorbell word despite six commands.
-        assert_eq!(r.mailboxes.pending(MailboxBank::ARM_TO_DSP_CMD), 1);
+        assert_eq!(r.mailboxes.pending(MailboxBank::cmd_index(0)), 1);
         let n = r.slave.service(
             &mut r.sram,
             &mut r.mailboxes,
@@ -464,7 +644,7 @@ mod tests {
         assert_eq!(n, 4);
         // Remaining commands require a fresh doorbell or pending irq; the
         // first service consumed the doorbell, so re-post.
-        let _ = r.mailboxes.post(MailboxBank::ARM_TO_DSP_CMD, 0);
+        let _ = r.mailboxes.post(MailboxBank::cmd_index(0), 0);
         let n2 = r.slave.service(
             &mut r.sram,
             &mut r.mailboxes,
@@ -577,5 +757,100 @@ mod tests {
             master.overdue(Cycles::new(10_000), Cycles::new(100)).len(),
             1
         );
+    }
+
+    #[test]
+    fn slave_windows_are_disjoint_and_standard_is_slave0() {
+        assert_eq!(BridgeLayout::standard(), BridgeLayout::for_slave(0));
+        let layouts = BridgeLayout::for_slaves(4);
+        for pair in layouts.windows(2) {
+            let end = pair[0].resp_ring.base + pair[0].resp_ring.footprint();
+            assert!(end <= pair[1].cmd_ring.base, "windows overlap: {pair:?}");
+        }
+        // The historical offsets of slave 0 are preserved.
+        assert_eq!(layouts[0].cmd_ring.base, 0x100);
+        assert_eq!(layouts[0].resp_ring.base, 0x100 + 784);
+    }
+
+    #[test]
+    fn two_slave_lanes_route_independently() {
+        let layouts = BridgeLayout::for_slaves(2);
+        let mut sram = SharedSram::omap5912();
+        let mut mailboxes = MailboxBank::for_slaves(2);
+        let mut master = MasterPort::for_slaves(layouts.clone());
+        let mut kernels = [
+            Kernel::with_core(KernelConfig::default(), ptest_soc::CoreId::Slave(0)),
+            Kernel::with_core(KernelConfig::default(), ptest_soc::CoreId::Slave(1)),
+        ];
+        let mut endpoints = [
+            SlaveEndpoint::for_slave(layouts[0], 0),
+            SlaveEndpoint::for_slave(layouts[1], 1),
+        ];
+        for (slave, kernel) in kernels.iter_mut().enumerate() {
+            layouts[slave].init(&mut sram).unwrap();
+            kernel.register_program(Program::exit_immediately());
+            master
+                .issue_to(
+                    slave,
+                    &mut sram,
+                    &mut mailboxes,
+                    SvcRequest::PokeVar {
+                        var: ptest_pcore::VarId(0),
+                        value: slave as i64 + 10,
+                    },
+                    Cycles::new(1),
+                )
+                .unwrap();
+        }
+        assert_eq!(master.pending_count(), 2);
+        assert_eq!(master.pending_count_for(0), 1);
+        assert_eq!(master.pending_count_for(1), 1);
+        // Service only slave 1: slave 0's command must stay untouched.
+        let n = endpoints[1].service(
+            &mut sram,
+            &mut mailboxes,
+            &mut kernels[1],
+            Cycles::new(2),
+            16,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(kernels[1].var(ptest_pcore::VarId(0)), Some(11));
+        assert_eq!(kernels[0].var(ptest_pcore::VarId(0)), Some(0));
+        let resps = master.poll_responses(&mut sram, &mut mailboxes, Cycles::new(3));
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].slave, 1);
+        assert_eq!(master.pending_count_for(0), 1);
+        assert_eq!(master.pending_count_for(1), 0);
+        // Only slave 0's lane is overdue.
+        assert_eq!(
+            master
+                .overdue_for(0, Cycles::new(1_000), Cycles::new(100))
+                .len(),
+            1
+        );
+        assert!(master
+            .overdue_for(1, Cycles::new(1_000), Cycles::new(100))
+            .is_empty());
+        assert_eq!(master.stats_for(0).unwrap().completed, 0);
+        assert_eq!(master.stats_for(1).unwrap().completed, 1);
+    }
+
+    #[test]
+    fn issue_to_unknown_slave_is_rejected() {
+        let mut sram = SharedSram::omap5912();
+        let mut mailboxes = MailboxBank::omap5912();
+        let mut master = MasterPort::new(BridgeLayout::standard());
+        let err = master
+            .issue_to(
+                3,
+                &mut sram,
+                &mut mailboxes,
+                SvcRequest::PeekVar {
+                    var: ptest_pcore::VarId(0),
+                },
+                Cycles::new(1),
+            )
+            .unwrap_err();
+        assert_eq!(err, BridgeError::NoSuchSlave { slave: 3 });
     }
 }

@@ -6,9 +6,9 @@ use std::fmt;
 
 use ptest_automata::{Alphabet, Sym};
 use ptest_bridge::CmdId;
-use ptest_master::DualCoreSystem;
+use ptest_master::MultiCoreSystem;
 use ptest_pcore::{Priority, ProgramId, Service, SvcError, SvcReply, SvcRequest, TaskId};
-use ptest_soc::Cycles;
+use ptest_soc::{CoreId, Cycles};
 
 use crate::pattern::MergedPattern;
 use crate::record::{MasterState, StateRecord};
@@ -127,9 +127,14 @@ pub struct ExecRecord {
 
 /// The committer: a resumable state machine stepped once per system
 /// cycle. It issues one command at a time and waits for its response
-/// before the next step, so the slave observes services in exactly the
+/// before the next step, so the slaves observe services in exactly the
 /// merged order — the property that makes the pattern merger "act as a
 /// scheduler".
+///
+/// On an N-slave [`MultiCoreSystem`], pattern `i`'s commands are routed
+/// to slave `i mod N` ([`Committer::slave_of`]), so a merged pattern
+/// exercises cross-core interleavings; on the dual-core platform
+/// (`N = 1`) everything targets slave 0 exactly as before.
 #[derive(Debug, Clone)]
 pub struct Committer {
     merged: MergedPattern,
@@ -274,6 +279,13 @@ impl Committer {
         self.bound.get(pattern).copied().flatten()
     }
 
+    /// The slave core pattern `pattern`'s commands are routed to on a
+    /// system with `slave_count` slaves: `pattern mod slave_count`.
+    #[must_use]
+    pub fn slave_of(pattern: usize, slave_count: usize) -> usize {
+        pattern % slave_count.max(1)
+    }
+
     fn base_priority(&self, pattern: usize) -> u8 {
         1 + (pattern as u8) * self.cfg.priority_band
     }
@@ -287,8 +299,8 @@ impl Committer {
 
     /// Advances the committer by (at most) one action: consume a pending
     /// response, time out, or issue the next command. Call once per
-    /// system cycle after [`DualCoreSystem::step`].
-    pub fn step(&mut self, sys: &mut DualCoreSystem) -> CommitterStatus {
+    /// system cycle after [`MultiCoreSystem::step`].
+    pub fn step(&mut self, sys: &mut MultiCoreSystem) -> CommitterStatus {
         if self.status != CommitterStatus::Running {
             return self.status;
         }
@@ -384,7 +396,8 @@ impl Committer {
             self.pos += 1;
             return self.status;
         };
-        match sys.issue(request) {
+        let slave = Committer::slave_of(pattern, sys.slave_count());
+        match sys.issue_to(slave, request) {
             Ok(cmd) => {
                 self.records[step_idx].request = Some(request);
                 self.records[step_idx].issued_at = Some(sys.now());
@@ -399,7 +412,7 @@ impl Committer {
 
     /// The Definition-2 state record of pattern `i` (see Figure 4).
     #[must_use]
-    pub fn state_record(&self, pattern: usize, sys: &DualCoreSystem) -> Option<StateRecord> {
+    pub fn state_record(&self, pattern: usize, sys: &MultiCoreSystem) -> Option<StateRecord> {
         let syms = self.pattern_syms.get(pattern)?.clone();
         let master_state = if let Some((_, step_idx, _)) = self.awaiting {
             if self.records[step_idx].pattern == pattern {
@@ -410,10 +423,12 @@ impl Committer {
         } else {
             self.idle_master_state(pattern, &syms)
         };
+        let slave = Committer::slave_of(pattern, sys.slave_count());
         let slave_task = self.bound[pattern];
-        let slave_state = slave_task.and_then(|t| sys.kernel().task_state(t));
+        let slave_state = slave_task.and_then(|t| sys.kernel_of(slave).task_state(t));
         Some(StateRecord {
             pattern_index: pattern,
+            slave_core: CoreId::slave(slave),
             master_state,
             slave_task,
             slave_state,
@@ -435,7 +450,7 @@ impl Committer {
     /// State records for every pattern (the dump the bug detector writes
     /// into bug reports).
     #[must_use]
-    pub fn state_records(&self, sys: &DualCoreSystem) -> Vec<StateRecord> {
+    pub fn state_records(&self, sys: &MultiCoreSystem) -> Vec<StateRecord> {
         (0..self.pattern_syms.len())
             .filter_map(|i| self.state_record(i, sys))
             .collect()
@@ -455,7 +470,7 @@ mod tests {
     use crate::generator::PatternGenerator;
     use crate::merger::{MergeOp, PatternMerger};
     use ptest_automata::GenerateOptions;
-    use ptest_master::SystemConfig;
+    use ptest_master::{DualCoreSystem, SystemConfig};
     use ptest_pcore::Program;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

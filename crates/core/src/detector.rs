@@ -5,10 +5,14 @@
 //! terminate or stay in the same state for a period of time, the system
 //! may contain synchronization anomalies"):
 //!
-//! * **Slave crash** — the kernel panicked (observed through the debug
+//! * **Slave crash** — a kernel panicked (observed through the debug
 //!   window) or commands time out against a silent slave.
-//! * **Deadlock** — a cycle in the wait-for graph (`waiter → holder`
-//!   edges over mutexes).
+//! * **Deadlock** — a cycle in a kernel's wait-for graph (`waiter →
+//!   holder` edges over mutexes).
+//! * **Cross-core deadlock** — a cycle *spanning kernels*: every live
+//!   task of the involved slaves is blocked, and the slaves wait on each
+//!   other through cross-core semaphore hand-off links
+//!   ([`ptest_master::SemLink`]). Impossible on a single-slave platform.
 //! * **Starvation** — a live task whose instruction counter has not moved
 //!   for a whole observation window: either runnable-but-never-scheduled
 //!   (CPU starvation under a spinning higher-priority task) or blocked
@@ -16,15 +20,19 @@
 //! * **Livelock / no termination** — tasks that keep retiring
 //!   instructions but never terminate after the committer has delivered
 //!   the whole pattern (Figure 1's spin loops).
-//! * **Task fault** — a task killed by the kernel (stack overflow, bad
+//! * **Task fault** — a task killed by a kernel (stack overflow, bad
 //!   free, …), surfaced from exit records.
+//!
+//! On an N-slave [`MultiCoreSystem`] every rule runs per slave kernel in
+//! slave order; on the dual-core platform the behaviour (including report
+//! rendering) is identical to the historical single-kernel detector.
 
 use std::collections::HashMap;
 use std::fmt;
 
-use ptest_master::DualCoreSystem;
+use ptest_master::MultiCoreSystem;
 use ptest_pcore::{ExitKind, KernelPanic, KernelSnapshot, TaskFault, TaskId, TaskState, WaitEdge};
-use ptest_soc::Cycles;
+use ptest_soc::{CoreId, Cycles};
 
 use crate::committer::Committer;
 use crate::record::StateRecord;
@@ -54,7 +62,7 @@ impl Default for DetectorConfig {
 /// The kind of anomaly detected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BugKind {
-    /// The slave kernel died.
+    /// A slave kernel died.
     SlaveCrash {
         /// The kernel's fatal condition.
         panic: KernelPanic,
@@ -64,10 +72,18 @@ pub enum BugKind {
         /// Number of overdue commands.
         overdue: usize,
     },
-    /// A cycle in the wait-for graph.
+    /// A cycle in one kernel's wait-for graph.
     Deadlock {
         /// The tasks forming the cycle, in cycle order.
         cycle: Vec<TaskId>,
+    },
+    /// A wait-for cycle spanning kernels: each listed task is blocked on
+    /// a cross-core semaphore hand-off fed by the next slave in the
+    /// cycle. This class of bug cannot exist on a single-slave platform.
+    CrossCoreDeadlock {
+        /// The blocked tasks forming the cycle, as `(core, task)` pairs
+        /// in cycle order.
+        cycle: Vec<(CoreId, TaskId)>,
     },
     /// A task made no progress for a whole window.
     Starvation {
@@ -103,6 +119,13 @@ impl fmt::Display for BugKind {
                 let names: Vec<String> = cycle.iter().map(ToString::to_string).collect();
                 write!(f, "deadlock cycle: {}", names.join(" -> "))
             }
+            BugKind::CrossCoreDeadlock { cycle } => {
+                let names: Vec<String> = cycle
+                    .iter()
+                    .map(|(core, task)| format!("{core}:{task}"))
+                    .collect();
+                write!(f, "cross-core deadlock cycle: {}", names.join(" -> "))
+            }
             BugKind::Starvation { task, runnable } => {
                 let how = if *runnable { "runnable" } else { "blocked" };
                 write!(f, "starvation: {task} made no progress while {how}")
@@ -122,19 +145,37 @@ impl fmt::Display for BugKind {
 pub struct Bug {
     /// What was detected.
     pub kind: BugKind,
+    /// The slave core the anomaly concerns (slave 0 for master-side and
+    /// system-wide anomalies like command timeouts; the first involved
+    /// core for cross-core deadlocks).
+    pub core: CoreId,
     /// Virtual time of detection.
     pub detected_at: Cycles,
-    /// Kernel snapshot at detection.
+    /// Snapshot of the concerned kernel at detection.
     pub snapshot: KernelSnapshot,
     /// Definition-2 state records of every controlled process.
     pub state_records: Vec<StateRecord>,
-    /// Tail of the kernel trace.
+    /// Tail of the concerned kernel's trace.
     pub trace_tail: Vec<String>,
+}
+
+impl Bug {
+    /// The bug's detail line: the kind, prefixed with the concerned core
+    /// beyond slave 0 so multi-slave reports stay attributable while
+    /// dual-core reports render byte-identically to the original tool.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        if self.core == CoreId::Dsp || matches!(self.kind, BugKind::CrossCoreDeadlock { .. }) {
+            self.kind.to_string()
+        } else {
+            format!("[{}] {}", self.core, self.kind)
+        }
+    }
 }
 
 impl fmt::Display for Bug {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}", self.detected_at, self.kind)
+        write!(f, "[{}] {}", self.detected_at, self.detail())
     }
 }
 
@@ -150,13 +191,14 @@ struct Progress {
 #[derive(Debug, Clone)]
 pub struct BugDetector {
     cfg: DetectorConfig,
-    progress: HashMap<TaskId, Progress>,
-    reported_faults: Vec<TaskId>,
-    reported_deadlock: bool,
-    reported_crash: bool,
-    reported_timeout: bool,
-    reported_livelock: bool,
-    reported_starvation: Vec<TaskId>,
+    progress: HashMap<(usize, TaskId), Progress>,
+    reported_faults: Vec<(usize, TaskId)>,
+    reported_deadlock: Vec<usize>,
+    reported_cross_core: bool,
+    reported_crash: Vec<usize>,
+    reported_timeout: Vec<usize>,
+    reported_livelock: Vec<usize>,
+    reported_starvation: Vec<(usize, TaskId)>,
     /// Virtual time at which the committer was first observed done.
     done_since: Option<Cycles>,
 }
@@ -169,10 +211,11 @@ impl BugDetector {
             cfg,
             progress: HashMap::new(),
             reported_faults: Vec::new(),
-            reported_deadlock: false,
-            reported_crash: false,
-            reported_timeout: false,
-            reported_livelock: false,
+            reported_deadlock: Vec::new(),
+            reported_cross_core: false,
+            reported_crash: Vec::new(),
+            reported_timeout: Vec::new(),
+            reported_livelock: Vec::new(),
             reported_starvation: Vec::new(),
             done_since: None,
         }
@@ -187,17 +230,20 @@ impl BugDetector {
     fn make_bug(
         &self,
         kind: BugKind,
-        sys: &DualCoreSystem,
+        core: CoreId,
+        sys: &MultiCoreSystem,
         committer: Option<&Committer>,
         snapshot: &KernelSnapshot,
     ) -> Bug {
+        let slave = core.slave_index().unwrap_or(0);
         Bug {
             kind,
+            core,
             detected_at: sys.now(),
             snapshot: snapshot.clone(),
             state_records: committer.map(|c| c.state_records(sys)).unwrap_or_default(),
             trace_tail: sys
-                .kernel()
+                .kernel_of(slave)
                 .trace()
                 .tail(self.cfg.trace_tail)
                 .iter()
@@ -211,111 +257,167 @@ impl BugDetector {
     ///
     /// `committer_done` gates the no-progress rules: while commands are
     /// still being delivered, long-running tasks are expected, so only
-    /// crash/timeout/deadlock/fault detection is active.
+    /// crash/timeout/deadlock/fault detection is active. Cross-core
+    /// deadlock detection is likewise gated, because an in-flight
+    /// `task_create` could still start the task that would resolve the
+    /// wait.
     pub fn observe(
         &mut self,
-        sys: &DualCoreSystem,
+        sys: &MultiCoreSystem,
         committer: Option<&Committer>,
         committer_done: bool,
     ) -> Vec<Bug> {
-        let snapshot = sys.snapshot();
+        let snapshots = sys.snapshots();
         let now = sys.now();
         let mut bugs = Vec::new();
 
-        // --- Crash (debug window).
-        if let Some(panic) = snapshot.panic {
-            if !self.reported_crash {
-                self.reported_crash = true;
-                bugs.push(self.make_bug(BugKind::SlaveCrash { panic }, sys, committer, &snapshot));
-            }
-        }
-        // --- Crash (timeout path: silent slave).
-        let overdue = sys.overdue(self.cfg.command_timeout);
-        if !overdue.is_empty() && !self.reported_timeout {
-            self.reported_timeout = true;
-            bugs.push(self.make_bug(
-                BugKind::CommandTimeout {
-                    overdue: overdue.len(),
-                },
-                sys,
-                committer,
-                &snapshot,
-            ));
-        }
-        // --- Task faults.
-        for t in &snapshot.tasks {
-            if let TaskState::Terminated(ExitKind::Faulted(fault)) = t.state {
-                if !self.reported_faults.contains(&t.id) {
-                    self.reported_faults.push(t.id);
+        // --- Crash (debug window), per slave.
+        for (slave, snapshot) in snapshots.iter().enumerate() {
+            if let Some(panic) = snapshot.panic {
+                if !self.reported_crash.contains(&slave) {
+                    self.reported_crash.push(slave);
                     bugs.push(self.make_bug(
-                        BugKind::TaskFault { task: t.id, fault },
+                        BugKind::SlaveCrash { panic },
+                        CoreId::slave(slave),
                         sys,
                         committer,
-                        &snapshot,
+                        snapshot,
                     ));
                 }
             }
         }
-        // --- Deadlock: cycle in waiter -> holder edges.
-        if !self.reported_deadlock {
-            if let Some(cycle) = find_cycle(&snapshot.wait_edges) {
-                self.reported_deadlock = true;
-                bugs.push(self.make_bug(BugKind::Deadlock { cycle }, sys, committer, &snapshot));
+        // --- Crash (timeout path: silent slave), per lane.
+        for (slave, snapshot) in snapshots.iter().enumerate() {
+            let overdue = sys.overdue_for(slave, self.cfg.command_timeout);
+            if !overdue.is_empty() && !self.reported_timeout.contains(&slave) {
+                self.reported_timeout.push(slave);
+                bugs.push(self.make_bug(
+                    BugKind::CommandTimeout {
+                        overdue: overdue.len(),
+                    },
+                    CoreId::slave(slave),
+                    sys,
+                    committer,
+                    snapshot,
+                ));
             }
         }
-        // --- Progress accounting for starvation/livelock.
-        let mut any_live = false;
-        let mut stalled: Vec<(TaskId, bool)> = Vec::new();
-        let mut moving: Vec<TaskId> = Vec::new();
-        for t in &snapshot.tasks {
-            if matches!(t.state, TaskState::Terminated(_)) {
-                self.progress.remove(&t.id);
-                continue;
+        // --- Task faults, per slave.
+        for (slave, snapshot) in snapshots.iter().enumerate() {
+            for t in &snapshot.tasks {
+                if let TaskState::Terminated(ExitKind::Faulted(fault)) = t.state {
+                    if !self.reported_faults.contains(&(slave, t.id)) {
+                        self.reported_faults.push((slave, t.id));
+                        bugs.push(self.make_bug(
+                            BugKind::TaskFault { task: t.id, fault },
+                            CoreId::slave(slave),
+                            sys,
+                            committer,
+                            snapshot,
+                        ));
+                    }
+                }
             }
-            any_live = true;
-            let entry = self.progress.entry(t.id).or_insert(Progress {
-                ops: t.ops_retired,
-                since: now,
-            });
-            if t.ops_retired != entry.ops {
-                entry.ops = t.ops_retired;
-                entry.since = now;
-                moving.push(t.id);
-            } else if now.since(entry.since) >= self.cfg.progress_window {
-                let runnable = matches!(t.state, TaskState::Ready) && !t.suspended;
-                // Suspended tasks are intentionally parked by TS: not a bug.
-                if !t.suspended {
-                    stalled.push((t.id, runnable));
+        }
+        // --- Deadlock: cycle in one kernel's waiter -> holder edges.
+        for (slave, snapshot) in snapshots.iter().enumerate() {
+            if !self.reported_deadlock.contains(&slave) {
+                if let Some(cycle) = find_cycle(&snapshot.wait_edges) {
+                    self.reported_deadlock.push(slave);
+                    bugs.push(self.make_bug(
+                        BugKind::Deadlock { cycle },
+                        CoreId::slave(slave),
+                        sys,
+                        committer,
+                        snapshot,
+                    ));
+                }
+            }
+        }
+        // --- Cross-core deadlock: cycle spanning kernels through the
+        //     registered semaphore hand-off links.
+        if committer_done && !self.reported_cross_core {
+            if let Some(cycle) = find_cross_core_cycle(sys, &snapshots) {
+                self.reported_cross_core = true;
+                let first_core = cycle[0].0;
+                let snapshot = &snapshots[first_core.slave_index().unwrap_or(0)];
+                bugs.push(self.make_bug(
+                    BugKind::CrossCoreDeadlock { cycle },
+                    first_core,
+                    sys,
+                    committer,
+                    snapshot,
+                ));
+            }
+        }
+        // --- Progress accounting for starvation/livelock, per slave.
+        let mut any_live = false;
+        let mut stalled: Vec<(usize, TaskId, bool)> = Vec::new();
+        let mut moving: Vec<(usize, TaskId)> = Vec::new();
+        for (slave, snapshot) in snapshots.iter().enumerate() {
+            for t in &snapshot.tasks {
+                if matches!(t.state, TaskState::Terminated(_)) {
+                    self.progress.remove(&(slave, t.id));
+                    continue;
+                }
+                any_live = true;
+                let entry = self.progress.entry((slave, t.id)).or_insert(Progress {
+                    ops: t.ops_retired,
+                    since: now,
+                });
+                if t.ops_retired != entry.ops {
+                    entry.ops = t.ops_retired;
+                    entry.since = now;
+                    moving.push((slave, t.id));
+                } else if now.since(entry.since) >= self.cfg.progress_window {
+                    let runnable = matches!(t.state, TaskState::Ready) && !t.suspended;
+                    // Suspended tasks are intentionally parked by TS: not a bug.
+                    if !t.suspended {
+                        stalled.push((slave, t.id, runnable));
+                    }
                 }
             }
         }
         if committer_done {
             let done_since = *self.done_since.get_or_insert(now);
-            for (task, runnable) in stalled {
-                if !self.reported_starvation.contains(&task) {
-                    self.reported_starvation.push(task);
+            for (slave, task, runnable) in stalled {
+                if !self.reported_starvation.contains(&(slave, task)) {
+                    self.reported_starvation.push((slave, task));
                     bugs.push(self.make_bug(
                         BugKind::Starvation { task, runnable },
+                        CoreId::slave(slave),
                         sys,
                         committer,
-                        &snapshot,
+                        &snapshots[slave],
                     ));
                 }
             }
             // Livelock / no termination: live tasks still spinning a full
             // window after the whole pattern was delivered (Figure 1).
-            if any_live
-                && !moving.is_empty()
-                && !self.reported_livelock
-                && now.since(done_since) >= self.cfg.progress_window
-            {
-                self.reported_livelock = true;
-                bugs.push(self.make_bug(
-                    BugKind::Livelock { tasks: moving },
-                    sys,
-                    committer,
-                    &snapshot,
-                ));
+            // Reported once per slave so multi-slave spinners stay
+            // attributable to their kernel.
+            if any_live && now.since(done_since) >= self.cfg.progress_window {
+                for (slave, snapshot) in snapshots.iter().enumerate() {
+                    if self.reported_livelock.contains(&slave) {
+                        continue;
+                    }
+                    let tasks: Vec<TaskId> = moving
+                        .iter()
+                        .filter(|(s, _)| *s == slave)
+                        .map(|&(_, t)| t)
+                        .collect();
+                    if tasks.is_empty() {
+                        continue;
+                    }
+                    self.reported_livelock.push(slave);
+                    bugs.push(self.make_bug(
+                        BugKind::Livelock { tasks },
+                        CoreId::slave(slave),
+                        sys,
+                        committer,
+                        snapshot,
+                    ));
+                }
             }
         }
         bugs
@@ -353,6 +455,96 @@ fn find_cycle(edges: &[WaitEdge]) -> Option<Vec<TaskId>> {
             seen.push(n);
             cur = n;
             if seen.len() > edges.len() + 2 {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Finds a wait-for cycle spanning kernels.
+///
+/// A slave is *stuck* when it has at least one live task and every live
+/// task is blocked (not suspended — a suspended task can be resumed by
+/// the master, and not sleeping — sleepers wake on their own). A stuck
+/// slave `s` *depends on* slave `t` when some blocked task of `s` waits
+/// on a semaphore that is the inbox of a hand-off link fed from `t`:
+/// only `t`'s progress could produce the token. A cycle among stuck
+/// slaves is a deadlock no local scheduler decision can resolve; the
+/// reported cycle lists, per slave in cycle order, the blocked task
+/// waiting on the cross-core inbox.
+fn find_cross_core_cycle(
+    sys: &MultiCoreSystem,
+    snapshots: &[KernelSnapshot],
+) -> Option<Vec<(CoreId, TaskId)>> {
+    let links = sys.sem_links();
+    if links.is_empty() {
+        return None;
+    }
+    let stuck: Vec<bool> = snapshots
+        .iter()
+        .map(|snap| {
+            let mut live = 0usize;
+            let all_blocked = snap.tasks.iter().all(|t| match t.state {
+                TaskState::Terminated(_) => true,
+                TaskState::Blocked(reason) => {
+                    if t.suspended || matches!(reason, ptest_pcore::WaitReason::Sleep { .. }) {
+                        false
+                    } else {
+                        live += 1;
+                        true
+                    }
+                }
+                _ => false,
+            });
+            all_blocked && live > 0
+        })
+        .collect();
+    // slave -> (feeder slave, the waiting task): deterministic by
+    // ascending slave order, first blocked waiter wins.
+    let mut depends: std::collections::BTreeMap<usize, (usize, TaskId)> =
+        std::collections::BTreeMap::new();
+    for (slave, snap) in snapshots.iter().enumerate() {
+        if !stuck[slave] {
+            continue;
+        }
+        'edges: for e in &snap.wait_edges {
+            if let ptest_pcore::ResourceRef::Semaphore(sem) = e.resource {
+                for link in links {
+                    if link.to_slave == slave && link.to_sem == sem && stuck[link.from_slave] {
+                        depends.entry(slave).or_insert((link.from_slave, e.waiter));
+                        continue 'edges;
+                    }
+                }
+            }
+        }
+    }
+    // Walk the slave-level dependency graph for a cycle.
+    for &start in depends.keys() {
+        let mut seen: Vec<usize> = vec![start];
+        let mut cur = start;
+        while let Some(&(next_slave, _)) = depends.get(&cur) {
+            if let Some(pos) = seen.iter().position(|&s| s == next_slave) {
+                let cycle_slaves = &seen[pos..];
+                // Canonical rotation: smallest slave index first.
+                let min_pos = cycle_slaves
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| **s)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let mut ordered: Vec<usize> = cycle_slaves.to_vec();
+                ordered.rotate_left(min_pos);
+                return Some(
+                    ordered
+                        .into_iter()
+                        .map(|s| (CoreId::slave(s), depends[&s].1))
+                        .collect(),
+                );
+            }
+            seen.push(next_slave);
+            cur = next_slave;
+            if seen.len() > depends.len() + 1 {
                 break;
             }
         }
@@ -418,9 +610,23 @@ mod tests {
         );
     }
 
+    #[test]
+    fn cross_core_display_names_cores() {
+        let kind = BugKind::CrossCoreDeadlock {
+            cycle: vec![
+                (CoreId::Slave(0), TaskId::new(0)),
+                (CoreId::Slave(1), TaskId::new(0)),
+            ],
+        };
+        assert_eq!(
+            kind.to_string(),
+            "cross-core deadlock cycle: DSP:T0 -> DSP1:T0"
+        );
+    }
+
     mod live_system {
         use super::super::*;
-        use ptest_master::{DualCoreSystem, SystemConfig};
+        use ptest_master::{DualCoreSystem, MultiCoreSystem, SystemConfig};
         use ptest_pcore::{Op, Priority, Program, SvcRequest};
 
         fn spin_system() -> DualCoreSystem {
@@ -532,6 +738,71 @@ mod tests {
             assert_eq!(crashes.len(), 1);
             assert!(crashes[0].snapshot.panic.is_some());
             assert!(!crashes[0].trace_tail.is_empty());
+            assert_eq!(crashes[0].core, CoreId::Dsp);
+        }
+
+        /// Two slaves, two crossed hand-off rings, tokens placed so the
+        /// stages block on each other: the canonical cross-core deadlock.
+        fn crossed_handoff_system() -> MultiCoreSystem {
+            let mut sys = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+            // Forward ring: 0 -> 1; backward ring: 1 -> 0.
+            let f_out0 = sys.kernel_of_mut(0).create_semaphore(0);
+            let f_in1 = sys.kernel_of_mut(1).create_semaphore(0);
+            let b_out1 = sys.kernel_of_mut(1).create_semaphore(0);
+            // Stage 0 already consumed the forward token (initial credit),
+            // so stage 1 waits forward while stage 0 waits backward.
+            let b_in0 = sys.kernel_of_mut(0).create_semaphore(0);
+            sys.link_semaphores(0, f_out0, 1, f_in1).unwrap();
+            sys.link_semaphores(1, b_out1, 0, b_in0).unwrap();
+            let stage0 = sys.kernel_of_mut(0).register_program(
+                Program::new(vec![Op::SemWait(b_in0), Op::SemPost(f_out0), Op::Exit]).unwrap(),
+            );
+            let stage1 = sys.kernel_of_mut(1).register_program(
+                Program::new(vec![Op::SemWait(f_in1), Op::SemPost(b_out1), Op::Exit]).unwrap(),
+            );
+            for (slave, prog) in [(0usize, stage0), (1usize, stage1)] {
+                sys.issue_to(
+                    slave,
+                    SvcRequest::Create {
+                        program: prog,
+                        priority: Priority::new(5),
+                        stack_bytes: None,
+                    },
+                )
+                .unwrap();
+            }
+            sys
+        }
+
+        #[test]
+        fn cross_core_deadlock_detected_with_cycle_spanning_kernels() {
+            let mut sys = crossed_handoff_system();
+            sys.run(500);
+            let mut det = BugDetector::new(DetectorConfig::default());
+            let bugs = det.observe(&sys, None, true);
+            let cross: Vec<&Bug> = bugs
+                .iter()
+                .filter(|b| matches!(b.kind, BugKind::CrossCoreDeadlock { .. }))
+                .collect();
+            assert_eq!(cross.len(), 1, "{bugs:?}");
+            let BugKind::CrossCoreDeadlock { cycle } = &cross[0].kind else {
+                unreachable!()
+            };
+            let cores: std::collections::BTreeSet<CoreId> = cycle.iter().map(|(c, _)| *c).collect();
+            assert!(cores.len() >= 2, "cycle must span kernels: {cycle:?}");
+            // Reported once.
+            assert!(det.observe(&sys, None, true).is_empty());
+        }
+
+        #[test]
+        fn cross_core_detection_gated_until_committer_done() {
+            let mut sys = crossed_handoff_system();
+            sys.run(500);
+            let mut det = BugDetector::new(DetectorConfig::default());
+            assert!(
+                det.observe(&sys, None, false).is_empty(),
+                "an in-flight create could still resolve the wait"
+            );
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use ptest_automata::{Alphabet, Sym};
 use ptest_pcore::{TaskId, TaskState};
+use ptest_soc::CoreId;
 
 /// The master-side state component `qm` of a state record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,10 @@ pub struct StateRecord {
     /// Which test pattern (and hence which master/slave process pair)
     /// this record describes.
     pub pattern_index: usize,
+    /// The slave core the controlled process runs on (always
+    /// [`CoreId::Dsp`] on the dual-core platform; pattern `i` of an
+    /// N-slave system runs on slave `i mod N`).
+    pub slave_core: CoreId,
     /// `qm` — the state of the controlling master process.
     pub master_state: MasterState,
     /// `qs` — the state of the slave process (`None` before the first
@@ -77,9 +82,16 @@ impl StateRecord {
             .map(|&s| alphabet.name(s).unwrap_or("?").to_owned())
             .collect::<Vec<_>>()
             .join("->");
+        // The slave core is only spelled out beyond slave 0, keeping the
+        // dual-core rendering identical to the paper's Figure 4.
+        let core_prefix = if self.slave_core == CoreId::Dsp {
+            String::new()
+        } else {
+            format!("{}:", self.slave_core)
+        };
         let qs = match (self.slave_task, self.slave_state) {
-            (Some(t), Some(st)) => format!("{t}:{st}"),
-            (Some(t), None) => format!("{t}"),
+            (Some(t), Some(st)) => format!("{core_prefix}{t}:{st}"),
+            (Some(t), None) => format!("{core_prefix}{t}"),
             _ => "-".to_owned(),
         };
         format!(
@@ -110,6 +122,7 @@ mod tests {
         let td = a.intern("TD");
         let r = StateRecord {
             pattern_index: 1,
+            slave_core: CoreId::Dsp,
             master_state: MasterState::AwaitingResponse(Service::ChangePriority),
             slave_task: Some(TaskId::new(3)),
             slave_state: Some(TaskState::Ready),
@@ -140,6 +153,14 @@ mod tests {
         let (a, r) = record();
         let s = r.render(&a);
         assert_eq!(s, "CP1 = (await:TCH, T3:ready, TC->TCH->TD, 2, TD)");
+    }
+
+    #[test]
+    fn render_names_non_zero_slave_cores() {
+        let (a, mut r) = record();
+        r.slave_core = CoreId::Slave(2);
+        let s = r.render(&a);
+        assert_eq!(s, "CP1 = (await:TCH, DSP2:T3:ready, TC->TCH->TD, 2, TD)");
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn classify(kind: &BugKind) -> &'static str {
         BugKind::SlaveCrash { .. } => "slave_crash",
         BugKind::CommandTimeout { .. } => "command_timeout",
         BugKind::Deadlock { .. } => "deadlock",
+        BugKind::CrossCoreDeadlock { .. } => "cross_core_deadlock",
         BugKind::Starvation { .. } => "starvation",
         BugKind::Livelock { .. } => "livelock",
         BugKind::TaskFault { .. } => "task_fault",
@@ -86,7 +87,7 @@ impl ReportSummary {
                 .iter()
                 .map(|b| BugSummary {
                     class: classify(&b.kind).to_owned(),
-                    detail: b.kind.to_string(),
+                    detail: b.detail(),
                     detected_at: b.detected_at.get(),
                 })
                 .collect(),
@@ -148,6 +149,9 @@ mod tests {
             BugKind::CommandTimeout { overdue: 1 },
             BugKind::Deadlock {
                 cycle: vec![TaskId::new(0)],
+            },
+            BugKind::CrossCoreDeadlock {
+                cycle: vec![(ptest_soc::CoreId::Slave(0), TaskId::new(0))],
             },
             BugKind::Starvation {
                 task: TaskId::new(0),

@@ -133,6 +133,7 @@ impl TrialEngine {
                     BugKind::SlaveCrash { .. }
                         | BugKind::CommandTimeout { .. }
                         | BugKind::Deadlock { .. }
+                        | BugKind::CrossCoreDeadlock { .. }
                         | BugKind::Livelock { .. }
                 )
             });

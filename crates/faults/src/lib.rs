@@ -12,6 +12,9 @@
 //!   injectable GC defect.
 //! * [`scenarios`] — starvation, priority inversion, and a lost-update
 //!   race (with its final-value oracle).
+//! * [`multicore`] — multi-slave scenarios over the N-slave platform: a
+//!   cross-core pipeline whose semaphore hand-off deadlocks *across
+//!   kernels*, and a shared-SRAM producer/consumer race between slaves.
 //!
 //! Everything is deterministic; each scenario documents the exact
 //! schedule window its bug needs.
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod fig1;
+pub mod multicore;
 pub mod philosophers;
 pub mod scenarios;
 pub mod stress;

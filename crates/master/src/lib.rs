@@ -8,14 +8,33 @@
 //! * [`MasterThread`]/[`MasterOp`] — scripted master threads under a
 //!   round-robin quantum scheduler (Figure 1's `M1`/`M2` are two such
 //!   scripts).
-//! * [`DualCoreSystem`] — the fully wired platform: shared SRAM, mailbox
-//!   bank, the slave [`Kernel`](ptest_pcore::Kernel), the bridge's two
-//!   endpoints, and the master scheduler, all advanced in lock-step
-//!   virtual time by [`DualCoreSystem::step`].
+//! * [`MultiCoreSystem`] — the fully wired N-slave platform: shared SRAM
+//!   carved into per-slave bridge windows, one mailbox block and one
+//!   [`Kernel`](ptest_pcore::Kernel) per slave, the multi-lane master
+//!   port, and the master scheduler, all advanced in lock-step virtual
+//!   time by [`MultiCoreSystem::step`]. Slaves can be coupled through
+//!   cross-core semaphore hand-off links and SRAM-mirrored shared
+//!   variables — the substrate of the multi-slave fault scenarios.
+//! * [`DualCoreSystem`] — the original one-slave platform, now the
+//!   `n = 1` special case of [`MultiCoreSystem`] (bit-identical
+//!   behaviour, same API).
 //!
 //! pTest's committer drives the system through
-//! [`DualCoreSystem::issue`]/[`DualCoreSystem::take_responses`]; scripted
-//! threads and the committer can coexist.
+//! [`MultiCoreSystem::issue_to`]/[`MultiCoreSystem::take_responses`];
+//! scripted threads and the committer can coexist.
+//!
+//! ## Topology
+//!
+//! ```text
+//!               ARM master (threads / committer)
+//!                  │ MasterPort: one lane per slave
+//!       ┌──────────┼─────────────┐
+//!   mailboxes   mailboxes    mailboxes        (4 FIFOs per slave)
+//!   SRAM win0   SRAM win1    SRAM win2        (cmd+resp rings each)
+//!       │          │             │
+//!    Kernel 0   Kernel 1      Kernel 2        (pCore per slave)
+//!       └── sem links / shared vars ──┘       (cross-core coupling)
+//! ```
 //!
 //! ## Example
 //!
@@ -45,7 +64,9 @@
 mod system;
 mod thread;
 
-pub use system::{DualCoreSystem, SystemConfig};
+pub use system::{
+    CouplingError, DualCoreSystem, MultiCoreSystem, SemLink, SharedVar, SystemConfig,
+};
 pub use thread::{MasterOp, MasterThread, ThreadId, ThreadState};
 
 #[cfg(test)]

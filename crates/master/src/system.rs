@@ -1,22 +1,35 @@
-//! The dual-core system: both cores, the bridge, and the master runtime
-//! wired together and advanced in lock-step virtual time.
+//! The multicore system: the master core, N slave cores, the bridge, and
+//! the master runtime wired together and advanced in lock-step virtual
+//! time.
+//!
+//! [`MultiCoreSystem`] generalizes the original OMAP5912-like dual-core
+//! platform from "the slave" to "slave *i* of N": N pCore kernels, N
+//! bridge endpoints over disjoint SRAM windows, one mailbox block per
+//! slave, plus two cross-core coupling mechanisms the multi-slave fault
+//! scenarios are built on — semaphore hand-off links
+//! ([`MultiCoreSystem::link_semaphores`]) and SRAM-mirrored shared
+//! variables ([`MultiCoreSystem::share_var`]). [`DualCoreSystem`] is the
+//! `n = 1` special case and behaves bit-identically to the historical
+//! dual-core implementation.
 
 use std::collections::VecDeque;
 
 use ptest_bridge::{BridgeError, BridgeLayout, CmdId, CmdResponse, MasterPort, SlaveEndpoint};
-use ptest_pcore::{Kernel, KernelConfig, KernelSnapshot, SvcRequest};
-use ptest_soc::{CoreId, Cycles, MailboxBank, SharedSram, TraceBuffer, VirtualClock};
+use ptest_pcore::{Kernel, KernelConfig, KernelSnapshot, SemId, SvcRequest, VarId};
+use ptest_soc::{CoreId, Cycles, MailboxBank, SharedSram, SramError, TraceBuffer, VirtualClock};
 
 use crate::thread::{MasterOp, MasterThread, ThreadId, ThreadState};
 
-/// Configuration of a [`DualCoreSystem`].
+/// Configuration of a [`MultiCoreSystem`].
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// Slave-kernel configuration.
+    /// Number of slave cores (1 = the original dual-core platform).
+    pub slaves: usize,
+    /// Slave-kernel configuration (applied to every slave).
     pub kernel: KernelConfig,
     /// Master scheduler quantum in cycles (time-sharing round robin).
     pub quantum: u32,
-    /// Commands the slave endpoint services per doorbell interrupt.
+    /// Commands each slave endpoint services per doorbell interrupt.
     pub slave_budget: usize,
     /// Capacity of the system trace ring.
     pub trace_capacity: usize,
@@ -25,6 +38,7 @@ pub struct SystemConfig {
 impl Default for SystemConfig {
     fn default() -> SystemConfig {
         SystemConfig {
+            slaves: 1,
             kernel: KernelConfig::default(),
             quantum: 5,
             slave_budget: 16,
@@ -33,71 +47,175 @@ impl Default for SystemConfig {
     }
 }
 
-/// The simulated OMAP5912-like platform: ARM master runtime + DSP slave
-/// kernel + pCore-Bridge middleware + shared hardware, advanced one cycle
-/// at a time by [`DualCoreSystem::step`].
+impl SystemConfig {
+    /// The default configuration scaled to `slaves` slave cores.
+    #[must_use]
+    pub fn with_slaves(slaves: usize) -> SystemConfig {
+        SystemConfig {
+            slaves,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+/// One slave core: its kernel plus its bridge endpoint.
+#[derive(Debug)]
+struct SlaveCore {
+    kernel: Kernel,
+    endpoint: SlaveEndpoint,
+}
+
+/// A cross-core semaphore hand-off link: tokens posted to the *outbox*
+/// semaphore on one slave are forwarded (through the bridge, one system
+/// cycle later at the earliest) as posts to the *inbox* semaphore on
+/// another slave. This is the mechanism behind multi-slave pipeline
+/// scenarios, and the wait-for-graph detector uses the link table to
+/// follow blocking dependencies across kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemLink {
+    /// Slave whose outbox feeds the link.
+    pub from_slave: usize,
+    /// The outbox semaphore on `from_slave`.
+    pub from_sem: SemId,
+    /// Slave whose inbox the link posts to.
+    pub to_slave: usize,
+    /// The inbox semaphore on `to_slave`.
+    pub to_sem: SemId,
+}
+
+/// A shared variable mirrored across all slave kernels through a window
+/// in shared SRAM. See [`MultiCoreSystem::share_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedVar {
+    /// The variable id, present in every slave's kernel.
+    pub var: VarId,
+    /// Byte offset of the 8-byte mirror word in shared SRAM.
+    pub sram_offset: usize,
+}
+
+/// Error wiring a cross-core coupling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouplingError {
+    /// A slave index exceeds the system's slave count.
+    NoSuchSlave {
+        /// The offending index.
+        slave: usize,
+    },
+    /// Both ends of a semaphore link name the same slave; intra-core
+    /// hand-off uses a local semaphore directly, not the bridge.
+    SameSlave,
+    /// The shared-variable mirror window does not fit the SRAM.
+    Sram(SramError),
+}
+
+impl std::fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CouplingError::NoSuchSlave { slave } => write!(f, "no slave {slave} in this system"),
+            CouplingError::SameSlave => {
+                write!(f, "semaphore links must connect two distinct slaves")
+            }
+            CouplingError::Sram(e) => write!(f, "shared-var mirror does not fit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CouplingError {}
+
+/// The simulated OMAP-like platform generalized to N slaves: ARM master
+/// runtime + N DSP slave kernels + pCore-Bridge middleware + shared
+/// hardware, advanced one cycle at a time by [`MultiCoreSystem::step`].
 ///
 /// Both a scripted mode (add [`MasterThread`]s, as in Figure 1) and a
-/// direct mode ([`DualCoreSystem::issue`], used by pTest's committer) are
-/// supported and can be mixed.
+/// direct mode ([`MultiCoreSystem::issue_to`], used by pTest's committer)
+/// are supported and can be mixed.
 ///
 /// ```
-/// use ptest_master::{DualCoreSystem, SystemConfig};
+/// use ptest_master::{MultiCoreSystem, SystemConfig};
 /// use ptest_pcore::{Priority, Program, SvcRequest};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut sys = DualCoreSystem::new(SystemConfig::default());
-/// let prog = sys.kernel_mut().register_program(Program::exit_immediately());
-/// sys.issue(SvcRequest::Create { program: prog, priority: Priority::new(5), stack_bytes: None })?;
+/// let mut sys = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+/// let prog = sys.kernel_of_mut(1).register_program(Program::exit_immediately());
+/// sys.issue_to(1, SvcRequest::Create { program: prog, priority: Priority::new(5), stack_bytes: None })?;
 /// sys.run(100);
-/// assert_eq!(sys.take_responses().len(), 1);
+/// let resps = sys.take_responses();
+/// assert_eq!(resps.len(), 1);
+/// assert_eq!(resps[0].slave, 1);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct DualCoreSystem {
+pub struct MultiCoreSystem {
     clock: VirtualClock,
     sram: SharedSram,
     mailboxes: MailboxBank,
-    kernel: Kernel,
+    slaves: Vec<SlaveCore>,
     master_port: MasterPort,
-    slave_endpoint: SlaveEndpoint,
     threads: Vec<MasterThread>,
     run_queue: VecDeque<ThreadId>,
     current_thread: Option<ThreadId>,
     quantum_left: u32,
     inbox: Vec<CmdResponse>,
     trace: TraceBuffer,
+    sem_links: Vec<SemLink>,
+    shared_vars: Vec<SharedVar>,
+    /// Last globally agreed value of each shared var (sync epoch state).
+    shared_var_mirror: Vec<i64>,
     cfg: SystemConfig,
 }
 
-impl DualCoreSystem {
-    /// Builds and wires a fresh system.
+/// The original dual-core (one master, one slave) platform: the `n = 1`
+/// special case of [`MultiCoreSystem`]. `SystemConfig::default()` has
+/// `slaves = 1`, so every historical call site keeps constructing — and
+/// behaving — exactly as before the N-slave generalization.
+pub type DualCoreSystem = MultiCoreSystem;
+
+impl MultiCoreSystem {
+    /// Builds and wires a fresh system with `cfg.slaves` slave cores.
     ///
     /// # Panics
     ///
-    /// Panics if the standard bridge layout does not fit the SRAM window
-    /// (cannot happen with the default 250 KB window).
+    /// Panics if `cfg.slaves` is zero, or if the per-slave bridge windows
+    /// do not fit the shared SRAM (the 250 KB OMAP window fits well over a
+    /// hundred slaves).
     #[must_use]
-    pub fn new(cfg: SystemConfig) -> DualCoreSystem {
-        let layout = BridgeLayout::standard();
-        let mut sram = SharedSram::omap5912();
-        layout
-            .init(&mut sram)
-            .expect("standard bridge layout fits the OMAP SRAM window");
-        DualCoreSystem {
+    pub fn new(cfg: SystemConfig) -> MultiCoreSystem {
+        assert!(cfg.slaves > 0, "a system needs at least one slave core");
+        let layouts = BridgeLayout::for_slaves(cfg.slaves);
+        let sram = SharedSram::omap5912();
+        sram.carve_windows(
+            BridgeLayout::BASE_OFFSET,
+            BridgeLayout::SLAVE_WINDOW_BYTES,
+            cfg.slaves,
+        )
+        .expect("per-slave bridge windows fit the OMAP SRAM window");
+        let mut sram = sram;
+        let mut slaves = Vec::with_capacity(cfg.slaves);
+        for (i, layout) in layouts.iter().enumerate() {
+            layout
+                .init(&mut sram)
+                .expect("carved bridge layout fits the OMAP SRAM window");
+            slaves.push(SlaveCore {
+                kernel: Kernel::with_core(cfg.kernel.clone(), CoreId::slave(i)),
+                endpoint: SlaveEndpoint::for_slave(*layout, i),
+            });
+        }
+        MultiCoreSystem {
             clock: VirtualClock::new(),
             sram,
-            mailboxes: MailboxBank::omap5912(),
-            kernel: Kernel::new(cfg.kernel.clone()),
-            master_port: MasterPort::new(layout),
-            slave_endpoint: SlaveEndpoint::new(layout),
+            mailboxes: MailboxBank::for_slaves(cfg.slaves),
+            slaves,
+            master_port: MasterPort::for_slaves(layouts),
             threads: Vec::new(),
             run_queue: VecDeque::new(),
             current_thread: None,
             quantum_left: 0,
             inbox: Vec::new(),
             trace: TraceBuffer::new(cfg.trace_capacity),
+            sem_links: Vec::new(),
+            shared_vars: Vec::new(),
+            shared_var_mirror: Vec::new(),
             cfg,
         }
     }
@@ -108,24 +226,123 @@ impl DualCoreSystem {
         self.clock.now()
     }
 
-    /// Read access to the slave kernel (for assertions and the bug
-    /// detector's shared-memory debug window).
+    /// Number of slave cores.
+    #[must_use]
+    pub fn slave_count(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// Read access to slave 0's kernel (the dual-core legacy accessor;
+    /// see [`MultiCoreSystem::kernel_of`] for the general form).
     #[must_use]
     pub fn kernel(&self) -> &Kernel {
-        &self.kernel
+        self.kernel_of(0)
     }
 
-    /// Mutable access to the slave kernel for *scenario setup only*
-    /// (registering programs, creating semaphores/mutexes before the test
-    /// starts). Runtime interaction must go through [`DualCoreSystem::issue`].
+    /// Mutable access to slave 0's kernel for *scenario setup only*.
     pub fn kernel_mut(&mut self) -> &mut Kernel {
-        &mut self.kernel
+        self.kernel_of_mut(0)
     }
 
-    /// The system trace (master-side events; the kernel keeps its own).
+    /// Read access to slave `slave`'s kernel (for assertions and the bug
+    /// detector's shared-memory debug window).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slave index.
+    #[must_use]
+    pub fn kernel_of(&self, slave: usize) -> &Kernel {
+        &self.slaves[slave].kernel
+    }
+
+    /// Mutable access to slave `slave`'s kernel for *scenario setup only*
+    /// (registering programs, creating semaphores/mutexes before the test
+    /// starts). Runtime interaction must go through
+    /// [`MultiCoreSystem::issue_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slave index.
+    pub fn kernel_of_mut(&mut self, slave: usize) -> &mut Kernel {
+        &mut self.slaves[slave].kernel
+    }
+
+    /// The system trace (master-side events; each kernel keeps its own).
     #[must_use]
     pub fn trace(&self) -> &TraceBuffer {
         &self.trace
+    }
+
+    /// Registers a cross-core semaphore hand-off: tokens posted to
+    /// `from_sem` on `from_slave` are forwarded as posts to `to_sem` on
+    /// `to_slave` during the next system cycle. Links are drained in
+    /// registration order, deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`CouplingError::NoSuchSlave`] for an out-of-range slave and
+    /// [`CouplingError::SameSlave`] if both ends name the same slave —
+    /// the bridge only mediates *inter*-core traffic.
+    pub fn link_semaphores(
+        &mut self,
+        from_slave: usize,
+        from_sem: SemId,
+        to_slave: usize,
+        to_sem: SemId,
+    ) -> Result<(), CouplingError> {
+        for slave in [from_slave, to_slave] {
+            if slave >= self.slaves.len() {
+                return Err(CouplingError::NoSuchSlave { slave });
+            }
+        }
+        if from_slave == to_slave {
+            return Err(CouplingError::SameSlave);
+        }
+        self.sem_links.push(SemLink {
+            from_slave,
+            from_sem,
+            to_slave,
+            to_sem,
+        });
+        Ok(())
+    }
+
+    /// The registered cross-core semaphore links.
+    #[must_use]
+    pub fn sem_links(&self) -> &[SemLink] {
+        &self.sem_links
+    }
+
+    /// Mirrors shared variable `var` across *all* slave kernels through an
+    /// 8-byte window at `sram_offset` in shared SRAM. Once per system
+    /// cycle the mirror adopts, in ascending slave order, any local value
+    /// that diverged from the last agreed value, then writes the winner
+    /// back to the SRAM word and into every kernel. Two slaves updating
+    /// within the same cycle therefore race: the higher-indexed slave's
+    /// write wins and the other update is lost — the classic shared-memory
+    /// read-modify-write hazard, made deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`CouplingError::Sram`] if the 8-byte mirror word does not fit the
+    /// SRAM.
+    pub fn share_var(&mut self, var: VarId, sram_offset: usize) -> Result<(), CouplingError> {
+        let seed = self.kernel_of(0).var(var).unwrap_or(0);
+        self.sram
+            .write_bytes(sram_offset, &seed.to_le_bytes())
+            .map_err(CouplingError::Sram)?;
+        for slave in &mut self.slaves {
+            slave.kernel.set_var(var, seed);
+        }
+        self.shared_vars.push(SharedVar { var, sram_offset });
+        self.shared_var_mirror.push(seed);
+        Ok(())
+    }
+
+    /// The registered SRAM-mirrored shared variables.
+    #[must_use]
+    pub fn shared_vars(&self) -> &[SharedVar] {
+        &self.shared_vars
     }
 
     /// Adds a master thread; it enters the run queue immediately.
@@ -148,19 +365,40 @@ impl DualCoreSystem {
         self.threads.iter().all(MasterThread::is_done)
     }
 
-    /// Issues a remote command directly (the committer's path), stamped
-    /// at the current virtual time.
+    /// Issues a remote command directly to slave 0 (the dual-core legacy
+    /// path), stamped at the current virtual time.
     ///
     /// # Errors
     ///
-    /// [`BridgeError::CommandRingFull`] if 32 commands are in flight.
+    /// As for [`MultiCoreSystem::issue_to`].
     pub fn issue(&mut self, req: SvcRequest) -> Result<CmdId, BridgeError> {
+        self.issue_to(0, req)
+    }
+
+    /// Issues a remote command directly to slave `slave` (the committer's
+    /// path), stamped at the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// [`BridgeError::NoSuchSlave`] for an out-of-range slave;
+    /// [`BridgeError::CommandRingFull`] if 32 commands are in flight on
+    /// that slave's lane.
+    pub fn issue_to(&mut self, slave: usize, req: SvcRequest) -> Result<CmdId, BridgeError> {
         let now = self.clock.now();
         let id = self
             .master_port
-            .issue(&mut self.sram, &mut self.mailboxes, req, now)?;
-        self.trace
-            .record(now, CoreId::Arm, "cmd", format!("{id} {req:?}"));
+            .issue_to(slave, &mut self.sram, &mut self.mailboxes, req, now)?;
+        if slave == 0 {
+            self.trace
+                .record(now, CoreId::Arm, "cmd", format!("{id} {req:?}"));
+        } else {
+            self.trace.record(
+                now,
+                CoreId::Arm,
+                "cmd",
+                format!("{id} ->{} {req:?}", CoreId::slave(slave)),
+            );
+        }
         Ok(id)
     }
 
@@ -170,40 +408,72 @@ impl DualCoreSystem {
         std::mem::take(&mut self.inbox)
     }
 
-    /// Commands outstanding longer than `timeout`.
+    /// Commands outstanding longer than `timeout` (any slave).
     #[must_use]
     pub fn overdue(&self, timeout: Cycles) -> Vec<CmdId> {
         self.master_port.overdue(self.clock.now(), timeout)
     }
 
-    /// Number of commands awaiting responses.
+    /// Commands outstanding longer than `timeout` on slave `slave`'s lane.
+    #[must_use]
+    pub fn overdue_for(&self, slave: usize, timeout: Cycles) -> Vec<CmdId> {
+        self.master_port
+            .overdue_for(slave, self.clock.now(), timeout)
+    }
+
+    /// Number of commands awaiting responses (any slave).
     #[must_use]
     pub fn pending_commands(&self) -> usize {
         self.master_port.pending_count()
     }
 
-    /// A kernel snapshot (the detector's debug window into the slave).
+    /// A snapshot of slave 0's kernel (the dual-core legacy accessor).
     #[must_use]
     pub fn snapshot(&self) -> KernelSnapshot {
-        self.kernel.snapshot()
+        self.snapshot_of(0)
     }
 
-    /// Advances the whole platform by one cycle: slave interrupt
-    /// servicing, one kernel cycle, response delivery, one master-thread
-    /// step under the round-robin quantum.
+    /// A snapshot of slave `slave`'s kernel (the detector's debug window).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slave index.
+    #[must_use]
+    pub fn snapshot_of(&self, slave: usize) -> KernelSnapshot {
+        self.slaves[slave].kernel.snapshot()
+    }
+
+    /// Snapshots of every slave kernel, in slave order.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<KernelSnapshot> {
+        self.slaves.iter().map(|s| s.kernel.snapshot()).collect()
+    }
+
+    /// Advances the whole platform by one cycle: per-slave interrupt
+    /// servicing and one kernel cycle each, cross-core coupling
+    /// (semaphore hand-off forwarding, shared-variable mirroring),
+    /// response delivery, and one master-thread step under the
+    /// round-robin quantum.
     pub fn step(&mut self) {
         self.clock.tick();
         let now = self.clock.now();
 
         // --- DSP side: doorbell interrupts preempt task execution.
-        self.slave_endpoint.service(
-            &mut self.sram,
-            &mut self.mailboxes,
-            &mut self.kernel,
-            now,
-            self.cfg.slave_budget,
-        );
-        let _ = self.kernel.tick(now);
+        let budget = self.cfg.slave_budget;
+        for slave in &mut self.slaves {
+            slave.endpoint.service(
+                &mut self.sram,
+                &mut self.mailboxes,
+                &mut slave.kernel,
+                now,
+                budget,
+            );
+            let _ = slave.kernel.tick(now);
+        }
+
+        // --- Bridge side: cross-core coupling (no-ops when unused).
+        self.forward_sem_links(now);
+        self.sync_shared_vars();
 
         // --- ARM side: deliver responses, then run one thread op.
         let responses = self
@@ -218,6 +488,60 @@ impl DualCoreSystem {
         self.step_master(now);
     }
 
+    /// Drains every link's outbox into its inbox, in link order.
+    fn forward_sem_links(&mut self, now: Cycles) {
+        for i in 0..self.sem_links.len() {
+            let link = self.sem_links[i];
+            loop {
+                if !self.slaves[link.from_slave]
+                    .kernel
+                    .take_semaphore_token(link.from_sem)
+                {
+                    break;
+                }
+                self.slaves[link.to_slave]
+                    .kernel
+                    .post_semaphore_external(link.to_sem);
+                self.trace.record(
+                    now,
+                    CoreId::slave(link.from_slave),
+                    "link",
+                    format!(
+                        "{} -> {}:{}",
+                        link.from_sem,
+                        CoreId::slave(link.to_slave),
+                        link.to_sem
+                    ),
+                );
+            }
+        }
+    }
+
+    /// One mirroring epoch per cycle: adopt divergent local values in
+    /// ascending slave order (highest index wins a same-cycle race), then
+    /// publish the winner through the SRAM word to every kernel.
+    fn sync_shared_vars(&mut self) {
+        for i in 0..self.shared_vars.len() {
+            let SharedVar { var, sram_offset } = self.shared_vars[i];
+            let mut agreed = self.shared_var_mirror[i];
+            for slave in &self.slaves {
+                let local = slave.kernel.var(var).unwrap_or(agreed);
+                if local != self.shared_var_mirror[i] {
+                    agreed = local;
+                }
+            }
+            // No divergence means every kernel already holds the mirror
+            // value (it was published last epoch) — skip the writes.
+            if agreed != self.shared_var_mirror[i] {
+                self.shared_var_mirror[i] = agreed;
+                let _ = self.sram.write_bytes(sram_offset, &agreed.to_le_bytes());
+                for slave in &mut self.slaves {
+                    slave.kernel.set_var(var, agreed);
+                }
+            }
+        }
+    }
+
     /// Runs `cycles` steps.
     pub fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {
@@ -226,7 +550,7 @@ impl DualCoreSystem {
     }
 
     /// Runs until the platform is quiescent — all scripted threads done,
-    /// no commands in flight, and the kernel idle — or `max_cycles`
+    /// no commands in flight, and every kernel idle — or `max_cycles`
     /// elapse. Returns `true` if quiescence was reached.
     ///
     /// Systems containing spinning or deadlocked tasks never quiesce;
@@ -235,26 +559,38 @@ impl DualCoreSystem {
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
             self.step();
-            if self.threads_done() && self.pending_commands() == 0 && self.kernel_idle() {
+            if self.threads_done() && self.pending_commands() == 0 && self.kernels_idle() {
                 return true;
             }
         }
         false
     }
 
-    fn kernel_idle(&self) -> bool {
-        let snap = self.kernel.snapshot();
-        snap.panic.is_none()
-            && snap
-                .tasks
-                .iter()
-                .all(|t| matches!(t.state, ptest_pcore::TaskState::Terminated(_)))
+    fn kernels_idle(&self) -> bool {
+        self.slaves.iter().all(|s| {
+            let snap = s.kernel.snapshot();
+            snap.panic.is_none()
+                && snap
+                    .tasks
+                    .iter()
+                    .all(|t| matches!(t.state, ptest_pcore::TaskState::Terminated(_)))
+        })
     }
 
-    /// Whether the slave kernel has crashed.
+    /// Whether any slave kernel has crashed.
     #[must_use]
     pub fn slave_crashed(&self) -> bool {
-        self.kernel.panic().is_some()
+        self.slaves.iter().any(|s| s.kernel.panic().is_some())
+    }
+
+    /// Whether slave `slave`'s kernel has crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slave index.
+    #[must_use]
+    pub fn slave_crashed_at(&self, slave: usize) -> bool {
+        self.slaves[slave].kernel.panic().is_some()
     }
 
     fn step_master(&mut self, now: Cycles) {
@@ -388,7 +724,7 @@ impl DualCoreSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptest_pcore::{Priority, Program, ProgramId, SvcReply, TaskState, VarId};
+    use ptest_pcore::{Op, Priority, Program, ProgramId, SvcReply, TaskState, VarId};
 
     fn sys() -> DualCoreSystem {
         DualCoreSystem::new(SystemConfig::default())
@@ -522,10 +858,12 @@ mod tests {
         .unwrap();
         s.run(20);
         assert!(s.slave_crashed(), "second create must OOM-panic the kernel");
+        assert!(s.slave_crashed_at(0));
         // Commands issued after the crash never complete.
         s.issue(SvcRequest::PeekVar { var: VarId(0) }).unwrap();
         s.run(600);
         assert_eq!(s.overdue(Cycles::new(500)).len(), 1);
+        assert_eq!(s.overdue_for(0, Cycles::new(500)).len(), 1);
     }
 
     #[test]
@@ -583,5 +921,158 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.live_tasks(), 1);
         assert!(matches!(snap.tasks[0].state, TaskState::Ready));
+    }
+
+    // --- multi-slave behaviour -------------------------------------------
+
+    fn create_on(s: &mut MultiCoreSystem, slave: usize, prog: ProgramId, prio: u8) {
+        s.issue_to(
+            slave,
+            SvcRequest::Create {
+                program: prog,
+                priority: Priority::new(prio),
+                stack_bytes: None,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn slaves_run_isolated_kernels() {
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(3));
+        assert_eq!(s.slave_count(), 3);
+        for slave in 0..3 {
+            let prog = s.kernel_of_mut(slave).register_program(
+                Program::new(vec![
+                    Op::WriteVar {
+                        var: VarId(0),
+                        value: slave as i64 + 1,
+                    },
+                    Op::Exit,
+                ])
+                .unwrap(),
+            );
+            create_on(&mut s, slave, prog, 5);
+        }
+        assert!(s.run_until_quiescent(5_000));
+        for slave in 0..3 {
+            assert_eq!(
+                s.kernel_of(slave).var(VarId(0)),
+                Some(slave as i64 + 1),
+                "each kernel keeps its own variable store"
+            );
+            assert_eq!(s.kernel_of(slave).core(), CoreId::slave(slave));
+        }
+        assert_eq!(s.take_responses().len(), 3);
+        assert_eq!(s.snapshots().len(), 3);
+    }
+
+    #[test]
+    fn one_crashed_slave_does_not_kill_the_others() {
+        let mut cfg = SystemConfig::with_slaves(2);
+        cfg.kernel.heap_bytes = 1024; // one create fits, two do not
+        let mut s = MultiCoreSystem::new(cfg);
+        let hog = s
+            .kernel_of_mut(0)
+            .register_program(Program::new(vec![Op::Compute(1_000_000), Op::Exit]).unwrap());
+        let ok = s
+            .kernel_of_mut(1)
+            .register_program(Program::exit_immediately());
+        create_on(&mut s, 0, hog, 1);
+        s.run(20);
+        create_on(&mut s, 0, hog, 2); // OOM: kills slave 0
+        s.run(20);
+        assert!(s.slave_crashed_at(0));
+        assert!(!s.slave_crashed_at(1));
+        // Slave 1 still services commands; slave 0 is silent from now on.
+        create_on(&mut s, 1, ok, 5);
+        s.issue_to(0, SvcRequest::PeekVar { var: VarId(0) })
+            .unwrap();
+        s.run(200);
+        let resps = s.take_responses();
+        assert!(
+            resps.iter().any(|r| r.slave == 1 && r.result.is_ok()),
+            "healthy slave keeps answering: {resps:?}"
+        );
+        // Slave 0's unanswered command is overdue; slave 1 is clean.
+        s.run(600);
+        assert!(!s.overdue_for(0, Cycles::new(500)).is_empty());
+        assert!(s.overdue_for(1, Cycles::new(500)).is_empty());
+    }
+
+    #[test]
+    fn semaphore_links_forward_tokens_across_kernels() {
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        let outbox = s.kernel_of_mut(0).create_semaphore(0);
+        let inbox = s.kernel_of_mut(1).create_semaphore(0);
+        s.link_semaphores(0, outbox, 1, inbox).unwrap();
+        // Producer on slave 0 posts twice; consumer on slave 1 waits twice.
+        let producer = s.kernel_of_mut(0).register_program(
+            Program::new(vec![Op::SemPost(outbox), Op::SemPost(outbox), Op::Exit]).unwrap(),
+        );
+        let consumer = s.kernel_of_mut(1).register_program(
+            Program::new(vec![
+                Op::SemWait(inbox),
+                Op::SemWait(inbox),
+                Op::WriteVar {
+                    var: VarId(1),
+                    value: 99,
+                },
+                Op::Exit,
+            ])
+            .unwrap(),
+        );
+        create_on(&mut s, 1, consumer, 5);
+        s.run(50); // consumer blocks first
+        create_on(&mut s, 0, producer, 5);
+        assert!(s.run_until_quiescent(10_000));
+        assert_eq!(s.kernel_of(1).var(VarId(1)), Some(99));
+    }
+
+    #[test]
+    fn same_slave_links_and_bad_indices_are_rejected() {
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        let a = s.kernel_of_mut(0).create_semaphore(0);
+        assert_eq!(s.link_semaphores(0, a, 0, a), Err(CouplingError::SameSlave));
+        assert_eq!(
+            s.link_semaphores(0, a, 5, a),
+            Err(CouplingError::NoSuchSlave { slave: 5 })
+        );
+        assert!(s.sem_links().is_empty());
+    }
+
+    #[test]
+    fn shared_vars_mirror_across_kernels_with_last_writer_wins() {
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        s.share_var(VarId(2), 0x3_0000).unwrap();
+        assert_eq!(s.shared_vars().len(), 1);
+        let writer = |value: i64| {
+            Program::new(vec![
+                Op::WriteVar {
+                    var: VarId(2),
+                    value,
+                },
+                Op::Exit,
+            ])
+            .unwrap()
+        };
+        let p0 = s.kernel_of_mut(0).register_program(writer(41));
+        create_on(&mut s, 0, p0, 5);
+        assert!(s.run_until_quiescent(5_000));
+        // Slave 0's write propagated to slave 1's kernel.
+        assert_eq!(s.kernel_of(1).var(VarId(2)), Some(41));
+        let p1 = s.kernel_of_mut(1).register_program(writer(42));
+        create_on(&mut s, 1, p1, 5);
+        assert!(s.run_until_quiescent(5_000));
+        assert_eq!(s.kernel_of(0).var(VarId(2)), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn zero_slave_system_panics() {
+        let _ = MultiCoreSystem::new(SystemConfig {
+            slaves: 0,
+            ..SystemConfig::default()
+        });
     }
 }

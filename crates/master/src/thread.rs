@@ -146,6 +146,7 @@ mod tests {
     fn resp(id: u32, result: Result<SvcReply, SvcError>) -> CmdResponse {
         CmdResponse {
             id: CmdId(id),
+            slave: 0,
             request: SvcRequest::PeekVar { var: VarId(0) },
             result,
             issued_at: Cycles::ZERO,

@@ -340,6 +340,7 @@ impl KernelSnapshot {
 #[derive(Debug, Clone)]
 pub struct Kernel {
     cfg: KernelConfig,
+    core: CoreId,
     tasks: Vec<Option<Tcb>>,
     programs: Vec<Program>,
     sems: Vec<Semaphore>,
@@ -357,12 +358,27 @@ pub struct Kernel {
 }
 
 impl Kernel {
-    /// Boots a kernel with the given configuration.
+    /// Boots a kernel with the given configuration, running on the
+    /// platform's original slave core ([`CoreId::Dsp`], i.e. slave 0).
     #[must_use]
     pub fn new(cfg: KernelConfig) -> Kernel {
+        Kernel::with_core(cfg, CoreId::Dsp)
+    }
+
+    /// Boots a kernel bound to a specific slave core of an N-slave
+    /// platform; the core id is stamped into every kernel trace event so
+    /// multicore traces stay attributable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is the master — pCore only runs on slave cores.
+    #[must_use]
+    pub fn with_core(cfg: KernelConfig, core: CoreId) -> Kernel {
+        assert!(!core.is_master(), "pCore runs on slave cores only");
         let mut heap = Heap::new(cfg.heap_bytes);
         heap.set_fault_mode(cfg.gc_fault);
         Kernel {
+            core,
             tasks: (0..cfg.max_tasks).map(|_| None).collect(),
             programs: Vec::new(),
             sems: Vec::new(),
@@ -404,6 +420,72 @@ impl Kernel {
     pub fn create_mutex(&mut self) -> MutexId {
         self.mutexes.push(KernelMutex::new());
         MutexId((self.mutexes.len() - 1) as u16)
+    }
+
+    /// The slave core this kernel runs on.
+    #[must_use]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// A semaphore's current token count, or `None` for an unknown id.
+    #[must_use]
+    pub fn semaphore_count(&self, sem: SemId) -> Option<u32> {
+        self.sems.get(usize::from(sem.0)).map(Semaphore::count)
+    }
+
+    /// Takes one token from a semaphore without blocking — the
+    /// bridge/interrupt path used by cross-core semaphore hand-off, where
+    /// nothing can be queued as a waiter. Returns `true` if a token was
+    /// consumed. No-op (returns `false`) on a panicked kernel or an
+    /// unknown semaphore.
+    pub fn take_semaphore_token(&mut self, sem: SemId) -> bool {
+        if self.panic.is_some() {
+            return false;
+        }
+        self.sems
+            .get_mut(usize::from(sem.0))
+            .is_some_and(Semaphore::try_take)
+    }
+
+    /// Posts a semaphore from interrupt context (the cross-core hand-off
+    /// path): increments the count or wakes the highest-priority waiter,
+    /// exactly like a task-level `SemPost`. Returns `false` (and drops the
+    /// token) on a panicked kernel or an unknown semaphore — a dead core
+    /// cannot accept hand-offs.
+    pub fn post_semaphore_external(&mut self, sem: SemId) -> bool {
+        if self.panic.is_some() {
+            return false;
+        }
+        let Some(s) = self.sems.get_mut(usize::from(sem.0)) else {
+            return false;
+        };
+        if let Some(woken) = s.post() {
+            if let Some(t) = self.tcb_mut(woken) {
+                if matches!(
+                    t.state,
+                    TaskState::Blocked(WaitReason::Semaphore(s2)) if s2 == sem
+                ) {
+                    t.state = TaskState::Ready;
+                }
+            }
+            self.trace.record(
+                self.now,
+                self.core,
+                "isr",
+                format!("external post {sem} wakes {woken}"),
+            );
+        }
+        true
+    }
+
+    /// Writes a shared variable directly (bridge/scenario convenience —
+    /// the shared-SRAM mirroring path of multicore systems). Unknown
+    /// variables are ignored.
+    pub fn set_var(&mut self, var: VarId, value: i64) {
+        if let Some(v) = self.vars.get_mut(usize::from(var.0)) {
+            *v = value;
+        }
     }
 
     /// The fatal condition, if the kernel has died.
@@ -460,7 +542,7 @@ impl Kernel {
     }
 
     fn trace_svc(&mut self, detail: String) {
-        self.trace.record(self.now, CoreId::Dsp, "svc", detail);
+        self.trace.record(self.now, self.core, "svc", detail);
     }
 
     /// Handles a remote service request (called from the bridge's
@@ -654,7 +736,7 @@ impl Kernel {
                 self.panic = Some(KernelPanic::OutOfMemory { requested });
                 self.trace.record(
                     self.now,
-                    CoreId::Dsp,
+                    self.core,
                     "panic",
                     format!("out of memory allocating {requested} bytes"),
                 );
@@ -664,7 +746,7 @@ impl Kernel {
                 // ZeroSized / bad handles cannot occur for kernel-computed
                 // sizes; treat defensively as panic-free internal error.
                 self.trace
-                    .record(self.now, CoreId::Dsp, "heap", format!("internal: {e}"));
+                    .record(self.now, self.core, "heap", format!("internal: {e}"));
                 Err(SvcError::KernelPanicked)
             }
         }
@@ -697,7 +779,7 @@ impl Kernel {
         let marked = self.heap.mark_task_garbage(task);
         self.trace.record(
             self.now,
-            CoreId::Dsp,
+            self.core,
             "task",
             format!("{task} terminated ({kind}); {marked}B garbage"),
         );
@@ -715,7 +797,7 @@ impl Kernel {
 
     fn fault(&mut self, task: TaskId, fault: TaskFault) {
         self.trace
-            .record(self.now, CoreId::Dsp, "fault", format!("{task}: {fault}"));
+            .record(self.now, self.core, "fault", format!("{task}: {fault}"));
         self.terminate(task, ExitKind::Faulted(fault));
     }
 
@@ -755,7 +837,7 @@ impl Kernel {
         if self.current != Some(next) {
             self.ctx_switches += 1;
             self.trace
-                .record(self.now, CoreId::Dsp, "sched", format!("run {next}"));
+                .record(self.now, self.core, "sched", format!("run {next}"));
             self.current = Some(next);
         }
         self.run_one(next);
@@ -962,7 +1044,7 @@ impl Kernel {
                         self.current = None;
                         self.trace.record(
                             self.now,
-                            CoreId::Dsp,
+                            self.core,
                             "block",
                             format!("{task} blocks on {mutex}"),
                         );
@@ -1689,5 +1771,64 @@ mod tests {
         assert!(s.idle_ticks > 0);
         assert_eq!(s.live_tasks(), 0);
         assert_eq!(s.tasks.len(), 1);
+    }
+
+    #[test]
+    fn kernel_is_bound_to_a_core() {
+        assert_eq!(kernel().core(), CoreId::Dsp);
+        let k = Kernel::with_core(KernelConfig::default(), CoreId::Slave(2));
+        assert_eq!(k.core(), CoreId::Slave(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slave cores only")]
+    fn kernel_on_the_master_core_is_rejected() {
+        let _ = Kernel::with_core(KernelConfig::default(), CoreId::Master);
+    }
+
+    #[test]
+    fn external_semaphore_post_wakes_a_waiter() {
+        let mut k = kernel();
+        let s = k.create_semaphore(0);
+        let p = k.register_program(Program::new(vec![Op::SemWait(s), Op::Exit]).unwrap());
+        let t = create(&mut k, p, 5);
+        run(&mut k, 5);
+        assert!(matches!(
+            k.task_state(t),
+            Some(TaskState::Blocked(WaitReason::Semaphore(_)))
+        ));
+        assert!(k.post_semaphore_external(s));
+        assert_eq!(k.task_state(t), Some(TaskState::Ready));
+        run(&mut k, 10);
+        assert!(matches!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Normal))
+        ));
+        // Posting an unknown semaphore is a rejected no-op.
+        assert!(!k.post_semaphore_external(SemId(99)));
+    }
+
+    #[test]
+    fn external_token_take_mirrors_counts() {
+        let mut k = kernel();
+        let s = k.create_semaphore(2);
+        assert_eq!(k.semaphore_count(s), Some(2));
+        assert!(k.take_semaphore_token(s));
+        assert!(k.take_semaphore_token(s));
+        assert!(!k.take_semaphore_token(s), "count exhausted");
+        assert_eq!(k.semaphore_count(s), Some(0));
+        assert!(k.post_semaphore_external(s));
+        assert_eq!(k.semaphore_count(s), Some(1));
+        assert_eq!(k.semaphore_count(SemId(9)), None);
+        assert!(!k.take_semaphore_token(SemId(9)));
+    }
+
+    #[test]
+    fn set_var_writes_directly() {
+        let mut k = kernel();
+        k.set_var(VarId(3), -7);
+        assert_eq!(k.var(VarId(3)), Some(-7));
+        k.set_var(VarId(60_000), 1); // unknown var: ignored
+        assert_eq!(k.var(VarId(60_000)), None);
     }
 }

@@ -49,6 +49,18 @@ impl Semaphore {
         }
     }
 
+    /// Takes one token without queueing a waiter (interrupt/bridge
+    /// context, where nothing can block). Returns `true` if a token was
+    /// available and consumed.
+    pub fn try_take(&mut self) -> bool {
+        if self.count > 0 {
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Posts the semaphore. If a task was waiting, it is dequeued and
     /// returned (the caller must make it ready); otherwise the count is
     /// incremented.

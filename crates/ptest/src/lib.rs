@@ -11,8 +11,8 @@
 //! | tool | [`core`](mod@crate::core) | pattern generator (PFA), pattern merger, committer, bug detector, Algorithm 1 |
 //! | automata | [`automata`] | regex → NFA → DFA → PFA pipeline, distribution learning |
 //! | baselines | [`baselines`] | ConTest-style random and CHESS-style systematic testers |
-//! | faults | [`faults`] | Figure 1, dining philosophers, GC-churn stress, starvation/inversion/races |
-//! | master | [`master`] | master runtime, the wired [`DualCoreSystem`] |
+//! | faults | [`faults`] | Figure 1, dining philosophers, GC-churn stress, starvation/inversion/races, multi-slave pipeline + SRAM race |
+//! | master | [`master`] | master runtime, the wired N-slave [`MultiCoreSystem`] ([`DualCoreSystem`] = n 1) |
 //! | bridge | [`bridge`] | pCore-Bridge middleware (SRAM rings + mailbox doorbells) |
 //! | slave | [`pcore`] | the pCore microkernel simulator |
 //! | hardware | [`soc`] | the OMAP5912-like simulated SoC |
@@ -96,7 +96,7 @@ pub use ptest_core::{
     MergedPattern, PatternGenerator, PatternMerger, Scenario, StateRecord, TestPattern, TestReport,
     TrialEngine,
 };
-pub use ptest_master::{DualCoreSystem, MasterOp, SystemConfig};
+pub use ptest_master::{DualCoreSystem, MasterOp, MultiCoreSystem, SystemConfig};
 pub use ptest_pcore::{
     GcFaultMode, Kernel, KernelConfig, Priority, Program, ProgramBuilder, ProgramId, Service,
     SvcReply, SvcRequest, TaskId, TaskState,

@@ -1,9 +1,13 @@
-//! # ptest-soc — a deterministic, discrete-event simulated dual-core SoC
+//! # ptest-soc — a deterministic, discrete-event simulated multicore SoC
 //!
-//! This crate models the hardware substrate that the pTest paper ran on: a
-//! TI OMAP5912-like system-on-chip with two 192-MHz cores (an ARM "master"
-//! and a DSP "slave"), four inter-processor **mailboxes**, and a block of
-//! **shared internal SRAM** used by the communication middleware.
+//! This crate models the hardware substrate that the pTest paper ran on —
+//! a TI OMAP5912-like system-on-chip with an ARM "master" core, originally
+//! one DSP "slave" core, inter-processor **mailboxes**, and a block of
+//! **shared internal SRAM** used by the communication middleware — and
+//! generalizes it from the dual-core part to an *N-slave* topology: one
+//! master ([`CoreId::Master`]) plus any number of slaves
+//! ([`CoreId::Slave`]), each with its own mailbox block and its own bridge
+//! window carved out of the shared SRAM.
 //!
 //! Nothing in this crate knows about kernels, threads, or test patterns; it
 //! only provides the hardware-shaped pieces the upper layers are built on:
@@ -12,9 +16,12 @@
 //!   simulation loop rather than a wall clock, so every run is
 //!   deterministic and every detected bug replayable.
 //! * [`SharedSram`] — a bounds-checked byte-addressable memory window
-//!   (250 KB on the OMAP5912) shared by both cores.
-//! * [`MailboxBank`] — four one-word-deep (configurable) hardware FIFOs
-//!   with per-core interrupt lines, mirroring the OMAP mailbox peripheral.
+//!   (250 KB on the OMAP5912) shared by all cores, with
+//!   [`SharedSram::carve_windows`] to partition it into per-slave regions.
+//! * [`MailboxBank`] — per-slave blocks of four hardware FIFOs
+//!   (command/data doorbells inbound, response/event doorbells outbound)
+//!   with per-core interrupt lines, mirroring the OMAP mailbox peripheral;
+//!   [`MailboxBank::omap5912`] is the one-slave original.
 //! * [`EventQueue`] — a generic timer/event wheel for deadline-driven
 //!   components (watchdogs, timeouts, periodic pollers).
 //! * [`TraceBuffer`] — a bounded ring of timestamped hardware/software
@@ -30,10 +37,12 @@
 //! sram.write_u32_le(0x100, 0xdead_beef)?;
 //! assert_eq!(sram.read_u32_le(0x100)?, 0xdead_beef);
 //!
-//! let mut mboxes = MailboxBank::omap5912();
-//! mboxes.post(MailboxBank::ARM_TO_DSP_CMD, 42)?;
-//! assert!(mboxes.irq_pending(CoreId::Dsp));
-//! assert_eq!(mboxes.take(MailboxBank::ARM_TO_DSP_CMD), Some(42));
+//! // A two-slave bank: slave 1's command doorbell interrupts core DSP1.
+//! let mut mboxes = MailboxBank::for_slaves(2);
+//! mboxes.post(MailboxBank::cmd_index(1), 42)?;
+//! assert!(mboxes.irq_pending(CoreId::Slave(1)));
+//! assert!(!mboxes.irq_pending(CoreId::Dsp));
+//! assert_eq!(mboxes.take(MailboxBank::cmd_index(1)), Some(42));
 //! # Ok(())
 //! # }
 //! ```
@@ -55,20 +64,63 @@ pub use queue::{EventId, EventQueue};
 pub use sram::SharedSram;
 pub use trace::{TraceBuffer, TraceEvent};
 
-/// Identifies one of the two processing cores of the simulated SoC.
+/// Identifies one processing core of the simulated SoC.
 ///
 /// The pTest paper's master–slave model maps the *master* onto the ARM core
-/// (running Linux) and the *slave* onto the DSP core (running pCore).
+/// (running Linux) and each *slave* onto a DSP core (running pCore). The
+/// original OMAP5912 platform had exactly one slave; the generalized
+/// platform supports up to 256 slaves, identified by index.
+///
+/// The legacy dual-core names are kept as constants: [`CoreId::Arm`] is the
+/// master and [`CoreId::Dsp`] is slave 0, so existing call sites (and
+/// match patterns) keep compiling unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CoreId {
     /// The ARM926EJ-S master core.
-    Arm,
-    /// The TI C55x DSP slave core.
-    Dsp,
+    Master,
+    /// The `i`-th TI C55x DSP slave core.
+    Slave(u8),
 }
 
 impl CoreId {
-    /// The opposite core: the DSP for the ARM and vice versa.
+    /// The ARM926EJ-S master core (legacy dual-core name).
+    #[allow(non_upper_case_globals)]
+    pub const Arm: CoreId = CoreId::Master;
+
+    /// The first (index 0) DSP slave core (legacy dual-core name).
+    #[allow(non_upper_case_globals)]
+    pub const Dsp: CoreId = CoreId::Slave(0);
+
+    /// The slave core with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 255 — the platform addresses slaves with
+    /// a single byte, and real configurations stay far below that.
+    #[must_use]
+    pub fn slave(index: usize) -> CoreId {
+        assert!(index <= usize::from(u8::MAX), "slave index out of range");
+        CoreId::Slave(index as u8)
+    }
+
+    /// The slave index, or `None` for the master.
+    #[must_use]
+    pub fn slave_index(self) -> Option<usize> {
+        match self {
+            CoreId::Master => None,
+            CoreId::Slave(i) => Some(usize::from(i)),
+        }
+    }
+
+    /// Whether this is the master core.
+    #[must_use]
+    pub fn is_master(self) -> bool {
+        self == CoreId::Master
+    }
+
+    /// The opposite core of the *dual-core* configuration: slave 0 for the
+    /// master and the master for any slave. Kept for the legacy two-core
+    /// call sites; multi-slave code should address slaves by index.
     ///
     /// ```
     /// use ptest_soc::CoreId;
@@ -78,8 +130,8 @@ impl CoreId {
     #[must_use]
     pub fn peer(self) -> CoreId {
         match self {
-            CoreId::Arm => CoreId::Dsp,
-            CoreId::Dsp => CoreId::Arm,
+            CoreId::Master => CoreId::Slave(0),
+            CoreId::Slave(_) => CoreId::Master,
         }
     }
 }
@@ -87,8 +139,9 @@ impl CoreId {
 impl std::fmt::Display for CoreId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CoreId::Arm => write!(f, "ARM"),
-            CoreId::Dsp => write!(f, "DSP"),
+            CoreId::Master => write!(f, "ARM"),
+            CoreId::Slave(0) => write!(f, "DSP"),
+            CoreId::Slave(i) => write!(f, "DSP{i}"),
         }
     }
 }
@@ -107,6 +160,25 @@ mod tests {
     fn core_id_display() {
         assert_eq!(CoreId::Arm.to_string(), "ARM");
         assert_eq!(CoreId::Dsp.to_string(), "DSP");
+        assert_eq!(CoreId::Slave(0).to_string(), "DSP");
+        assert_eq!(CoreId::Slave(3).to_string(), "DSP3");
+    }
+
+    #[test]
+    fn legacy_names_alias_the_generalized_cores() {
+        assert_eq!(CoreId::Arm, CoreId::Master);
+        assert_eq!(CoreId::Dsp, CoreId::Slave(0));
+        assert_eq!(CoreId::slave(2), CoreId::Slave(2));
+        assert_eq!(CoreId::Slave(2).slave_index(), Some(2));
+        assert_eq!(CoreId::Master.slave_index(), None);
+        assert!(CoreId::Master.is_master());
+        assert!(!CoreId::Slave(1).is_master());
+    }
+
+    #[test]
+    #[should_panic(expected = "slave index")]
+    fn oversized_slave_index_panics() {
+        let _ = CoreId::slave(256);
     }
 
     #[test]

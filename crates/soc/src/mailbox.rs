@@ -84,55 +84,123 @@ impl Mailbox {
     }
 }
 
-/// The bank of four mailboxes of the OMAP5912, two per direction.
+/// A bank of inter-processor mailboxes: one block of four per slave.
 ///
-/// Index assignment mirrors the conventional pCore-Bridge usage:
+/// Every slave `i` owns a contiguous block of [`MailboxBank::BOXES_PER_SLAVE`]
+/// mailboxes, mirroring how the OMAP5912 dedicated its four mailboxes to
+/// its single DSP (that original bank is exactly [`MailboxBank::omap5912`],
+/// i.e. `for_slaves(1)`):
 ///
-/// | index | constant | direction | purpose |
+/// | block offset | accessor | direction | purpose |
 /// |---|---|---|---|
-/// | 0 | [`MailboxBank::ARM_TO_DSP_CMD`]   | ARM → DSP | command doorbells |
-/// | 1 | [`MailboxBank::ARM_TO_DSP_DATA`]  | ARM → DSP | auxiliary data |
-/// | 2 | [`MailboxBank::DSP_TO_ARM_RESP`]  | DSP → ARM | command responses |
-/// | 3 | [`MailboxBank::DSP_TO_ARM_EVENT`] | DSP → ARM | asynchronous events |
+/// | 0 | [`MailboxBank::cmd_index`]   | master → slave *i* | command doorbells |
+/// | 1 | [`MailboxBank::data_index`]  | master → slave *i* | auxiliary data |
+/// | 2 | [`MailboxBank::resp_index`]  | slave *i* → master | command responses |
+/// | 3 | [`MailboxBank::event_index`] | slave *i* → master | asynchronous events |
+///
+/// The legacy `ARM_TO_DSP_*`/`DSP_TO_ARM_*` constants are the slave-0
+/// block expressed as raw indices; they are deprecated in favour of the
+/// per-slave accessors.
 #[derive(Debug, Clone)]
 pub struct MailboxBank {
     boxes: Vec<Mailbox>,
 }
 
 impl MailboxBank {
-    /// Mailbox 0: master→slave command doorbell.
-    pub const ARM_TO_DSP_CMD: usize = 0;
-    /// Mailbox 1: master→slave auxiliary data word.
-    pub const ARM_TO_DSP_DATA: usize = 1;
-    /// Mailbox 2: slave→master command response doorbell.
-    pub const DSP_TO_ARM_RESP: usize = 2;
-    /// Mailbox 3: slave→master asynchronous event doorbell.
-    pub const DSP_TO_ARM_EVENT: usize = 3;
+    /// Mailboxes per slave block: command, data, response, event.
+    pub const BOXES_PER_SLAVE: usize = 4;
 
-    /// The OMAP5912 bank: four mailboxes with a FIFO depth of 4 words.
+    /// Index of slave `slave`'s command doorbell (master → slave).
+    #[must_use]
+    pub const fn cmd_index(slave: usize) -> usize {
+        slave * Self::BOXES_PER_SLAVE
+    }
+
+    /// Index of slave `slave`'s auxiliary data mailbox (master → slave).
+    #[must_use]
+    pub const fn data_index(slave: usize) -> usize {
+        slave * Self::BOXES_PER_SLAVE + 1
+    }
+
+    /// Index of slave `slave`'s response doorbell (slave → master).
+    #[must_use]
+    pub const fn resp_index(slave: usize) -> usize {
+        slave * Self::BOXES_PER_SLAVE + 2
+    }
+
+    /// Index of slave `slave`'s asynchronous event doorbell (slave → master).
+    #[must_use]
+    pub const fn event_index(slave: usize) -> usize {
+        slave * Self::BOXES_PER_SLAVE + 3
+    }
+
+    /// Mailbox 0: master→slave-0 command doorbell.
+    #[deprecated(since = "0.1.0", note = "use MailboxBank::cmd_index(slave)")]
+    pub const ARM_TO_DSP_CMD: usize = Self::cmd_index(0);
+    /// Mailbox 1: master→slave-0 auxiliary data word.
+    #[deprecated(since = "0.1.0", note = "use MailboxBank::data_index(slave)")]
+    pub const ARM_TO_DSP_DATA: usize = Self::data_index(0);
+    /// Mailbox 2: slave-0→master command response doorbell.
+    #[deprecated(since = "0.1.0", note = "use MailboxBank::resp_index(slave)")]
+    pub const DSP_TO_ARM_RESP: usize = Self::resp_index(0);
+    /// Mailbox 3: slave-0→master asynchronous event doorbell.
+    #[deprecated(since = "0.1.0", note = "use MailboxBank::event_index(slave)")]
+    pub const DSP_TO_ARM_EVENT: usize = Self::event_index(0);
+
+    /// The OMAP5912 bank: one slave block of four mailboxes with a FIFO
+    /// depth of 4 words.
     #[must_use]
     pub fn omap5912() -> MailboxBank {
         MailboxBank::with_depth(4)
     }
 
-    /// A four-mailbox bank with the given per-mailbox FIFO depth.
+    /// A single-slave bank with the given per-mailbox FIFO depth.
     ///
     /// # Panics
     ///
     /// Panics if `depth` is zero (see [`Mailbox::new`]).
     #[must_use]
     pub fn with_depth(depth: usize) -> MailboxBank {
-        MailboxBank {
-            boxes: vec![
-                Mailbox::new(CoreId::Dsp, depth),
-                Mailbox::new(CoreId::Dsp, depth),
-                Mailbox::new(CoreId::Arm, depth),
-                Mailbox::new(CoreId::Arm, depth),
-            ],
-        }
+        MailboxBank::for_slaves_with_depth(1, depth)
     }
 
-    /// Number of mailboxes in the bank (always 4 for the OMAP model).
+    /// A bank serving `slaves` slave cores with the OMAP FIFO depth of 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slaves` is zero or exceeds 256.
+    #[must_use]
+    pub fn for_slaves(slaves: usize) -> MailboxBank {
+        MailboxBank::for_slaves_with_depth(slaves, 4)
+    }
+
+    /// A bank serving `slaves` slave cores with the given FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slaves` is zero or exceeds 256, or if `depth` is zero.
+    #[must_use]
+    pub fn for_slaves_with_depth(slaves: usize, depth: usize) -> MailboxBank {
+        assert!(slaves > 0, "a mailbox bank needs at least one slave block");
+        assert!(slaves <= 256, "slave count exceeds the addressable range");
+        let mut boxes = Vec::with_capacity(slaves * Self::BOXES_PER_SLAVE);
+        for slave in 0..slaves {
+            let core = CoreId::slave(slave);
+            boxes.push(Mailbox::new(core, depth)); // command doorbell
+            boxes.push(Mailbox::new(core, depth)); // auxiliary data
+            boxes.push(Mailbox::new(CoreId::Master, depth)); // responses
+            boxes.push(Mailbox::new(CoreId::Master, depth)); // events
+        }
+        MailboxBank { boxes }
+    }
+
+    /// Number of slave blocks in the bank.
+    #[must_use]
+    pub fn slave_count(&self) -> usize {
+        self.boxes.len() / Self::BOXES_PER_SLAVE
+    }
+
+    /// Number of mailboxes in the bank (four per slave).
     #[must_use]
     pub fn len(&self) -> usize {
         self.boxes.len()
@@ -255,11 +323,54 @@ mod tests {
         let mut bank = MailboxBank::omap5912();
         assert!(!bank.irq_pending(CoreId::Dsp));
         assert!(!bank.irq_pending(CoreId::Arm));
-        bank.post(MailboxBank::ARM_TO_DSP_CMD, 5).unwrap();
+        bank.post(MailboxBank::cmd_index(0), 5).unwrap();
         assert!(bank.irq_pending(CoreId::Dsp));
         assert!(!bank.irq_pending(CoreId::Arm));
-        assert_eq!(bank.take(MailboxBank::ARM_TO_DSP_CMD), Some(5));
+        assert_eq!(bank.take(MailboxBank::cmd_index(0)), Some(5));
         assert!(!bank.irq_pending(CoreId::Dsp));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constants_match_the_slave0_block() {
+        assert_eq!(MailboxBank::ARM_TO_DSP_CMD, MailboxBank::cmd_index(0));
+        assert_eq!(MailboxBank::ARM_TO_DSP_DATA, MailboxBank::data_index(0));
+        assert_eq!(MailboxBank::DSP_TO_ARM_RESP, MailboxBank::resp_index(0));
+        assert_eq!(MailboxBank::DSP_TO_ARM_EVENT, MailboxBank::event_index(0));
+    }
+
+    #[test]
+    fn multi_slave_bank_routes_per_block() {
+        let mut bank = MailboxBank::for_slaves(3);
+        assert_eq!(bank.slave_count(), 3);
+        assert_eq!(bank.len(), 12);
+        assert_eq!(
+            bank.inbound_for(CoreId::Slave(1)),
+            vec![MailboxBank::cmd_index(1), MailboxBank::data_index(1)]
+        );
+        assert_eq!(
+            bank.inbound_for(CoreId::Master),
+            vec![
+                MailboxBank::resp_index(0),
+                MailboxBank::event_index(0),
+                MailboxBank::resp_index(1),
+                MailboxBank::event_index(1),
+                MailboxBank::resp_index(2),
+                MailboxBank::event_index(2),
+            ]
+        );
+        bank.post(MailboxBank::cmd_index(2), 9).unwrap();
+        assert!(bank.irq_pending(CoreId::Slave(2)));
+        assert!(!bank.irq_pending(CoreId::Slave(0)));
+        assert!(!bank.irq_pending(CoreId::Slave(1)));
+        bank.post(MailboxBank::resp_index(1), 3).unwrap();
+        assert!(bank.irq_pending(CoreId::Master));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn zero_slave_bank_panics() {
+        let _ = MailboxBank::for_slaves(0);
     }
 
     #[test]

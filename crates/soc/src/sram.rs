@@ -138,6 +138,30 @@ impl SharedSram {
         self.bytes[offset..offset + len].fill(value);
         Ok(())
     }
+
+    /// Carves `count` equally sized per-slave windows of `stride` bytes out
+    /// of the SRAM, starting at `base`, returning each window's base
+    /// offset. This is how the bridge middleware partitions the shared
+    /// memory so every slave gets its own command/response region.
+    ///
+    /// # Errors
+    ///
+    /// [`SramError::OutOfBounds`] if the combined windows exceed the SRAM
+    /// capacity (the error reports the full carved range).
+    pub fn carve_windows(
+        &self,
+        base: usize,
+        stride: usize,
+        count: usize,
+    ) -> Result<Vec<usize>, SramError> {
+        let total = stride.checked_mul(count).ok_or(SramError::OutOfBounds {
+            offset: base,
+            len: usize::MAX,
+            capacity: self.bytes.len(),
+        })?;
+        self.check(base, total)?;
+        Ok((0..count).map(|i| base + i * stride).collect())
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +234,18 @@ mod tests {
         assert_eq!(s.read_u8(5).unwrap(), 0xff);
         assert_eq!(s.read_u8(6).unwrap(), 0);
         assert!(s.fill(6, 4, 0).is_err());
+    }
+
+    #[test]
+    fn carve_windows_partitions_the_sram() {
+        let s = SharedSram::new(1024);
+        let windows = s.carve_windows(0x100, 0x80, 4).unwrap();
+        assert_eq!(windows, vec![0x100, 0x180, 0x200, 0x280]);
+        // Windows that overflow the capacity are rejected.
+        assert!(s.carve_windows(0x100, 0x80, 8).is_err());
+        assert!(s.carve_windows(0, usize::MAX, 2).is_err());
+        // Zero windows carve nothing and always fit.
+        assert_eq!(s.carve_windows(0, 0x80, 0).unwrap(), Vec::<usize>::new());
     }
 
     #[test]
