@@ -51,6 +51,7 @@ pub mod dot;
 mod nfa;
 mod pfa;
 mod regex;
+mod sampler;
 pub mod train;
 
 pub use alphabet::{Alphabet, Sym};
@@ -130,6 +131,81 @@ mod proptests {
             let mut rng = StdRng::seed_from_u64(seed);
             let pattern = pfa.generate(&mut rng, GenerateOptions::sized(24));
             prop_assert!(dfa.is_valid_prefix(&pattern));
+        }
+
+        /// The alias-table sampler is stream-identical to the retained
+        /// cumulative-scan reference: for any skeleton, probability
+        /// assignment, seed and pattern size — including degenerate
+        /// one-transition states — both samplers emit byte-identical
+        /// patterns and leave the RNG in the same state.
+        #[test]
+        fn alias_sampler_stream_identical_to_reference(
+            src in arb_regex_src(),
+            weights in proptest::array::uniform4(1u32..1_000),
+            seed in 0u64..10_000,
+            size in 0usize..200,
+            cyclic in any::<bool>(),
+        ) {
+            let re = Regex::parse(&src).unwrap();
+            let dfa = Dfa::from_regex(&re).minimize();
+            let pd = ProbabilityAssignment::weights(
+                ["a", "b", "c", "d"]
+                    .iter()
+                    .zip(weights)
+                    .map(|(s, w)| ((*s).to_owned(), f64::from(w))),
+            );
+            let pfa = match Pfa::from_dfa(&dfa, re.alphabet().clone(), &pd) {
+                Ok(p) => p,
+                Err(PfaError::DeadNonFinal { .. }) => return Ok(()), // degenerate skeleton
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            };
+            let opts = if cyclic {
+                // Cyclic walks on an all-absorbing skeleton would loop on
+                // zero-length life cycles forever; bound by size instead.
+                GenerateOptions::cyclic(size)
+            } else {
+                GenerateOptions::sized(size)
+            };
+            let mut alias_rng = StdRng::seed_from_u64(seed);
+            let mut reference_rng = StdRng::seed_from_u64(seed);
+            for _ in 0..4 {
+                let via_alias = pfa.generate(&mut alias_rng, opts);
+                let via_reference = pfa.generate_reference(&mut reference_rng, opts);
+                prop_assert_eq!(&via_alias, &via_reference);
+            }
+            // The RNGs consumed identical draw counts: their next outputs
+            // agree.
+            prop_assert_eq!(
+                rand::Rng::random::<u64>(&mut alias_rng),
+                rand::Rng::random::<u64>(&mut reference_rng)
+            );
+        }
+
+        /// Stream identity holds for adversarial near-zero-weight states:
+        /// cumulative boundaries crowd into single alias buckets and force
+        /// the guided-scan fallback.
+        #[test]
+        fn alias_sampler_stream_identical_with_near_zero_weights(
+            seed in 0u64..10_000,
+            tiny_exp in 1u32..300,
+        ) {
+            let re = Regex::parse("(a | b | c | d)*").unwrap();
+            let dfa = Dfa::from_regex(&re).minimize();
+            let tiny = f64::powi(10.0, -(tiny_exp as i32));
+            let pd = ProbabilityAssignment::weights([
+                ("a", 1.0),
+                ("b", tiny),
+                ("c", tiny),
+                ("d", tiny),
+            ]);
+            let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &pd).unwrap();
+            let mut alias_rng = StdRng::seed_from_u64(seed);
+            let mut reference_rng = StdRng::seed_from_u64(seed);
+            let opts = GenerateOptions::cyclic(128);
+            prop_assert_eq!(
+                pfa.generate(&mut alias_rng, opts),
+                pfa.generate_reference(&mut reference_rng, opts)
+            );
         }
 
         /// Sequence probability of a generated pattern is positive.

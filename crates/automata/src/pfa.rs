@@ -14,6 +14,7 @@ use rand::Rng;
 
 use crate::alphabet::{Alphabet, Sym};
 use crate::dfa::{Dfa, DfaStateId};
+use crate::sampler::{AliasTable, ALIAS_MIN_OUT_DEGREE};
 
 /// How transition probabilities are assigned to the DFA skeleton.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,6 +167,12 @@ pub struct Pfa {
     alphabet: Alphabet,
     /// `transitions[q]` = `(symbol, target, probability)` in symbol order.
     transitions: Vec<Vec<(Sym, DfaStateId, f64)>>,
+    /// `samplers[q]` = the state's compiled O(1) alias table. Empty for
+    /// out-degrees 0 and 1 (which never consume randomness) and for
+    /// narrow states where the inline scan measures faster. Sampling
+    /// through the table is stream-identical to
+    /// [`Pfa::make_choice_reference`] — see [`crate::sampler`].
+    samplers: Vec<AliasTable>,
     accepting: Vec<bool>,
     start: DfaStateId,
 }
@@ -239,9 +246,26 @@ impl Pfa {
             }
             transitions.push(weighted);
         }
+        // Adaptive sampler compilation: states wide enough for the O(1)
+        // table to beat the early-exit scan get one; narrow states keep
+        // the inline scan (see `ALIAS_MIN_OUT_DEGREE`). Both samplers
+        // are exactly stream-identical, so the choice is invisible to
+        // seeds.
+        let samplers = transitions
+            .iter()
+            .map(|out| {
+                if out.len() >= ALIAS_MIN_OUT_DEGREE {
+                    let probabilities: Vec<f64> = out.iter().map(|&(_, _, p)| p).collect();
+                    AliasTable::build(&probabilities)
+                } else {
+                    AliasTable::default()
+                }
+            })
+            .collect();
         let pfa = Pfa {
             alphabet,
             transitions,
+            samplers,
             accepting: (0..dfa.len()).map(|q| dfa.is_accepting(q)).collect(),
             start: dfa.start(),
         };
@@ -318,7 +342,58 @@ impl Pfa {
 
     /// `MakeChoice` of Algorithm 2: samples one outgoing transition.
     /// Returns `None` at absorbing states.
+    ///
+    /// Sampling goes through the sampler compiled at construction: an
+    /// O(1) alias-table lookup for wide states, the inline cumulative
+    /// scan for narrow ones (where the early-exit scan measures faster;
+    /// see the crate-private `sampler` module). Either way it is
+    /// stream-identical to [`Pfa::make_choice_reference`]: the same RNG
+    /// state yields the same transition *and* leaves the RNG in the same
+    /// state, so seeds reproduce byte-identical patterns across both
+    /// samplers.
+    #[inline]
     pub fn make_choice<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        state: DfaStateId,
+    ) -> Option<(Sym, DfaStateId)> {
+        let out = &self.transitions[state];
+        match out.len() {
+            0 => None,
+            // Algorithm 2 line 10-13: no probabilistic choice to make.
+            1 => Some((out[0].0, out[0].1)),
+            _ => {
+                let roll: f64 = rng.random();
+                // `out.len()` is already in a register; comparing it to
+                // the compilation threshold (rather than asking the table
+                // whether it exists) keeps narrow states from touching
+                // the sampler storage at all. Construction guarantees a
+                // compiled table exactly when the threshold is met.
+                if out.len() >= ALIAS_MIN_OUT_DEGREE {
+                    let (sym, target, _) = out[self.samplers[state].sample(roll)];
+                    return Some((sym, target));
+                }
+                // Narrow state: the inline cumulative scan (identical to
+                // the reference semantics) is faster than a table lookup.
+                let mut acc = 0.0;
+                for &(sym, target, p) in out {
+                    acc += p;
+                    if roll < acc {
+                        return Some((sym, target));
+                    }
+                }
+                // Floating-point slack: take the last transition.
+                let last = out.last().expect("non-empty");
+                Some((last.0, last.1))
+            }
+        }
+    }
+
+    /// The retained reference implementation of `MakeChoice`: the linear
+    /// cumulative scan the paper's Algorithm 2 describes. Kept as the
+    /// ground truth the alias table is property-tested against, and as
+    /// the baseline the perf harness measures speedups over.
+    pub fn make_choice_reference<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         state: DfaStateId,
@@ -351,9 +426,52 @@ impl Pfa {
     /// restarts from `q0` (repeated task life cycles).
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, opts: GenerateOptions) -> Vec<Sym> {
         let mut pattern = Vec::with_capacity(opts.size);
+        self.generate_into(rng, opts, &mut pattern);
+        pattern
+    }
+
+    /// [`Pfa::generate`] into a caller-owned buffer: clears `pattern` and
+    /// fills it with one walk. Trial loops that generate thousands of
+    /// patterns reuse one buffer per worker instead of allocating a fresh
+    /// `Vec` per pattern — the zero-allocation hot path.
+    pub fn generate_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        opts: GenerateOptions,
+        pattern: &mut Vec<Sym>,
+    ) {
+        pattern.clear();
+        pattern.reserve(opts.size);
         let mut q = self.start;
         while pattern.len() < opts.size {
             match self.make_choice(rng, q) {
+                Some((sym, next)) => {
+                    pattern.push(sym);
+                    q = next;
+                }
+                None => {
+                    if opts.restart_on_final {
+                        q = self.start;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Pfa::generate`] through the retained reference sampler
+    /// ([`Pfa::make_choice_reference`]); produces byte-identical patterns
+    /// to [`Pfa::generate`] for the same seed.
+    pub fn generate_reference<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        opts: GenerateOptions,
+    ) -> Vec<Sym> {
+        let mut pattern = Vec::with_capacity(opts.size);
+        let mut q = self.start;
+        while pattern.len() < opts.size {
+            match self.make_choice_reference(rng, q) {
                 Some((sym, next)) => {
                     pattern.push(sym);
                     q = next;

@@ -3,10 +3,19 @@
 //! point for the parallel layer. The aggregate result is identical at
 //! every worker count (the determinism invariant); only wall-clock
 //! should move.
+//!
+//! Also hosts the pattern-generation microbench feeding the campaigns:
+//! symbols/sec of the compiled (alias-table, zero-alloc) sampler against
+//! the retained cumulative-scan reference, at pattern sizes 16/256/4096.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptest::automata::GenerateOptions;
 use ptest::campaign::{Campaign, CampaignConfig, LearningConfig};
 use ptest::faults::stress::StressScenario;
+use ptest::Sym;
+use ptest_bench::perf::fan16_generator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 
 const TRIALS: usize = 8;
@@ -67,5 +76,42 @@ fn bench_campaign_learning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign_workers, bench_campaign_learning);
+fn bench_pattern_generation(c: &mut Criterion) {
+    let generator = fan16_generator();
+    let mut group = c.benchmark_group("pattern_generation_fan16");
+    for size in [16usize, 256, 4096] {
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("alias", size), &size, |b, &size| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut buf: Vec<Sym> = Vec::new();
+            b.iter(|| {
+                generator.generate_into(
+                    black_box(&mut rng),
+                    GenerateOptions::cyclic(size),
+                    &mut buf,
+                );
+                black_box(buf.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", size), &size, |b, &size| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(
+                    generator
+                        .pfa()
+                        .generate_reference(black_box(&mut rng), GenerateOptions::cyclic(size)),
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_workers,
+    bench_campaign_learning,
+    bench_pattern_generation
+);
 criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The perf harness binary: runs the fixed suite and writes
+//! `BENCH_campaign.json` (see [`ptest_bench::perf`]).
+//!
+//! ```text
+//! cargo run --release -p ptest-bench --bin perf -- \
+//!     [--out BENCH_campaign.json] \
+//!     [--check tests/fixtures/bench_baseline.json] \
+//!     [--quick]
+//! ```
+//!
+//! With `--check`, the run exits non-zero when any suite's
+//! `patterns_per_sec` regressed more than
+//! [`ptest_bench::perf::REGRESSION_TOLERANCE`] against the baseline —
+//! CI's perf gate. `--quick` shrinks every workload (harness smoke
+//! testing only; never compare a quick run against the baseline).
+
+use std::process::ExitCode;
+
+use ptest_bench::perf;
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_campaign.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut cfg = perf::PerfConfig::standard();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => baseline_path = Some(args.next().expect("--check needs a path")),
+            "--quick" => cfg = perf::PerfConfig::quick(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf [--out FILE] [--check BASELINE] [--quick]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = perf::run(&cfg);
+    for suite in &report.suites {
+        println!(
+            "{:<28} {:>12.1} patterns/s {:>14.1} steps/s {:>9.1} ms",
+            suite.suite, suite.patterns_per_sec, suite.steps_per_sec, suite.wall_ms
+        );
+    }
+    let json = perf::report_to_json(&report).expect("bench reports serialize");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(text) => match perf::report_from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot parse baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = perf::regressions(&report, &baseline, perf::REGRESSION_TOLERANCE);
+        if !failures.is_empty() {
+            eprintln!("\nperf gate FAILED against {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("perf gate passed against {path}");
+    }
+    ExitCode::SUCCESS
+}

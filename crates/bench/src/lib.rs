@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use ptest::campaign::RoundReport;
 use ptest::pcore::{GcFaultMode, Op, Program};
 use ptest::{

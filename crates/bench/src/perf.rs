@@ -1,0 +1,360 @@
+//! The perf harness: a fixed suite of generation and campaign workloads
+//! whose throughput is archived as `BENCH_campaign.json` — the repo's
+//! machine-readable perf trajectory.
+//!
+//! Every run measures the same workloads at the same seeds:
+//!
+//! * **Generation microbenches** — patterns/sec of the alias-table
+//!   sampler (`Pfa::generate_into`, zero-allocation) against the
+//!   retained cumulative-scan reference (`Pfa::generate_reference`), on
+//!   the paper's pCore lifecycle PFA and on a 16-way fan-out PFA where
+//!   sampling cost dominates.
+//! * **Campaign suites** — trials/sec, patterns/sec and simulated
+//!   steps/sec of the Fig. 1 adaptive campaign, the dining-philosophers
+//!   campaign, and the 3-slave cross-core pipeline campaign at 1/2/4/8
+//!   workers.
+//!
+//! The report schema is one entry per suite:
+//! `{suite, trials_per_sec, patterns_per_sec, steps_per_sec, wall_ms,
+//! seed}`. CI's `perf-smoke` job uploads the file as an artifact and
+//! fails when `patterns_per_sec` regresses more than
+//! [`REGRESSION_TOLERANCE`] against the committed
+//! `tests/fixtures/bench_baseline.json`.
+
+use std::time::Instant;
+
+use ptest::automata::{GenerateOptions, ProbabilityAssignment, Regex, Sym};
+use ptest::campaign::{Campaign, CampaignConfig};
+use ptest::faults::fig1::Fig1AdaptiveScenario;
+use ptest::faults::multicore::CrossCorePipelineScenario;
+use ptest::faults::philosophers::PhilosophersScenario;
+use ptest::{PatternGenerator, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag embedded in every report.
+pub const SCHEMA: &str = "ptest-bench/campaign-v1";
+
+/// A suite fails the CI gate when its current `patterns_per_sec` drops
+/// below `1 - REGRESSION_TOLERANCE` of the committed baseline.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Throughput of one fixed workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Workload name, e.g. `pipeline_w4` or `gen_alias_fan16_s256`.
+    pub suite: String,
+    /// Completed trials per wall-clock second (0 for microbenches that
+    /// have no trial structure).
+    pub trials_per_sec: f64,
+    /// Generated test patterns per wall-clock second — the gated metric.
+    pub patterns_per_sec: f64,
+    /// Simulated platform cycles (campaigns) or emitted symbols
+    /// (generation) per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Wall-clock time of the whole suite in milliseconds.
+    pub wall_ms: f64,
+    /// The seed the workload ran at (master seed for campaigns).
+    pub seed: u64,
+}
+
+/// The archived perf report: schema tag plus one entry per suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Per-suite throughput, in fixed suite order.
+    pub suites: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Looks up a suite by name.
+    #[must_use]
+    pub fn suite(&self, name: &str) -> Option<&BenchEntry> {
+        self.suites.iter().find(|e| e.suite == name)
+    }
+}
+
+/// How much work each suite does; `quick` shrinks every workload for
+/// smoke runs (e.g. debug builds) without changing suite names.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Patterns per generation microbench.
+    pub gen_patterns: usize,
+    /// Trials per campaign round.
+    pub campaign_trials: usize,
+}
+
+impl PerfConfig {
+    /// The standard workload CI and the committed baseline use.
+    #[must_use]
+    pub fn standard() -> PerfConfig {
+        PerfConfig {
+            gen_patterns: 20_000,
+            campaign_trials: 32,
+        }
+    }
+
+    /// A reduced workload for smoke testing the harness itself.
+    #[must_use]
+    pub fn quick() -> PerfConfig {
+        PerfConfig {
+            gen_patterns: 2_000,
+            campaign_trials: 2,
+        }
+    }
+}
+
+/// A 16-way fan-out PFA: one hub state with 16 weighted self-loop
+/// branches, so per-symbol sampling cost dominates the walk — the
+/// workload where alias tables beat the linear scan hardest. Shared
+/// with the criterion microbenches.
+#[must_use]
+pub fn fan16_generator() -> PatternGenerator {
+    let names: Vec<String> = (0..16).map(|i| format!("s{i}")).collect();
+    let source = format!("({})*", names.join(" | "));
+    let regex = Regex::parse(&source).expect("fan16 regex parses");
+    let pd = ProbabilityAssignment::weights(
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), (i + 1) as f64)),
+    );
+    PatternGenerator::new(regex, &pd).expect("fan16 distribution is valid")
+}
+
+/// Measures one generation workload: `patterns` cyclic walks of `size`
+/// symbols through `sample`, which returns the number of symbols emitted.
+fn measure_generation(
+    suite: &str,
+    seed: u64,
+    patterns: usize,
+    mut sample: impl FnMut(&mut StdRng) -> usize,
+) -> BenchEntry {
+    // Untimed warm-up so the first measured suite doesn't absorb page
+    // faults and frequency ramp-up.
+    let mut warmup_rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    for _ in 0..(patterns / 10).max(64) {
+        sample(&mut warmup_rng);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut symbols = 0usize;
+    for _ in 0..patterns {
+        symbols += sample(&mut rng);
+    }
+    let wall = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    BenchEntry {
+        suite: suite.to_owned(),
+        trials_per_sec: 0.0,
+        patterns_per_sec: patterns as f64 / wall,
+        steps_per_sec: symbols as f64 / wall,
+        wall_ms: wall * 1e3,
+        seed,
+    }
+}
+
+/// Measures one campaign workload.
+fn measure_campaign(suite: &str, scenario: &dyn Scenario, cfg: &CampaignConfig) -> BenchEntry {
+    let patterns_per_trial = scenario.base_config().n;
+    let start = Instant::now();
+    let report = Campaign::run(cfg, scenario).expect("perf campaign configuration is valid");
+    let wall = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    let trials = report.total_trials();
+    let cycles: u64 = report.rounds.iter().map(|r| r.total_cycles).sum();
+    BenchEntry {
+        suite: suite.to_owned(),
+        trials_per_sec: trials as f64 / wall,
+        patterns_per_sec: (trials * patterns_per_trial) as f64 / wall,
+        steps_per_sec: cycles as f64 / wall,
+        wall_ms: wall * 1e3,
+        seed: cfg.master_seed,
+    }
+}
+
+/// Runs the whole fixed suite and assembles the report.
+#[must_use]
+pub fn run(cfg: &PerfConfig) -> BenchReport {
+    let mut suites = Vec::new();
+
+    // --- Generation microbenches: alias table vs retained reference.
+    let pcore = PatternGenerator::pcore_paper().expect("paper generator builds");
+    let fan16 = fan16_generator();
+    let opts = GenerateOptions::cyclic(256);
+    let mut buf: Vec<Sym> = Vec::new();
+    for (label, generator) in [("pcore", &pcore), ("fan16", &fan16)] {
+        suites.push(measure_generation(
+            &format!("gen_alias_{label}_s256"),
+            1,
+            cfg.gen_patterns,
+            |rng| {
+                generator.generate_into(rng, opts, &mut buf);
+                buf.len()
+            },
+        ));
+        suites.push(measure_generation(
+            &format!("gen_reference_{label}_s256"),
+            1,
+            cfg.gen_patterns,
+            |rng| generator.pfa().generate_reference(rng, opts).len(),
+        ));
+    }
+
+    // --- Campaign suites.
+    suites.push(measure_campaign(
+        "fig1_adaptive",
+        &Fig1AdaptiveScenario::default(),
+        &crate::adaptive_campaign(cfg.campaign_trials, 2, 2009),
+    ));
+    suites.push(measure_campaign(
+        "philosophers",
+        &PhilosophersScenario::buggy(),
+        &crate::sweep_campaign(cfg.campaign_trials, 2009),
+    ));
+    for workers in [1usize, 2, 4, 8] {
+        let mut campaign = crate::sweep_campaign(cfg.campaign_trials, 2009);
+        campaign.workers = workers;
+        suites.push(measure_campaign(
+            &format!("pipeline_w{workers}"),
+            &CrossCorePipelineScenario::buggy(),
+            &campaign,
+        ));
+    }
+
+    BenchReport {
+        schema: SCHEMA.to_owned(),
+        suites,
+    }
+}
+
+/// Serializes a report as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (practically unreachable).
+pub fn report_to_json(report: &BenchReport) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(report)
+}
+
+/// Parses a report (or the committed baseline) from JSON.
+///
+/// # Errors
+///
+/// `serde_json` errors on malformed input.
+pub fn report_from_json(json: &str) -> Result<BenchReport, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Compares `current` against `baseline`: one failure line per suite
+/// whose `patterns_per_sec` dropped below `1 - tolerance` of the
+/// baseline value. Suites absent from the baseline are skipped (new
+/// suites land before their baseline refresh); zero/negative baselines
+/// never gate.
+#[must_use]
+pub fn regressions(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.suites {
+        if base.patterns_per_sec <= 0.0 {
+            continue;
+        }
+        let Some(cur) = current.suite(&base.suite) else {
+            failures.push(format!(
+                "suite `{}` present in baseline but missing from current run",
+                base.suite
+            ));
+            continue;
+        };
+        let floor = base.patterns_per_sec * (1.0 - tolerance);
+        if cur.patterns_per_sec < floor {
+            failures.push(format!(
+                "suite `{}` regressed: {:.1} patterns/sec < {:.1} (baseline {:.1}, tolerance {:.0}%)",
+                base.suite,
+                cur.patterns_per_sec,
+                floor,
+                base.patterns_per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(suite: &str, pps: f64) -> BenchEntry {
+        BenchEntry {
+            suite: suite.to_owned(),
+            trials_per_sec: 1.0,
+            patterns_per_sec: pps,
+            steps_per_sec: 10.0,
+            wall_ms: 5.0,
+            seed: 2009,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_owned(),
+            suites: entries,
+        }
+    }
+
+    #[test]
+    fn quick_suite_emits_every_workload_with_positive_throughput() {
+        let out = run(&PerfConfig::quick());
+        assert_eq!(out.schema, SCHEMA);
+        for name in [
+            "gen_alias_pcore_s256",
+            "gen_reference_pcore_s256",
+            "gen_alias_fan16_s256",
+            "gen_reference_fan16_s256",
+            "fig1_adaptive",
+            "philosophers",
+            "pipeline_w1",
+            "pipeline_w2",
+            "pipeline_w4",
+            "pipeline_w8",
+        ] {
+            let suite = out.suite(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(suite.patterns_per_sec > 0.0, "{name}");
+            assert!(suite.steps_per_sec > 0.0, "{name}");
+            assert!(suite.wall_ms > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let out = report(vec![entry("a", 100.0), entry("b", 5.5)]);
+        let json = report_to_json(&out).unwrap();
+        assert!(json.contains("\"patterns_per_sec\""));
+        assert_eq!(report_from_json(&json).unwrap(), out);
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_tolerance() {
+        let baseline = report(vec![entry("a", 100.0), entry("b", 100.0)]);
+        // Within tolerance: 80 >= 75.
+        let ok = report(vec![entry("a", 80.0), entry("b", 101.0)]);
+        assert!(regressions(&ok, &baseline, REGRESSION_TOLERANCE).is_empty());
+        // Past tolerance on one suite.
+        let bad = report(vec![entry("a", 60.0), entry("b", 101.0)]);
+        let failures = regressions(&bad, &baseline, REGRESSION_TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("`a`"), "{failures:?}");
+        // Missing suite is a failure; extra current suites are not.
+        let missing = report(vec![entry("b", 101.0), entry("extra", 1.0)]);
+        let failures = regressions(&missing, &baseline, REGRESSION_TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn zero_baselines_never_gate() {
+        let baseline = report(vec![entry("a", 0.0)]);
+        let current = report(vec![entry("a", 0.0)]);
+        assert!(regressions(&current, &baseline, REGRESSION_TOLERANCE).is_empty());
+    }
+}

@@ -271,6 +271,17 @@ impl MasterPort {
         ids
     }
 
+    /// Number of commands overdue on `slave`'s lane, without allocating
+    /// the id list ([`MasterPort::overdue_for`] for callers that only
+    /// need the count).
+    #[must_use]
+    pub fn overdue_count_for(&self, slave: usize, now: Cycles, timeout: Cycles) -> usize {
+        self.pending
+            .iter()
+            .filter(|(_, p)| p.slave == slave && now.since(p.issued_at) > timeout)
+            .count()
+    }
+
     /// [`MasterPort::overdue`], restricted to commands targeting `slave`.
     #[must_use]
     pub fn overdue_for(&self, slave: usize, now: Cycles, timeout: Cycles) -> Vec<CmdId> {

@@ -21,7 +21,9 @@
 use std::fmt;
 
 use ptest_automata::{Pfa, TransitionCounts};
-use ptest_core::{AdaptiveTestConfig, AdaptiveTestError, Scenario, TestReport, TrialEngine};
+use ptest_core::{
+    AdaptiveTestConfig, AdaptiveTestError, Scenario, TestReport, TrialEngine, TrialScratch,
+};
 
 use crate::learning;
 use crate::pool;
@@ -156,10 +158,21 @@ impl Campaign {
             })?;
 
             // Fan the round's trials across the pool; results come back
-            // in trial-index order regardless of scheduling.
-            let results = pool::run_indexed(cfg.workers, cfg.trials_per_round, |trial| {
-                engine.run_scenario_trial(scenario, trial_seed(cfg.master_seed, round, trial))
-            });
+            // in trial-index order regardless of scheduling. Each worker
+            // owns one trial scratch for its lifetime, so consecutive
+            // trials reuse the detector's snapshot buffers.
+            let results = pool::run_indexed_with(
+                cfg.workers,
+                cfg.trials_per_round,
+                TrialScratch::new,
+                |scratch, trial| {
+                    engine.run_scenario_trial_in(
+                        scenario,
+                        trial_seed(cfg.master_seed, round, trial),
+                        scratch,
+                    )
+                },
+            );
             let mut reports: Vec<TestReport> = Vec::with_capacity(results.len());
             for result in results {
                 reports.push(result?);

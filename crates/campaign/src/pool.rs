@@ -12,31 +12,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Runs `jobs` jobs on up to `workers` OS threads and returns the
-/// results in job-index order. `workers` is clamped to `[1, jobs]`; with
-/// one worker the jobs run inline on the calling thread.
-pub(crate) fn run_indexed<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+/// results in job-index order, with per-worker state: `init` runs once
+/// on each worker thread and the resulting value is threaded through
+/// every job that worker claims. Campaign workers use this for trial
+/// scratch buffers — allocated once per worker, reused across all its
+/// trials. State never influences results (jobs remain pure functions of
+/// their index), so the output is identical for every worker count.
+/// `workers` is clamped to `[1, jobs]`; with one worker the jobs run
+/// inline on the calling thread.
+pub(crate) fn run_indexed_with<T, S, I, F>(workers: usize, jobs: usize, init: I, job: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
 {
     if jobs == 0 {
         return Vec::new();
     }
     let workers = workers.clamp(1, jobs);
     if workers == 1 {
-        return (0..jobs).map(job).collect();
+        let mut state = init();
+        return (0..jobs).map(|i| job(&mut state, i)).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let out = job(&mut state, i);
+                    *slots[i].lock().expect("result slot lock") = Some(out);
                 }
-                let out = job(i);
-                *slots[i].lock().expect("result slot lock") = Some(out);
             });
         }
     });
@@ -57,20 +68,41 @@ mod tests {
     #[test]
     fn results_come_back_in_index_order() {
         for workers in [1, 2, 4, 8, 64] {
-            let out = run_indexed(workers, 37, |i| i * i);
+            let out = run_indexed_with(workers, 37, || (), |(), i| i * i);
             assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn zero_jobs_yield_empty() {
-        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        let out: Vec<usize> = run_indexed_with(4, 0, || (), |(), i| i);
         assert!(out.is_empty());
     }
 
     #[test]
     fn single_job_runs_inline() {
-        let out = run_indexed(8, 1, |i| i + 100);
+        let out = run_indexed_with(8, 1, || (), |(), i| i + 100);
         assert_eq!(out, vec![100]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        for workers in [1, 3, 8] {
+            // Each worker counts the jobs it ran; results stay index-pure.
+            let out = run_indexed_with(
+                workers,
+                20,
+                || 0usize,
+                |claimed, i| {
+                    *claimed += 1;
+                    (i, *claimed >= 1)
+                },
+            );
+            assert_eq!(out.len(), 20);
+            for (idx, (i, reused)) in out.into_iter().enumerate() {
+                assert_eq!(i, idx);
+                assert!(reused);
+            }
+        }
     }
 }

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use ptest_automata::{Alphabet, Sym};
 use ptest_bridge::CmdId;
@@ -144,7 +145,9 @@ pub struct Committer {
     bound: Vec<Option<TaskId>>,
     prio_counter: Vec<u8>,
     progress: Vec<usize>,
-    pattern_syms: Vec<Vec<Sym>>,
+    /// Per-pattern symbol projections, interned so every state record of
+    /// a pattern shares one allocation instead of cloning the buffer.
+    pattern_syms: Vec<Arc<[Sym]>>,
     last_completed: Vec<Option<Service>>,
     awaiting: Option<(CmdId, usize, Cycles)>,
     /// Earliest time the next command may be issued (pacing).
@@ -210,7 +213,7 @@ impl Committer {
                 skipped: false,
             })
             .collect();
-        let pattern_syms = (0..n_patterns).map(|i| merged.project(i)).collect();
+        let pattern_syms = (0..n_patterns).map(|i| merged.project(i).into()).collect();
         Ok(Committer {
             cfg,
             service_of,
@@ -304,8 +307,9 @@ impl Committer {
         if self.status != CommitterStatus::Running {
             return self.status;
         }
-        // 1. Consume responses.
-        for resp in sys.take_responses() {
+        // 1. Consume responses (draining in place keeps the system's
+        //    inbox buffer alive across cycles — no per-step allocation).
+        for resp in sys.drain_responses() {
             let Some((awaited, step_idx, _)) = self.awaiting else {
                 continue; // late response after timeout handling
             };
@@ -461,6 +465,14 @@ impl Committer {
     #[must_use]
     pub fn service_of(&self, sym: Sym) -> Option<Service> {
         self.service_of.get(&sym).copied()
+    }
+
+    /// Consumes the committer, handing the merged pattern and per-step
+    /// execution records to the report without cloning either — the
+    /// trial engine's assembly path.
+    #[must_use]
+    pub fn into_parts(self) -> (MergedPattern, Vec<ExecRecord>) {
+        (self.merged, self.records)
     }
 }
 

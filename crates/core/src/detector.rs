@@ -201,6 +201,13 @@ pub struct BugDetector {
     reported_starvation: Vec<(usize, TaskId)>,
     /// Virtual time at which the committer was first observed done.
     done_since: Option<Cycles>,
+    /// Reused across observations: per-kernel snapshots (task and
+    /// wait-edge buffers included) and the progress-rule work lists. The
+    /// detector observes thousands of times per trial; without these the
+    /// observation cadence dominates the trial's allocation profile.
+    snapshot_scratch: Vec<KernelSnapshot>,
+    stalled_scratch: Vec<(usize, TaskId, bool)>,
+    moving_scratch: Vec<(usize, TaskId)>,
 }
 
 impl BugDetector {
@@ -218,6 +225,9 @@ impl BugDetector {
             reported_livelock: Vec::new(),
             reported_starvation: Vec::new(),
             done_since: None,
+            snapshot_scratch: Vec::new(),
+            stalled_scratch: Vec::new(),
+            moving_scratch: Vec::new(),
         }
     }
 
@@ -267,7 +277,42 @@ impl BugDetector {
         committer: Option<&Committer>,
         committer_done: bool,
     ) -> Vec<Bug> {
-        let snapshots = sys.snapshots();
+        let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+        let bugs = self.observe_with(sys, committer, committer_done, &mut snapshots);
+        self.snapshot_scratch = snapshots;
+        bugs
+    }
+
+    /// [`BugDetector::observe`] with a caller-owned snapshot buffer: one
+    /// batched snapshot pass over every kernel per observation step, into
+    /// buffers retained from the previous step — the per-kernel
+    /// `Kernel::snapshot()` allocations this replaces used to dominate
+    /// the trial hot loop. The trial engine passes its per-worker
+    /// [`TrialScratch`](crate::TrialScratch) buffer here so the working
+    /// set survives across trials, not just across steps.
+    pub fn observe_with(
+        &mut self,
+        sys: &MultiCoreSystem,
+        committer: Option<&Committer>,
+        committer_done: bool,
+        snapshots: &mut Vec<KernelSnapshot>,
+    ) -> Vec<Bug> {
+        sys.snapshots_into(snapshots);
+        self.check_rules(sys, committer, committer_done, snapshots)
+    }
+
+    /// Runs every detection rule over this step's batched snapshots.
+    /// Rule order (crash, timeout, fault, deadlock, cross-core,
+    /// starvation, livelock — each per slave in slave order) is part of
+    /// the archive format: reports must stay byte-identical across
+    /// reruns *and* releases.
+    fn check_rules(
+        &mut self,
+        sys: &MultiCoreSystem,
+        committer: Option<&Committer>,
+        committer_done: bool,
+        snapshots: &[KernelSnapshot],
+    ) -> Vec<Bug> {
         let now = sys.now();
         let mut bugs = Vec::new();
 
@@ -288,13 +333,11 @@ impl BugDetector {
         }
         // --- Crash (timeout path: silent slave), per lane.
         for (slave, snapshot) in snapshots.iter().enumerate() {
-            let overdue = sys.overdue_for(slave, self.cfg.command_timeout);
-            if !overdue.is_empty() && !self.reported_timeout.contains(&slave) {
+            let overdue = sys.overdue_count_for(slave, self.cfg.command_timeout);
+            if overdue > 0 && !self.reported_timeout.contains(&slave) {
                 self.reported_timeout.push(slave);
                 bugs.push(self.make_bug(
-                    BugKind::CommandTimeout {
-                        overdue: overdue.len(),
-                    },
+                    BugKind::CommandTimeout { overdue },
                     CoreId::slave(slave),
                     sys,
                     committer,
@@ -337,7 +380,7 @@ impl BugDetector {
         // --- Cross-core deadlock: cycle spanning kernels through the
         //     registered semaphore hand-off links.
         if committer_done && !self.reported_cross_core {
-            if let Some(cycle) = find_cross_core_cycle(sys, &snapshots) {
+            if let Some(cycle) = find_cross_core_cycle(sys, snapshots) {
                 self.reported_cross_core = true;
                 let first_core = cycle[0].0;
                 let snapshot = &snapshots[first_core.slave_index().unwrap_or(0)];
@@ -352,8 +395,10 @@ impl BugDetector {
         }
         // --- Progress accounting for starvation/livelock, per slave.
         let mut any_live = false;
-        let mut stalled: Vec<(usize, TaskId, bool)> = Vec::new();
-        let mut moving: Vec<(usize, TaskId)> = Vec::new();
+        let mut stalled = std::mem::take(&mut self.stalled_scratch);
+        let mut moving = std::mem::take(&mut self.moving_scratch);
+        stalled.clear();
+        moving.clear();
         for (slave, snapshot) in snapshots.iter().enumerate() {
             for t in &snapshot.tasks {
                 if matches!(t.state, TaskState::Terminated(_)) {
@@ -380,7 +425,7 @@ impl BugDetector {
         }
         if committer_done {
             let done_since = *self.done_since.get_or_insert(now);
-            for (slave, task, runnable) in stalled {
+            for &(slave, task, runnable) in &stalled {
                 if !self.reported_starvation.contains(&(slave, task)) {
                     self.reported_starvation.push((slave, task));
                     bugs.push(self.make_bug(
@@ -420,6 +465,8 @@ impl BugDetector {
                 }
             }
         }
+        self.stalled_scratch = stalled;
+        self.moving_scratch = moving;
         bugs
     }
 }

@@ -67,7 +67,7 @@ pub use pattern::{MergedPattern, MergedStep, TestPattern};
 pub use record::{MasterState, StateRecord};
 pub use report::{BugSummary, ReportSummary};
 pub use scenario::{Configured, FnScenario, Scenario};
-pub use trial::TrialEngine;
+pub use trial::{TrialEngine, TrialScratch};
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,9 @@
 //! they are dumped into bug reports for reproduction (Figure 4 shows two
 //! such records).
 
+use std::fmt::Write as _;
+use std::sync::Arc;
+
 use ptest_automata::{Alphabet, Sym};
 use ptest_pcore::{TaskId, TaskState};
 use ptest_soc::CoreId;
@@ -52,8 +55,11 @@ pub struct StateRecord {
     pub slave_task: Option<TaskId>,
     /// The slave task's scheduling state, if one is bound.
     pub slave_state: Option<TaskState>,
-    /// `TP` — the full test pattern assigned to this process.
-    pub test_pattern: Vec<Sym>,
+    /// `TP` — the full test pattern assigned to this process. Interned:
+    /// every record of the same pattern shares one allocation (the
+    /// committer hands out `Arc` clones), so dumping records in the trial
+    /// hot loop no longer copies pattern buffers.
+    pub test_pattern: Arc<[Sym]>,
     /// `SN` — the 1-based sequence number of the *current* position in
     /// the pattern (0 = nothing executed yet).
     pub sequence_number: usize,
@@ -70,43 +76,51 @@ impl StateRecord {
     /// `CP1 = (m2, s1, p1->p2->p3, 2, p3)`.
     #[must_use]
     pub fn render(&self, alphabet: &Alphabet) -> String {
-        let tp = self
-            .test_pattern
-            .iter()
-            .map(|&s| alphabet.name(s).unwrap_or("?").to_owned())
-            .collect::<Vec<_>>()
-            .join("->");
-        let rest = self
-            .remaining()
-            .iter()
-            .map(|&s| alphabet.name(s).unwrap_or("?").to_owned())
-            .collect::<Vec<_>>()
-            .join("->");
+        let mut out = String::new();
+        self.render_into(alphabet, &mut out);
+        out
+    }
+
+    /// [`StateRecord::render`] into a caller-owned buffer (appended):
+    /// report loops that render many records reuse one `String` instead
+    /// of building intermediate name vectors per record.
+    pub fn render_into(&self, alphabet: &Alphabet, out: &mut String) {
+        let write_seq = |out: &mut String, seq: &[Sym]| {
+            if seq.is_empty() {
+                out.push('-');
+                return;
+            }
+            for (i, &s) in seq.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("->");
+                }
+                out.push_str(alphabet.name(s).unwrap_or("?"));
+            }
+        };
+        let _ = write!(out, "CP{} = ({}, ", self.pattern_index, self.master_state);
         // The slave core is only spelled out beyond slave 0, keeping the
         // dual-core rendering identical to the paper's Figure 4.
-        let core_prefix = if self.slave_core == CoreId::Dsp {
-            String::new()
-        } else {
-            format!("{}:", self.slave_core)
-        };
-        let qs = match (self.slave_task, self.slave_state) {
-            (Some(t), Some(st)) => format!("{core_prefix}{t}:{st}"),
-            (Some(t), None) => format!("{core_prefix}{t}"),
-            _ => "-".to_owned(),
-        };
-        format!(
-            "CP{} = ({}, {}, {}, {}, {})",
-            self.pattern_index,
-            self.master_state,
-            qs,
-            if tp.is_empty() { "-".to_owned() } else { tp },
-            self.sequence_number,
-            if rest.is_empty() {
-                "-".to_owned()
-            } else {
-                rest
-            },
-        )
+        match (self.slave_task, self.slave_state) {
+            (Some(t), st) => {
+                if self.slave_core != CoreId::Dsp {
+                    let _ = write!(out, "{}:", self.slave_core);
+                }
+                match st {
+                    Some(st) => {
+                        let _ = write!(out, "{t}:{st}");
+                    }
+                    None => {
+                        let _ = write!(out, "{t}");
+                    }
+                }
+            }
+            _ => out.push('-'),
+        }
+        out.push_str(", ");
+        write_seq(out, &self.test_pattern);
+        let _ = write!(out, ", {}, ", self.sequence_number);
+        write_seq(out, self.remaining());
+        out.push(')');
     }
 }
 
@@ -126,7 +140,7 @@ mod tests {
             master_state: MasterState::AwaitingResponse(Service::ChangePriority),
             slave_task: Some(TaskId::new(3)),
             slave_state: Some(TaskState::Ready),
-            test_pattern: vec![tc, tch, td],
+            test_pattern: vec![tc, tch, td].into(),
             sequence_number: 2,
         };
         (a, r)

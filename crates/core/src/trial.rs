@@ -15,7 +15,7 @@
 
 use ptest_automata::{GenerateOptions, Regex};
 use ptest_master::DualCoreSystem;
-use ptest_pcore::ProgramId;
+use ptest_pcore::{KernelSnapshot, ProgramId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +34,24 @@ use crate::scenario::Scenario;
 pub struct TrialEngine {
     config: AdaptiveTestConfig,
     generator: PatternGenerator,
+}
+
+/// Reusable working memory for [`TrialEngine::run_trial_in`]. A campaign
+/// worker keeps one of these for its whole lifetime, so the buffers the
+/// trial hot loop churns through — per-kernel detector snapshots with
+/// their task lists and wait edges — reach a steady state after the
+/// first trial and stop allocating.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    snapshots: Vec<KernelSnapshot>,
+}
+
+impl TrialScratch {
+    /// An empty scratch; buffers grow to steady state on first use.
+    #[must_use]
+    pub fn new() -> TrialScratch {
+        TrialScratch::default()
+    }
 }
 
 impl TrialEngine {
@@ -77,6 +95,25 @@ impl TrialEngine {
         seed: u64,
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
     ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_in(seed, setup, &mut TrialScratch::new())
+    }
+
+    /// [`TrialEngine::run_trial`] with caller-owned working memory: the
+    /// campaign pool hands each worker one [`TrialScratch`] for its whole
+    /// lifetime, so back-to-back trials reuse the detector's snapshot
+    /// buffers instead of re-growing them per trial. Results are
+    /// identical to [`TrialEngine::run_trial`] — scratch reuse never
+    /// leaks state between trials.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_trial_in(
+        &self,
+        seed: u64,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
         let cfg = AdaptiveTestConfig {
             seed,
             ..self.config.clone()
@@ -98,7 +135,7 @@ impl TrialEngine {
         let mut sys = DualCoreSystem::new(cfg.system.clone());
         let programs = setup(&mut sys);
         let mut committer = Committer::new(
-            merged.clone(),
+            merged,
             self.generator.regex().alphabet(),
             CommitterConfig {
                 response_timeout: cfg.response_timeout,
@@ -123,7 +160,12 @@ impl TrialEngine {
                 done_at = Some(cycles);
             }
             if cycles.is_multiple_of(cfg.check_interval) {
-                bugs.extend(detector.observe(&sys, Some(&committer), committer_done));
+                bugs.extend(detector.observe_with(
+                    &sys,
+                    Some(&committer),
+                    committer_done,
+                    &mut scratch.snapshots,
+                ));
             }
             // Stop once a crash-class bug is in hand, or after the drain
             // period following completion.
@@ -141,10 +183,18 @@ impl TrialEngine {
                 break;
             }
             if let Some(done) = done_at {
-                let quiescent = sys.snapshot().live_tasks() == 0;
+                // Slave 0's quiescence, exactly as `snapshot().live_tasks()`
+                // historically measured it, but without building a snapshot
+                // every drain cycle.
+                let quiescent = sys.kernel_of(0).live_task_count() == 0;
                 if quiescent || cycles - done >= cfg.drain_cycles {
                     // Final sweep before ending.
-                    bugs.extend(detector.observe(&sys, Some(&committer), true));
+                    bugs.extend(detector.observe_with(
+                        &sys,
+                        Some(&committer),
+                        true,
+                        &mut scratch.snapshots,
+                    ));
                     break;
                 }
             }
@@ -155,15 +205,19 @@ impl TrialEngine {
             self.generator.dfa(),
             self.generator.regex().alphabet(),
         );
+        let commands_issued = committer.commands_issued();
+        let error_replies = committer.error_replies();
+        let committer_status = committer.status();
+        let (merged, exec_records) = committer.into_parts();
         Ok(TestReport {
             bugs,
-            commands_issued: committer.commands_issued(),
-            error_replies: committer.error_replies(),
+            commands_issued,
+            error_replies,
             cycles,
-            committer_status: committer.status(),
-            completed: committer.status() == CommitterStatus::Done,
+            committer_status,
+            completed: committer_status == CommitterStatus::Done,
             coverage,
-            exec_records: committer.records().to_vec(),
+            exec_records,
             patterns,
             merged,
             config: cfg,
@@ -181,6 +235,21 @@ impl TrialEngine {
         seed: u64,
     ) -> Result<TestReport, AdaptiveTestError> {
         self.run_trial(seed, |sys| scenario.setup(sys))
+    }
+
+    /// Runs one seeded trial of a [`Scenario`] with caller-owned working
+    /// memory (see [`TrialEngine::run_trial_in`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_scenario_trial_in(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_in(seed, |sys| scenario.setup(sys), scratch)
     }
 }
 

@@ -408,6 +408,14 @@ impl MultiCoreSystem {
         std::mem::take(&mut self.inbox)
     }
 
+    /// Drains pending responses in delivery order while keeping the
+    /// inbox's buffer — the allocation-free variant of
+    /// [`MultiCoreSystem::take_responses`] the committer polls every
+    /// cycle.
+    pub fn drain_responses(&mut self) -> std::vec::Drain<'_, CmdResponse> {
+        self.inbox.drain(..)
+    }
+
     /// Commands outstanding longer than `timeout` (any slave).
     #[must_use]
     pub fn overdue(&self, timeout: Cycles) -> Vec<CmdId> {
@@ -419,6 +427,15 @@ impl MultiCoreSystem {
     pub fn overdue_for(&self, slave: usize, timeout: Cycles) -> Vec<CmdId> {
         self.master_port
             .overdue_for(slave, self.clock.now(), timeout)
+    }
+
+    /// Number of commands outstanding longer than `timeout` on slave
+    /// `slave`'s lane, without materializing the id list — the detector's
+    /// per-observation check.
+    #[must_use]
+    pub fn overdue_count_for(&self, slave: usize, timeout: Cycles) -> usize {
+        self.master_port
+            .overdue_count_for(slave, self.clock.now(), timeout)
     }
 
     /// Number of commands awaiting responses (any slave).
@@ -447,6 +464,17 @@ impl MultiCoreSystem {
     #[must_use]
     pub fn snapshots(&self) -> Vec<KernelSnapshot> {
         self.slaves.iter().map(|s| s.kernel.snapshot()).collect()
+    }
+
+    /// [`MultiCoreSystem::snapshots`] into a caller-owned vector: one
+    /// batched pass over every kernel, reusing the buffers of the
+    /// previous observation instead of allocating per-kernel snapshots
+    /// each call.
+    pub fn snapshots_into(&self, out: &mut Vec<KernelSnapshot>) {
+        out.resize_with(self.slaves.len(), KernelSnapshot::default);
+        for (slave, snap) in self.slaves.iter().zip(out.iter_mut()) {
+            slave.kernel.snapshot_into(snap);
+        }
     }
 
     /// Advances the whole platform by one cycle: per-slave interrupt

@@ -302,7 +302,7 @@ pub struct TaskSnapshot {
 }
 
 /// Point-in-time snapshot of the whole kernel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct KernelSnapshot {
     /// Kernel's current virtual time.
     pub now: Cycles,
@@ -1088,6 +1088,13 @@ impl Kernel {
     #[must_use]
     pub fn wait_edges(&self) -> Vec<WaitEdge> {
         let mut edges = Vec::new();
+        self.wait_edges_into(&mut edges);
+        edges
+    }
+
+    /// [`Kernel::wait_edges`] into a caller-owned buffer (cleared first).
+    pub fn wait_edges_into(&self, edges: &mut Vec<WaitEdge>) {
+        edges.clear();
         for t in self.tasks.iter().flatten() {
             match t.state {
                 TaskState::Blocked(WaitReason::Mutex(m)) => {
@@ -1111,36 +1118,40 @@ impl Kernel {
                 _ => {}
             }
         }
-        edges
     }
 
     /// A full point-in-time snapshot for the bug detector.
     #[must_use]
     pub fn snapshot(&self) -> KernelSnapshot {
-        KernelSnapshot {
-            now: self.now,
-            panic: self.panic,
-            tasks: self
-                .tasks
-                .iter()
-                .flatten()
-                .map(|t| TaskSnapshot {
-                    id: t.id,
-                    priority: t.priority,
-                    state: t.state,
-                    suspended: t.suspended,
-                    pc: t.pc,
-                    ops_retired: t.ops_retired,
-                    held_mutexes: t.held_mutexes.clone(),
-                })
-                .collect(),
-            heap: self.heap.stats(),
-            wait_edges: self.wait_edges(),
-            ticks: self.ticks,
-            idle_ticks: self.idle_ticks,
-            ctx_switches: self.ctx_switches,
-            svc_count: self.svc_count,
-        }
+        let mut snap = KernelSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// [`Kernel::snapshot`] into a caller-owned snapshot, reusing its
+    /// task and wait-edge buffers. Observers polling every few hundred
+    /// cycles (the bug detector) batch their per-kernel snapshots through
+    /// this instead of allocating fresh vectors per call.
+    pub fn snapshot_into(&self, snap: &mut KernelSnapshot) {
+        snap.now = self.now;
+        snap.panic = self.panic;
+        snap.tasks.clear();
+        snap.tasks
+            .extend(self.tasks.iter().flatten().map(|t| TaskSnapshot {
+                id: t.id,
+                priority: t.priority,
+                state: t.state,
+                suspended: t.suspended,
+                pc: t.pc,
+                ops_retired: t.ops_retired,
+                held_mutexes: t.held_mutexes.clone(),
+            }));
+        snap.heap = self.heap.stats();
+        self.wait_edges_into(&mut snap.wait_edges);
+        snap.ticks = self.ticks;
+        snap.idle_ticks = self.idle_ticks;
+        snap.ctx_switches = self.ctx_switches;
+        snap.svc_count = self.svc_count;
     }
 
     /// Heap statistics (convenience over [`Kernel::snapshot`]).

@@ -94,7 +94,7 @@ pub use ptest_core::{
     AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector, BugKind, Committer, CommitterConfig,
     CommitterStatus, Configured, CoverageReport, DetectorConfig, FnScenario, MergeOp,
     MergedPattern, PatternGenerator, PatternMerger, Scenario, StateRecord, TestPattern, TestReport,
-    TrialEngine,
+    TrialEngine, TrialScratch,
 };
 pub use ptest_master::{DualCoreSystem, MasterOp, MultiCoreSystem, SystemConfig};
 pub use ptest_pcore::{

@@ -331,12 +331,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_constants_match_the_slave0_block() {
-        assert_eq!(MailboxBank::ARM_TO_DSP_CMD, MailboxBank::cmd_index(0));
-        assert_eq!(MailboxBank::ARM_TO_DSP_DATA, MailboxBank::data_index(0));
-        assert_eq!(MailboxBank::DSP_TO_ARM_RESP, MailboxBank::resp_index(0));
-        assert_eq!(MailboxBank::DSP_TO_ARM_EVENT, MailboxBank::event_index(0));
+    fn slave0_block_keeps_the_historical_omap_layout() {
+        // The raw indices the deprecated `ARM_TO_DSP_*`/`DSP_TO_ARM_*`
+        // constants encoded: slave 0's block must stay at mailboxes
+        // 0..=3 in cmd/data/resp/event order, or legacy callers break.
+        // Pinned via the accessors (not the constants) so this canary
+        // survives when the deprecation escalates to removal.
+        assert_eq!(MailboxBank::cmd_index(0), 0);
+        assert_eq!(MailboxBank::data_index(0), 1);
+        assert_eq!(MailboxBank::resp_index(0), 2);
+        assert_eq!(MailboxBank::event_index(0), 3);
     }
 
     #[test]
