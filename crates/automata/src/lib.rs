@@ -208,6 +208,39 @@ mod proptests {
             );
         }
 
+        /// Stream identity through `Pfa::generate` on a state wide
+        /// enough (8-way) to actually engage the alias table, with
+        /// minimum-probability tails: the compiled sampler and
+        /// `make_choice_reference` agree roll for roll. (The 4-way
+        /// near-zero test above stays below `ALIAS_MIN_OUT_DEGREE` and
+        /// exercises the inline scan instead.)
+        #[test]
+        fn alias_sampler_stream_identical_on_wide_degenerate_tails(
+            seed in 0u64..10_000,
+            tiny_exp in 1u32..300,
+            dominant in any::<bool>(),
+        ) {
+            let names: Vec<String> = (0..8).map(|i| format!("s{i}")).collect();
+            let src = format!("({})*", names.join(" | "));
+            let re = Regex::parse(&src).unwrap();
+            let dfa = Dfa::from_regex(&re).minimize();
+            let tiny = f64::powi(10.0, -(tiny_exp as i32));
+            // Either one dominant branch with an all-minimum tail, or
+            // every branch at the shared minimum (renormalizing to
+            // uniform — the all-minimum-probability state).
+            let pd = ProbabilityAssignment::weights(names.iter().enumerate().map(|(i, n)| {
+                (n.clone(), if dominant && i == 0 { 1.0 } else { tiny })
+            }));
+            let pfa = Pfa::from_dfa(&dfa, re.alphabet().clone(), &pd).unwrap();
+            let mut alias_rng = StdRng::seed_from_u64(seed);
+            let mut reference_rng = StdRng::seed_from_u64(seed);
+            let opts = GenerateOptions::cyclic(128);
+            prop_assert_eq!(
+                pfa.generate(&mut alias_rng, opts),
+                pfa.generate_reference(&mut reference_rng, opts)
+            );
+        }
+
         /// Sequence probability of a generated pattern is positive.
         #[test]
         fn generated_patterns_have_positive_probability(seed in 0u64..2_000) {

@@ -93,14 +93,7 @@ impl AliasTable {
         }
         let m = (2 * n).next_power_of_two();
         let m_f = m as f64;
-        // First outcome of each bucket, and the boundaries falling inside
-        // it. `outcome_at(x)` = the reference scan's answer for roll `x`.
-        let outcome_at = |x: f64| -> u32 {
-            match cum[..n - 1].iter().position(|&c| x < c) {
-                Some(k) => k as u32,
-                None => (n - 1) as u32,
-            }
-        };
+        let outcome_at = |x: f64| AliasTable::reference_outcome(&cum, x);
         let mut buckets = Vec::with_capacity(m);
         for i in 0..m {
             // Exact: m is a power of two, so these divisions only shift
@@ -159,6 +152,40 @@ impl AliasTable {
         !self.buckets.is_empty()
     }
 
+    /// The reference scan's answer for roll `x` over cumulative sums
+    /// `cum`, spelled out so its equivalence to
+    /// [`Pfa::make_choice_reference`](crate::Pfa::make_choice_reference)
+    /// is structural rather than incidental.
+    ///
+    /// The reference scans *all* `n` entries for the first `k` with
+    /// `x < cum[k]` and falls back to the last transition when none
+    /// matches. This form scans only `cum[..n-1]` and clamps `None` to
+    /// `n - 1`; the two agree on **every** `x`, including degenerate
+    /// tails, because index `n - 1` is the answer either way once
+    /// `cum[..n-1]` has no entry above `x`:
+    ///
+    /// * if `x < cum[n-1]`, the reference's final iteration returns
+    ///   `n - 1`;
+    /// * if `x >= cum[n-1]` — reachable when the sums are
+    ///   under-normalized, e.g. an all-minimum-probability state whose
+    ///   total mass rounds below 1 — the reference's fallback returns
+    ///   `n - 1` too.
+    ///
+    /// Duplicated cumulative values (zero-width segments from
+    /// minimum-probability flooring) are also handled identically: both
+    /// forms skip every segment with `cum[k] <= x`, so a roll landing on
+    /// a duplicated boundary resolves past the entire zero-width run,
+    /// exactly like the reference. The property test
+    /// `alias_table_matches_the_reference_scan_on_degenerate_tails`
+    /// pins all of this against the reference semantics.
+    fn reference_outcome(cum: &[f64], x: f64) -> u32 {
+        let n = cum.len();
+        match cum[..n - 1].iter().position(|&c| x < c) {
+            Some(k) => k as u32,
+            None => (n - 1) as u32,
+        }
+    }
+
     /// Resolves `roll ∈ [0, 1)` to a transition index — the same index
     /// the reference cumulative scan returns for the same roll.
     ///
@@ -168,7 +195,14 @@ impl AliasTable {
     /// fallback for crowded buckets — is rare and predictably not taken.
     #[inline]
     pub(crate) fn sample(&self, roll: f64) -> usize {
-        debug_assert!(self.is_compiled(), "0/1-out states never sample");
+        // Single-outcome (and empty) states have no compiled table and
+        // no probabilistic choice to make: the only sound answer is
+        // transition 0. `Pfa::make_choice` never reaches here for them
+        // (it short-circuits out-degree ≤ 1), but the table is total
+        // anyway — an uncompiled table must not index below zero.
+        if !self.is_compiled() {
+            return 0;
+        }
         // Exact for dyadic rolls; min() guards hypothetical roll == 1.0.
         let i = ((roll * self.scale) as usize).min(self.buckets.len() - 1);
         let b = self.buckets[i];
@@ -301,5 +335,112 @@ mod tests {
         // beyond it must take the last transition, like the reference.
         let probabilities = [0.1, 0.2, 0.7 - 1e-12];
         assert_identical_on_grid(&probabilities);
+    }
+
+    #[test]
+    fn all_minimum_probability_states_match_reference() {
+        // Every transition at the same tiny mass: the whole cumulative
+        // range collapses near 0 and almost every roll exercises the
+        // `None => n - 1` clamp. Both the literally-degenerate
+        // unnormalized form and its floored/renormalized cousins must
+        // track the reference exactly.
+        for n in 2..=12 {
+            assert_identical_on_grid(&vec![1e-9; n]);
+            assert_identical_on_grid(&vec![1e-300; n]);
+            assert_identical_on_grid(&vec![1.0 / n as f64; n]);
+        }
+    }
+
+    #[test]
+    fn single_outcome_states_sample_totally() {
+        // Out-degree 0/1 states never consume randomness, but the table
+        // must still be total: a hypothetical lookup resolves to the only
+        // transition instead of underflowing the bucket index.
+        for table in [AliasTable::build(&[]), AliasTable::build(&[1.0])] {
+            assert!(!table.is_compiled());
+            for roll in [0.0, 0.25, 0.999] {
+                assert_eq!(table.sample(roll), 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// `Pfa::make_choice_reference`'s scan, restated over a cumulative
+    /// array (it folds `acc += p; roll < acc` in transition order and
+    /// falls back to the last transition).
+    fn reference(probabilities: &[f64], roll: f64) -> usize {
+        let mut acc = 0.0;
+        for (k, &p) in probabilities.iter().enumerate() {
+            acc += p;
+            if roll < acc {
+                return k;
+            }
+        }
+        probabilities.len() - 1
+    }
+
+    /// Distributions biased toward the degenerate corners the clamp has
+    /// to survive: every mass an arbitrary power of ten down to
+    /// subnormal territory, including all-equal-minimum vectors and
+    /// single-outcome states.
+    fn arb_degenerate() -> impl Strategy<Value = Vec<f64>> {
+        prop_oneof![
+            // All transitions at one shared minimum mass.
+            (1usize..12, 1i32..320).prop_map(|(n, e)| vec![f64::powi(10.0, -e); n]),
+            // One dominant mass with a minimum-probability tail.
+            (2usize..12, 1i32..320).prop_map(|(n, e)| {
+                let tiny = f64::powi(10.0, -e);
+                let mut v = vec![tiny; n];
+                v[0] = 1.0 - tiny * (n as f64 - 1.0);
+                v
+            }),
+            // Arbitrary positive masses (normalized and not).
+            proptest::collection::vec(1u32..1_000, 1..12)
+                .prop_map(|ws| ws.into_iter().map(f64::from).collect()),
+        ]
+    }
+
+    proptest! {
+        /// The satellite pin: for degenerate tails — all-minimum-
+        /// probability and single-outcome states — every dyadic roll
+        /// resolves through the alias table to exactly the outcome
+        /// `make_choice_reference`'s scan yields.
+        #[test]
+        fn alias_table_matches_the_reference_scan_on_degenerate_tails(
+            probabilities in arb_degenerate(),
+            grid_seed in 0u64..1_000,
+        ) {
+            let table = AliasTable::build(&probabilities);
+            // Deterministic pseudo-grid of dyadic rolls derived from the
+            // seed, plus every cumulative boundary's neighbourhood.
+            let mut x = grid_seed;
+            for _ in 0..256 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let roll = (x >> 11) as f64 / (1u64 << 53) as f64;
+                prop_assert_eq!(
+                    table.sample(roll),
+                    reference(&probabilities, roll),
+                    "roll {} over {:?}", roll, &probabilities
+                );
+            }
+            let mut acc = 0.0;
+            for &p in &probabilities {
+                acc += p;
+                for roll in [acc.next_down(), acc, acc.next_up()] {
+                    if (0.0..1.0).contains(&roll) {
+                        prop_assert_eq!(
+                            table.sample(roll),
+                            reference(&probabilities, roll),
+                            "boundary {} over {:?}", roll, &probabilities
+                        );
+                    }
+                }
+            }
+        }
     }
 }

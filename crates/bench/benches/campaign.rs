@@ -41,6 +41,7 @@ fn bench_campaign_workers(c: &mut Criterion) {
                                 enabled: false,
                                 ..LearningConfig::default()
                             },
+                            ..CampaignConfig::default()
                         },
                         black_box(&scenario),
                     )
@@ -66,6 +67,7 @@ fn bench_campaign_learning(c: &mut Criterion) {
                     workers: 4,
                     master_seed: 1,
                     learning: LearningConfig::default(),
+                    ..CampaignConfig::default()
                 },
                 black_box(&scenario),
             )

@@ -65,10 +65,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let failures = perf::regressions(&report, &baseline, perf::REGRESSION_TOLERANCE);
-        if !failures.is_empty() {
+        let outcome = match perf::regressions(&report, &baseline, perf::REGRESSION_TOLERANCE) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("\nperf gate UNUSABLE against {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for w in &outcome.warnings {
+            eprintln!("warning: {w}");
+        }
+        if !outcome.failures.is_empty() {
             eprintln!("\nperf gate FAILED against {path}:");
-            for f in &failures {
+            for f in &outcome.failures {
                 eprintln!("  {f}");
             }
             return ExitCode::FAILURE;

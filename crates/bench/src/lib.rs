@@ -117,6 +117,7 @@ pub fn sweep_campaign(trials: usize, master_seed: u64) -> CampaignConfig {
             enabled: false,
             ..LearningConfig::default()
         },
+        ..CampaignConfig::default()
     }
 }
 
@@ -129,6 +130,7 @@ pub fn adaptive_campaign(trials: usize, rounds: usize, master_seed: u64) -> Camp
         workers: default_workers(),
         master_seed,
         learning: LearningConfig::default(),
+        ..CampaignConfig::default()
     }
 }
 

@@ -13,13 +13,20 @@
 //!   steps/sec of the Fig. 1 adaptive campaign, the dining-philosophers
 //!   campaign, and the 3-slave cross-core pipeline campaign at 1/2/4/8
 //!   workers.
+//! * **Scheduler-overhead suite** — the draining pipeline campaign on
+//!   the lock-step fast path (`sched_lockstep`) versus under a
+//!   behaviour-identical `RandomPriorityScheduler`
+//!   (`sched_random_priority`); the delta is the pure cost of schedule
+//!   exploration.
 //!
 //! The report schema is one entry per suite:
 //! `{suite, trials_per_sec, patterns_per_sec, steps_per_sec, wall_ms,
 //! seed}`. CI's `perf-smoke` job uploads the file as an artifact and
 //! fails when `patterns_per_sec` regresses more than
 //! [`REGRESSION_TOLERANCE`] against the committed
-//! `tests/fixtures/bench_baseline.json`.
+//! `tests/fixtures/bench_baseline.json`; an empty baseline is an
+//! explicit gate error, and suites missing a baseline entry are
+//! surfaced as warnings.
 
 use std::time::Instant;
 
@@ -28,7 +35,8 @@ use ptest::campaign::{Campaign, CampaignConfig};
 use ptest::faults::fig1::Fig1AdaptiveScenario;
 use ptest::faults::multicore::CrossCorePipelineScenario;
 use ptest::faults::philosophers::PhilosophersScenario;
-use ptest::{PatternGenerator, Scenario};
+use ptest::master::{RandomPriorityConfig, ScheduleSpec};
+use ptest::{Configured, PatternGenerator, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -222,6 +230,34 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         ));
     }
 
+    // --- Scheduler-overhead suite: the same draining 3-slave pipeline
+    // campaign twice — once on the lock-step fast path (no scheduler at
+    // all), once under a RandomPriorityScheduler configured to reproduce
+    // lock-step behaviour exactly (zero change points, fairness window
+    // 1: every runnable kernel advances every cycle). Trial outcomes are
+    // identical, so the throughput delta between the two entries is the
+    // pure mechanism cost of schedule exploration (per-cycle runnable
+    // scan + plan call).
+    let mut campaign = crate::sweep_campaign(cfg.campaign_trials, 2009);
+    campaign.workers = 2;
+    suites.push(measure_campaign(
+        "sched_lockstep",
+        &CrossCorePipelineScenario::fixed(),
+        &campaign,
+    ));
+    let rp_identity = Configured::adjust(CrossCorePipelineScenario::fixed(), |c| {
+        c.schedule = ScheduleSpec::RandomPriority(RandomPriorityConfig {
+            change_points: 0,
+            horizon: 1,
+            fairness_window: 1,
+        });
+    });
+    suites.push(measure_campaign(
+        "sched_random_priority",
+        &rp_identity,
+        &campaign,
+    ));
+
     BenchReport {
         schema: SCHEMA.to_owned(),
         suites,
@@ -246,20 +282,69 @@ pub fn report_from_json(json: &str) -> Result<BenchReport, serde_json::Error> {
     serde_json::from_str(json)
 }
 
+/// Outcome of one gate comparison: hard failures (regressions, suites
+/// that vanished from the run) and warnings (suites the baseline does
+/// not cover yet — they gate nothing, but they are *surfaced* rather
+/// than silently skipped, so a forgotten baseline refresh is visible in
+/// the CI log).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GateOutcome {
+    /// One line per gating failure; CI fails when non-empty.
+    pub failures: Vec<String>,
+    /// One line per suite measured in the current run but absent from
+    /// the baseline (its numbers are unguarded until the next refresh).
+    pub warnings: Vec<String>,
+}
+
+/// Error evaluating the gate at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateError {
+    /// The baseline has no suites (empty file, truncated JSON, or a
+    /// refresh gone wrong). A suite-less baseline would vacuously pass
+    /// every run — that is a broken gate, not a green one.
+    EmptyBaseline,
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::EmptyBaseline => {
+                write!(
+                    f,
+                    "baseline contains no suites: the gate would pass vacuously"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
 /// Compares `current` against `baseline`: one failure line per suite
 /// whose `patterns_per_sec` dropped below `1 - tolerance` of the
-/// baseline value. Suites absent from the baseline are skipped (new
-/// suites land before their baseline refresh); zero/negative baselines
-/// never gate.
-#[must_use]
-pub fn regressions(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
-    let mut failures = Vec::new();
+/// baseline value or that is missing from the current run, and one
+/// warning line per current suite the baseline does not cover.
+/// Zero/negative baseline entries never gate.
+///
+/// # Errors
+///
+/// [`GateError::EmptyBaseline`] when the baseline has no suites at all —
+/// an explicit error instead of a vacuous pass.
+pub fn regressions(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Result<GateOutcome, GateError> {
+    if baseline.suites.is_empty() {
+        return Err(GateError::EmptyBaseline);
+    }
+    let mut outcome = GateOutcome::default();
     for base in &baseline.suites {
         if base.patterns_per_sec <= 0.0 {
             continue;
         }
         let Some(cur) = current.suite(&base.suite) else {
-            failures.push(format!(
+            outcome.failures.push(format!(
                 "suite `{}` present in baseline but missing from current run",
                 base.suite
             ));
@@ -267,7 +352,7 @@ pub fn regressions(current: &BenchReport, baseline: &BenchReport, tolerance: f64
         };
         let floor = base.patterns_per_sec * (1.0 - tolerance);
         if cur.patterns_per_sec < floor {
-            failures.push(format!(
+            outcome.failures.push(format!(
                 "suite `{}` regressed: {:.1} patterns/sec < {:.1} (baseline {:.1}, tolerance {:.0}%)",
                 base.suite,
                 cur.patterns_per_sec,
@@ -277,7 +362,15 @@ pub fn regressions(current: &BenchReport, baseline: &BenchReport, tolerance: f64
             ));
         }
     }
-    failures
+    for cur in &current.suites {
+        if baseline.suite(&cur.suite).is_none() {
+            outcome.warnings.push(format!(
+                "suite `{}` has no baseline entry ({:.1} patterns/sec unguarded — refresh the baseline)",
+                cur.suite, cur.patterns_per_sec
+            ));
+        }
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -317,6 +410,8 @@ mod tests {
             "pipeline_w2",
             "pipeline_w4",
             "pipeline_w8",
+            "sched_lockstep",
+            "sched_random_priority",
         ] {
             let suite = out.suite(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(suite.patterns_per_sec > 0.0, "{name}");
@@ -338,23 +433,48 @@ mod tests {
         let baseline = report(vec![entry("a", 100.0), entry("b", 100.0)]);
         // Within tolerance: 80 >= 75.
         let ok = report(vec![entry("a", 80.0), entry("b", 101.0)]);
-        assert!(regressions(&ok, &baseline, REGRESSION_TOLERANCE).is_empty());
+        let outcome = regressions(&ok, &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert!(outcome.failures.is_empty());
+        assert!(outcome.warnings.is_empty());
         // Past tolerance on one suite.
         let bad = report(vec![entry("a", 60.0), entry("b", 101.0)]);
-        let failures = regressions(&bad, &baseline, REGRESSION_TOLERANCE);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("`a`"), "{failures:?}");
-        // Missing suite is a failure; extra current suites are not.
+        let outcome = regressions(&bad, &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("`a`"), "{outcome:?}");
+        // Missing suite is a failure; extra current suites warn.
         let missing = report(vec![entry("b", 101.0), entry("extra", 1.0)]);
-        let failures = regressions(&missing, &baseline, REGRESSION_TOLERANCE);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("missing"), "{failures:?}");
+        let outcome = regressions(&missing, &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("missing"), "{outcome:?}");
+        assert_eq!(outcome.warnings.len(), 1);
+        assert!(outcome.warnings[0].contains("`extra`"), "{outcome:?}");
     }
 
     #[test]
     fn zero_baselines_never_gate() {
         let baseline = report(vec![entry("a", 0.0)]);
         let current = report(vec![entry("a", 0.0)]);
-        assert!(regressions(&current, &baseline, REGRESSION_TOLERANCE).is_empty());
+        let outcome = regressions(&current, &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert!(outcome.failures.is_empty());
+    }
+
+    #[test]
+    fn empty_baselines_are_an_explicit_error_not_a_green_gate() {
+        let baseline = report(Vec::new());
+        let current = report(vec![entry("a", 100.0)]);
+        assert_eq!(
+            regressions(&current, &baseline, REGRESSION_TOLERANCE),
+            Err(GateError::EmptyBaseline)
+        );
+    }
+
+    #[test]
+    fn unbaselined_suites_warn_without_failing() {
+        let baseline = report(vec![entry("a", 100.0)]);
+        let current = report(vec![entry("a", 100.0), entry("new_suite", 5.0)]);
+        let outcome = regressions(&current, &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert!(outcome.failures.is_empty(), "{outcome:?}");
+        assert_eq!(outcome.warnings.len(), 1);
+        assert!(outcome.warnings[0].contains("`new_suite`"));
     }
 }

@@ -22,12 +22,15 @@ use std::fmt;
 
 use ptest_automata::{Pfa, TransitionCounts};
 use ptest_core::{
-    AdaptiveTestConfig, AdaptiveTestError, Scenario, TestReport, TrialEngine, TrialScratch,
+    AdaptiveTestConfig, AdaptiveTestError, RandomPriorityConfig, Scenario, ScheduleSpec,
+    TestReport, TrialEngine, TrialScratch,
 };
 
 use crate::learning;
 use crate::pool;
-use crate::report::{CampaignReport, LearnedDistribution, RoundReport, TrialOutcome};
+use crate::report::{
+    CampaignReport, LearnedDistribution, RoundReport, ScheduleDetection, TrialOutcome,
+};
 
 /// Knobs of the cross-trial feedback loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +69,16 @@ pub struct CampaignConfig {
     pub master_seed: u64,
     /// The feedback loop.
     pub learning: LearningConfig,
+    /// Schedule-budget rotation. Empty (the default) runs every trial
+    /// under the scenario's own
+    /// [`schedule`](ptest_core::AdaptiveTestConfig::schedule) spec.
+    /// Non-empty, trial `t` of each round runs under a PCT-style
+    /// [`RandomPriorityScheduler`](ptest_master::RandomPriorityScheduler)
+    /// with `budgets[t % budgets.len()]` priority-change points — so one
+    /// campaign sweeps several schedule-search depths and
+    /// [`RoundReport::schedule_detection`] reports which budgets find
+    /// bugs.
+    pub schedule_budgets: Vec<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -76,6 +89,7 @@ impl Default for CampaignConfig {
             workers: 4,
             master_seed: 2009,
             learning: LearningConfig::default(),
+            schedule_budgets: Vec::new(),
         }
     }
 }
@@ -118,12 +132,38 @@ pub fn trial_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
     splitmix64(mixed ^ trial as u64)
 }
 
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// Derives the *schedule* seed of `trial` in `round` from the master
+/// seed — a stream independent of [`trial_seed`], so the campaign
+/// explores (pattern × schedule) space rather than a diagonal of it:
+/// two trials with related pattern seeds still get decorrelated
+/// schedules, and a recorded `(seed, schedule_seed)` pair replays any
+/// trial byte-for-byte.
+#[must_use]
+pub fn schedule_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
+    const SCHEDULE_STRIDE: u64 = 0x9FB2_1C65_1E98_DF25;
+    let mixed = splitmix64(master_seed ^ SCHEDULE_STRIDE ^ (round as u64).rotate_left(17));
+    splitmix64(mixed ^ (trial as u64).wrapping_mul(SCHEDULE_STRIDE))
 }
+
+/// The schedule spec trial `t` runs under: the scenario's own spec, or
+/// the rotated PCT budget when [`CampaignConfig::schedule_budgets`] is
+/// non-empty.
+fn trial_schedule(cfg: &CampaignConfig, base: ScheduleSpec, trial: usize) -> ScheduleSpec {
+    if cfg.schedule_budgets.is_empty() {
+        return base;
+    }
+    let budget = cfg.schedule_budgets[trial % cfg.schedule_budgets.len()];
+    let rp = match base {
+        ScheduleSpec::RandomPriority(rp) => rp,
+        ScheduleSpec::LockStep => RandomPriorityConfig::default(),
+    };
+    ScheduleSpec::RandomPriority(RandomPriorityConfig {
+        change_points: budget,
+        ..rp
+    })
+}
+
+use ptest_master::sched::splitmix64;
 
 /// The campaign runner.
 #[derive(Debug)]
@@ -161,14 +201,17 @@ impl Campaign {
             // in trial-index order regardless of scheduling. Each worker
             // owns one trial scratch for its lifetime, so consecutive
             // trials reuse the detector's snapshot buffers.
+            let base_schedule = base.schedule;
             let results = pool::run_indexed_with(
                 cfg.workers,
                 cfg.trials_per_round,
                 TrialScratch::new,
                 |scratch, trial| {
-                    engine.run_scenario_trial_in(
+                    engine.run_scenario_trial_scheduled_as(
                         scenario,
                         trial_seed(cfg.master_seed, round, trial),
+                        schedule_seed(cfg.master_seed, round, trial),
+                        trial_schedule(cfg, base_schedule, trial),
                         scratch,
                     )
                 },
@@ -206,7 +249,7 @@ impl Campaign {
             rounds.push(assemble_round(
                 round,
                 &engine,
-                cfg.master_seed,
+                cfg,
                 &reports,
                 traces_learned,
                 learned,
@@ -225,11 +268,12 @@ impl Campaign {
 fn assemble_round(
     round: usize,
     engine: &TrialEngine,
-    master_seed: u64,
+    cfg: &CampaignConfig,
     reports: &[TestReport],
     traces_learned: u64,
     learned: Option<LearnedDistribution>,
 ) -> RoundReport {
+    let master_seed = cfg.master_seed;
     let alphabet = engine.generator().regex().alphabet();
     let distribution = LearnedDistribution::from_pfa(engine.generator().pfa(), alphabet);
     let mut trials = Vec::with_capacity(reports.len());
@@ -238,6 +282,7 @@ fn assemble_round(
     let mut total_commands = 0u64;
     let mut total_cycles = 0u64;
     let mut first_bug_sum = 0u64;
+    let mut schedule_detection: Vec<ScheduleDetection> = Vec::new();
     for (trial, report) in reports.iter().enumerate() {
         if !report.bugs.is_empty() {
             trials_with_bugs += 1;
@@ -247,9 +292,32 @@ fn assemble_round(
         total_cycles += report.cycles;
         let commands_to_first_bug = report.commands_to_first_bug();
         first_bug_sum += commands_to_first_bug.unwrap_or(0);
+        let schedule = report.config.schedule.label();
+        let slot = match schedule_detection
+            .iter_mut()
+            .find(|d| d.schedule == schedule)
+        {
+            Some(slot) => slot,
+            None => {
+                schedule_detection.push(ScheduleDetection {
+                    schedule: schedule.clone(),
+                    trials: 0,
+                    trials_with_bugs: 0,
+                    bugs: 0,
+                });
+                schedule_detection.last_mut().expect("just pushed")
+            }
+        };
+        slot.trials += 1;
+        if !report.bugs.is_empty() {
+            slot.trials_with_bugs += 1;
+        }
+        slot.bugs += report.bugs.len();
         trials.push(TrialOutcome {
             trial,
             seed: trial_seed(master_seed, round, trial),
+            schedule_seed: report.schedule_seed,
+            schedule,
             commands_to_first_bug,
             summary: report.machine_summary(),
         });
@@ -268,6 +336,7 @@ fn assemble_round(
         total_commands,
         total_cycles,
         mean_commands_to_first_bug,
+        schedule_detection,
         traces_learned,
         learned,
     }
@@ -305,6 +374,99 @@ mod tests {
         }
         assert_eq!(trial_seed(7, 3, 5), trial_seed(7, 3, 5));
         assert_ne!(trial_seed(7, 3, 5), trial_seed(8, 3, 5));
+    }
+
+    #[test]
+    fn schedule_seeds_are_stable_and_decorrelated_from_trial_seeds() {
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..8 {
+            for trial in 0..64 {
+                assert!(seen.insert(schedule_seed(7, round, trial)));
+                assert_ne!(
+                    schedule_seed(7, round, trial),
+                    trial_seed(7, round, trial),
+                    "schedule and pattern streams must differ"
+                );
+            }
+        }
+        assert_eq!(schedule_seed(7, 3, 5), schedule_seed(7, 3, 5));
+        assert_ne!(schedule_seed(7, 3, 5), schedule_seed(8, 3, 5));
+    }
+
+    #[test]
+    fn schedule_budget_rotation_shows_up_in_detection_buckets() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 6,
+                rounds: 1,
+                workers: 2,
+                master_seed: 3,
+                schedule_budgets: vec![0, 3],
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let round = &report.rounds[0];
+        let labels: Vec<&str> = round
+            .schedule_detection
+            .iter()
+            .map(|d| d.schedule.as_str())
+            .collect();
+        assert_eq!(labels, ["random-priority(d=0)", "random-priority(d=3)"]);
+        assert!(round.schedule_detection.iter().all(|d| d.trials == 3));
+        for outcome in &round.trials {
+            assert_eq!(
+                outcome.schedule,
+                format!("random-priority(d={})", [0, 3][outcome.trial % 2])
+            );
+            assert_eq!(
+                outcome.schedule_seed,
+                schedule_seed(3, 0, outcome.trial),
+                "outcomes record the replay pair"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_budget_campaigns_stay_worker_count_independent() {
+        let scenario = compute_scenario(2, 4);
+        let run = |workers| {
+            Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 6,
+                    rounds: 2,
+                    workers,
+                    master_seed: 77,
+                    schedule_budgets: vec![1, 4],
+                    ..CampaignConfig::default()
+                },
+                &scenario,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn default_campaigns_bucket_everything_under_lock_step() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 3,
+                rounds: 1,
+                workers: 1,
+                master_seed: 9,
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let round = &report.rounds[0];
+        assert_eq!(round.schedule_detection.len(), 1);
+        assert_eq!(round.schedule_detection[0].schedule, "lock-step");
+        assert_eq!(round.schedule_detection[0].trials, 3);
     }
 
     #[test]
@@ -367,6 +529,7 @@ mod tests {
                     enabled: false,
                     ..LearningConfig::default()
                 },
+                ..CampaignConfig::default()
             },
             &scenario,
         )

@@ -52,9 +52,12 @@ pub mod learning;
 mod pool;
 mod report;
 
-pub use engine::{trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig};
+pub use engine::{
+    schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig,
+};
 pub use report::{
-    CampaignReport, DistributionEntry, LearnedDistribution, RoundReport, TrialOutcome,
+    CampaignReport, DistributionEntry, LearnedDistribution, RoundReport, ScheduleDetection,
+    TrialOutcome,
 };
 
 // The Scenario abstraction campaigns are written against.

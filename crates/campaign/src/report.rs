@@ -67,14 +67,41 @@ impl LearnedDistribution {
 pub struct TrialOutcome {
     /// Trial index within the round.
     pub trial: usize,
-    /// The derived per-trial seed (reproduce with
+    /// The derived per-trial pattern seed (reproduce with
     /// [`AdaptiveTest::run`](ptest_core::AdaptiveTest::run) at this
     /// seed).
     pub seed: u64,
+    /// The derived per-trial schedule seed. Together with `seed` and
+    /// the distribution the trial's round generated from
+    /// ([`RoundReport::distribution`] — the scenario's base
+    /// distribution for round 0 or any learning-disabled campaign, the
+    /// re-learned one for later learning rounds), this replays the
+    /// trial — any reported bug included — byte for byte.
+    pub schedule_seed: u64,
+    /// Stable label of the schedule the trial ran under (e.g.
+    /// `"lock-step"`, `"random-priority(d=3)"`).
+    pub schedule: String,
     /// Commands issued before the first bug, if any was found.
     pub commands_to_first_bug: Option<u64>,
     /// The stable machine summary of the trial's report.
     pub summary: ReportSummary,
+}
+
+/// Detection statistics of one schedule (identified by its stable
+/// label) within a round — the signal the adaptive loop can use to bias
+/// future rounds toward bug-finding schedule budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ScheduleDetection {
+    /// The schedule label (see
+    /// [`ScheduleSpec::label`](ptest_master::ScheduleSpec::label)).
+    pub schedule: String,
+    /// Trials run under this schedule this round.
+    pub trials: usize,
+    /// Of those, trials that detected at least one bug.
+    pub trials_with_bugs: usize,
+    /// Total bugs across those trials.
+    pub bugs: usize,
 }
 
 /// Aggregate of one feedback round.
@@ -98,6 +125,9 @@ pub struct RoundReport {
     pub total_cycles: u64,
     /// Mean of `commands_to_first_bug` over bug-finding trials.
     pub mean_commands_to_first_bug: Option<f64>,
+    /// Per-schedule detection aggregates, in first-seen trial order (one
+    /// entry per distinct schedule label run this round).
+    pub schedule_detection: Vec<ScheduleDetection>,
     /// Execution traces this round contributed to the feedback counts
     /// (0 when learning is disabled).
     pub traces_learned: u64,

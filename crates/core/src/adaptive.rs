@@ -16,7 +16,7 @@
 //! reproduction story, made checkable.
 
 use ptest_automata::{ProbabilityAssignment, Regex};
-use ptest_master::{DualCoreSystem, SystemConfig};
+use ptest_master::{DualCoreSystem, ScheduleSpec, SystemConfig};
 use ptest_pcore::ProgramId;
 use ptest_soc::Cycles;
 
@@ -65,6 +65,17 @@ pub struct AdaptiveTestConfig {
     pub stack_bytes: Option<u32>,
     /// System (kernel/scheduler) configuration.
     pub system: SystemConfig,
+    /// How slave kernels are scheduled against each other
+    /// ([`ScheduleSpec::LockStep`] reproduces the historical behaviour
+    /// bit for bit; see the `ptest_master::sched` module).
+    pub schedule: ScheduleSpec,
+    /// Schedule seed override. `None` (the default) derives the seed
+    /// from the trial's pattern seed, so single-trial runs stay a
+    /// one-seed story; campaigns set it per trial to explore schedules
+    /// independently of patterns. Reports echo the seed actually used,
+    /// making every bug replayable from its `(seed, schedule_seed)`
+    /// pair.
+    pub schedule_seed: Option<u64>,
 }
 
 impl Default for AdaptiveTestConfig {
@@ -92,6 +103,8 @@ impl Default for AdaptiveTestConfig {
             inter_command_gap: 16,
             stack_bytes: None,
             system: SystemConfig::default(),
+            schedule: ScheduleSpec::LockStep,
+            schedule_seed: None,
         }
     }
 }
@@ -143,6 +156,10 @@ pub struct TestReport {
     pub patterns: Vec<TestPattern>,
     /// The merged pattern that was executed.
     pub merged: MergedPattern,
+    /// The schedule seed the trial ran under (also echoed into
+    /// `config.schedule_seed`): together with `config.seed` it replays
+    /// the trial — including any reported bug — byte for byte.
+    pub schedule_seed: u64,
     /// Echo of the run configuration (reproduction input).
     pub config: AdaptiveTestConfig,
 }
@@ -200,12 +217,17 @@ impl TestReport {
                 .collect::<Vec<_>>()
                 .join("; ")
         };
+        let sched = match self.config.schedule {
+            ScheduleSpec::LockStep => String::new(),
+            spec => format!(" sched={} sched_seed={}", spec.label(), self.schedule_seed),
+        };
         format!(
-            "n={} s={} op={:?} seed={}: {} cmds, {} errors, {} cycles, {:?} -> {}",
+            "n={} s={} op={:?} seed={}{}: {} cmds, {} errors, {} cycles, {:?} -> {}",
             self.config.n,
             self.config.s,
             self.config.op,
             self.config.seed,
+            sched,
             self.commands_issued,
             self.error_replies,
             self.cycles,

@@ -66,9 +66,15 @@ pub fn measure(patterns: &[TestPattern], dfa: &Dfa, alphabet: &Alphabet) -> Cove
             pairs.insert((window[0], window[1]));
         }
         for &sym in p.symbols() {
-            *service_counts
-                .entry(alphabet.name(sym).unwrap_or("?").to_owned())
-                .or_insert(0) += 1;
+            // Symbols the alphabet cannot name are counted *distinctly*
+            // (`?#3`-style buckets, one per unknown symbol id). Folding
+            // them all into one `"?"` bucket — as this used to do —
+            // silently inflated a single phantom service's count and
+            // hid how many distinct unknowns appeared.
+            let name = alphabet
+                .name(sym)
+                .map_or_else(|| format!("?{sym}"), ToOwned::to_owned);
+            *service_counts.entry(name).or_insert(0) += 1;
             if let Some(next) = dfa.next(q, sym) {
                 transitions.insert((q, sym));
                 states.insert(next);
@@ -132,6 +138,29 @@ mod tests {
             report.transitions_covered
         );
         assert!((report.state_coverage() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn unknown_symbols_are_counted_distinctly_not_aliased() {
+        let g = PatternGenerator::pcore_paper().unwrap();
+        let a = g.regex().alphabet();
+        let known = a.sym("TC").unwrap();
+        // Two patterns, each hitting a different symbol outside the
+        // 6-service alphabet: the unknowns must land in two distinct
+        // `?`-buckets, not merge into a single inflated one. (The DFA
+        // walk stops at the first illegal symbol of each pattern, so
+        // each contributes exactly one unknown.)
+        let p1 = TestPattern::new(vec![known, Sym(900)]);
+        let p2 = TestPattern::new(vec![known, Sym(901)]);
+        let report = measure(&[p1, p2], g.dfa(), a);
+        assert_eq!(report.service_counts["TC"], 2);
+        assert_eq!(report.service_counts["?#900"], 1);
+        assert_eq!(report.service_counts["?#901"], 1);
+        assert!(
+            !report.service_counts.contains_key("?"),
+            "no aggregate alias bucket: {:?}",
+            report.service_counts
+        );
     }
 
     #[test]

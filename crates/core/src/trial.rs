@@ -14,7 +14,7 @@
 //! [`AdaptiveTest::run`]: crate::AdaptiveTest::run
 
 use ptest_automata::{GenerateOptions, Regex};
-use ptest_master::DualCoreSystem;
+use ptest_master::{DualCoreSystem, Scheduler};
 use ptest_pcore::{KernelSnapshot, ProgramId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +52,18 @@ impl TrialScratch {
     pub fn new() -> TrialScratch {
         TrialScratch::default()
     }
+}
+
+/// Derives the default schedule seed of a trial from its pattern seed
+/// ([`splitmix64`](ptest_master::sched::splitmix64) over a fixed stream
+/// constant). Used when the configuration carries no explicit
+/// [`schedule_seed`](crate::AdaptiveTestConfig::schedule_seed): a plain
+/// `(config, seed)` run remains a one-seed reproduction story, while the
+/// derived schedule stream stays decorrelated from the pattern stream.
+#[must_use]
+pub fn derived_schedule_seed(seed: u64) -> u64 {
+    const SCHEDULE_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    ptest_master::sched::splitmix64(seed ^ SCHEDULE_STREAM)
 }
 
 impl TrialEngine {
@@ -114,8 +126,49 @@ impl TrialEngine {
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
+        let schedule_seed = self
+            .config
+            .schedule_seed
+            .unwrap_or_else(|| derived_schedule_seed(seed));
+        self.run_trial_with_schedule(seed, schedule_seed, setup, scratch)
+    }
+
+    /// [`TrialEngine::run_trial_in`] at an explicit schedule seed — the
+    /// campaign entry point, where pattern seeds and schedule seeds are
+    /// derived independently from the master seed so the campaign
+    /// explores (pattern × schedule) space rather than a diagonal of it.
+    /// With [`ScheduleSpec::LockStep`](ptest_master::ScheduleSpec) the
+    /// schedule seed is recorded but has no behavioural effect.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_trial_with_schedule(
+        &self,
+        seed: u64,
+        schedule_seed: u64,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_inner(seed, schedule_seed, None, setup, scratch)
+    }
+
+    /// The shared trial core. `schedule` overrides the compiled
+    /// configuration's [`ScheduleSpec`](ptest_master::ScheduleSpec) when
+    /// set — the campaign's schedule-budget rotation varies the spec per
+    /// trial without recompiling the PFA pipeline.
+    fn run_trial_inner(
+        &self,
+        seed: u64,
+        schedule_seed: u64,
+        schedule: Option<ptest_master::ScheduleSpec>,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
         let cfg = AdaptiveTestConfig {
             seed,
+            schedule_seed: Some(schedule_seed),
+            schedule: schedule.unwrap_or(self.config.schedule),
             ..self.config.clone()
         };
 
@@ -147,13 +200,21 @@ impl TrialEngine {
         )
         .map_err(AdaptiveTestError::Committer)?;
         let mut detector = BugDetector::new(cfg.detector);
+        // Lock-step compiles to no scheduler at all: the trial drives the
+        // plain `step()` path, bit-identical to the pre-scheduler engine
+        // (the golden fixtures pin this).
+        let mut scheduler: Option<Box<dyn Scheduler>> =
+            cfg.schedule.scheduler(cfg.system.slaves, schedule_seed);
 
         let mut bugs: Vec<Bug> = Vec::new();
         let mut cycles = 0u64;
         let mut done_at: Option<u64> = None;
         while cycles < cfg.max_cycles {
             cycles += 1;
-            sys.step();
+            match scheduler.as_deref_mut() {
+                None => sys.step(),
+                Some(sched) => sys.step_with(sched),
+            }
             let status = committer.step(&mut sys);
             let committer_done = status != CommitterStatus::Running;
             if committer_done && done_at.is_none() {
@@ -220,6 +281,7 @@ impl TrialEngine {
             exec_records,
             patterns,
             merged,
+            schedule_seed,
             config: cfg,
         })
     }
@@ -250,6 +312,49 @@ impl TrialEngine {
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
         self.run_trial_in(seed, |sys| scenario.setup(sys), scratch)
+    }
+
+    /// Runs one trial of a [`Scenario`] at an explicit `(pattern seed,
+    /// schedule seed)` pair (see
+    /// [`TrialEngine::run_trial_with_schedule`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_scenario_trial_scheduled(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+        schedule_seed: u64,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_with_schedule(seed, schedule_seed, |sys| scenario.setup(sys), scratch)
+    }
+
+    /// [`TrialEngine::run_scenario_trial_scheduled`] under an explicit
+    /// [`ScheduleSpec`](ptest_master::ScheduleSpec), overriding the
+    /// compiled configuration's spec for this trial only — how a
+    /// campaign rotates schedule budgets across the trials of one round
+    /// while reusing the round's compiled PFA.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_scenario_trial_scheduled_as(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+        schedule_seed: u64,
+        schedule: ptest_master::ScheduleSpec,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_inner(
+            seed,
+            schedule_seed,
+            Some(schedule),
+            |sys| scenario.setup(sys),
+            scratch,
+        )
     }
 }
 
@@ -288,6 +393,59 @@ mod tests {
         assert_eq!(via_engine.commands_issued, via_run.commands_issued);
         assert_eq!(via_engine.cycles, via_run.cycles);
         assert_eq!(via_engine.bugs.len(), via_run.bugs.len());
+    }
+
+    #[test]
+    fn lock_step_records_but_ignores_the_schedule_seed() {
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let mut scratch = TrialScratch::new();
+        let a = engine
+            .run_trial_with_schedule(5, 111, quick_setup, &mut scratch)
+            .unwrap();
+        let b = engine
+            .run_trial_with_schedule(5, 222, quick_setup, &mut scratch)
+            .unwrap();
+        assert_eq!(a.schedule_seed, 111);
+        assert_eq!(a.config.schedule_seed, Some(111));
+        assert_eq!(a.cycles, b.cycles, "lock-step ignores the schedule seed");
+        assert_eq!(a.patterns, b.patterns);
+        // The implicit path derives a stable schedule seed from the trial
+        // seed.
+        let c = engine.run_trial(5, quick_setup).unwrap();
+        assert_eq!(c.schedule_seed, crate::derived_schedule_seed(5));
+    }
+
+    #[test]
+    fn schedule_seed_pair_replays_byte_identically() {
+        use ptest_master::ScheduleSpec;
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            schedule: ScheduleSpec::random_priority(),
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let mut scratch = TrialScratch::new();
+        let a = engine
+            .run_trial_with_schedule(9, 1234, quick_setup, &mut scratch)
+            .unwrap();
+        let b = engine
+            .run_trial_with_schedule(9, 1234, quick_setup, &mut scratch)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.commands_issued, b.commands_issued);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.bugs.len(), b.bugs.len());
+        assert_eq!(
+            format!("{:?}", a.exec_records),
+            format!("{:?}", b.exec_records),
+            "the full execution trace replays from the seed pair"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod fig1;
 pub mod multicore;
 pub mod philosophers;
+pub mod races;
 pub mod scenarios;
 pub mod stress;
 

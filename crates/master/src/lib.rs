@@ -18,6 +18,11 @@
 //! * [`DualCoreSystem`] — the original one-slave platform, now the
 //!   `n = 1` special case of [`MultiCoreSystem`] (bit-identical
 //!   behaviour, same API).
+//! * [`sched`] — schedule exploration: a [`Scheduler`] decides each
+//!   cycle which slave kernels execute a task cycle
+//!   ([`MultiCoreSystem::step_with`]). Lock-step remains the default;
+//!   [`RandomPriorityScheduler`] performs a PCT-style seeded
+//!   randomized-priority search over cross-core interleavings.
 //!
 //! pTest's committer drives the system through
 //! [`MultiCoreSystem::issue_to`]/[`MultiCoreSystem::take_responses`];
@@ -61,9 +66,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sched;
 mod system;
 mod thread;
 
+pub use sched::{
+    LockStepScheduler, RandomPriorityConfig, RandomPriorityScheduler, ScheduleSpec, Scheduler,
+};
 pub use system::{
     CouplingError, DualCoreSystem, MultiCoreSystem, SemLink, SharedVar, SystemConfig,
 };

@@ -1,0 +1,397 @@
+//! Schedule exploration: who advances this cycle?
+//!
+//! Every trial of the adaptive tester used to advance all slave kernels
+//! in lock-step — one kernel cycle each per system cycle. That explores
+//! the *input* side of concurrency testing (which service patterns are
+//! issued) but pins the *schedule* side: a bug that needs slave 1 to run
+//! twenty cycles ahead of slave 0 is structurally unreachable no matter
+//! how the PFA adapts. A [`Scheduler`] breaks that pin: each system
+//! cycle it decides which slave kernels execute a task cycle
+//! ([`MultiCoreSystem::step_with`](crate::MultiCoreSystem::step_with)),
+//! turning each trial into a point in (pattern × schedule) space.
+//!
+//! Two schedulers ship:
+//!
+//! * [`LockStepScheduler`] — the historical behaviour, bit-identical to
+//!   [`MultiCoreSystem::step`](crate::MultiCoreSystem::step): every
+//!   kernel advances every cycle.
+//! * [`RandomPriorityScheduler`] — a PCT-style randomized-priority
+//!   search (cf. Burckhardt et al., *A Randomized Scheduler with
+//!   Probabilistic Guarantees of Finding Bugs*): each slave gets a
+//!   seeded random priority, only the highest-priority runnable slave
+//!   executes, and at a small budget of seeded *priority-change points*
+//!   the leader is demoted below everyone else. All decisions derive
+//!   from one `schedule_seed`, so any interleaving the search finds is
+//!   replayable from the `(pattern_seed, schedule_seed)` pair alone.
+//!
+//! Doorbell interrupts are *not* schedulable: command servicing and the
+//! cross-core coupling (semaphore forwarding, SRAM mirroring) happen
+//! every cycle on every slave regardless of the scheduler, exactly as
+//! interrupts preempt task execution on the real platform. The scheduler
+//! gates only the task-level kernel cycle.
+//!
+//! ## Fairness backstop
+//!
+//! Textbook PCT assumes a liveness-agnostic bug oracle (crashes,
+//! assertions). pTest's detector also runs *no-progress* rules
+//! (starvation, livelock) that presume a weakly fair scheduler, so the
+//! randomized scheduler guarantees: a runnable slave is never skipped
+//! more than [`RandomPriorityConfig::fairness_window`] consecutive
+//! cycles. The leader still runs up to `fairness_window` times faster
+//! than everyone else — plenty of relative drift to expose ordering
+//! races — while keeping every slave's progress bounded, so the
+//! no-progress rules stay sound.
+
+use std::fmt;
+
+use ptest_soc::Cycles;
+
+/// Decides, each system cycle, which slave kernels execute a task cycle.
+///
+/// Implementations must be deterministic: the advance decisions may
+/// depend only on construction inputs (seed, configuration) and the
+/// sequence of `plan` calls — never on wall-clock time or global state —
+/// so a recorded `schedule_seed` replays the exact interleaving.
+pub trait Scheduler: fmt::Debug + Send {
+    /// Fills `advance` (pre-sized to the slave count, all `true`) with
+    /// this cycle's decisions. `runnable[i]` reports whether slave `i`'s
+    /// kernel has work a task cycle could progress (a dispatchable task
+    /// or a sleeper due at `now`); `now` is the cycle about to execute.
+    fn plan(&mut self, now: Cycles, runnable: &[bool], advance: &mut [bool]);
+}
+
+/// The historical schedule: every kernel advances every cycle. Driving
+/// a system through `step_with(&mut LockStepScheduler)` is bit-identical
+/// to calling [`MultiCoreSystem::step`](crate::MultiCoreSystem::step) —
+/// the golden fixtures pin exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStepScheduler;
+
+impl Scheduler for LockStepScheduler {
+    fn plan(&mut self, _now: Cycles, _runnable: &[bool], _advance: &mut [bool]) {
+        // `advance` arrives all-true: lock-step is the identity plan.
+    }
+}
+
+/// Knobs of the [`RandomPriorityScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomPriorityConfig {
+    /// Budget of priority-change points (PCT's `d - 1`): seeded cycle
+    /// indices at which the current leader is demoted below every other
+    /// slave. 0 keeps the initial priority order for the whole trial.
+    pub change_points: usize,
+    /// Horizon (in scheduled cycles) the change points are sampled over
+    /// — roughly the expected trial length in cycles.
+    pub horizon: u64,
+    /// A runnable slave is never skipped more than this many consecutive
+    /// cycles (see the module docs on fairness). 0 disables the backstop
+    /// (pure PCT; only safe with liveness-agnostic oracles).
+    pub fairness_window: u32,
+}
+
+impl Default for RandomPriorityConfig {
+    fn default() -> RandomPriorityConfig {
+        RandomPriorityConfig {
+            change_points: 3,
+            horizon: 60_000,
+            fairness_window: 64,
+        }
+    }
+}
+
+/// How a trial schedules its slave kernels — the serializable description
+/// a configuration carries, compiled into a [`Scheduler`] per trial via
+/// [`ScheduleSpec::scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleSpec {
+    /// Advance every kernel every cycle (the historical default).
+    #[default]
+    LockStep,
+    /// PCT-style randomized-priority exploration.
+    RandomPriority(RandomPriorityConfig),
+}
+
+impl ScheduleSpec {
+    /// The default randomized-priority exploration spec.
+    #[must_use]
+    pub fn random_priority() -> ScheduleSpec {
+        ScheduleSpec::RandomPriority(RandomPriorityConfig::default())
+    }
+
+    /// Compiles the spec into a scheduler for a `slaves`-slave system,
+    /// seeded with `schedule_seed`. Returns `None` for
+    /// [`ScheduleSpec::LockStep`]: callers drive the plain
+    /// [`MultiCoreSystem::step`](crate::MultiCoreSystem::step) path,
+    /// which skips the per-cycle runnable scan entirely and is therefore
+    /// trivially bit-identical to the pre-scheduler behaviour.
+    #[must_use]
+    pub fn scheduler(&self, slaves: usize, schedule_seed: u64) -> Option<Box<dyn Scheduler>> {
+        match *self {
+            ScheduleSpec::LockStep => None,
+            ScheduleSpec::RandomPriority(cfg) => Some(Box::new(RandomPriorityScheduler::new(
+                slaves,
+                schedule_seed,
+                cfg,
+            ))),
+        }
+    }
+
+    /// Short stable label for reports (e.g. `"lock-step"`,
+    /// `"random-priority(d=3)"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ScheduleSpec::LockStep => "lock-step".to_owned(),
+            ScheduleSpec::RandomPriority(cfg) => {
+                format!("random-priority(d={})", cfg.change_points)
+            }
+        }
+    }
+}
+
+/// The workspace's seed-stream mixer (Vigna's splitmix64 finalizer):
+/// small, platform-stable, and decorrelating. Every derived seed in the
+/// repo — campaign trial seeds, campaign schedule seeds, the trial
+/// engine's implicit schedule seed, this module's priority and
+/// change-point streams — goes through this one definition, so the
+/// documented seed-derivation story cannot drift between crates.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// [`splitmix64`] as a stream: mixes and advances `state` in place.
+fn splitmix64_next(state: &mut u64) -> u64 {
+    let out = splitmix64(*state);
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    out
+}
+
+/// The PCT-style randomized-priority scheduler. See the [module
+/// docs](self) for the search it performs and its determinism contract.
+#[derive(Debug, Clone)]
+pub struct RandomPriorityScheduler {
+    /// Per-slave priorities; the highest runnable one advances.
+    priorities: Vec<u64>,
+    /// Remaining change points, as *descending* scheduled-cycle indices
+    /// (popped from the back as the trial passes them).
+    change_points: Vec<u64>,
+    /// Cycles planned so far.
+    planned: u64,
+    /// Next value handed out by a demotion; strictly decreasing, and
+    /// starting below every initial priority, so each demoted leader
+    /// lands below everyone demoted before it.
+    next_demoted: u64,
+    /// Per-slave count of consecutive planned cycles the slave was
+    /// runnable but not advanced.
+    skipped: Vec<u32>,
+    fairness_window: u32,
+}
+
+impl RandomPriorityScheduler {
+    /// Seeds priorities and change points for a `slaves`-slave system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slaves` is zero.
+    #[must_use]
+    pub fn new(slaves: usize, schedule_seed: u64, cfg: RandomPriorityConfig) -> Self {
+        assert!(slaves > 0, "a schedule needs at least one slave");
+        let mut stream = schedule_seed;
+        // Initial priorities in the upper half of u64 space; demotions
+        // count down from below them. Ties are broken by slave index in
+        // `leader`, so duplicates would not break determinism — they are
+        // just astronomically unlikely.
+        let priorities: Vec<u64> = (0..slaves)
+            .map(|_| (1 << 63) | splitmix64_next(&mut stream))
+            .collect();
+        let mut change_points: Vec<u64> = (0..cfg.change_points)
+            .map(|_| splitmix64_next(&mut stream) % cfg.horizon.max(1))
+            .collect();
+        // Descending, so passing cycles pop from the back in order.
+        change_points.sort_unstable_by(|a, b| b.cmp(a));
+        RandomPriorityScheduler {
+            priorities,
+            change_points,
+            planned: 0,
+            next_demoted: 1 << 62,
+            skipped: vec![0; slaves],
+            fairness_window: cfg.fairness_window,
+        }
+    }
+
+    /// The slave with the highest priority among `eligible` ones
+    /// (smallest index wins ties).
+    fn leader(&self, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, &p) in self.priorities.iter().enumerate() {
+            if eligible(i) && best.is_none_or(|(bp, _)| p > bp) {
+                best = Some((p, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+impl Scheduler for RandomPriorityScheduler {
+    fn plan(&mut self, _now: Cycles, runnable: &[bool], advance: &mut [bool]) {
+        // Demote the current leader at each passed change point.
+        while self
+            .change_points
+            .last()
+            .is_some_and(|&cp| cp <= self.planned)
+        {
+            self.change_points.pop();
+            if let Some(leader) = self.leader(|i| runnable.get(i).copied().unwrap_or(false)) {
+                self.next_demoted -= 1;
+                self.priorities[leader] = self.next_demoted;
+            }
+        }
+        self.planned += 1;
+
+        let chosen = self.leader(|i| runnable.get(i).copied().unwrap_or(false));
+        for (i, slot) in advance.iter_mut().enumerate() {
+            if !runnable.get(i).copied().unwrap_or(false) {
+                // Nothing a task cycle could progress: skipping is free
+                // (and resets the fairness debt).
+                *slot = false;
+                self.skipped[i] = 0;
+                continue;
+            }
+            let starved = self.fairness_window > 0
+                && self.skipped[i].saturating_add(1) >= self.fairness_window;
+            if Some(i) == chosen || starved {
+                *slot = true;
+                self.skipped[i] = 0;
+            } else {
+                *slot = false;
+                self.skipped[i] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_once(s: &mut dyn Scheduler, runnable: &[bool]) -> Vec<bool> {
+        let mut advance = vec![true; runnable.len()];
+        s.plan(Cycles::new(1), runnable, &mut advance);
+        advance
+    }
+
+    #[test]
+    fn lock_step_advances_everyone() {
+        let mut s = LockStepScheduler;
+        assert_eq!(plan_once(&mut s, &[true, false, true]), [true, true, true]);
+    }
+
+    #[test]
+    fn random_priority_advances_exactly_one_runnable_slave() {
+        let mut s = RandomPriorityScheduler::new(4, 7, RandomPriorityConfig::default());
+        let advance = plan_once(&mut s, &[true; 4]);
+        assert_eq!(advance.iter().filter(|&&a| a).count(), 1, "{advance:?}");
+    }
+
+    #[test]
+    fn non_runnable_slaves_are_never_advanced() {
+        let mut s = RandomPriorityScheduler::new(3, 9, RandomPriorityConfig::default());
+        for _ in 0..200 {
+            let advance = plan_once(&mut s, &[false, true, false]);
+            assert_eq!(advance, [false, true, false]);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan_stream() {
+        let cfg = RandomPriorityConfig::default();
+        let mut a = RandomPriorityScheduler::new(3, 42, cfg);
+        let mut b = RandomPriorityScheduler::new(3, 42, cfg);
+        for step in 0..5_000u64 {
+            let runnable = [true, step % 7 != 0, true];
+            assert_eq!(plan_once(&mut a, &runnable), plan_once(&mut b, &runnable));
+        }
+    }
+
+    #[test]
+    fn different_seeds_disagree_somewhere() {
+        let cfg = RandomPriorityConfig::default();
+        let mut a = RandomPriorityScheduler::new(4, 1, cfg);
+        let mut b = RandomPriorityScheduler::new(4, 2, cfg);
+        let runnable = [true; 4];
+        let disagreements = (0..500)
+            .filter(|_| plan_once(&mut a, &runnable) != plan_once(&mut b, &runnable))
+            .count();
+        assert!(disagreements > 0, "seeds must shape the schedule");
+    }
+
+    #[test]
+    fn fairness_backstop_bounds_skips() {
+        let cfg = RandomPriorityConfig {
+            fairness_window: 8,
+            ..RandomPriorityConfig::default()
+        };
+        let mut s = RandomPriorityScheduler::new(2, 3, cfg);
+        let mut gap = [0u32; 2];
+        for _ in 0..2_000 {
+            let advance = plan_once(&mut s, &[true, true]);
+            for i in 0..2 {
+                if advance[i] {
+                    gap[i] = 0;
+                } else {
+                    gap[i] += 1;
+                    assert!(gap[i] < 8, "slave {i} skipped {} cycles", gap[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn change_points_demote_the_leader() {
+        let cfg = RandomPriorityConfig {
+            change_points: 1,
+            horizon: 10,
+            fairness_window: 0,
+        };
+        // With one change point inside the first 10 cycles and no
+        // fairness backstop, the leader must flip exactly once in a
+        // 2-slave always-runnable system.
+        let mut s = RandomPriorityScheduler::new(2, 11, cfg);
+        let mut leaders = Vec::new();
+        for _ in 0..30 {
+            let advance = plan_once(&mut s, &[true, true]);
+            leaders.push(advance.iter().position(|&a| a).unwrap());
+        }
+        let flips = leaders.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(flips, 1, "{leaders:?}");
+    }
+
+    #[test]
+    fn zero_change_points_keep_one_leader_without_backstop() {
+        let cfg = RandomPriorityConfig {
+            change_points: 0,
+            horizon: 100,
+            fairness_window: 0,
+        };
+        let mut s = RandomPriorityScheduler::new(3, 5, cfg);
+        let first = plan_once(&mut s, &[true; 3]);
+        for _ in 0..100 {
+            assert_eq!(plan_once(&mut s, &[true; 3]), first);
+        }
+    }
+
+    #[test]
+    fn spec_compiles_to_the_right_scheduler() {
+        assert!(ScheduleSpec::LockStep.scheduler(2, 1).is_none());
+        assert!(ScheduleSpec::random_priority().scheduler(2, 1).is_some());
+        assert_eq!(ScheduleSpec::LockStep.label(), "lock-step");
+        assert_eq!(
+            ScheduleSpec::random_priority().label(),
+            "random-priority(d=3)"
+        );
+    }
+}

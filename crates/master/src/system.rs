@@ -162,6 +162,9 @@ pub struct MultiCoreSystem {
     shared_vars: Vec<SharedVar>,
     /// Last globally agreed value of each shared var (sync epoch state).
     shared_var_mirror: Vec<i64>,
+    /// Reused per-cycle scratch of [`MultiCoreSystem::step_with`].
+    sched_runnable: Vec<bool>,
+    sched_advance: Vec<bool>,
     cfg: SystemConfig,
 }
 
@@ -216,6 +219,8 @@ impl MultiCoreSystem {
             sem_links: Vec::new(),
             shared_vars: Vec::new(),
             shared_var_mirror: Vec::new(),
+            sched_runnable: Vec::new(),
+            sched_advance: Vec::new(),
             cfg,
         }
     }
@@ -483,12 +488,48 @@ impl MultiCoreSystem {
     /// response delivery, and one master-thread step under the
     /// round-robin quantum.
     pub fn step(&mut self) {
+        self.step_masked(None);
+    }
+
+    /// [`MultiCoreSystem::step`] under a [`Scheduler`](crate::sched::Scheduler):
+    /// the scheduler
+    /// decides which slave kernels execute a task cycle. Doorbell
+    /// interrupt servicing, cross-core coupling and the master side are
+    /// *not* schedulable — they run every cycle on every slave exactly
+    /// as in [`MultiCoreSystem::step`], the way interrupts preempt task
+    /// execution on the real platform.
+    ///
+    /// Driving a system with [`LockStepScheduler`](crate::sched::LockStepScheduler)
+    /// is bit-identical to calling [`MultiCoreSystem::step`].
+    pub fn step_with(&mut self, scheduler: &mut dyn crate::sched::Scheduler) {
+        let next = Cycles::new(self.clock.now().get() + 1);
+        let mut runnable = std::mem::take(&mut self.sched_runnable);
+        let mut advance = std::mem::take(&mut self.sched_advance);
+        runnable.clear();
+        runnable.extend(
+            self.slaves
+                .iter()
+                .map(|s| s.kernel.has_dispatchable_work(next)),
+        );
+        advance.clear();
+        advance.resize(self.slaves.len(), true);
+        scheduler.plan(next, &runnable, &mut advance);
+        self.step_masked(Some(&advance));
+        self.sched_runnable = runnable;
+        self.sched_advance = advance;
+    }
+
+    /// One platform cycle; `mask` (if any) gates which slave kernels
+    /// execute their task cycle. `None` means everyone — the lock-step
+    /// fast path with no per-cycle mask or runnable scan at all.
+    fn step_masked(&mut self, mask: Option<&[bool]>) {
         self.clock.tick();
         let now = self.clock.now();
 
-        // --- DSP side: doorbell interrupts preempt task execution.
+        // --- DSP side: doorbell interrupts preempt task execution (and
+        //     are never gated by the schedule).
         let budget = self.cfg.slave_budget;
-        for slave in &mut self.slaves {
+        for (i, slave) in self.slaves.iter_mut().enumerate() {
             slave.endpoint.service(
                 &mut self.sram,
                 &mut self.mailboxes,
@@ -496,7 +537,9 @@ impl MultiCoreSystem {
                 now,
                 budget,
             );
-            let _ = slave.kernel.tick(now);
+            if mask.is_none_or(|m| m[i]) {
+                let _ = slave.kernel.tick(now);
+            }
         }
 
         // --- Bridge side: cross-core coupling (no-ops when unused).
@@ -1093,6 +1136,121 @@ mod tests {
         create_on(&mut s, 1, p1, 5);
         assert!(s.run_until_quiescent(5_000));
         assert_eq!(s.kernel_of(0).var(VarId(2)), Some(42));
+    }
+
+    // --- schedule exploration ---------------------------------------
+
+    #[test]
+    fn lock_step_scheduler_is_bit_identical_to_plain_step() {
+        use crate::sched::LockStepScheduler;
+        let build = || {
+            let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+            for slave in 0..2 {
+                let prog = s.kernel_of_mut(slave).register_program(
+                    Program::new(vec![
+                        Op::Compute(30),
+                        Op::WriteVar {
+                            var: VarId(0),
+                            value: 7,
+                        },
+                        Op::Exit,
+                    ])
+                    .unwrap(),
+                );
+                create_on(&mut s, slave, prog, 5);
+            }
+            s
+        };
+        let mut plain = build();
+        let mut scheduled = build();
+        let mut sched = LockStepScheduler;
+        for _ in 0..500 {
+            plain.step();
+            scheduled.step_with(&mut sched);
+            assert_eq!(plain.now(), scheduled.now());
+            assert_eq!(plain.snapshots(), scheduled.snapshots());
+        }
+        assert_eq!(
+            plain
+                .trace()
+                .tail(64)
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+            scheduled
+                .trace()
+                .tail(64)
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn random_priority_schedule_skews_relative_progress() {
+        use crate::sched::{RandomPriorityConfig, RandomPriorityScheduler};
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        for slave in 0..2 {
+            let prog = s.kernel_of_mut(slave).register_program(
+                Program::new(vec![Op::AddReg { reg: 1, delta: 1 }, Op::Jump(0)]).unwrap(),
+            );
+            create_on(&mut s, slave, prog, 5);
+        }
+        s.run(50); // both tasks created and running
+        let mut sched = RandomPriorityScheduler::new(
+            2,
+            1,
+            RandomPriorityConfig {
+                change_points: 0,
+                horizon: 1,
+                fairness_window: 64,
+            },
+        );
+        for _ in 0..1_000 {
+            s.step_with(&mut sched);
+        }
+        let ops: Vec<u64> = (0..2)
+            .map(|i| s.snapshot_of(i).tasks[0].ops_retired)
+            .collect();
+        // One leader runs ~64x faster than the backstopped follower; in
+        // lock-step both would retire the same count.
+        let (hi, lo) = (ops.iter().max().unwrap(), ops.iter().min().unwrap());
+        assert!(
+            *hi > *lo * 4,
+            "randomized priorities must skew progress: {ops:?}"
+        );
+        assert!(*lo > 0, "fairness backstop keeps the follower moving");
+    }
+
+    #[test]
+    fn scheduled_slaves_still_service_doorbells() {
+        use crate::sched::{RandomPriorityConfig, RandomPriorityScheduler};
+        // Even a slave the scheduler never advances answers commands:
+        // interrupt servicing is not schedulable.
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        let mut sched = RandomPriorityScheduler::new(
+            2,
+            123,
+            RandomPriorityConfig {
+                change_points: 0,
+                horizon: 1,
+                fairness_window: 0,
+            },
+        );
+        s.issue_to(
+            1,
+            SvcRequest::PokeVar {
+                var: VarId(2),
+                value: 55,
+            },
+        )
+        .unwrap();
+        for _ in 0..100 {
+            s.step_with(&mut sched);
+        }
+        let resps = s.take_responses();
+        assert_eq!(resps.len(), 1, "doorbell must be serviced: {resps:?}");
+        assert_eq!(s.kernel_of(1).var(VarId(2)), Some(55));
     }
 
     #[test]

@@ -513,6 +513,26 @@ impl Kernel {
         self.tasks.iter().flatten().filter(|t| t.is_live()).count()
     }
 
+    /// Whether a [`Kernel::tick`] at `now` could make task-level progress:
+    /// a runnable task exists, or a sleeper's deadline has passed so the
+    /// tick would wake it. Schedule exploration uses this to tell which
+    /// kernels are worth advancing — skipping a kernel for which this is
+    /// `false` is observationally free (the tick would only bump idle
+    /// counters). Always `false` on a panicked kernel.
+    #[must_use]
+    pub fn has_dispatchable_work(&self, now: Cycles) -> bool {
+        if self.panic.is_some() {
+            return false;
+        }
+        self.tasks.iter().flatten().any(|t| {
+            t.is_runnable()
+                || matches!(
+                    t.state,
+                    TaskState::Blocked(WaitReason::Sleep { until }) if until <= now.get()
+                )
+        })
+    }
+
     /// The state of a task slot, if it ever held a task.
     #[must_use]
     pub fn task_state(&self, task: TaskId) -> Option<TaskState> {

@@ -98,9 +98,10 @@ impl Mailbox {
 /// | 2 | [`MailboxBank::resp_index`]  | slave *i* → master | command responses |
 /// | 3 | [`MailboxBank::event_index`] | slave *i* → master | asynchronous events |
 ///
-/// The legacy `ARM_TO_DSP_*`/`DSP_TO_ARM_*` constants are the slave-0
-/// block expressed as raw indices; they are deprecated in favour of the
-/// per-slave accessors.
+/// (The pre-N-slave `ARM_TO_DSP_*`/`DSP_TO_ARM_*` raw-index constants
+/// were deprecated when the per-slave accessors landed and have since
+/// been removed; slave 0's block still occupies indices 0..=3 in
+/// cmd/data/resp/event order.)
 #[derive(Debug, Clone)]
 pub struct MailboxBank {
     boxes: Vec<Mailbox>,
@@ -133,19 +134,6 @@ impl MailboxBank {
     pub const fn event_index(slave: usize) -> usize {
         slave * Self::BOXES_PER_SLAVE + 3
     }
-
-    /// Mailbox 0: master→slave-0 command doorbell.
-    #[deprecated(since = "0.1.0", note = "use MailboxBank::cmd_index(slave)")]
-    pub const ARM_TO_DSP_CMD: usize = Self::cmd_index(0);
-    /// Mailbox 1: master→slave-0 auxiliary data word.
-    #[deprecated(since = "0.1.0", note = "use MailboxBank::data_index(slave)")]
-    pub const ARM_TO_DSP_DATA: usize = Self::data_index(0);
-    /// Mailbox 2: slave-0→master command response doorbell.
-    #[deprecated(since = "0.1.0", note = "use MailboxBank::resp_index(slave)")]
-    pub const DSP_TO_ARM_RESP: usize = Self::resp_index(0);
-    /// Mailbox 3: slave-0→master asynchronous event doorbell.
-    #[deprecated(since = "0.1.0", note = "use MailboxBank::event_index(slave)")]
-    pub const DSP_TO_ARM_EVENT: usize = Self::event_index(0);
 
     /// The OMAP5912 bank: one slave block of four mailboxes with a FIFO
     /// depth of 4 words.
@@ -328,19 +316,6 @@ mod tests {
         assert!(!bank.irq_pending(CoreId::Arm));
         assert_eq!(bank.take(MailboxBank::cmd_index(0)), Some(5));
         assert!(!bank.irq_pending(CoreId::Dsp));
-    }
-
-    #[test]
-    fn slave0_block_keeps_the_historical_omap_layout() {
-        // The raw indices the deprecated `ARM_TO_DSP_*`/`DSP_TO_ARM_*`
-        // constants encoded: slave 0's block must stay at mailboxes
-        // 0..=3 in cmd/data/resp/event order, or legacy callers break.
-        // Pinned via the accessors (not the constants) so this canary
-        // survives when the deprecation escalates to removal.
-        assert_eq!(MailboxBank::cmd_index(0), 0);
-        assert_eq!(MailboxBank::data_index(0), 1);
-        assert_eq!(MailboxBank::resp_index(0), 2);
-        assert_eq!(MailboxBank::event_index(0), 3);
     }
 
     #[test]

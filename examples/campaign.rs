@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: arg("--workers", 4),
         master_seed: arg("--seed", 2009) as u64,
         learning: LearningConfig::default(),
+        ..CampaignConfig::default()
     };
     println!(
         "hunting the philosophers deadlock: {} rounds x {} trials on {} workers\n",

@@ -37,6 +37,7 @@ fn campaign_runs_32_trials_over_2_rounds_on_4_workers() {
         workers: 4,
         master_seed: 2009,
         learning: LearningConfig::default(),
+        ..CampaignConfig::default()
     };
     let report = Campaign::run(&cfg, &scenario).unwrap();
     assert_eq!(report.total_trials(), 32);
@@ -74,6 +75,7 @@ fn fig1_learning_does_not_regress_detection_cost() {
         workers: 4,
         master_seed: 2009,
         learning: LearningConfig::default(),
+        ..CampaignConfig::default()
     };
     let report = Campaign::run(&cfg, &scenario).unwrap();
     let first = &report.rounds[0];
@@ -109,6 +111,7 @@ fn campaign_trials_are_individually_reproducible() {
         workers: 3,
         master_seed: 7,
         learning: LearningConfig::default(),
+        ..CampaignConfig::default()
     };
     let report = Campaign::run(&cfg, &scenario).unwrap();
     let round = &report.rounds[0];
@@ -134,6 +137,7 @@ fn campaign_json_roundtrips_through_the_facade() {
             workers: 2,
             master_seed: 11,
             learning: LearningConfig::default(),
+            ..CampaignConfig::default()
         },
         &scenario,
     )

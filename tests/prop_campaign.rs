@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use ptest::pcore::{Op, Program};
 use ptest::{
     AdaptiveTestConfig, Campaign, CampaignConfig, CampaignReport, DualCoreSystem, FnScenario,
-    LearningConfig, MergeOp, ProgramId, Scenario,
+    LearningConfig, MergeOp, ProgramId, RandomPriorityConfig, Scenario, ScheduleSpec, SystemConfig,
+    TrialEngine, TrialScratch,
 };
 
 fn compute_setup(sys: &mut DualCoreSystem) -> Vec<ProgramId> {
@@ -62,6 +63,7 @@ proptest! {
                 alpha: f64::from(alpha) * 0.5,
                 bug_biased: true,
             },
+            ..CampaignConfig::default()
         };
         let one = run(&scenario, &cfg(1));
         let four = run(&scenario, &cfg(4));
@@ -90,10 +92,79 @@ proptest! {
             workers: 2,
             master_seed,
             learning: LearningConfig::default(),
+            ..CampaignConfig::default()
         };
         let first = run(&scenario, &cfg);
         let second = run(&scenario, &cfg);
         prop_assert_eq!(first, second);
+    }
+
+    /// Schedule replay: under the randomized-priority scheduler, a
+    /// `(master_seed, pattern_seed, schedule_seed)` triple reproduces a
+    /// byte-identical trial trace — the campaign's aggregate JSON is
+    /// worker-count independent, every outcome records its seed pair,
+    /// and replaying any recorded pair standalone regenerates that
+    /// trial's summary byte for byte.
+    #[test]
+    fn schedule_seed_triple_replays_byte_identically_across_worker_counts(
+        n in 1usize..3,
+        s in 2usize..6,
+        trials in 2usize..5,
+        master_seed in 0u64..1_000,
+        change_points in 0usize..5,
+    ) {
+        let spec = ScheduleSpec::RandomPriority(RandomPriorityConfig {
+            change_points,
+            ..RandomPriorityConfig::default()
+        });
+        let scenario = FnScenario::new(
+            "prop-sched",
+            AdaptiveTestConfig {
+                n,
+                s,
+                schedule: spec,
+                system: SystemConfig::with_slaves(2),
+                ..AdaptiveTestConfig::default()
+            },
+            compute_setup,
+        );
+        let cfg = |workers| CampaignConfig {
+            trials_per_round: trials,
+            rounds: 1,
+            workers,
+            master_seed,
+            learning: LearningConfig::default(),
+            ..CampaignConfig::default()
+        };
+        let one = run(&scenario, &cfg(1));
+        let four = run(&scenario, &cfg(4));
+        prop_assert_eq!(
+            ptest::campaign_report_to_json(&one).expect("serializes"),
+            ptest::campaign_report_to_json(&four).expect("serializes"),
+            "randomized schedules must stay worker-count independent"
+        );
+        // Every recorded (seed, schedule_seed) pair replays its trial.
+        let engine = TrialEngine::new(scenario.base_config()).expect("compiles");
+        let mut scratch = TrialScratch::new();
+        for outcome in &one.rounds[0].trials {
+            prop_assert_eq!(
+                outcome.seed,
+                ptest::campaign::trial_seed(master_seed, 0, outcome.trial)
+            );
+            prop_assert_eq!(
+                outcome.schedule_seed,
+                ptest::campaign::schedule_seed(master_seed, 0, outcome.trial)
+            );
+            let replay = engine
+                .run_scenario_trial_scheduled(
+                    &scenario,
+                    outcome.seed,
+                    outcome.schedule_seed,
+                    &mut scratch,
+                )
+                .expect("replays");
+            prop_assert_eq!(&replay.machine_summary(), &outcome.summary);
+        }
     }
 
     /// Different master seeds genuinely decorrelate trials: the derived
@@ -110,6 +181,7 @@ proptest! {
             workers: 2,
             master_seed: seed,
             learning: LearningConfig::default(),
+            ..CampaignConfig::default()
         };
         let a = run(&scenario, &cfg(master_seed));
         let b = run(&scenario, &cfg(master_seed.wrapping_add(1)));
