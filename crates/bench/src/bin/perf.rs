@@ -4,34 +4,80 @@
 //! ```text
 //! cargo run --release -p ptest-bench --bin perf -- \
 //!     [--out BENCH_campaign.json] \
+//!     [--trajectory BENCH_trajectory.json] \
 //!     [--check tests/fixtures/bench_baseline.json] \
 //!     [--quick]
 //! ```
 //!
 //! With `--check`, the run exits non-zero when any suite's
-//! `patterns_per_sec` regressed more than
+//! `patterns_per_sec` or `trials_per_sec` regressed more than
 //! [`ptest_bench::perf::REGRESSION_TOLERANCE`] against the baseline —
 //! CI's perf gate. `--quick` shrinks every workload (harness smoke
 //! testing only; never compare a quick run against the baseline).
+//!
+//! Standard runs also append one `{rev, date, trials_per_sec,
+//! patterns_per_sec}` point per suite to the committed
+//! `BENCH_trajectory.json` (see [`ptest_bench::trajectory`]); quick
+//! runs skip the append so shrunken workloads never enter the history.
 
 use std::process::ExitCode;
 
-use ptest_bench::perf;
+use ptest_bench::{perf, trajectory};
+
+/// Abbreviated git revision of the working tree, best-effort: perf
+/// history is still worth archiving from exported tarballs.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn append_trajectory(path: &str, report: &perf::BenchReport) -> Result<(), String> {
+    let mut traj = match std::fs::read_to_string(path) {
+        Ok(text) => trajectory::from_json(&text)
+            .map_err(|e| format!("cannot parse trajectory {path}: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => trajectory::Trajectory::new(),
+        Err(e) => return Err(format!("cannot read trajectory {path}: {e}")),
+    };
+    let date = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or_else(
+            |_| "unknown".to_owned(),
+            |d| trajectory::civil_date(d.as_secs()),
+        );
+    trajectory::append_run(&mut traj, report, &git_rev(), &date);
+    let json = trajectory::to_json(&traj).expect("trajectories serialize");
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
 
 fn main() -> ExitCode {
     let mut out_path = "BENCH_campaign.json".to_owned();
+    let mut trajectory_path = "BENCH_trajectory.json".to_owned();
     let mut baseline_path: Option<String> = None;
     let mut cfg = perf::PerfConfig::standard();
+    let mut quick = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--trajectory" => trajectory_path = args.next().expect("--trajectory needs a path"),
             "--check" => baseline_path = Some(args.next().expect("--check needs a path")),
-            "--quick" => cfg = perf::PerfConfig::quick(),
+            "--quick" => {
+                cfg = perf::PerfConfig::quick();
+                quick = true;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--out FILE] [--check BASELINE] [--quick]");
+                eprintln!(
+                    "usage: perf [--out FILE] [--trajectory FILE] [--check BASELINE] [--quick]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -50,6 +96,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("\nwrote {out_path}");
+
+    if quick {
+        println!("skipping {trajectory_path} (quick runs never enter the history)");
+    } else if let Err(e) = append_trajectory(&trajectory_path, &report) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    } else {
+        println!("appended to {trajectory_path}");
+    }
 
     if let Some(path) = baseline_path {
         let baseline = match std::fs::read_to_string(&path) {

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod trajectory;
 
 use ptest::campaign::RoundReport;
 use ptest::pcore::{GcFaultMode, Op, Program};

@@ -18,15 +18,21 @@
 //!   behaviour-identical `RandomPriorityScheduler`
 //!   (`sched_random_priority`); the delta is the pure cost of schedule
 //!   exploration.
+//! * **Memory-model-overhead suite** — the same campaign under
+//!   sequential consistency (`mem_seqcst`, the no-model fast path)
+//!   versus under the `StoreBufferModel` (`mem_store_buffer`); the
+//!   delta is the cost of buffering and seeded delivery of every
+//!   cross-core store.
 //!
 //! The report schema is one entry per suite:
 //! `{suite, trials_per_sec, patterns_per_sec, steps_per_sec, wall_ms,
 //! seed}`. CI's `perf-smoke` job uploads the file as an artifact and
-//! fails when `patterns_per_sec` regresses more than
-//! [`REGRESSION_TOLERANCE`] against the committed
-//! `tests/fixtures/bench_baseline.json`; an empty baseline is an
-//! explicit gate error, and suites missing a baseline entry are
-//! surfaced as warnings.
+//! fails when `patterns_per_sec` or `trials_per_sec` regresses more
+//! than [`REGRESSION_TOLERANCE`] against the committed
+//! `tests/fixtures/bench_baseline.json` (zero-baseline metrics — e.g.
+//! `trials_per_sec` of the generation microbenches — never gate); an
+//! empty baseline is an explicit gate error, and suites missing a
+//! baseline entry are surfaced as warnings.
 
 use std::time::Instant;
 
@@ -35,7 +41,7 @@ use ptest::campaign::{Campaign, CampaignConfig};
 use ptest::faults::fig1::Fig1AdaptiveScenario;
 use ptest::faults::multicore::CrossCorePipelineScenario;
 use ptest::faults::philosophers::PhilosophersScenario;
-use ptest::master::{RandomPriorityConfig, ScheduleSpec};
+use ptest::master::{MemoryModelSpec, RandomPriorityConfig, ScheduleSpec};
 use ptest::{Configured, PatternGenerator, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -258,6 +264,29 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         &campaign,
     ));
 
+    // --- Memory-model-overhead suite: the same draining pipeline
+    // campaign twice more — once under sequential consistency (the
+    // no-model fast path; trial outcomes bit-identical to
+    // `sched_lockstep`) and once under the StoreBufferModel, where every
+    // cross-core store is buffered and delivered per observer at a
+    // seeded delay. Unlike the scheduler pair the trial outcomes may
+    // differ (that is the point of the model), so the delta bounds the
+    // mechanism cost of memory-model exploration rather than isolating
+    // it exactly.
+    suites.push(measure_campaign(
+        "mem_seqcst",
+        &CrossCorePipelineScenario::fixed(),
+        &campaign,
+    ));
+    let store_buffered = Configured::adjust(CrossCorePipelineScenario::fixed(), |c| {
+        c.memory = MemoryModelSpec::store_buffer();
+    });
+    suites.push(measure_campaign(
+        "mem_store_buffer",
+        &store_buffered,
+        &campaign,
+    ));
+
     BenchReport {
         schema: SCHEMA.to_owned(),
         suites,
@@ -320,11 +349,13 @@ impl std::fmt::Display for GateError {
 
 impl std::error::Error for GateError {}
 
-/// Compares `current` against `baseline`: one failure line per suite
-/// whose `patterns_per_sec` dropped below `1 - tolerance` of the
-/// baseline value or that is missing from the current run, and one
-/// warning line per current suite the baseline does not cover.
-/// Zero/negative baseline entries never gate.
+/// Compares `current` against `baseline`: one failure line per gated
+/// metric (`patterns_per_sec` and `trials_per_sec`) that dropped below
+/// `1 - tolerance` of the baseline value, one per baseline suite
+/// missing from the current run, and one warning line per current
+/// suite the baseline does not cover. Zero/negative baseline metrics
+/// never gate — generation microbenches carry no trial structure, so
+/// their `trials_per_sec` of 0 gates nothing.
 ///
 /// # Errors
 ///
@@ -340,7 +371,7 @@ pub fn regressions(
     }
     let mut outcome = GateOutcome::default();
     for base in &baseline.suites {
-        if base.patterns_per_sec <= 0.0 {
+        if base.patterns_per_sec <= 0.0 && base.trials_per_sec <= 0.0 {
             continue;
         }
         let Some(cur) = current.suite(&base.suite) else {
@@ -350,16 +381,22 @@ pub fn regressions(
             ));
             continue;
         };
-        let floor = base.patterns_per_sec * (1.0 - tolerance);
-        if cur.patterns_per_sec < floor {
-            outcome.failures.push(format!(
-                "suite `{}` regressed: {:.1} patterns/sec < {:.1} (baseline {:.1}, tolerance {:.0}%)",
-                base.suite,
-                cur.patterns_per_sec,
-                floor,
-                base.patterns_per_sec,
-                tolerance * 100.0
-            ));
+        let metrics = [
+            ("patterns/sec", base.patterns_per_sec, cur.patterns_per_sec),
+            ("trials/sec", base.trials_per_sec, cur.trials_per_sec),
+        ];
+        for (metric, base_rate, cur_rate) in metrics {
+            if base_rate <= 0.0 {
+                continue;
+            }
+            let floor = base_rate * (1.0 - tolerance);
+            if cur_rate < floor {
+                outcome.failures.push(format!(
+                    "suite `{}` regressed: {cur_rate:.1} {metric} < {floor:.1} (baseline {base_rate:.1}, tolerance {:.0}%)",
+                    base.suite,
+                    tolerance * 100.0
+                ));
+            }
         }
     }
     for cur in &current.suites {
@@ -412,6 +449,8 @@ mod tests {
             "pipeline_w8",
             "sched_lockstep",
             "sched_random_priority",
+            "mem_seqcst",
+            "mem_store_buffer",
         ] {
             let suite = out.suite(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(suite.patterns_per_sec > 0.0, "{name}");
@@ -451,11 +490,28 @@ mod tests {
     }
 
     #[test]
+    fn trial_throughput_is_gated_too() {
+        let baseline = report(vec![entry("a", 100.0)]);
+        // Patterns hold steady but trial throughput collapses: 0.5 < 0.75.
+        let mut slow = entry("a", 100.0);
+        slow.trials_per_sec = 0.5;
+        let outcome = regressions(&report(vec![slow]), &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("trials/sec"), "{outcome:?}");
+    }
+
+    #[test]
     fn zero_baselines_never_gate() {
         let baseline = report(vec![entry("a", 0.0)]);
         let current = report(vec![entry("a", 0.0)]);
         let outcome = regressions(&current, &baseline, REGRESSION_TOLERANCE).unwrap();
         assert!(outcome.failures.is_empty());
+        // A microbench baseline (no trial structure) never gates trials.
+        let mut micro = entry("m", 50.0);
+        micro.trials_per_sec = 0.0;
+        let baseline = report(vec![micro.clone()]);
+        let outcome = regressions(&report(vec![micro]), &baseline, REGRESSION_TOLERANCE).unwrap();
+        assert!(outcome.failures.is_empty(), "{outcome:?}");
     }
 
     #[test]

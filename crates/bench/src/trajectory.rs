@@ -1,0 +1,148 @@
+//! The committed perf trajectory: `BENCH_trajectory.json` at the repo
+//! root maps each suite name to its measurement history, one point per
+//! archived perf run.
+//!
+//! Where `BENCH_campaign.json` is a snapshot (overwritten by every run)
+//! and `tests/fixtures/bench_baseline.json` is the gate anchor
+//! (refreshed deliberately), the trajectory is append-only: the `perf`
+//! binary adds one `{rev, date, trials_per_sec, patterns_per_sec}`
+//! point per suite on every standard run, so throughput history is
+//! reviewable in-repo rather than buried in CI artifacts. Quick runs
+//! never append — their shrunken workloads would pollute the history.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf::BenchReport;
+
+/// One archived measurement of one suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Abbreviated git revision the run measured (`unknown` when the
+    /// binary ran outside a git checkout).
+    pub rev: String,
+    /// Civil date of the run, `YYYY-MM-DD` (UTC).
+    pub date: String,
+    /// Completed trials per wall-clock second at that revision.
+    pub trials_per_sec: f64,
+    /// Generated patterns per wall-clock second at that revision.
+    pub patterns_per_sec: f64,
+}
+
+/// Suite name → measurement history, oldest first. A `BTreeMap` keeps
+/// the serialized suite order stable across runs, so appends produce
+/// minimal diffs.
+pub type Trajectory = BTreeMap<String, Vec<TrajectoryPoint>>;
+
+/// Appends one point per suite of `report` to `trajectory`.
+pub fn append_run(trajectory: &mut Trajectory, report: &BenchReport, rev: &str, date: &str) {
+    for suite in &report.suites {
+        trajectory
+            .entry(suite.suite.clone())
+            .or_default()
+            .push(TrajectoryPoint {
+                rev: rev.to_owned(),
+                date: date.to_owned(),
+                trials_per_sec: suite.trials_per_sec,
+                patterns_per_sec: suite.patterns_per_sec,
+            });
+    }
+}
+
+/// Serializes a trajectory as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (practically unreachable).
+pub fn to_json(trajectory: &Trajectory) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(trajectory)
+}
+
+/// Parses a trajectory back from JSON.
+///
+/// # Errors
+///
+/// `serde_json` errors on malformed input.
+pub fn from_json(json: &str) -> Result<Trajectory, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Converts seconds since the Unix epoch to a civil `YYYY-MM-DD` date
+/// (UTC), via the classical days-to-civil algorithm over the 400-year
+/// Gregorian era — no date dependency needed for one stamp per run.
+#[must_use]
+pub fn civil_date(secs_since_epoch: u64) -> String {
+    let days = secs_since_epoch / 86_400;
+    // Shift so the era starts 0000-03-01; leap days then fall on the
+    // last day of each era year.
+    let days = days + 719_468;
+    let era = days / 146_097;
+    let doe = days % 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{BenchEntry, BenchReport, SCHEMA};
+
+    fn report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_owned(),
+            suites: vec![
+                BenchEntry {
+                    suite: "pipeline_w2".to_owned(),
+                    trials_per_sec: 12.0,
+                    patterns_per_sec: 36.0,
+                    steps_per_sec: 1e6,
+                    wall_ms: 100.0,
+                    seed: 2009,
+                },
+                BenchEntry {
+                    suite: "gen_alias_pcore_s256".to_owned(),
+                    trials_per_sec: 0.0,
+                    patterns_per_sec: 5e5,
+                    steps_per_sec: 1e8,
+                    wall_ms: 40.0,
+                    seed: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn appends_accumulate_per_suite_and_roundtrip() {
+        let mut traj = Trajectory::new();
+        append_run(&mut traj, &report(), "abc1234", "2026-08-08");
+        append_run(&mut traj, &report(), "def5678", "2026-08-09");
+        assert_eq!(traj.len(), 2);
+        let history = &traj["pipeline_w2"];
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].rev, "abc1234");
+        assert_eq!(history[1].date, "2026-08-09");
+        assert!((history[1].trials_per_sec - 12.0).abs() < 1e-9);
+        let json = to_json(&traj).unwrap();
+        assert_eq!(from_json(&json).unwrap(), traj);
+        // BTreeMap keys serialize sorted: generation before pipeline.
+        assert!(json.find("gen_alias").unwrap() < json.find("pipeline_w2").unwrap());
+    }
+
+    #[test]
+    fn civil_dates_convert_correctly() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_399), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // 2000-02-29 00:00:00 UTC — a century leap day.
+        assert_eq!(civil_date(951_782_400), "2000-02-29");
+        // 2026-08-08 12:00:00 UTC.
+        assert_eq!(civil_date(1_786_190_400), "2026-08-08");
+    }
+}

@@ -22,14 +22,15 @@ use std::fmt;
 
 use ptest_automata::{Pfa, TransitionCounts};
 use ptest_core::{
-    AdaptiveTestConfig, AdaptiveTestError, RandomPriorityConfig, Scenario, ScheduleSpec,
-    TestReport, TrialEngine, TrialScratch,
+    AdaptiveTestConfig, AdaptiveTestError, MemoryModelSpec, RandomPriorityConfig, Scenario,
+    ScheduleSpec, TestReport, TrialEngine, TrialScratch,
 };
 
 use crate::learning;
 use crate::pool;
 use crate::report::{
-    CampaignReport, LearnedDistribution, RoundReport, ScheduleDetection, TrialOutcome,
+    CampaignReport, LearnedDistribution, MemoryDetection, RoundReport, ScheduleDetection,
+    TrialOutcome,
 };
 
 /// Knobs of the cross-trial feedback loop.
@@ -79,6 +80,15 @@ pub struct CampaignConfig {
     /// [`RoundReport::schedule_detection`] reports which budgets find
     /// bugs.
     pub schedule_budgets: Vec<usize>,
+    /// Memory-model rotation. Empty (the default) runs every trial under
+    /// the scenario's own
+    /// [`memory`](ptest_core::AdaptiveTestConfig::memory) spec.
+    /// Non-empty, trial `t` of each round runs under
+    /// `memory_models[t % memory_models.len()]` — so one campaign probes
+    /// the same (pattern × schedule) space under several propagation
+    /// semantics and [`RoundReport::memory_detection`] reports which
+    /// models surface bugs.
+    pub memory_models: Vec<MemoryModelSpec>,
 }
 
 impl Default for CampaignConfig {
@@ -90,6 +100,7 @@ impl Default for CampaignConfig {
             master_seed: 2009,
             learning: LearningConfig::default(),
             schedule_budgets: Vec::new(),
+            memory_models: Vec::new(),
         }
     }
 }
@@ -145,6 +156,18 @@ pub fn schedule_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
     splitmix64(mixed ^ (trial as u64).wrapping_mul(SCHEDULE_STRIDE))
 }
 
+/// Derives the *memory* seed of `trial` in `round` from the master seed
+/// — a third stream, independent of both [`trial_seed`] and
+/// [`schedule_seed`], so a recorded `(seed, schedule_seed, memory_seed)`
+/// triple replays any trial byte-for-byte while the campaign explores
+/// (pattern × schedule × store-visibility) space.
+#[must_use]
+pub fn memory_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
+    const MEMORY_STRIDE: u64 = 0x2545_F491_4F6C_DD1D;
+    let mixed = splitmix64(master_seed ^ MEMORY_STRIDE ^ (round as u64).rotate_left(29));
+    splitmix64(mixed ^ (trial as u64).wrapping_mul(MEMORY_STRIDE))
+}
+
 /// The schedule spec trial `t` runs under: the scenario's own spec, or
 /// the rotated PCT budget when [`CampaignConfig::schedule_budgets`] is
 /// non-empty.
@@ -161,6 +184,16 @@ fn trial_schedule(cfg: &CampaignConfig, base: ScheduleSpec, trial: usize) -> Sch
         change_points: budget,
         ..rp
     })
+}
+
+/// The memory model trial `t` runs under: the scenario's own spec, or
+/// the rotated model when [`CampaignConfig::memory_models`] is
+/// non-empty.
+fn trial_memory(cfg: &CampaignConfig, base: MemoryModelSpec, trial: usize) -> MemoryModelSpec {
+    if cfg.memory_models.is_empty() {
+        return base;
+    }
+    cfg.memory_models[trial % cfg.memory_models.len()]
 }
 
 use ptest_master::sched::splitmix64;
@@ -202,16 +235,19 @@ impl Campaign {
             // owns one trial scratch for its lifetime, so consecutive
             // trials reuse the detector's snapshot buffers.
             let base_schedule = base.schedule;
+            let base_memory = base.memory;
             let results = pool::run_indexed_with(
                 cfg.workers,
                 cfg.trials_per_round,
                 TrialScratch::new,
                 |scratch, trial| {
-                    engine.run_scenario_trial_scheduled_as(
+                    engine.run_scenario_trial_explored_as(
                         scenario,
                         trial_seed(cfg.master_seed, round, trial),
                         schedule_seed(cfg.master_seed, round, trial),
+                        memory_seed(cfg.master_seed, round, trial),
                         trial_schedule(cfg, base_schedule, trial),
+                        trial_memory(cfg, base_memory, trial),
                         scratch,
                     )
                 },
@@ -283,6 +319,7 @@ fn assemble_round(
     let mut total_cycles = 0u64;
     let mut first_bug_sum = 0u64;
     let mut schedule_detection: Vec<ScheduleDetection> = Vec::new();
+    let mut memory_detection: Vec<MemoryDetection> = Vec::new();
     for (trial, report) in reports.iter().enumerate() {
         if !report.bugs.is_empty() {
             trials_with_bugs += 1;
@@ -313,11 +350,31 @@ fn assemble_round(
             slot.trials_with_bugs += 1;
         }
         slot.bugs += report.bugs.len();
+        let memory = report.config.memory.label();
+        let slot = match memory_detection.iter_mut().find(|d| d.memory == memory) {
+            Some(slot) => slot,
+            None => {
+                memory_detection.push(MemoryDetection {
+                    memory: memory.clone(),
+                    trials: 0,
+                    trials_with_bugs: 0,
+                    bugs: 0,
+                });
+                memory_detection.last_mut().expect("just pushed")
+            }
+        };
+        slot.trials += 1;
+        if !report.bugs.is_empty() {
+            slot.trials_with_bugs += 1;
+        }
+        slot.bugs += report.bugs.len();
         trials.push(TrialOutcome {
             trial,
             seed: trial_seed(master_seed, round, trial),
             schedule_seed: report.schedule_seed,
             schedule,
+            memory_seed: report.memory_seed,
+            memory,
             commands_to_first_bug,
             summary: report.machine_summary(),
         });
@@ -337,6 +394,7 @@ fn assemble_round(
         total_cycles,
         mean_commands_to_first_bug,
         schedule_detection,
+        memory_detection,
         traces_learned,
         learned,
     }
@@ -391,6 +449,105 @@ mod tests {
         }
         assert_eq!(schedule_seed(7, 3, 5), schedule_seed(7, 3, 5));
         assert_ne!(schedule_seed(7, 3, 5), schedule_seed(8, 3, 5));
+    }
+
+    #[test]
+    fn memory_seeds_are_stable_and_decorrelated_from_the_other_streams() {
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..8 {
+            for trial in 0..64 {
+                assert!(seen.insert(memory_seed(7, round, trial)));
+                assert_ne!(
+                    memory_seed(7, round, trial),
+                    trial_seed(7, round, trial),
+                    "memory and pattern streams must differ"
+                );
+                assert_ne!(
+                    memory_seed(7, round, trial),
+                    schedule_seed(7, round, trial),
+                    "memory and schedule streams must differ"
+                );
+            }
+        }
+        assert_eq!(memory_seed(7, 3, 5), memory_seed(7, 3, 5));
+        assert_ne!(memory_seed(7, 3, 5), memory_seed(8, 3, 5));
+    }
+
+    #[test]
+    fn memory_model_rotation_shows_up_in_detection_buckets() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 6,
+                rounds: 1,
+                workers: 2,
+                master_seed: 3,
+                memory_models: vec![MemoryModelSpec::SeqCst, MemoryModelSpec::store_buffer()],
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let round = &report.rounds[0];
+        let labels: Vec<&str> = round
+            .memory_detection
+            .iter()
+            .map(|d| d.memory.as_str())
+            .collect();
+        assert_eq!(labels, ["seq-cst", "store-buffer(d=24)"]);
+        assert!(round.memory_detection.iter().all(|d| d.trials == 3));
+        for outcome in &round.trials {
+            assert_eq!(
+                outcome.memory,
+                ["seq-cst", "store-buffer(d=24)"][outcome.trial % 2]
+            );
+            assert_eq!(
+                outcome.memory_seed,
+                memory_seed(3, 0, outcome.trial),
+                "outcomes record the replay triple"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_model_campaigns_stay_worker_count_independent() {
+        let scenario = compute_scenario(2, 4);
+        let run = |workers| {
+            Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 6,
+                    rounds: 2,
+                    workers,
+                    master_seed: 77,
+                    schedule_budgets: vec![1, 4],
+                    memory_models: vec![MemoryModelSpec::SeqCst, MemoryModelSpec::store_buffer()],
+                    ..CampaignConfig::default()
+                },
+                &scenario,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn default_campaigns_bucket_everything_under_seq_cst() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 3,
+                rounds: 1,
+                workers: 1,
+                master_seed: 9,
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let round = &report.rounds[0];
+        assert_eq!(round.memory_detection.len(), 1);
+        assert_eq!(round.memory_detection[0].memory, "seq-cst");
+        assert_eq!(round.memory_detection[0].trials, 3);
     }
 
     #[test]

@@ -53,11 +53,11 @@ mod pool;
 mod report;
 
 pub use engine::{
-    schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig,
+    memory_seed, schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig,
 };
 pub use report::{
-    CampaignReport, DistributionEntry, LearnedDistribution, RoundReport, ScheduleDetection,
-    TrialOutcome,
+    CampaignReport, DistributionEntry, LearnedDistribution, MemoryDetection, RoundReport,
+    ScheduleDetection, TrialOutcome,
 };
 
 // The Scenario abstraction campaigns are written against.

@@ -81,6 +81,13 @@ pub struct TrialOutcome {
     /// Stable label of the schedule the trial ran under (e.g.
     /// `"lock-step"`, `"random-priority(d=3)"`).
     pub schedule: String,
+    /// The derived per-trial memory seed — the third element of the
+    /// replay triple. Recorded even under sequential consistency, where
+    /// it has no behavioural effect.
+    pub memory_seed: u64,
+    /// Stable label of the memory model the trial ran under (e.g.
+    /// `"seq-cst"`, `"store-buffer(d=24)"`).
+    pub memory: String,
     /// Commands issued before the first bug, if any was found.
     pub commands_to_first_bug: Option<u64>,
     /// The stable machine summary of the trial's report.
@@ -97,6 +104,23 @@ pub struct ScheduleDetection {
     /// [`ScheduleSpec::label`](ptest_master::ScheduleSpec::label)).
     pub schedule: String,
     /// Trials run under this schedule this round.
+    pub trials: usize,
+    /// Of those, trials that detected at least one bug.
+    pub trials_with_bugs: usize,
+    /// Total bugs across those trials.
+    pub bugs: usize,
+}
+
+/// Detection statistics of one memory model (identified by its stable
+/// label) within a round — which propagation semantics surfaced bugs,
+/// the memory-axis counterpart of [`ScheduleDetection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct MemoryDetection {
+    /// The memory-model label (see
+    /// [`MemoryModelSpec::label`](ptest_master::MemoryModelSpec::label)).
+    pub memory: String,
+    /// Trials run under this memory model this round.
     pub trials: usize,
     /// Of those, trials that detected at least one bug.
     pub trials_with_bugs: usize,
@@ -128,6 +152,9 @@ pub struct RoundReport {
     /// Per-schedule detection aggregates, in first-seen trial order (one
     /// entry per distinct schedule label run this round).
     pub schedule_detection: Vec<ScheduleDetection>,
+    /// Per-memory-model detection aggregates, in first-seen trial order
+    /// (one entry per distinct memory-model label run this round).
+    pub memory_detection: Vec<MemoryDetection>,
     /// Execution traces this round contributed to the feedback counts
     /// (0 when learning is disabled).
     pub traces_learned: u64,

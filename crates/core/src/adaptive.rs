@@ -16,7 +16,7 @@
 //! reproduction story, made checkable.
 
 use ptest_automata::{ProbabilityAssignment, Regex};
-use ptest_master::{DualCoreSystem, ScheduleSpec, SystemConfig};
+use ptest_master::{DualCoreSystem, MemoryModelSpec, ScheduleSpec, SystemConfig};
 use ptest_pcore::ProgramId;
 use ptest_soc::Cycles;
 
@@ -76,6 +76,16 @@ pub struct AdaptiveTestConfig {
     /// making every bug replayable from its `(seed, schedule_seed)`
     /// pair.
     pub schedule_seed: Option<u64>,
+    /// How shared-variable stores propagate between slave kernels
+    /// ([`MemoryModelSpec::SeqCst`] reproduces the historical
+    /// sequentially-consistent mirroring bit for bit; see the
+    /// `ptest_master::mem` module).
+    pub memory: MemoryModelSpec,
+    /// Memory seed override, mirroring `schedule_seed`: `None` derives
+    /// the seed from the trial's pattern seed; campaigns set it per
+    /// trial. Reports echo the seed actually used, completing the
+    /// replayable `(seed, schedule_seed, memory_seed)` triple.
+    pub memory_seed: Option<u64>,
 }
 
 impl Default for AdaptiveTestConfig {
@@ -105,6 +115,8 @@ impl Default for AdaptiveTestConfig {
             system: SystemConfig::default(),
             schedule: ScheduleSpec::LockStep,
             schedule_seed: None,
+            memory: MemoryModelSpec::SeqCst,
+            memory_seed: None,
         }
     }
 }
@@ -160,6 +172,10 @@ pub struct TestReport {
     /// `config.schedule_seed`): together with `config.seed` it replays
     /// the trial — including any reported bug — byte for byte.
     pub schedule_seed: u64,
+    /// The memory seed the trial ran under (also echoed into
+    /// `config.memory_seed`), completing the replayable
+    /// `(seed, schedule_seed, memory_seed)` triple.
+    pub memory_seed: u64,
     /// Echo of the run configuration (reproduction input).
     pub config: AdaptiveTestConfig,
 }
@@ -221,13 +237,18 @@ impl TestReport {
             ScheduleSpec::LockStep => String::new(),
             spec => format!(" sched={} sched_seed={}", spec.label(), self.schedule_seed),
         };
+        let mem = match self.config.memory {
+            MemoryModelSpec::SeqCst => String::new(),
+            spec => format!(" mem={} mem_seed={}", spec.label(), self.memory_seed),
+        };
         format!(
-            "n={} s={} op={:?} seed={}{}: {} cmds, {} errors, {} cycles, {:?} -> {}",
+            "n={} s={} op={:?} seed={}{}{}: {} cmds, {} errors, {} cycles, {:?} -> {}",
             self.config.n,
             self.config.s,
             self.config.op,
             self.config.seed,
             sched,
+            mem,
             self.commands_issued,
             self.error_replies,
             self.cycles,

@@ -67,11 +67,11 @@ pub use pattern::{MergedPattern, MergedStep, TestPattern};
 pub use record::{MasterState, StateRecord};
 pub use report::{BugSummary, ReportSummary};
 pub use scenario::{Configured, FnScenario, Scenario};
-pub use trial::{derived_schedule_seed, TrialEngine, TrialScratch};
+pub use trial::{derived_memory_seed, derived_schedule_seed, TrialEngine, TrialScratch};
 
-// Schedule exploration vocabulary, re-exported so configurations can be
-// built from this crate alone.
-pub use ptest_master::{RandomPriorityConfig, ScheduleSpec};
+// Schedule and memory-model exploration vocabulary, re-exported so
+// configurations can be built from this crate alone.
+pub use ptest_master::{MemoryModelSpec, RandomPriorityConfig, ScheduleSpec, StoreBufferConfig};
 
 #[cfg(test)]
 mod tests {

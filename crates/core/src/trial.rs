@@ -14,7 +14,7 @@
 //! [`AdaptiveTest::run`]: crate::AdaptiveTest::run
 
 use ptest_automata::{GenerateOptions, Regex};
-use ptest_master::{DualCoreSystem, Scheduler};
+use ptest_master::{DualCoreSystem, MemoryModel, MemoryModelSpec, Scheduler};
 use ptest_pcore::{KernelSnapshot, ProgramId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +64,18 @@ impl TrialScratch {
 pub fn derived_schedule_seed(seed: u64) -> u64 {
     const SCHEDULE_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
     ptest_master::sched::splitmix64(seed ^ SCHEDULE_STREAM)
+}
+
+/// Derives the default memory seed of a trial from its pattern seed, on
+/// a third stream decorrelated from both the pattern and the schedule
+/// streams. Used when the configuration carries no explicit
+/// [`memory_seed`](crate::AdaptiveTestConfig::memory_seed): under the
+/// default [`MemoryModelSpec::SeqCst`] the seed is recorded but has no
+/// behavioural effect.
+#[must_use]
+pub fn derived_memory_seed(seed: u64) -> u64 {
+    const MEMORY_STREAM: u64 = 0xD6E8_FEB8_6659_FD93;
+    ptest_master::sched::splitmix64(seed ^ MEMORY_STREAM)
 }
 
 impl TrialEngine {
@@ -133,6 +145,26 @@ impl TrialEngine {
         self.run_trial_with_schedule(seed, schedule_seed, setup, scratch)
     }
 
+    /// [`TrialEngine::run_trial_in`] at an explicit `(schedule seed,
+    /// memory seed)` pair — the fully scheduled entry point, where all
+    /// three exploration seeds are chosen by the caller. With the default
+    /// [`MemoryModelSpec::SeqCst`] the memory seed is recorded but has no
+    /// behavioural effect.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_trial_explored(
+        &self,
+        seed: u64,
+        schedule_seed: u64,
+        memory_seed: u64,
+        setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_inner(seed, schedule_seed, memory_seed, None, None, setup, scratch)
+    }
+
     /// [`TrialEngine::run_trial_in`] at an explicit schedule seed — the
     /// campaign entry point, where pattern seeds and schedule seeds are
     /// derived independently from the master seed so the campaign
@@ -150,18 +182,25 @@ impl TrialEngine {
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
-        self.run_trial_inner(seed, schedule_seed, None, setup, scratch)
+        let memory_seed = self
+            .config
+            .memory_seed
+            .unwrap_or_else(|| derived_memory_seed(seed));
+        self.run_trial_inner(seed, schedule_seed, memory_seed, None, None, setup, scratch)
     }
 
-    /// The shared trial core. `schedule` overrides the compiled
-    /// configuration's [`ScheduleSpec`](ptest_master::ScheduleSpec) when
-    /// set — the campaign's schedule-budget rotation varies the spec per
-    /// trial without recompiling the PFA pipeline.
+    /// The shared trial core. `schedule` and `memory` override the
+    /// compiled configuration's [`ScheduleSpec`](ptest_master::ScheduleSpec)
+    /// and [`MemoryModelSpec`] when set — the campaign's budget rotation
+    /// varies either axis per trial without recompiling the PFA pipeline.
+    #[allow(clippy::too_many_arguments)]
     fn run_trial_inner(
         &self,
         seed: u64,
         schedule_seed: u64,
+        memory_seed: u64,
         schedule: Option<ptest_master::ScheduleSpec>,
+        memory: Option<MemoryModelSpec>,
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
@@ -169,6 +208,8 @@ impl TrialEngine {
             seed,
             schedule_seed: Some(schedule_seed),
             schedule: schedule.unwrap_or(self.config.schedule),
+            memory_seed: Some(memory_seed),
+            memory: memory.unwrap_or(self.config.memory),
             ..self.config.clone()
         };
 
@@ -205,15 +246,21 @@ impl TrialEngine {
         // (the golden fixtures pin this).
         let mut scheduler: Option<Box<dyn Scheduler>> =
             cfg.schedule.scheduler(cfg.system.slaves, schedule_seed);
+        // Sequential consistency compiles to no model at all: the trial
+        // drives the `None` arms below, bit-identical to the pre-memory
+        // engine (the golden fixtures pin this).
+        let mut memory_model: Option<Box<dyn MemoryModel>> = cfg.memory.model(memory_seed);
 
         let mut bugs: Vec<Bug> = Vec::new();
         let mut cycles = 0u64;
         let mut done_at: Option<u64> = None;
         while cycles < cfg.max_cycles {
             cycles += 1;
-            match scheduler.as_deref_mut() {
-                None => sys.step(),
-                Some(sched) => sys.step_with(sched),
+            match (scheduler.as_deref_mut(), memory_model.as_deref_mut()) {
+                (None, None) => sys.step(),
+                (Some(sched), None) => sys.step_with(sched),
+                (None, Some(model)) => sys.step_with_memory(model),
+                (Some(sched), Some(model)) => sys.step_explored(sched, model),
             }
             let status = committer.step(&mut sys);
             let committer_done = status != CommitterStatus::Running;
@@ -282,6 +329,7 @@ impl TrialEngine {
             patterns,
             merged,
             schedule_seed,
+            memory_seed,
             config: cfg,
         })
     }
@@ -348,10 +396,73 @@ impl TrialEngine {
         schedule: ptest_master::ScheduleSpec,
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
+        let memory_seed = self
+            .config
+            .memory_seed
+            .unwrap_or_else(|| derived_memory_seed(seed));
         self.run_trial_inner(
             seed,
             schedule_seed,
+            memory_seed,
             Some(schedule),
+            None,
+            |sys| scenario.setup(sys),
+            scratch,
+        )
+    }
+
+    /// Runs one trial of a [`Scenario`] at an explicit `(pattern seed,
+    /// schedule seed, memory seed)` triple (see
+    /// [`TrialEngine::run_trial_explored`]) — the replay entry point for
+    /// trials recorded by a memory-model-rotating campaign.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_scenario_trial_explored(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+        schedule_seed: u64,
+        memory_seed: u64,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_explored(
+            seed,
+            schedule_seed,
+            memory_seed,
+            |sys| scenario.setup(sys),
+            scratch,
+        )
+    }
+
+    /// [`TrialEngine::run_scenario_trial_explored`] under explicit
+    /// [`ScheduleSpec`](ptest_master::ScheduleSpec) and
+    /// [`MemoryModelSpec`] overrides, replacing the compiled
+    /// configuration's specs for this trial only — how a campaign rotates
+    /// schedule and memory-model budgets across the trials of one round
+    /// while reusing the round's compiled PFA.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scenario_trial_explored_as(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+        schedule_seed: u64,
+        memory_seed: u64,
+        schedule: ptest_master::ScheduleSpec,
+        memory: MemoryModelSpec,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_inner(
+            seed,
+            schedule_seed,
+            memory_seed,
+            Some(schedule),
+            Some(memory),
             |sys| scenario.setup(sys),
             scratch,
         )
@@ -445,6 +556,65 @@ mod tests {
             format!("{:?}", a.exec_records),
             format!("{:?}", b.exec_records),
             "the full execution trace replays from the seed pair"
+        );
+    }
+
+    #[test]
+    fn seq_cst_records_but_ignores_the_memory_seed() {
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let mut scratch = TrialScratch::new();
+        let a = engine
+            .run_trial_explored(5, 111, 333, quick_setup, &mut scratch)
+            .unwrap();
+        let b = engine
+            .run_trial_explored(5, 111, 444, quick_setup, &mut scratch)
+            .unwrap();
+        assert_eq!(a.memory_seed, 333);
+        assert_eq!(a.config.memory_seed, Some(333));
+        assert_eq!(a.cycles, b.cycles, "seq-cst ignores the memory seed");
+        assert_eq!(a.patterns, b.patterns);
+        // The implicit path derives a stable memory seed from the trial
+        // seed, on a stream decorrelated from the schedule stream.
+        let c = engine.run_trial(5, quick_setup).unwrap();
+        assert_eq!(c.memory_seed, crate::derived_memory_seed(5));
+        assert_ne!(
+            crate::derived_memory_seed(5),
+            crate::derived_schedule_seed(5)
+        );
+    }
+
+    #[test]
+    fn seed_triple_replays_byte_identically_under_a_store_buffer() {
+        use ptest_master::{MemoryModelSpec, ScheduleSpec};
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            schedule: ScheduleSpec::random_priority(),
+            memory: MemoryModelSpec::store_buffer(),
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let mut scratch = TrialScratch::new();
+        let a = engine
+            .run_trial_explored(9, 1234, 77, quick_setup, &mut scratch)
+            .unwrap();
+        let b = engine
+            .run_trial_explored(9, 1234, 77, quick_setup, &mut scratch)
+            .unwrap();
+        assert_eq!(a.memory_seed, 77);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.commands_issued, b.commands_issued);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.bugs.len(), b.bugs.len());
+        assert_eq!(
+            format!("{:?}", a.exec_records),
+            format!("{:?}", b.exec_records),
+            "the full execution trace replays from the seed triple"
         );
     }
 

@@ -15,6 +15,11 @@
 //! * [`multicore`] — multi-slave scenarios over the N-slave platform: a
 //!   cross-core pipeline whose semaphore hand-off deadlocks *across
 //!   kernels*, and a shared-SRAM producer/consumer race between slaves.
+//! * [`races`] — schedule-sensitive cross-core races, unreachable under
+//!   lock-step and exposed by the randomized-priority scheduler.
+//! * [`weakmem`] — memory-model-sensitive races (Dekker store
+//!   visibility, IRIW), invisible under sequential consistency and
+//!   exposed by the store-buffer memory model.
 //!
 //! Everything is deterministic; each scenario documents the exact
 //! schedule window its bug needs.
@@ -28,6 +33,7 @@ pub mod philosophers;
 pub mod races;
 pub mod scenarios;
 pub mod stress;
+pub mod weakmem;
 
 #[cfg(test)]
 mod tests {

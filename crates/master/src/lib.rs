@@ -23,6 +23,13 @@
 //!   ([`MultiCoreSystem::step_with`]). Lock-step remains the default;
 //!   [`RandomPriorityScheduler`] performs a PCT-style seeded
 //!   randomized-priority search over cross-core interleavings.
+//! * [`mem`] — memory-model exploration: a [`MemoryModel`] replaces the
+//!   sequentially-consistent shared-variable mirroring epoch
+//!   ([`MultiCoreSystem::step_with_memory`],
+//!   [`MultiCoreSystem::step_explored`]). Sequential consistency remains
+//!   the default fast path; [`StoreBufferModel`] delays each store's
+//!   visibility per observer off a memory seed, reaching reordering bugs
+//!   the epoch hides by construction.
 //!
 //! pTest's committer drives the system through
 //! [`MultiCoreSystem::issue_to`]/[`MultiCoreSystem::take_responses`];
@@ -66,10 +73,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mem;
 pub mod sched;
 mod system;
 mod thread;
 
+pub use mem::{MemoryModel, MemoryModelSpec, SharedVarBus, StoreBufferConfig, StoreBufferModel};
 pub use sched::{
     LockStepScheduler, RandomPriorityConfig, RandomPriorityScheduler, ScheduleSpec, Scheduler,
 };

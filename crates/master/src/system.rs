@@ -18,6 +18,7 @@ use ptest_bridge::{BridgeError, BridgeLayout, CmdId, CmdResponse, MasterPort, Sl
 use ptest_pcore::{Kernel, KernelConfig, KernelSnapshot, SemId, SvcRequest, VarId};
 use ptest_soc::{CoreId, Cycles, MailboxBank, SharedSram, SramError, TraceBuffer, VirtualClock};
 
+use crate::mem::{MemoryModel, SharedVarBus};
 use crate::thread::{MasterOp, MasterThread, ThreadId, ThreadState};
 
 /// Configuration of a [`MultiCoreSystem`].
@@ -488,7 +489,7 @@ impl MultiCoreSystem {
     /// response delivery, and one master-thread step under the
     /// round-robin quantum.
     pub fn step(&mut self) {
-        self.step_masked(None);
+        self.step_core(None, None);
     }
 
     /// [`MultiCoreSystem::step`] under a [`Scheduler`](crate::sched::Scheduler):
@@ -502,6 +503,39 @@ impl MultiCoreSystem {
     /// Driving a system with [`LockStepScheduler`](crate::sched::LockStepScheduler)
     /// is bit-identical to calling [`MultiCoreSystem::step`].
     pub fn step_with(&mut self, scheduler: &mut dyn crate::sched::Scheduler) {
+        self.step_scheduled(scheduler, None);
+    }
+
+    /// [`MultiCoreSystem::step`] under a [`MemoryModel`]: the model
+    /// replaces the built-in sequentially-consistent mirroring epoch as
+    /// the shared-variable propagation step. Everything else — interrupt
+    /// servicing, semaphore links, response delivery, the master side —
+    /// is unchanged. Driving a system whose model delivers every store
+    /// with zero delay is observably equivalent to
+    /// [`MultiCoreSystem::step`] (up to write-write race resolution; see
+    /// [`crate::mem`]).
+    pub fn step_with_memory(&mut self, memory: &mut dyn MemoryModel) {
+        self.step_core(None, Some(memory));
+    }
+
+    /// [`MultiCoreSystem::step`] under both a schedule and a memory
+    /// model — the fully explored platform cycle campaign trials run
+    /// when both axes are active.
+    pub fn step_explored(
+        &mut self,
+        scheduler: &mut dyn crate::sched::Scheduler,
+        memory: &mut dyn MemoryModel,
+    ) {
+        self.step_scheduled(scheduler, Some(memory));
+    }
+
+    /// The scheduled cycle: runnable scan, plan, masked step — with the
+    /// shared-variable propagation step picked by `memory`.
+    fn step_scheduled(
+        &mut self,
+        scheduler: &mut dyn crate::sched::Scheduler,
+        memory: Option<&mut dyn MemoryModel>,
+    ) {
         let next = Cycles::new(self.clock.now().get() + 1);
         let mut runnable = std::mem::take(&mut self.sched_runnable);
         let mut advance = std::mem::take(&mut self.sched_advance);
@@ -514,15 +548,17 @@ impl MultiCoreSystem {
         advance.clear();
         advance.resize(self.slaves.len(), true);
         scheduler.plan(next, &runnable, &mut advance);
-        self.step_masked(Some(&advance));
+        self.step_core(Some(&advance), memory);
         self.sched_runnable = runnable;
         self.sched_advance = advance;
     }
 
     /// One platform cycle; `mask` (if any) gates which slave kernels
-    /// execute their task cycle. `None` means everyone — the lock-step
-    /// fast path with no per-cycle mask or runnable scan at all.
-    fn step_masked(&mut self, mask: Option<&[bool]>) {
+    /// execute their task cycle (`None` means everyone — the lock-step
+    /// fast path with no per-cycle mask or runnable scan at all), and
+    /// `memory` (if any) replaces the sequentially-consistent mirroring
+    /// epoch with an explored [`MemoryModel`].
+    fn step_core(&mut self, mask: Option<&[bool]>, memory: Option<&mut dyn MemoryModel>) {
         self.clock.tick();
         let now = self.clock.now();
 
@@ -544,7 +580,21 @@ impl MultiCoreSystem {
 
         // --- Bridge side: cross-core coupling (no-ops when unused).
         self.forward_sem_links(now);
-        self.sync_shared_vars();
+        match memory {
+            // SeqCst: the original epoch, untouched — the fast path that
+            // keeps unexplored trials byte-identical to the pre-refactor
+            // platform.
+            None => self.sync_shared_vars(),
+            Some(model) => {
+                let mut bus = SystemBus {
+                    slaves: &mut self.slaves,
+                    sram: &mut self.sram,
+                    shared_vars: &self.shared_vars,
+                    mirror: &mut self.shared_var_mirror,
+                };
+                model.sync(now, &mut bus);
+            }
+        }
 
         // --- ARM side: deliver responses, then run one thread op.
         let responses = self
@@ -789,6 +839,56 @@ impl MultiCoreSystem {
                 t.ops_retired += 1;
             }
         }
+    }
+}
+
+/// The platform's [`SharedVarBus`]: split borrows over the slave
+/// kernels, the shared SRAM, and the mirror bookkeeping, handed to the
+/// active [`MemoryModel`] once per cycle in place of
+/// `sync_shared_vars`. Shared indices address `shared_vars` in
+/// registration order.
+struct SystemBus<'a> {
+    slaves: &'a mut [SlaveCore],
+    sram: &'a mut SharedSram,
+    shared_vars: &'a [SharedVar],
+    mirror: &'a mut [i64],
+}
+
+impl SharedVarBus for SystemBus<'_> {
+    fn slaves(&self) -> usize {
+        self.slaves.len()
+    }
+
+    fn shared_count(&self) -> usize {
+        self.shared_vars.len()
+    }
+
+    fn local(&self, slave: usize, idx: usize) -> i64 {
+        self.slaves[slave]
+            .kernel
+            .var(self.shared_vars[idx].var)
+            .unwrap_or(self.mirror[idx])
+    }
+
+    fn agreed(&self, idx: usize) -> i64 {
+        self.mirror[idx]
+    }
+
+    fn set_local(&mut self, slave: usize, idx: usize, value: i64) {
+        self.slaves[slave]
+            .kernel
+            .set_var(self.shared_vars[idx].var, value);
+    }
+
+    fn publish(&mut self, idx: usize, value: i64) {
+        self.mirror[idx] = value;
+        let _ = self
+            .sram
+            .write_bytes(self.shared_vars[idx].sram_offset, &value.to_le_bytes());
+    }
+
+    fn take_fences(&mut self, slave: usize) -> u64 {
+        self.slaves[slave].kernel.take_fences()
     }
 }
 
@@ -1138,6 +1238,31 @@ mod tests {
         assert_eq!(s.kernel_of(0).var(VarId(2)), Some(42));
     }
 
+    #[test]
+    fn same_cycle_shared_var_race_adopts_the_highest_indexed_writer() {
+        // Pin the mirroring epoch's tie-break: divergent values are
+        // adopted in ascending slave order, so when two slaves update the
+        // same variable within one cycle the *highest-indexed* writer
+        // wins — not the chronologically last store. The docs (ROADMAP,
+        // README, this module) all describe exactly this rule.
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(3));
+        s.share_var(VarId(2), 0x3_0000).unwrap();
+        s.kernel_of_mut(0).set_var(VarId(2), 10);
+        s.kernel_of_mut(1).set_var(VarId(2), 20);
+        s.step();
+        for slave in 0..3 {
+            assert_eq!(
+                s.kernel_of(slave).var(VarId(2)),
+                Some(20),
+                "slave {slave} must hold the highest-indexed divergent value"
+            );
+        }
+        // And the mirror keeps working from the agreed value afterwards.
+        s.kernel_of_mut(2).set_var(VarId(2), 30);
+        s.step();
+        assert_eq!(s.kernel_of(0).var(VarId(2)), Some(30));
+    }
+
     // --- schedule exploration ---------------------------------------
 
     #[test]
@@ -1260,5 +1385,117 @@ mod tests {
             slaves: 0,
             ..SystemConfig::default()
         });
+    }
+
+    // --- memory-model exploration ------------------------------------
+
+    #[test]
+    fn store_buffer_delays_cross_core_visibility_but_stays_bounded() {
+        use crate::mem::{MemoryModelSpec, StoreBufferConfig};
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        s.share_var(VarId(2), 0x3_0000).unwrap();
+        let spec = MemoryModelSpec::StoreBuffer(StoreBufferConfig {
+            max_delay: 40,
+            capacity: 8,
+        });
+        let mut model = spec.model(7).expect("store buffer builds a model");
+        // Warm the model's view of the platform, then store out-of-band.
+        s.step_with_memory(model.as_mut());
+        s.kernel_of_mut(0).set_var(VarId(2), 77);
+        let mut delay = 0u64;
+        while s.kernel_of(1).var(VarId(2)) != Some(77) {
+            s.step_with_memory(model.as_mut());
+            delay += 1;
+            assert!(delay <= 41, "delivery must be bounded by max_delay");
+        }
+        assert!(
+            delay > 1,
+            "seed 7 with max_delay 40 must actually delay the store"
+        );
+        assert_eq!(
+            s.kernel_of(0).var(VarId(2)),
+            Some(77),
+            "writer keeps forward visibility the whole time"
+        );
+    }
+
+    #[test]
+    fn fence_op_drains_the_store_buffer_through_the_platform() {
+        use crate::mem::{MemoryModelSpec, StoreBufferConfig};
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+        s.share_var(VarId(2), 0x3_0000).unwrap();
+        let fenced = s.kernel_of_mut(0).register_program(
+            Program::new(vec![
+                Op::WriteVar {
+                    var: VarId(2),
+                    value: 5,
+                },
+                Op::Fence,
+                Op::Compute(200),
+                Op::Exit,
+            ])
+            .unwrap(),
+        );
+        let spec = MemoryModelSpec::StoreBuffer(StoreBufferConfig {
+            max_delay: 10_000,
+            capacity: 8,
+        });
+        let mut model = spec.model(3).expect("store buffer builds a model");
+        create_on(&mut s, 0, fenced, 5);
+        // Without the fence a 10k-cycle delay would hide the store for
+        // the whole run; the fence forces it out within a few cycles of
+        // retiring.
+        for _ in 0..200 {
+            s.step_with_memory(model.as_mut());
+        }
+        assert_eq!(s.kernel_of(1).var(VarId(2)), Some(5));
+    }
+
+    #[test]
+    fn zero_delay_store_buffer_matches_the_seq_cst_epoch() {
+        use crate::mem::{MemoryModelSpec, StoreBufferConfig};
+        let build = || {
+            let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(2));
+            s.share_var(VarId(2), 0x3_0000).unwrap();
+            let writer = s.kernel_of_mut(0).register_program(
+                Program::new(vec![
+                    Op::Compute(25),
+                    Op::WriteVar {
+                        var: VarId(2),
+                        value: 9,
+                    },
+                    Op::Exit,
+                ])
+                .unwrap(),
+            );
+            let reader = s.kernel_of_mut(1).register_program(
+                Program::new(vec![
+                    Op::BranchIfVarEq {
+                        var: VarId(2),
+                        value: 9,
+                        target: 3,
+                    },
+                    Op::Compute(1),
+                    Op::Jump(0),
+                    Op::Exit,
+                ])
+                .unwrap(),
+            );
+            create_on(&mut s, 0, writer, 5);
+            create_on(&mut s, 1, reader, 5);
+            s
+        };
+        let mut epoch = build();
+        let mut modeled = build();
+        let spec = MemoryModelSpec::StoreBuffer(StoreBufferConfig {
+            max_delay: 0,
+            capacity: 8,
+        });
+        let mut model = spec.model(99).expect("store buffer builds a model");
+        for _ in 0..500 {
+            epoch.step();
+            modeled.step_with_memory(model.as_mut());
+            assert_eq!(epoch.snapshots(), modeled.snapshots());
+        }
     }
 }

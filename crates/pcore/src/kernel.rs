@@ -355,6 +355,7 @@ pub struct Kernel {
     idle_ticks: u64,
     ctx_switches: u64,
     svc_count: u64,
+    pending_fences: u64,
 }
 
 impl Kernel {
@@ -393,6 +394,7 @@ impl Kernel {
             idle_ticks: 0,
             ctx_switches: 0,
             svc_count: 0,
+            pending_fences: 0,
             cfg,
         }
     }
@@ -505,6 +507,14 @@ impl Kernel {
     #[must_use]
     pub fn var(&self, var: VarId) -> Option<i64> {
         self.vars.get(usize::from(var.0)).copied()
+    }
+
+    /// Drains the count of [`Op::Fence`] ops retired since the last
+    /// call. Polled once per cycle by the platform's memory model;
+    /// under sequential consistency nothing reads it and fences stay
+    /// no-ops.
+    pub fn take_fences(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_fences)
     }
 
     /// Number of live tasks.
@@ -1000,6 +1010,13 @@ impl Kernel {
                 t.ops_retired += 1;
                 t.pc = target;
             }
+            Op::Fence => {
+                // The kernel itself has no store buffer; it records the
+                // fence for the platform's memory model to drain at the
+                // end of the cycle. A no-op under sequential consistency.
+                self.pending_fences += 1;
+                advance(self);
+            }
             Op::Yield => {
                 let delay = u64::from(self.cfg.yield_delay);
                 let until = self.now.get() + delay;
@@ -1269,6 +1286,17 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, SvcError::PriorityInUse(Priority::new(7)));
+    }
+
+    #[test]
+    fn fence_ops_retire_and_accumulate_for_the_platform() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Fence, Op::Fence, Op::Exit]).unwrap());
+        create(&mut k, p, 5);
+        run(&mut k, 10);
+        assert_eq!(k.live_task_count(), 0, "fences must not block the task");
+        assert_eq!(k.take_fences(), 2);
+        assert_eq!(k.take_fences(), 0, "the counter drains on read");
     }
 
     #[test]

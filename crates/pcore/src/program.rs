@@ -105,6 +105,12 @@ pub enum Op {
     MutexUnlock(MutexId),
     /// Block for the given number of cycles.
     SleepFor(u32),
+    /// Memory fence: drains this core's store buffer, making every
+    /// buffered shared-variable write globally visible before the next
+    /// instruction. Cumulative — foreign stores this core has already
+    /// observed are forced out with it. A no-op under sequentially
+    /// consistent propagation, where every store is already visible.
+    Fence,
     /// Terminate this task normally.
     Exit,
 }
@@ -117,7 +123,7 @@ impl Op {
     #[must_use]
     pub fn base_cost(&self) -> u64 {
         match self {
-            Op::Compute(_) | Op::Jump(_) | Op::AddReg { .. } => 1,
+            Op::Compute(_) | Op::Jump(_) | Op::AddReg { .. } | Op::Fence => 1,
             Op::ReadVar { .. }
             | Op::WriteVar { .. }
             | Op::WriteVarReg { .. }
@@ -155,6 +161,7 @@ impl fmt::Display for Op {
             Op::MutexLock(m) => write!(f, "lock {m}"),
             Op::MutexUnlock(m) => write!(f, "unlock {m}"),
             Op::SleepFor(n) => write!(f, "sleep {n}"),
+            Op::Fence => write!(f, "fence"),
             Op::Exit => write!(f, "exit"),
         }
     }
@@ -516,6 +523,7 @@ mod tests {
             Op::SemWait(SemId(0)),
             Op::MutexLock(MutexId(0)),
             Op::SleepFor(3),
+            Op::Fence,
             Op::Exit,
         ];
         for op in ops {
@@ -527,6 +535,7 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(Op::Compute(7).to_string(), "compute 7");
         assert_eq!(Op::MutexLock(MutexId(2)).to_string(), "lock mtx2");
+        assert_eq!(Op::Fence.to_string(), "fence");
         assert_eq!(
             Op::BranchIfVarEq {
                 var: VarId(1),

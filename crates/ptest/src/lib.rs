@@ -11,8 +11,8 @@
 //! | tool | [`core`](mod@crate::core) | pattern generator (PFA), pattern merger, committer, bug detector, Algorithm 1 |
 //! | automata | [`automata`] | regex → NFA → DFA → PFA pipeline, distribution learning |
 //! | baselines | [`baselines`] | ConTest-style random and CHESS-style systematic testers |
-//! | faults | [`faults`] | Figure 1, dining philosophers, GC-churn stress, starvation/inversion/races, multi-slave pipeline + SRAM race, schedule-sensitive cross-core races |
-//! | master | [`master`] | master runtime, the wired N-slave [`MultiCoreSystem`] ([`DualCoreSystem`] = n 1), schedule exploration ([`ScheduleSpec`], [`RandomPriorityScheduler`]) |
+//! | faults | [`faults`] | Figure 1, dining philosophers, GC-churn stress, starvation/inversion/races, multi-slave pipeline + SRAM race, schedule-sensitive cross-core races, memory-model-sensitive races (Dekker, IRIW) |
+//! | master | [`master`] | master runtime, the wired N-slave [`MultiCoreSystem`] ([`DualCoreSystem`] = n 1), schedule exploration ([`ScheduleSpec`], [`RandomPriorityScheduler`]), memory-model exploration ([`MemoryModelSpec`], [`StoreBufferModel`]) |
 //! | bridge | [`bridge`] | pCore-Bridge middleware (SRAM rings + mailbox doorbells) |
 //! | slave | [`pcore`] | the pCore microkernel simulator |
 //! | hardware | [`soc`] | the OMAP5912-like simulated SoC |
@@ -90,17 +90,19 @@ pub use ptest_soc as soc;
 
 pub use ptest_automata::{Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym};
 pub use ptest_campaign::{
-    Campaign, CampaignConfig, CampaignReport, LearningConfig, RoundReport, ScheduleDetection,
+    Campaign, CampaignConfig, CampaignReport, LearningConfig, MemoryDetection, RoundReport,
+    ScheduleDetection,
 };
 pub use ptest_core::{
-    derived_schedule_seed, AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector, BugKind, Committer,
-    CommitterConfig, CommitterStatus, Configured, CoverageReport, DetectorConfig, FnScenario,
-    MergeOp, MergedPattern, PatternGenerator, PatternMerger, Scenario, StateRecord, TestPattern,
-    TestReport, TrialEngine, TrialScratch,
+    derived_memory_seed, derived_schedule_seed, AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector,
+    BugKind, Committer, CommitterConfig, CommitterStatus, Configured, CoverageReport,
+    DetectorConfig, FnScenario, MergeOp, MergedPattern, PatternGenerator, PatternMerger, Scenario,
+    StateRecord, TestPattern, TestReport, TrialEngine, TrialScratch,
 };
 pub use ptest_master::{
-    DualCoreSystem, LockStepScheduler, MasterOp, MultiCoreSystem, RandomPriorityConfig,
-    RandomPriorityScheduler, ScheduleSpec, Scheduler, SystemConfig,
+    DualCoreSystem, LockStepScheduler, MasterOp, MemoryModel, MemoryModelSpec, MultiCoreSystem,
+    RandomPriorityConfig, RandomPriorityScheduler, ScheduleSpec, Scheduler, StoreBufferConfig,
+    StoreBufferModel, SystemConfig,
 };
 pub use ptest_pcore::{
     GcFaultMode, Kernel, KernelConfig, Priority, Program, ProgramBuilder, ProgramId, Service,

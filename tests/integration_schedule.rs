@@ -186,6 +186,7 @@ fn schedule_budget_rotation_aggregates_per_budget() {
             ..LearningConfig::default()
         },
         schedule_budgets: vec![0, 3],
+        ..CampaignConfig::default()
     };
     let report = Campaign::run(&cfg, &scenario).unwrap();
     let round = &report.rounds[0];

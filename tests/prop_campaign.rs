@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use ptest::pcore::{Op, Program};
 use ptest::{
     AdaptiveTestConfig, Campaign, CampaignConfig, CampaignReport, DualCoreSystem, FnScenario,
-    LearningConfig, MergeOp, ProgramId, RandomPriorityConfig, Scenario, ScheduleSpec, SystemConfig,
-    TrialEngine, TrialScratch,
+    LearningConfig, MemoryModelSpec, MergeOp, ProgramId, RandomPriorityConfig, Scenario,
+    ScheduleSpec, SystemConfig, TrialEngine, TrialScratch,
 };
 
 fn compute_setup(sys: &mut DualCoreSystem) -> Vec<ProgramId> {
@@ -99,14 +99,15 @@ proptest! {
         prop_assert_eq!(first, second);
     }
 
-    /// Schedule replay: under the randomized-priority scheduler, a
-    /// `(master_seed, pattern_seed, schedule_seed)` triple reproduces a
-    /// byte-identical trial trace — the campaign's aggregate JSON is
-    /// worker-count independent, every outcome records its seed pair,
-    /// and replaying any recorded pair standalone regenerates that
-    /// trial's summary byte for byte.
+    /// Seed-triple replay: under the randomized-priority scheduler and a
+    /// memory-model rotation, a `(pattern_seed, schedule_seed,
+    /// memory_seed)` triple reproduces a byte-identical trial trace —
+    /// the campaign's aggregate JSON is worker-count independent, every
+    /// outcome records its replay triple and model label, and replaying
+    /// any recorded triple standalone regenerates that trial's summary
+    /// byte for byte.
     #[test]
-    fn schedule_seed_triple_replays_byte_identically_across_worker_counts(
+    fn seed_triple_replays_byte_identically_across_worker_counts(
         n in 1usize..3,
         s in 2usize..6,
         trials in 2usize..5,
@@ -128,12 +129,14 @@ proptest! {
             },
             compute_setup,
         );
+        let models = [MemoryModelSpec::SeqCst, MemoryModelSpec::store_buffer()];
         let cfg = |workers| CampaignConfig {
             trials_per_round: trials,
             rounds: 1,
             workers,
             master_seed,
             learning: LearningConfig::default(),
+            memory_models: models.to_vec(),
             ..CampaignConfig::default()
         };
         let one = run(&scenario, &cfg(1));
@@ -141,9 +144,10 @@ proptest! {
         prop_assert_eq!(
             ptest::campaign_report_to_json(&one).expect("serializes"),
             ptest::campaign_report_to_json(&four).expect("serializes"),
-            "randomized schedules must stay worker-count independent"
+            "randomized schedules and memory rotations must stay worker-count independent"
         );
-        // Every recorded (seed, schedule_seed) pair replays its trial.
+        // Every recorded (seed, schedule_seed, memory_seed) triple
+        // replays its trial under the model the rotation assigned it.
         let engine = TrialEngine::new(scenario.base_config()).expect("compiles");
         let mut scratch = TrialScratch::new();
         for outcome in &one.rounds[0].trials {
@@ -155,11 +159,20 @@ proptest! {
                 outcome.schedule_seed,
                 ptest::campaign::schedule_seed(master_seed, 0, outcome.trial)
             );
+            prop_assert_eq!(
+                outcome.memory_seed,
+                ptest::campaign::memory_seed(master_seed, 0, outcome.trial)
+            );
+            let memory = models[outcome.trial % models.len()];
+            prop_assert_eq!(&outcome.memory, &memory.label());
             let replay = engine
-                .run_scenario_trial_scheduled(
+                .run_scenario_trial_explored_as(
                     &scenario,
                     outcome.seed,
                     outcome.schedule_seed,
+                    outcome.memory_seed,
+                    spec,
+                    memory,
                     &mut scratch,
                 )
                 .expect("replays");
