@@ -161,6 +161,59 @@ impl TransitionCounts {
     /// disturb the maximum-likelihood estimates, large enough to keep
     /// the assignment strictly positive as Eq. 1 requires.
     pub const MIN_PROBABILITY: f64 = 1e-9;
+
+    /// Folds another accumulator into this one (entry-wise `u64` sums).
+    ///
+    /// Because [`observe`](Self::observe) only ever *adds*, observing a
+    /// set of traces through per-subset accumulators and merging them is
+    /// exactly equivalent to observing them all through one accumulator,
+    /// in any order — the algebraic fact parallel and sharded campaign
+    /// learning relies on.
+    pub fn merge(&mut self, other: &TransitionCounts) {
+        for (&key, &n) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+        self.traces += other.traces;
+        self.symbols += other.symbols;
+    }
+
+    /// The raw `(state, symbol, count)` entries in ascending
+    /// `(state, symbol)` order — a deterministic snapshot suitable for
+    /// serialization.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(DfaStateId, Sym, u64)> {
+        let mut out: Vec<(DfaStateId, Sym, u64)> = self
+            .counts
+            .iter()
+            .map(|(&(state, sym), &n)| (state, sym, n))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuilds an accumulator from a snapshot previously taken with
+    /// [`entries`](Self::entries), [`trace_count`](Self::trace_count)
+    /// and [`symbol_count`](Self::symbol_count). Entries with a zero
+    /// count are dropped, and duplicate `(state, symbol)` keys sum, so
+    /// the reconstruction is total.
+    #[must_use]
+    pub fn from_parts(
+        entries: impl IntoIterator<Item = (DfaStateId, Sym, u64)>,
+        traces: u64,
+        symbols: u64,
+    ) -> TransitionCounts {
+        let mut counts: HashMap<(DfaStateId, Sym), u64> = HashMap::new();
+        for (state, sym, n) in entries {
+            if n > 0 {
+                *counts.entry((state, sym)).or_insert(0) += n;
+            }
+        }
+        TransitionCounts {
+            counts,
+            traces,
+            symbols,
+        }
+    }
 }
 
 /// One-shot convenience: count every trace and build the assignment.
@@ -316,6 +369,48 @@ mod tests {
         let p_ty = pfa.probability(running, ty);
         assert!(p_ty > 0.0, "unseen transitions keep a floor");
         assert!(p_ty < 1e-6, "but no meaningful mass");
+    }
+
+    #[test]
+    fn merged_partial_accumulators_equal_one_sequential_fold() {
+        let (re, dfa) = pcore();
+        let traces: Vec<Vec<Sym>> = vec![
+            trace(&re, &["TC", "TCH", "TCH", "TD"]),
+            trace(&re, &["TC", "TY"]),
+            trace(&re, &["TC", "TS", "TR", "TD"]),
+            trace(&re, &["TC", "TD"]),
+        ];
+        let mut sequential = TransitionCounts::new();
+        for (i, t) in traces.iter().enumerate() {
+            sequential.observe(&dfa, i, t).unwrap();
+        }
+        // One accumulator per trace, merged in a scrambled order.
+        let mut merged = TransitionCounts::new();
+        for &i in &[2usize, 0, 3, 1] {
+            let mut part = TransitionCounts::new();
+            part.observe(&dfa, i, &traces[i]).unwrap();
+            merged.merge(&part);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.entries(), sequential.entries());
+    }
+
+    #[test]
+    fn entries_roundtrip_through_from_parts() {
+        let (re, dfa) = pcore();
+        let mut counts = TransitionCounts::new();
+        counts
+            .observe(&dfa, 0, &trace(&re, &["TC", "TCH", "TCH", "TD"]))
+            .unwrap();
+        counts.observe(&dfa, 1, &trace(&re, &["TC", "TY"])).unwrap();
+        let entries = counts.entries();
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        let rebuilt =
+            TransitionCounts::from_parts(entries, counts.trace_count(), counts.symbol_count());
+        assert_eq!(rebuilt, counts);
+        // Zero-count entries vanish instead of polluting the map.
+        let padded = TransitionCounts::from_parts([(0, Sym(0), 0)], 0, 0);
+        assert_eq!(padded, TransitionCounts::new());
     }
 
     #[test]

@@ -6,14 +6,21 @@
 //!     [--out BENCH_campaign.json] \
 //!     [--trajectory BENCH_trajectory.json] \
 //!     [--check tests/fixtures/bench_baseline.json] \
+//!     [--scaling-advisory] \
 //!     [--quick]
 //! ```
 //!
 //! With `--check`, the run exits non-zero when any suite's
 //! `patterns_per_sec` or `trials_per_sec` regressed more than
-//! [`ptest_bench::perf::REGRESSION_TOLERANCE`] against the baseline —
-//! CI's perf gate. `--quick` shrinks every workload (harness smoke
-//! testing only; never compare a quick run against the baseline).
+//! [`ptest_bench::perf::REGRESSION_TOLERANCE`] against the baseline,
+//! or when the pipeline campaign's `w4/w1` parallel speedup falls
+//! below [`ptest_bench::perf::MIN_SPEEDUP_W4`] on a machine with at
+//! least [`ptest_bench::perf::SCALING_MIN_CORES`] cores — CI's perf
+//! gate. `--scaling-advisory` demotes scaling-gate failures to
+//! warnings (for the first CI run after introducing the gate, or on
+//! runners whose core count fluctuates). `--quick` shrinks every
+//! workload (harness smoke testing only; never compare a quick run
+//! against the baseline).
 //!
 //! Standard runs also append one `{rev, date, trials_per_sec,
 //! patterns_per_sec}` point per suite to the committed
@@ -62,6 +69,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<String> = None;
     let mut cfg = perf::PerfConfig::standard();
     let mut quick = false;
+    let mut scaling_advisory = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +77,7 @@ fn main() -> ExitCode {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--trajectory" => trajectory_path = args.next().expect("--trajectory needs a path"),
             "--check" => baseline_path = Some(args.next().expect("--check needs a path")),
+            "--scaling-advisory" => scaling_advisory = true,
             "--quick" => {
                 cfg = perf::PerfConfig::quick();
                 quick = true;
@@ -76,7 +85,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perf [--out FILE] [--trajectory FILE] [--check BASELINE] [--quick]"
+                    "usage: perf [--out FILE] [--trajectory FILE] [--check BASELINE] \
+                     [--scaling-advisory] [--quick]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -88,6 +98,18 @@ fn main() -> ExitCode {
         println!(
             "{:<28} {:>12.1} patterns/s {:>14.1} steps/s {:>9.1} ms",
             suite.suite, suite.patterns_per_sec, suite.steps_per_sec, suite.wall_ms
+        );
+    }
+    if let Some(s) = &report.scaling {
+        println!(
+            "\nscaling ({} on {} cores): w1 {:.1} trials/s, w2 {:.1} ({:.2}x), w4 {:.1} ({:.2}x)",
+            s.workload,
+            s.cores,
+            s.w1_trials_per_sec,
+            s.w2_trials_per_sec,
+            s.speedup_w2,
+            s.w4_trials_per_sec,
+            s.speedup_w4
         );
     }
     let json = perf::report_to_json(&report).expect("bench reports serialize");
@@ -127,12 +149,18 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for w in &outcome.warnings {
+        let mut scaling = perf::scaling_gate(&report);
+        if scaling_advisory {
+            for f in std::mem::take(&mut scaling.failures) {
+                scaling.warnings.push(format!("{f} [advisory]"));
+            }
+        }
+        for w in outcome.warnings.iter().chain(&scaling.warnings) {
             eprintln!("warning: {w}");
         }
-        if !outcome.failures.is_empty() {
+        if !outcome.failures.is_empty() || !scaling.failures.is_empty() {
             eprintln!("\nperf gate FAILED against {path}:");
-            for f in &outcome.failures {
+            for f in outcome.failures.iter().chain(&scaling.failures) {
                 eprintln!("  {f}");
             }
             return ExitCode::FAILURE;

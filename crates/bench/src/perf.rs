@@ -12,7 +12,18 @@
 //! * **Campaign suites** — trials/sec, patterns/sec and simulated
 //!   steps/sec of the Fig. 1 adaptive campaign, the dining-philosophers
 //!   campaign, and the 3-slave cross-core pipeline campaign at 1/2/4/8
-//!   workers.
+//!   workers. The pipeline variants run a larger trial count
+//!   ([`PerfConfig::pipeline_trials`]) so each one occupies ≥1 s of
+//!   wall time — long enough for the worker-scaling ratio to be a
+//!   stable measurement rather than scheduler noise.
+//! * **Campaign-scaling summary** — from the `pipeline_w1/w2/w4`
+//!   entries the report derives a [`ScalingSummary`] (absolute
+//!   trials/sec per worker count plus the w2/w1 and w4/w1 speedup
+//!   ratios and the core count of the measuring machine). With
+//!   `--check`, [`scaling_gate`] fails the run when `w4/w1 <`
+//!   [`MIN_SPEEDUP_W4`] — unless the machine has fewer than
+//!   [`SCALING_MIN_CORES`] cores, where a parallel speedup is
+//!   physically impossible and the gate skips with a warning.
 //! * **Scheduler-overhead suite** — the draining pipeline campaign on
 //!   the lock-step fast path (`sched_lockstep`) versus under a
 //!   behaviour-identical `RandomPriorityScheduler`
@@ -47,12 +58,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-/// Schema tag embedded in every report.
-pub const SCHEMA: &str = "ptest-bench/campaign-v1";
+/// Schema tag embedded in every report. `v2` added the `scaling`
+/// summary derived from the `pipeline_w*` suites.
+pub const SCHEMA: &str = "ptest-bench/campaign-v2";
 
 /// A suite fails the CI gate when its current `patterns_per_sec` drops
 /// below `1 - REGRESSION_TOLERANCE` of the committed baseline.
 pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Minimum `pipeline_w4 / pipeline_w1` trials/sec ratio the scaling
+/// gate demands. The acceptance bar on a 4-core developer machine is
+/// ≥2.5×; the gate keeps headroom below that so CI machine noise does
+/// not flake the build.
+pub const MIN_SPEEDUP_W4: f64 = 2.0;
+
+/// Core count below which [`scaling_gate`] skips with a warning
+/// instead of failing: on fewer than 4 cores a 4-worker campaign
+/// cannot exhibit a 2× speedup no matter how good the pool is.
+pub const SCALING_MIN_CORES: usize = 4;
 
 /// Throughput of one fixed workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,6 +96,29 @@ pub struct BenchEntry {
     pub seed: u64,
 }
 
+/// Parallel-speedup summary derived from the `pipeline_w1/w2/w4`
+/// suites: how much faster the same campaign completes when the
+/// persistent worker pool gets more threads. Results are bit-identical
+/// across worker counts, so the ratio isolates pool efficiency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingSummary {
+    /// The workload the ratios were measured on (`pipeline`).
+    pub workload: String,
+    /// `available_parallelism` of the measuring machine — ratios from
+    /// a 1-core box are meaningless and [`scaling_gate`] skips them.
+    pub cores: usize,
+    /// Trials/sec of `pipeline_w1`.
+    pub w1_trials_per_sec: f64,
+    /// Trials/sec of `pipeline_w2`.
+    pub w2_trials_per_sec: f64,
+    /// Trials/sec of `pipeline_w4`.
+    pub w4_trials_per_sec: f64,
+    /// `w2 / w1` trial-throughput ratio.
+    pub speedup_w2: f64,
+    /// `w4 / w1` trial-throughput ratio — the gated number.
+    pub speedup_w4: f64,
+}
+
 /// The archived perf report: schema tag plus one entry per suite.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -80,6 +126,9 @@ pub struct BenchReport {
     pub schema: String,
     /// Per-suite throughput, in fixed suite order.
     pub suites: Vec<BenchEntry>,
+    /// Worker-scaling summary (absent only if the pipeline suites were
+    /// somehow not measured).
+    pub scaling: Option<ScalingSummary>,
 }
 
 impl BenchReport {
@@ -98,6 +147,11 @@ pub struct PerfConfig {
     pub gen_patterns: usize,
     /// Trials per campaign round.
     pub campaign_trials: usize,
+    /// Trials per round for the `pipeline_w*` scaling suites — sized so
+    /// each variant runs ≥1 s of wall time, long enough that the
+    /// speedup ratios in [`ScalingSummary`] measure the pool rather
+    /// than startup noise.
+    pub pipeline_trials: usize,
 }
 
 impl PerfConfig {
@@ -107,6 +161,7 @@ impl PerfConfig {
         PerfConfig {
             gen_patterns: 20_000,
             campaign_trials: 32,
+            pipeline_trials: 256,
         }
     }
 
@@ -116,6 +171,7 @@ impl PerfConfig {
         PerfConfig {
             gen_patterns: 2_000,
             campaign_trials: 2,
+            pipeline_trials: 4,
         }
     }
 }
@@ -227,7 +283,7 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         &crate::sweep_campaign(cfg.campaign_trials, 2009),
     ));
     for workers in [1usize, 2, 4, 8] {
-        let mut campaign = crate::sweep_campaign(cfg.campaign_trials, 2009);
+        let mut campaign = crate::sweep_campaign(cfg.pipeline_trials, 2009);
         campaign.workers = workers;
         suites.push(measure_campaign(
             &format!("pipeline_w{workers}"),
@@ -287,10 +343,74 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         &campaign,
     ));
 
+    let scaling = scaling_summary(&suites);
     BenchReport {
         schema: SCHEMA.to_owned(),
         suites,
+        scaling,
     }
+}
+
+/// Derives the worker-scaling summary from the `pipeline_w1/w2/w4`
+/// entries, or `None` if any of the three is missing or idle.
+#[must_use]
+pub fn scaling_summary(suites: &[BenchEntry]) -> Option<ScalingSummary> {
+    let rate = |name: &str| {
+        suites
+            .iter()
+            .find(|e| e.suite == name)
+            .map(|e| e.trials_per_sec)
+            .filter(|&r| r > 0.0)
+    };
+    let w1 = rate("pipeline_w1")?;
+    let w2 = rate("pipeline_w2")?;
+    let w4 = rate("pipeline_w4")?;
+    Some(ScalingSummary {
+        workload: "pipeline".to_owned(),
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        w1_trials_per_sec: w1,
+        w2_trials_per_sec: w2,
+        w4_trials_per_sec: w4,
+        speedup_w2: w2 / w1,
+        speedup_w4: w4 / w1,
+    })
+}
+
+/// The parallel-speedup gate: fails when the report's `w4/w1` trial
+/// throughput ratio is below [`MIN_SPEEDUP_W4`].
+///
+/// Two outcomes are warnings instead of failures:
+///
+/// * measured on fewer than [`SCALING_MIN_CORES`] cores — a 4-worker
+///   speedup is physically impossible there, so the gate reports what
+///   it skipped and why rather than failing builds on small runners;
+/// * the report predates the summary (no `pipeline_w*` suites) — the
+///   regression gate already fails that as missing suites.
+#[must_use]
+pub fn scaling_gate(report: &BenchReport) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    let Some(s) = &report.scaling else {
+        outcome
+            .warnings
+            .push("report carries no scaling summary (pipeline_w1/w2/w4 missing or idle)".into());
+        return outcome;
+    };
+    if s.cores < SCALING_MIN_CORES {
+        outcome.warnings.push(format!(
+            "scaling gate skipped: measured on {} core(s), needs >= {SCALING_MIN_CORES} for a \
+             w4 speedup to be physically possible (w4/w1 = {:.2}x)",
+            s.cores, s.speedup_w4
+        ));
+        return outcome;
+    }
+    if s.speedup_w4 < MIN_SPEEDUP_W4 {
+        outcome.failures.push(format!(
+            "parallel speedup regressed: pipeline w4/w1 = {:.2}x < required {MIN_SPEEDUP_W4:.1}x \
+             (w1 {:.1} trials/s, w4 {:.1} trials/s, {} cores)",
+            s.speedup_w4, s.w1_trials_per_sec, s.w4_trials_per_sec, s.cores
+        ));
+    }
+    outcome
 }
 
 /// Serializes a report as pretty JSON.
@@ -429,6 +549,19 @@ mod tests {
         BenchReport {
             schema: SCHEMA.to_owned(),
             suites: entries,
+            scaling: None,
+        }
+    }
+
+    fn summary(cores: usize, speedup_w4: f64) -> ScalingSummary {
+        ScalingSummary {
+            workload: "pipeline".to_owned(),
+            cores,
+            w1_trials_per_sec: 100.0,
+            w2_trials_per_sec: 100.0 * (1.0 + speedup_w4) / 2.0,
+            w4_trials_per_sec: 100.0 * speedup_w4,
+            speedup_w2: (1.0 + speedup_w4) / 2.0,
+            speedup_w4,
         }
     }
 
@@ -457,6 +590,66 @@ mod tests {
             assert!(suite.steps_per_sec > 0.0, "{name}");
             assert!(suite.wall_ms > 0.0, "{name}");
         }
+        let scaling = out
+            .scaling
+            .expect("pipeline suites yield a scaling summary");
+        assert_eq!(scaling.workload, "pipeline");
+        assert!(scaling.cores >= 1);
+        assert!(scaling.w1_trials_per_sec > 0.0);
+        assert!(scaling.speedup_w2 > 0.0);
+        assert!(scaling.speedup_w4 > 0.0);
+    }
+
+    #[test]
+    fn scaling_summary_needs_all_three_pipeline_suites() {
+        let mut entries = vec![entry("pipeline_w1", 1.0), entry("pipeline_w2", 1.0)];
+        assert!(scaling_summary(&entries).is_none());
+        entries.push(entry("pipeline_w4", 1.0));
+        let s = scaling_summary(&entries).expect("complete trio summarizes");
+        assert_eq!(s.w1_trials_per_sec, 1.0);
+        assert_eq!(s.speedup_w4, 1.0);
+    }
+
+    #[test]
+    fn scaling_gate_fails_flat_scaling_on_big_machines() {
+        let mut rep = report(vec![entry("a", 1.0)]);
+        rep.scaling = Some(summary(8, 1.1));
+        let outcome = scaling_gate(&rep);
+        assert_eq!(outcome.failures.len(), 1, "{outcome:?}");
+        assert!(outcome.failures[0].contains("w4/w1"), "{outcome:?}");
+
+        rep.scaling = Some(summary(8, 3.2));
+        let outcome = scaling_gate(&rep);
+        assert!(outcome.failures.is_empty(), "{outcome:?}");
+        assert!(outcome.warnings.is_empty(), "{outcome:?}");
+    }
+
+    #[test]
+    fn scaling_gate_skips_small_machines_with_a_warning() {
+        let mut rep = report(vec![entry("a", 1.0)]);
+        // Flat scaling, but only 1 core: skip, do not fail.
+        rep.scaling = Some(summary(1, 1.0));
+        let outcome = scaling_gate(&rep);
+        assert!(outcome.failures.is_empty(), "{outcome:?}");
+        assert_eq!(outcome.warnings.len(), 1, "{outcome:?}");
+        assert!(outcome.warnings[0].contains("skipped"), "{outcome:?}");
+    }
+
+    #[test]
+    fn scaling_gate_warns_on_summaryless_reports() {
+        let rep = report(vec![entry("a", 1.0)]);
+        let outcome = scaling_gate(&rep);
+        assert!(outcome.failures.is_empty(), "{outcome:?}");
+        assert_eq!(outcome.warnings.len(), 1, "{outcome:?}");
+    }
+
+    #[test]
+    fn scaling_summary_roundtrips_through_json() {
+        let mut rep = report(vec![entry("a", 100.0)]);
+        rep.scaling = Some(summary(4, 2.5));
+        let json = report_to_json(&rep).unwrap();
+        assert!(json.contains("\"speedup_w4\""));
+        assert_eq!(report_from_json(&json).unwrap(), rep);
     }
 
     #[test]

@@ -115,6 +115,7 @@ mod tests {
                     seed: 1,
                 },
             ],
+            scaling: None,
         }
     }
 

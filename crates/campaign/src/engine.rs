@@ -1,24 +1,35 @@
 //! The campaign engine: Algorithm 1 lifted from one run to a fleet.
 //!
 //! A campaign executes `rounds × trials_per_round` independent adaptive
-//! trials of one [`Scenario`]. Within a round the trials run concurrently
-//! on a [`std::thread`] worker pool — every trial owns a private
-//! deterministic [`DualCoreSystem`](ptest_master::DualCoreSystem), so
-//! trials embarrass­ingly parallelize. Between rounds the engine closes
-//! the paper's adaptive loop at fleet scale: each trial's execution trace
-//! feeds the [`TransitionCounts`] accumulator, and the counts are
-//! re-estimated into the probability distribution the *next* round's
-//! patterns are generated from. When any trial of a round found bugs and
-//! `bug_biased` learning is on, only bug-revealing trials contribute —
-//! steering later rounds toward fault-revealing interleavings.
+//! trials of one [`Scenario`]. The campaign owns a persistent
+//! [`WorkerPool`](crate::pool) for its whole lifetime — threads are
+//! spawned once and every round is dispatched to them as a batch, so the
+//! per-round cost is a channel send per worker, not a pool teardown.
+//! Every trial owns a private deterministic
+//! [`DualCoreSystem`](ptest_master::DualCoreSystem), so trials
+//! embarrassingly parallelize; each trial's trace-derived
+//! [`TransitionCounts`] delta is computed *inside its worker*, leaving
+//! only an entry-wise `u64` merge (and the PFA re-compile) on the
+//! dispatcher between rounds.
+//!
+//! Between rounds the engine closes the paper's adaptive loop at fleet
+//! scale: the merged counts are re-estimated into the probability
+//! distribution the *next* round's patterns are generated from. When any
+//! trial of a round found bugs and `bug_biased` learning is on, only
+//! bug-revealing trials contribute — steering later rounds toward
+//! fault-revealing interleavings.
 //!
 //! Determinism is a hard invariant: trial seeds derive from the master
-//! seed by index, results aggregate in index order, and the report
-//! records nothing about the pool — so a campaign's outcome is a pure
-//! function of (scenario, configuration, master seed), independent of
-//! worker count.
+//! seed by index, results aggregate in index order, count merging is an
+//! exact commutative sum, and the report records nothing about the pool
+//! — so a campaign's outcome is a pure function of (scenario,
+//! configuration, master seed), independent of worker count, shard
+//! split ([`Campaign::run_shard`]) or checkpoint/resume boundaries
+//! ([`Campaign::resume`]).
 
 use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
 
 use ptest_automata::{Pfa, TransitionCounts};
 use ptest_core::{
@@ -61,6 +72,16 @@ impl Default for LearningConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Independent trials per feedback round.
+    ///
+    /// This is also the parallelism grain: a round is one batch on the
+    /// worker pool, and the serial between-round work (count merging and
+    /// the PFA re-compile, microseconds on the paper-sized skeletons) is
+    /// paid once per round. For parallel speedup to be measurable, keep
+    /// `trials_per_round` well above the worker count — as a floor,
+    /// `workers × 8` trials per round keeps the chunked claiming
+    /// balanced; hundreds per round make the serial phase vanish
+    /// entirely. A campaign of many tiny rounds measures dispatch
+    /// latency, not throughput.
     pub trials_per_round: usize,
     /// Feedback rounds (1 = no cross-trial adaptation takes effect).
     pub rounds: usize,
@@ -112,6 +133,12 @@ pub enum CampaignError {
     Adaptive(AdaptiveTestError),
     /// `rounds` or `trials_per_round` was zero.
     EmptyCampaign,
+    /// An invalid shard split, or a sharded configuration whose rounds
+    /// are coupled by learning (see [`Campaign::run_shard`]).
+    Shard(String),
+    /// A checkpoint that does not belong to this campaign, or a failure
+    /// reading/writing a checkpoint file.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -121,6 +148,8 @@ impl fmt::Display for CampaignError {
             CampaignError::EmptyCampaign => {
                 write!(f, "campaign needs at least one round and one trial")
             }
+            CampaignError::Shard(msg) => write!(f, "shard error: {msg}"),
+            CampaignError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -202,6 +231,41 @@ use ptest_master::sched::splitmix64;
 #[derive(Debug)]
 pub struct Campaign;
 
+/// What one trial contributes, computed entirely inside its worker: the
+/// serializable outcome plus the trial's private trace-count delta
+/// (empty when learning is off).
+pub(crate) struct TrialYield {
+    pub(crate) outcome: TrialOutcome,
+    pub(crate) counts: TransitionCounts,
+}
+
+pub(crate) type TrialResult = Result<TrialYield, AdaptiveTestError>;
+
+/// The persistent pool a campaign dispatches its rounds to.
+pub(crate) type TrialPool<'env> = pool::WorkerPool<'env, TrialResult, TrialScratch>;
+
+/// The aggregated materials of one round (or one shard of a round):
+/// outcomes in trial order plus both learn-fold candidates — the
+/// bug-biased choice between them needs the *global* any-bugs signal,
+/// which a shard does not have locally.
+pub(crate) struct RoundTrials {
+    pub(crate) outcomes: Vec<TrialOutcome>,
+    pub(crate) counts_all: TransitionCounts,
+    pub(crate) counts_bugs: TransitionCounts,
+}
+
+/// The dispatcher-side campaign cursor: everything the round loop
+/// carries across rounds. This is exactly what a checkpoint snapshots —
+/// `pd` is deliberately *not* part of it on disk, because it is a pure
+/// function of `counts` (or the scenario's base distribution before any
+/// learning round completed).
+pub(crate) struct CampaignState {
+    pub(crate) pd: ptest_automata::ProbabilityAssignment,
+    pub(crate) counts: TransitionCounts,
+    pub(crate) rounds: Vec<RoundReport>,
+    pub(crate) next_round: usize,
+}
+
 impl Campaign {
     /// Runs the full campaign of `scenario` under `cfg` and returns the
     /// aggregate report.
@@ -216,103 +280,208 @@ impl Campaign {
         cfg: &CampaignConfig,
         scenario: &dyn Scenario,
     ) -> Result<CampaignReport, CampaignError> {
+        let state = Campaign::run_rounds(cfg, scenario, None, cfg.rounds, |_| Ok(()))?;
+        Ok(report_of(cfg, scenario, state))
+    }
+
+    /// The shared round loop: runs rounds `state.next_round..limit`
+    /// (`state` fresh unless resuming), invoking `after_round` with the
+    /// updated state after each completed round — the checkpoint hook.
+    ///
+    /// One [`TrialPool`] spans every remaining round: worker threads and
+    /// their [`TrialScratch`] buffers are reused across round
+    /// boundaries, so per-round dispatch cost is a channel send per
+    /// worker.
+    pub(crate) fn run_rounds(
+        cfg: &CampaignConfig,
+        scenario: &dyn Scenario,
+        resume: Option<CampaignState>,
+        limit: usize,
+        mut after_round: impl FnMut(&CampaignState) -> Result<(), CampaignError>,
+    ) -> Result<CampaignState, CampaignError> {
         if cfg.rounds == 0 || cfg.trials_per_round == 0 {
             return Err(CampaignError::EmptyCampaign);
         }
         let base = scenario.base_config();
-        let mut pd = base.pd.clone();
-        let mut counts = TransitionCounts::new();
-        let mut rounds = Vec::with_capacity(cfg.rounds);
+        let mut state = resume.unwrap_or_else(|| CampaignState {
+            pd: base.pd.clone(),
+            counts: TransitionCounts::new(),
+            rounds: Vec::with_capacity(cfg.rounds),
+            next_round: 0,
+        });
+        let limit = limit.min(cfg.rounds);
 
-        for round in 0..cfg.rounds {
-            let engine = TrialEngine::new(AdaptiveTestConfig {
-                pd: pd.clone(),
-                ..base.clone()
-            })?;
-
-            // Fan the round's trials across the pool; results come back
-            // in trial-index order regardless of scheduling. Each worker
-            // owns one trial scratch for its lifetime, so consecutive
-            // trials reuse the detector's snapshot buffers.
-            let base_schedule = base.schedule;
-            let base_memory = base.memory;
-            let results = pool::run_indexed_with(
-                cfg.workers,
-                cfg.trials_per_round,
-                TrialScratch::new,
-                |scratch, trial| {
-                    engine.run_scenario_trial_explored_as(
-                        scenario,
-                        trial_seed(cfg.master_seed, round, trial),
-                        schedule_seed(cfg.master_seed, round, trial),
-                        memory_seed(cfg.master_seed, round, trial),
-                        trial_schedule(cfg, base_schedule, trial),
-                        trial_memory(cfg, base_memory, trial),
-                        scratch,
-                    )
-                },
-            );
-            let mut reports: Vec<TestReport> = Vec::with_capacity(results.len());
-            for result in results {
-                reports.push(result?);
+        std::thread::scope(|scope| {
+            let pool = TrialPool::start(scope, cfg.workers, TrialScratch::new);
+            while state.next_round < limit {
+                let round = state.next_round;
+                let engine = Arc::new(TrialEngine::new(AdaptiveTestConfig {
+                    pd: state.pd.clone(),
+                    ..base.clone()
+                })?);
+                let trials = run_round_trials(
+                    &pool,
+                    cfg,
+                    scenario,
+                    &base,
+                    &engine,
+                    round,
+                    0..cfg.trials_per_round,
+                )?;
+                let report = close_round(cfg, &engine, round, trials, &mut state)?;
+                state.rounds.push(report);
+                state.next_round = round + 1;
+                after_round(&state)?;
             }
+            Ok::<(), CampaignError>(())
+        })?;
 
-            // Close the feedback loop: fold this round's trace-derived
-            // counts into the campaign-cumulative accumulator (bug-biased
-            // when bugs exist) and re-learn the distribution the next
-            // round generates from.
-            let dfa = engine.generator().dfa();
-            let alphabet = engine.generator().regex().alphabet();
-            let mut traces_learned = 0u64;
-            let mut learned = None;
-            if cfg.learning.enabled {
-                let any_bugs = reports.iter().any(|r| !r.bugs.is_empty());
-                for report in &reports {
-                    if cfg.learning.bug_biased && any_bugs && report.bugs.is_empty() {
-                        continue;
-                    }
-                    traces_learned += learning::observe_report(&mut counts, report, dfa);
-                }
-                pd = counts.to_assignment(dfa, alphabet, cfg.learning.alpha);
-                // Compile eagerly so an invalid learned assignment fails
-                // loudly here, attributed to this round — not on the next
-                // round's TrialEngine::new (or, on the final round, never).
-                let pfa = Pfa::from_dfa(dfa, alphabet.clone(), &pd)
-                    .map_err(|e| CampaignError::Adaptive(AdaptiveTestError::Pfa(e)))?;
-                learned = Some(LearnedDistribution::from_pfa(&pfa, alphabet));
-            }
-
-            rounds.push(assemble_round(
-                round,
-                &engine,
-                cfg,
-                &reports,
-                traces_learned,
-                learned,
-            ));
-        }
-
-        Ok(CampaignReport {
-            scenario: scenario.name().to_owned(),
-            master_seed: cfg.master_seed,
-            trials_per_round: cfg.trials_per_round,
-            rounds,
-        })
+        Ok(state)
     }
 }
 
-fn assemble_round(
-    round: usize,
-    engine: &TrialEngine,
+/// Wraps a finished state into the aggregate report.
+pub(crate) fn report_of(
     cfg: &CampaignConfig,
-    reports: &[TestReport],
+    scenario: &dyn Scenario,
+    state: CampaignState,
+) -> CampaignReport {
+    CampaignReport {
+        scenario: scenario.name().to_owned(),
+        master_seed: cfg.master_seed,
+        trials_per_round: cfg.trials_per_round,
+        rounds: state.rounds,
+    }
+}
+
+/// Dispatches trials `trials` (absolute indices within `round`) as one
+/// batch on the pool and folds the workers' yields in index order.
+///
+/// Each worker job runs its trial *and* segments the resulting trace
+/// into a private [`TransitionCounts`] delta, so the dispatcher's serial
+/// share of the learn fold is an entry-wise integer merge. The fold is
+/// order-exact: merging per-trial deltas is algebraically identical to
+/// the sequential `observe_report` loop it replaces.
+pub(crate) fn run_round_trials<'env>(
+    pool: &TrialPool<'env>,
+    cfg: &'env CampaignConfig,
+    scenario: &'env dyn Scenario,
+    base: &AdaptiveTestConfig,
+    engine: &Arc<TrialEngine>,
+    round: usize,
+    trials: Range<usize>,
+) -> Result<RoundTrials, CampaignError> {
+    let jobs = trials.len();
+    let lo = trials.start;
+    let master_seed = cfg.master_seed;
+    let base_schedule = base.schedule;
+    let base_memory = base.memory;
+    let learn = cfg.learning.enabled;
+    let engine = Arc::clone(engine);
+    let results = pool.run_batch(jobs, move |scratch, i| {
+        let trial = lo + i;
+        let report = engine.run_scenario_trial_explored_as(
+            scenario,
+            trial_seed(master_seed, round, trial),
+            schedule_seed(master_seed, round, trial),
+            memory_seed(master_seed, round, trial),
+            trial_schedule(cfg, base_schedule, trial),
+            trial_memory(cfg, base_memory, trial),
+            scratch,
+        )?;
+        let mut counts = TransitionCounts::new();
+        if learn {
+            learning::observe_report(&mut counts, &report, engine.generator().dfa());
+        }
+        Ok(TrialYield {
+            outcome: outcome_of(master_seed, round, trial, &report),
+            counts,
+        })
+    });
+
+    let mut out = RoundTrials {
+        outcomes: Vec::with_capacity(jobs),
+        counts_all: TransitionCounts::new(),
+        counts_bugs: TransitionCounts::new(),
+    };
+    for result in results {
+        let yielded = result?;
+        out.counts_all.merge(&yielded.counts);
+        if !yielded.outcome.summary.bugs.is_empty() {
+            out.counts_bugs.merge(&yielded.counts);
+        }
+        out.outcomes.push(yielded.outcome);
+    }
+    Ok(out)
+}
+
+/// Extracts a trial's serializable outcome from its report.
+fn outcome_of(master_seed: u64, round: usize, trial: usize, report: &TestReport) -> TrialOutcome {
+    TrialOutcome {
+        trial,
+        seed: trial_seed(master_seed, round, trial),
+        schedule_seed: report.schedule_seed,
+        schedule: report.config.schedule.label(),
+        memory_seed: report.memory_seed,
+        memory: report.config.memory.label(),
+        commands_to_first_bug: report.commands_to_first_bug(),
+        summary: report.machine_summary(),
+    }
+}
+
+/// Closes one round: applies the (possibly bug-biased) learn fold to the
+/// campaign-cumulative counts, re-learns the next round's distribution,
+/// and assembles the round report from the outcomes.
+pub(crate) fn close_round(
+    cfg: &CampaignConfig,
+    engine: &TrialEngine,
+    round: usize,
+    trials: RoundTrials,
+    state: &mut CampaignState,
+) -> Result<RoundReport, CampaignError> {
+    let dfa = engine.generator().dfa();
+    let alphabet = engine.generator().regex().alphabet();
+    let distribution = LearnedDistribution::from_pfa(engine.generator().pfa(), alphabet);
+    let mut traces_learned = 0u64;
+    let mut learned = None;
+    if cfg.learning.enabled {
+        let any_bugs = trials.outcomes.iter().any(|o| !o.summary.bugs.is_empty());
+        let chosen = if cfg.learning.bug_biased && any_bugs {
+            &trials.counts_bugs
+        } else {
+            &trials.counts_all
+        };
+        traces_learned = chosen.trace_count();
+        state.counts.merge(chosen);
+        state.pd = state
+            .counts
+            .to_assignment(dfa, alphabet, cfg.learning.alpha);
+        // Compile eagerly so an invalid learned assignment fails loudly
+        // here, attributed to this round — not on the next round's
+        // TrialEngine::new (or, on the final round, never).
+        let pfa = Pfa::from_dfa(dfa, alphabet.clone(), &state.pd)
+            .map_err(|e| CampaignError::Adaptive(AdaptiveTestError::Pfa(e)))?;
+        learned = Some(LearnedDistribution::from_pfa(&pfa, alphabet));
+    }
+    Ok(assemble_round(
+        round,
+        distribution,
+        trials.outcomes,
+        traces_learned,
+        learned,
+    ))
+}
+
+/// Assembles a round report from per-trial outcomes alone — no live
+/// [`TestReport`]s involved, which is what lets sharded rounds merge by
+/// concatenating their outcome vectors.
+pub(crate) fn assemble_round(
+    round: usize,
+    distribution: LearnedDistribution,
+    trials: Vec<TrialOutcome>,
     traces_learned: u64,
     learned: Option<LearnedDistribution>,
 ) -> RoundReport {
-    let master_seed = cfg.master_seed;
-    let alphabet = engine.generator().regex().alphabet();
-    let distribution = LearnedDistribution::from_pfa(engine.generator().pfa(), alphabet);
-    let mut trials = Vec::with_capacity(reports.len());
     let mut trials_with_bugs = 0usize;
     let mut bugs = 0usize;
     let mut total_commands = 0u64;
@@ -320,24 +489,23 @@ fn assemble_round(
     let mut first_bug_sum = 0u64;
     let mut schedule_detection: Vec<ScheduleDetection> = Vec::new();
     let mut memory_detection: Vec<MemoryDetection> = Vec::new();
-    for (trial, report) in reports.iter().enumerate() {
-        if !report.bugs.is_empty() {
+    for outcome in &trials {
+        let found = outcome.summary.bugs.len();
+        if found > 0 {
             trials_with_bugs += 1;
         }
-        bugs += report.bugs.len();
-        total_commands += report.commands_issued;
-        total_cycles += report.cycles;
-        let commands_to_first_bug = report.commands_to_first_bug();
-        first_bug_sum += commands_to_first_bug.unwrap_or(0);
-        let schedule = report.config.schedule.label();
+        bugs += found;
+        total_commands += outcome.summary.commands_issued;
+        total_cycles += outcome.summary.cycles;
+        first_bug_sum += outcome.commands_to_first_bug.unwrap_or(0);
         let slot = match schedule_detection
             .iter_mut()
-            .find(|d| d.schedule == schedule)
+            .find(|d| d.schedule == outcome.schedule)
         {
             Some(slot) => slot,
             None => {
                 schedule_detection.push(ScheduleDetection {
-                    schedule: schedule.clone(),
+                    schedule: outcome.schedule.clone(),
                     trials: 0,
                     trials_with_bugs: 0,
                     bugs: 0,
@@ -346,16 +514,18 @@ fn assemble_round(
             }
         };
         slot.trials += 1;
-        if !report.bugs.is_empty() {
+        if found > 0 {
             slot.trials_with_bugs += 1;
         }
-        slot.bugs += report.bugs.len();
-        let memory = report.config.memory.label();
-        let slot = match memory_detection.iter_mut().find(|d| d.memory == memory) {
+        slot.bugs += found;
+        let slot = match memory_detection
+            .iter_mut()
+            .find(|d| d.memory == outcome.memory)
+        {
             Some(slot) => slot,
             None => {
                 memory_detection.push(MemoryDetection {
-                    memory: memory.clone(),
+                    memory: outcome.memory.clone(),
                     trials: 0,
                     trials_with_bugs: 0,
                     bugs: 0,
@@ -364,20 +534,10 @@ fn assemble_round(
             }
         };
         slot.trials += 1;
-        if !report.bugs.is_empty() {
+        if found > 0 {
             slot.trials_with_bugs += 1;
         }
-        slot.bugs += report.bugs.len();
-        trials.push(TrialOutcome {
-            trial,
-            seed: trial_seed(master_seed, round, trial),
-            schedule_seed: report.schedule_seed,
-            schedule,
-            memory_seed: report.memory_seed,
-            memory,
-            commands_to_first_bug,
-            summary: report.machine_summary(),
-        });
+        slot.bugs += found;
     }
     let mean_commands_to_first_bug = if trials_with_bugs > 0 {
         Some(first_bug_sum as f64 / trials_with_bugs as f64)

@@ -47,11 +47,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod engine;
 pub mod learning;
 mod pool;
 mod report;
+mod shard;
 
+pub use checkpoint::{
+    config_fingerprint, CampaignCheckpoint, CountEntry, CountsSnapshot, CHECKPOINT_SCHEMA,
+};
 pub use engine::{
     memory_seed, schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig,
 };
@@ -59,6 +64,7 @@ pub use report::{
     CampaignReport, DistributionEntry, LearnedDistribution, MemoryDetection, RoundReport,
     ScheduleDetection, TrialOutcome,
 };
+pub use shard::{ShardReport, ShardRound, ShardSpec};
 
 // The Scenario abstraction campaigns are written against.
 pub use ptest_core::{Configured, FnScenario, Scenario};

@@ -1,69 +1,201 @@
-//! A minimal deterministic worker pool.
+//! A minimal deterministic **persistent** worker pool.
 //!
 //! Trials are pure functions of their index (each derives its own seed
 //! and runs on a private simulated system), so parallelism only needs to
-//! hand out indices and collect results *by index*. Workers race for
-//! indices through an atomic counter; results land in per-index slots,
-//! so the assembled output vector is identical no matter how many
-//! workers ran or how the OS scheduled them — the property the campaign
-//! determinism tests pin down.
+//! hand out indices and collect results *by index*. A [`WorkerPool`]
+//! spawns its OS threads **once** — the campaign owns it for its whole
+//! lifetime and dispatches every round as a batch over channels, so no
+//! thread is ever respawned between rounds. Workers claim indices in
+//! contiguous chunks off one atomic counter (a handful of fetch-adds per
+//! worker per batch instead of one per job) and write each result into
+//! its own per-index [`OnceLock`] slot — exactly one worker claims any
+//! index, so the slots need no lock. The assembled output vector is
+//! identical no matter how many workers ran or how the OS scheduled
+//! them — the property the campaign determinism tests pin down.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, OnceLock};
+use std::thread::Scope;
 
-/// Runs `jobs` jobs on up to `workers` OS threads and returns the
-/// results in job-index order, with per-worker state: `init` runs once
-/// on each worker thread and the resulting value is threaded through
-/// every job that worker claims. Campaign workers use this for trial
-/// scratch buffers — allocated once per worker, reused across all its
-/// trials. State never influences results (jobs remain pure functions of
-/// their index), so the output is identical for every worker count.
-/// `workers` is clamped to `[1, jobs]`; with one worker the jobs run
-/// inline on the calling thread.
-pub(crate) fn run_indexed_with<T, S, I, F>(workers: usize, jobs: usize, init: I, job: F) -> Vec<T>
+/// One dispatched batch: the job, the shared claim counter and the
+/// per-index result slots. Shared with every worker through an `Arc`;
+/// the dispatcher reclaims sole ownership (and with it the results) once
+/// every worker has reported the batch done.
+/// The boxed job a batch fans out: `(worker state, job index) -> result`.
+type BatchJob<'env, T, S> = Box<dyn Fn(&mut S, usize) -> T + Send + Sync + 'env>;
+
+struct Batch<'env, T, S> {
+    job: BatchJob<'env, T, S>,
+    jobs: usize,
+    chunk: usize,
+    next: AtomicUsize,
+    slots: Vec<OnceLock<T>>,
+}
+
+impl<T, S> Batch<'_, T, S> {
+    /// Claims and runs chunks of indices until the batch is exhausted.
+    fn work(&self, state: &mut S) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.jobs {
+                break;
+            }
+            let end = (start + self.chunk).min(self.jobs);
+            for i in start..end {
+                let out = (self.job)(state, i);
+                assert!(
+                    self.slots[i].set(out).is_ok(),
+                    "index {i} claimed by exactly one worker"
+                );
+            }
+        }
+    }
+}
+
+/// A worker's per-batch completion report: `Ok` or the payload of a
+/// panic that escaped a job (re-raised on the dispatching thread).
+type BatchDone = std::thread::Result<()>;
+
+/// A pool of persistent worker threads scoped to one campaign.
+///
+/// Spawned once via [`WorkerPool::start`] inside a [`std::thread::scope`];
+/// each worker builds its per-worker state once (`init`) and then serves
+/// every batch the campaign dispatches — campaign workers use the state
+/// for trial scratch buffers, allocated once per worker and reused across
+/// **all rounds**, not just within one. State never influences results
+/// (jobs remain pure functions of their index), so the output of
+/// [`WorkerPool::run_batch`] is identical for every worker count.
+/// Dropping the pool closes the dispatch channels; the workers drain out
+/// and the enclosing scope joins them.
+pub(crate) struct WorkerPool<'env, T: Send + Sync, S> {
+    senders: Vec<Sender<Arc<Batch<'env, T, S>>>>,
+    done_rx: Receiver<BatchDone>,
+}
+
+impl<'env, T, S> WorkerPool<'env, T, S>
 where
-    T: Send,
-    I: Fn() -> S + Sync,
-    F: Fn(&mut S, usize) -> T + Sync,
+    T: Send + Sync + 'env,
+    S: 'env,
 {
-    if jobs == 0 {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, jobs);
-    if workers == 1 {
-        let mut state = init();
-        return (0..jobs).map(|i| job(&mut state, i)).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
+    /// Spawns `workers` persistent threads on `scope` (clamped to at
+    /// least one). `init` runs once on each worker thread; the value is
+    /// threaded through every job that worker ever claims, across all
+    /// batches.
+    pub(crate) fn start<'scope>(
+        scope: &'scope Scope<'scope, 'env>,
+        workers: usize,
+        init: impl Fn() -> S + Send + Sync + 'env,
+    ) -> WorkerPool<'env, T, S> {
+        let workers = workers.max(1);
+        let init = Arc::new(init);
+        let (done_tx, done_rx) = channel::<BatchDone>();
+        let mut senders = Vec::with_capacity(workers);
         for _ in 0..workers {
-            scope.spawn(|| {
+            let (tx, rx) = channel::<Arc<Batch<'env, T, S>>>();
+            senders.push(tx);
+            let init = Arc::clone(&init);
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
                 let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        break;
-                    }
-                    let out = job(&mut state, i);
-                    *slots[i].lock().expect("result slot lock") = Some(out);
+                while let Ok(batch) = rx.recv() {
+                    let done = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        batch.work(&mut state);
+                    }));
+                    // Release the batch handle *before* signalling, so
+                    // the dispatcher's `Arc::into_inner` deterministically
+                    // reclaims sole ownership of the result slots.
+                    drop(batch);
+                    // The dispatcher only hangs up when the pool drops;
+                    // a send after that has nobody left to notify.
+                    let _ = done_tx.send(done);
                 }
             });
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock")
-                .expect("every index was claimed by exactly one worker")
-        })
-        .collect()
+        WorkerPool { senders, done_rx }
+    }
+
+    /// The number of worker threads serving this pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs `jobs` jobs across the pool and returns the results in
+    /// job-index order, independent of how the workers interleaved.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic that escaped a job on any worker (the
+    /// remaining workers still finish the batch, so the pool stays
+    /// consistent for the unwinding scope to join).
+    pub(crate) fn run_batch(
+        &self,
+        jobs: usize,
+        job: impl Fn(&mut S, usize) -> T + Send + Sync + 'env,
+    ) -> Vec<T> {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            job: Box::new(job),
+            jobs,
+            chunk: chunk_size(jobs, self.workers()),
+            next: AtomicUsize::new(0),
+            slots: std::iter::repeat_with(OnceLock::new).take(jobs).collect(),
+        });
+        for tx in &self.senders {
+            tx.send(Arc::clone(&batch)).expect("pool worker alive");
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..self.senders.len() {
+            match self.done_rx.recv().expect("pool worker alive") {
+                Ok(()) => {}
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        let batch = Arc::into_inner(batch).expect("workers released their batch handles");
+        batch
+            .slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every index was claimed by exactly one worker")
+            })
+            .collect()
+    }
+}
+
+/// Indices claimed per `fetch_add`: aim for a few chunks per worker so
+/// claiming costs a handful of atomic operations per worker per batch
+/// while uneven job durations can still rebalance across workers.
+fn chunk_size(jobs: usize, workers: usize) -> usize {
+    jobs.div_ceil(workers * 4).max(1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One-shot convenience for the legacy-shaped tests: a throwaway
+    /// pool for a single batch.
+    fn run_indexed_with<T, S>(
+        workers: usize,
+        jobs: usize,
+        init: impl Fn() -> S + Send + Sync,
+        job: impl Fn(&mut S, usize) -> T + Send + Sync,
+    ) -> Vec<T>
+    where
+        T: Send + Sync,
+    {
+        std::thread::scope(|scope| {
+            let pool = WorkerPool::start(scope, workers, init);
+            pool.run_batch(jobs, job)
+        })
+    }
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -80,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn single_job_runs_inline() {
+    fn single_job_pools_are_fine() {
         let out = run_indexed_with(8, 1, || (), |(), i| i + 100);
         assert_eq!(out, vec![100]);
     }
@@ -104,5 +236,111 @@ mod tests {
                 assert!(reused);
             }
         }
+    }
+
+    #[test]
+    fn pool_persists_worker_state_across_batches() {
+        // Each `init` call (one per spawned worker thread, ever) takes a
+        // fresh id; jobs report (id, cumulative claims of that worker).
+        // If threads were respawned or state reset between batches, more
+        // than 3 ids would appear, or the per-id claim maxima would not
+        // sum to the total job count.
+        let next_id = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let pool = WorkerPool::start(scope, 3, || {
+                (next_id.fetch_add(1, Ordering::Relaxed), 0usize)
+            });
+            assert_eq!(pool.workers(), 3);
+            let mut results = Vec::new();
+            for batch in 0..3 {
+                let out = pool.run_batch(12, |(id, claimed), i| {
+                    *claimed += 1;
+                    (i, *id, *claimed)
+                });
+                assert_eq!(
+                    out.iter().map(|&(i, _, _)| i).collect::<Vec<_>>(),
+                    (0..12).collect::<Vec<_>>(),
+                    "batch {batch} results stay in index order"
+                );
+                results.extend(out);
+            }
+            let mut per_id_max = std::collections::BTreeMap::<usize, usize>::new();
+            for &(_, id, claimed) in &results {
+                let slot = per_id_max.entry(id).or_insert(0);
+                *slot = (*slot).max(claimed);
+            }
+            assert!(per_id_max.len() <= 3, "no thread was ever respawned");
+            assert_eq!(
+                per_id_max.values().sum::<usize>(),
+                36,
+                "every worker's claim counter accumulated across all batches"
+            );
+        });
+    }
+
+    #[test]
+    fn pool_output_is_worker_count_independent() {
+        let expected: Vec<usize> = (0..53usize).map(|i| i.wrapping_mul(31) ^ 7).collect();
+        for workers in [1, 2, 5, 16] {
+            let out = std::thread::scope(|scope| {
+                let pool = WorkerPool::start(scope, workers, || ());
+                pool.run_batch(53, |(), i| i.wrapping_mul(31) ^ 7)
+            });
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = std::thread::scope(|scope| {
+            let pool = WorkerPool::start(scope, 8, || ());
+            pool.run_batch(3, |(), i| i + 1)
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        std::thread::scope(|scope| {
+            let pool: WorkerPool<'_, usize, ()> = WorkerPool::start(scope, 2, || ());
+            assert!(pool.run_batch(0, |(), i| i).is_empty());
+            assert_eq!(pool.run_batch(2, |(), i| i), vec![0, 1]);
+        });
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_index_exactly_once() {
+        // 1000 jobs, varied worker counts: the sum over f(i) pins that
+        // every index ran exactly once regardless of chunk boundaries.
+        let expected: u64 = (0..1000u64).map(|i| i * i).sum();
+        for workers in [1, 2, 7, 32] {
+            let out = std::thread::scope(|scope| {
+                let pool = WorkerPool::start(scope, workers, || ());
+                pool.run_batch(1000, |(), i| (i as u64) * (i as u64))
+            });
+            assert_eq!(out.iter().sum::<u64>(), expected);
+        }
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_dispatcher() {
+        let result = std::panic::catch_unwind(|| {
+            std::thread::scope(|scope| {
+                let pool = WorkerPool::start(scope, 2, || ());
+                pool.run_batch(8, |(), i| {
+                    assert!(i != 5, "job 5 exploded");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err(), "the dispatcher re-raises job panics");
+    }
+
+    #[test]
+    fn chunk_sizes_cover_the_span() {
+        assert_eq!(chunk_size(32, 4), 2);
+        assert_eq!(chunk_size(3, 8), 1);
+        assert_eq!(chunk_size(1000, 2), 125);
+        assert_eq!(chunk_size(1, 1), 1);
     }
 }

@@ -74,6 +74,14 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Campaigns too large for one process or one sitting can be split
+//! across machines ([`Campaign::run_shard`] /
+//! [`Campaign::merge_shard_reports`] with a [`ShardSpec`]) and survive
+//! kills ([`Campaign::run_with_checkpoint_file`], or
+//! [`Campaign::run_until`] / [`Campaign::resume`] with a
+//! [`CampaignCheckpoint`]) — in every case the final archive is
+//! byte-identical to the uninterrupted, unsharded run's.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -90,8 +98,9 @@ pub use ptest_soc as soc;
 
 pub use ptest_automata::{Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym};
 pub use ptest_campaign::{
-    Campaign, CampaignConfig, CampaignReport, LearningConfig, MemoryDetection, RoundReport,
-    ScheduleDetection,
+    config_fingerprint, Campaign, CampaignCheckpoint, CampaignConfig, CampaignReport,
+    LearningConfig, MemoryDetection, RoundReport, ScheduleDetection, ShardReport, ShardSpec,
+    CHECKPOINT_SCHEMA,
 };
 pub use ptest_core::{
     derived_memory_seed, derived_schedule_seed, AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector,
@@ -151,6 +160,29 @@ pub fn campaign_report_to_json(report: &CampaignReport) -> Result<String, serde_
 /// `serde_json` errors on malformed input.
 pub fn campaign_report_from_json(json: &str) -> Result<CampaignReport, serde_json::Error> {
     serde_json::from_str(json)
+}
+
+/// Serializes a campaign checkpoint as pretty JSON — the resumable
+/// round-boundary snapshot format (see
+/// [`Campaign::run_with_checkpoint_file`] for the file-based loop).
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (practically unreachable for this
+/// data).
+pub fn campaign_checkpoint_to_json(
+    checkpoint: &CampaignCheckpoint,
+) -> Result<String, serde_json::Error> {
+    checkpoint.to_json()
+}
+
+/// Parses a campaign checkpoint back from JSON.
+///
+/// # Errors
+///
+/// `serde_json` errors on malformed input.
+pub fn campaign_checkpoint_from_json(json: &str) -> Result<CampaignCheckpoint, serde_json::Error> {
+    CampaignCheckpoint::from_json(json)
 }
 
 #[cfg(test)]
