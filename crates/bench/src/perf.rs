@@ -34,6 +34,12 @@
 //!   versus under the `StoreBufferModel` (`mem_store_buffer`); the
 //!   delta is the cost of buffering and seeded delivery of every
 //!   cross-core store.
+//! * **Event-driven-loop suites** — a sleeper-dominated campaign under
+//!   a default `RandomPriorityScheduler` (`sched_sleep_heavy`) and a
+//!   long quiescent drain (`detector_idle_soak`): workloads where
+//!   nearly every platform cycle is idle, measuring how cheaply the
+//!   trial loop's idle-cycle fast-forward and dirty-tracked detection
+//!   cross quiescent stretches.
 //!
 //! The report schema is one entry per suite:
 //! `{suite, trials_per_sec, patterns_per_sec, steps_per_sec, wall_ms,
@@ -343,6 +349,36 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         &campaign,
     ));
 
+    // --- Event-driven-loop suites: workloads where nearly every
+    // platform cycle is idle, so throughput is bounded by how cheaply
+    // the trial loop crosses quiescent stretches rather than by task
+    // execution. `sched_sleep_heavy` is sleeper-dominated (short bursts
+    // between long naps) under a default RandomPriorityScheduler, so
+    // the idle skips also exercise the scheduler's bookkeeping;
+    // `detector_idle_soak` parks its workers past the drain window, so
+    // every trial tails off with a full `drain_cycles` quiescent drain
+    // under the detector's observation cadence.
+    let sleepy_cfg = ptest::AdaptiveTestConfig {
+        n: 2,
+        s: 6,
+        ..ptest::AdaptiveTestConfig::default()
+    };
+    let sleep_heavy = Configured::adjust(
+        crate::sleeper_scenario("sleep_heavy", 3, 8_000, sleepy_cfg.clone()),
+        |c| c.schedule = ScheduleSpec::RandomPriority(RandomPriorityConfig::default()),
+    );
+    suites.push(measure_campaign(
+        "sched_sleep_heavy",
+        &sleep_heavy,
+        &campaign,
+    ));
+    let idle_soak = crate::sleeper_scenario("idle_soak", 1, 100_000, sleepy_cfg);
+    suites.push(measure_campaign(
+        "detector_idle_soak",
+        &idle_soak,
+        &campaign,
+    ));
+
     let scaling = scaling_summary(&suites);
     BenchReport {
         schema: SCHEMA.to_owned(),
@@ -584,6 +620,8 @@ mod tests {
             "sched_random_priority",
             "mem_seqcst",
             "mem_store_buffer",
+            "sched_sleep_heavy",
+            "detector_idle_soak",
         ] {
             let suite = out.suite(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(suite.patterns_per_sec > 0.0, "{name}");

@@ -414,6 +414,37 @@ impl Committer {
         self.status
     }
 
+    /// The earliest cycle at which this committer can next *act* on its
+    /// own clock, given the current cycle `now` — the committer's
+    /// contribution to the event-driven trial loop's fast-forward
+    /// horizon. `None` means the committer is terminal and will never
+    /// act again (no upper bound on skipping).
+    ///
+    /// Response arrivals are deliberately *not* modelled here: a
+    /// response needs in-flight bridge traffic, which already
+    /// disqualifies fast-forwarding at the system level
+    /// ([`MultiCoreSystem::quiescent_horizon`]). What remains are the
+    /// committer's two self-timed events: declaring a response timeout
+    /// (`issued_at + response_timeout + 1`, the first cycle
+    /// `now.since(issued_at) > response_timeout` holds) and issuing the
+    /// next command once the pacing gap expires (`next_issue_at`).
+    #[must_use]
+    pub fn next_event_cycle(&self, now: Cycles) -> Option<u64> {
+        if self.status != CommitterStatus::Running {
+            return None;
+        }
+        if let Some((_, _, issued_at)) = self.awaiting {
+            return Some(issued_at.get() + self.cfg.response_timeout.get() + 1);
+        }
+        if self.pos >= self.merged.len() {
+            // The next `step` flips to `Done`; don't skip over it.
+            return Some(now.get() + 1);
+        }
+        // A full command ring can defer an issue past `next_issue_at`;
+        // never skip while an issue is (or may be) pending.
+        Some(self.next_issue_at.get().max(now.get() + 1))
+    }
+
     /// The Definition-2 state record of pattern `i` (see Figure 4).
     #[must_use]
     pub fn state_record(&self, pattern: usize, sys: &MultiCoreSystem) -> Option<StateRecord> {

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use ptest_master::MultiCoreSystem;
+use ptest_master::{MultiCoreSystem, SnapshotCache};
 use ptest_pcore::{ExitKind, KernelPanic, KernelSnapshot, TaskFault, TaskId, TaskState, WaitEdge};
 use ptest_soc::{CoreId, Cycles};
 
@@ -185,6 +185,56 @@ struct Progress {
     since: Cycles,
 }
 
+/// A set of slave indices as a bitset (one word covers 64 slaves), so
+/// the once-per-anomaly dedup checks in the observation hot path are
+/// O(1) instead of a linear scan per slave per observation.
+#[derive(Debug, Clone, Default)]
+struct SlaveSet {
+    bits: Vec<u64>,
+}
+
+impl SlaveSet {
+    /// Inserts `slave`, returning `true` when it was not already present.
+    fn insert(&mut self, slave: usize) -> bool {
+        let word = slave / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (slave % 64);
+        let fresh = self.bits[word] & mask == 0;
+        self.bits[word] |= mask;
+        fresh
+    }
+
+    fn contains(&self, slave: usize) -> bool {
+        self.bits
+            .get(slave / 64)
+            .is_some_and(|w| w & (1u64 << (slave % 64)) != 0)
+    }
+}
+
+/// A set of `(slave, task)` pairs: one 256-bit block per slave (task
+/// slots are `u8`-indexed, so 256 bits covers every possible task id).
+#[derive(Debug, Clone, Default)]
+struct SlaveTaskSet {
+    bits: Vec<[u64; 4]>,
+}
+
+impl SlaveTaskSet {
+    /// Inserts the pair, returning `true` when it was not already present.
+    fn insert(&mut self, slave: usize, task: TaskId) -> bool {
+        if slave >= self.bits.len() {
+            self.bits.resize(slave + 1, [0; 4]);
+        }
+        let slot = task.index();
+        let mask = 1u64 << (slot % 64);
+        let word = &mut self.bits[slave][slot / 64];
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+}
+
 /// The bug detector. Runs as an independent observer (the paper forks it
 /// as a child process); here it is polled with
 /// [`BugDetector::observe`] at a configurable cadence.
@@ -192,15 +242,18 @@ struct Progress {
 pub struct BugDetector {
     cfg: DetectorConfig,
     progress: HashMap<(usize, TaskId), Progress>,
-    reported_faults: Vec<(usize, TaskId)>,
-    reported_deadlock: Vec<usize>,
+    reported_faults: SlaveTaskSet,
+    reported_deadlock: SlaveSet,
     reported_cross_core: bool,
-    reported_crash: Vec<usize>,
-    reported_timeout: Vec<usize>,
-    reported_livelock: Vec<usize>,
-    reported_starvation: Vec<(usize, TaskId)>,
+    reported_crash: SlaveSet,
+    reported_timeout: SlaveSet,
+    reported_livelock: SlaveSet,
+    reported_starvation: SlaveTaskSet,
     /// Virtual time at which the committer was first observed done.
     done_since: Option<Cycles>,
+    /// `committer_done` at the previous observation: when the gate opens
+    /// the gated rules must re-run even if every kernel is clean.
+    last_done: bool,
     /// Reused across observations: per-kernel snapshots (task and
     /// wait-edge buffers included) and the progress-rule work lists. The
     /// detector observes thousands of times per trial; without these the
@@ -217,14 +270,15 @@ impl BugDetector {
         BugDetector {
             cfg,
             progress: HashMap::new(),
-            reported_faults: Vec::new(),
-            reported_deadlock: Vec::new(),
+            reported_faults: SlaveTaskSet::default(),
+            reported_deadlock: SlaveSet::default(),
             reported_cross_core: false,
-            reported_crash: Vec::new(),
-            reported_timeout: Vec::new(),
-            reported_livelock: Vec::new(),
-            reported_starvation: Vec::new(),
+            reported_crash: SlaveSet::default(),
+            reported_timeout: SlaveSet::default(),
+            reported_livelock: SlaveSet::default(),
+            reported_starvation: SlaveTaskSet::default(),
             done_since: None,
+            last_done: false,
             snapshot_scratch: Vec::new(),
             stalled_scratch: Vec::new(),
             moving_scratch: Vec::new(),
@@ -298,7 +352,34 @@ impl BugDetector {
         snapshots: &mut Vec<KernelSnapshot>,
     ) -> Vec<Bug> {
         sys.snapshots_into(snapshots);
-        self.check_rules(sys, committer, committer_done, snapshots)
+        self.check_rules(sys, committer, committer_done, snapshots, None)
+    }
+
+    /// [`BugDetector::observe_with`] through an epoch-keyed
+    /// [`SnapshotCache`]: kernels whose change epoch is unchanged since
+    /// the previous observation skip re-serialization (only their scalar
+    /// counters are refreshed), and the state-change rules (crash, task
+    /// fault, deadlock, cross-core) skip those *clean* kernels entirely.
+    /// The time-driven rules (command timeout, starvation, livelock)
+    /// still run every observation over the cached — content-identical —
+    /// snapshots, so detection cadence and report bytes are unchanged.
+    ///
+    /// The cache must be [`reset`](SnapshotCache::reset) between trials.
+    pub fn observe_cached(
+        &mut self,
+        sys: &MultiCoreSystem,
+        committer: Option<&Committer>,
+        committer_done: bool,
+        cache: &mut SnapshotCache,
+    ) -> Vec<Bug> {
+        sys.snapshots_into_cached(cache);
+        self.check_rules(
+            sys,
+            committer,
+            committer_done,
+            cache.snapshots(),
+            Some(cache.dirty()),
+        )
     }
 
     /// Runs every detection rule over this step's batched snapshots.
@@ -306,21 +387,33 @@ impl BugDetector {
     /// starvation, livelock — each per slave in slave order) is part of
     /// the archive format: reports must stay byte-identical across
     /// reruns *and* releases.
+    ///
+    /// `dirty` (one flag per slave, `None` = treat everything as dirty)
+    /// gates the purely state-driven rules: a kernel whose change epoch
+    /// has not moved since the last observation cannot newly panic,
+    /// fault a task, or grow a wait-for cycle, so those rules skip it.
+    /// Every state transition bumps the epoch *in* the transitioning
+    /// cycle, and observations happen on a fixed cadence, so a dirty
+    /// kernel is always observed dirty at least once.
     fn check_rules(
         &mut self,
         sys: &MultiCoreSystem,
         committer: Option<&Committer>,
         committer_done: bool,
         snapshots: &[KernelSnapshot],
+        dirty: Option<&[bool]>,
     ) -> Vec<Bug> {
         let now = sys.now();
+        let is_dirty = |slave: usize| dirty.is_none_or(|d| d[slave]);
         let mut bugs = Vec::new();
 
         // --- Crash (debug window), per slave.
         for (slave, snapshot) in snapshots.iter().enumerate() {
+            if !is_dirty(slave) {
+                continue;
+            }
             if let Some(panic) = snapshot.panic {
-                if !self.reported_crash.contains(&slave) {
-                    self.reported_crash.push(slave);
+                if self.reported_crash.insert(slave) {
                     bugs.push(self.make_bug(
                         BugKind::SlaveCrash { panic },
                         CoreId::slave(slave),
@@ -331,11 +424,12 @@ impl BugDetector {
                 }
             }
         }
-        // --- Crash (timeout path: silent slave), per lane.
+        // --- Crash (timeout path: silent slave), per lane. Time-driven:
+        //     commands go overdue while the slave stays clean, so this
+        //     rule never skips.
         for (slave, snapshot) in snapshots.iter().enumerate() {
             let overdue = sys.overdue_count_for(slave, self.cfg.command_timeout);
-            if overdue > 0 && !self.reported_timeout.contains(&slave) {
-                self.reported_timeout.push(slave);
+            if overdue > 0 && self.reported_timeout.insert(slave) {
                 bugs.push(self.make_bug(
                     BugKind::CommandTimeout { overdue },
                     CoreId::slave(slave),
@@ -347,10 +441,12 @@ impl BugDetector {
         }
         // --- Task faults, per slave.
         for (slave, snapshot) in snapshots.iter().enumerate() {
+            if !is_dirty(slave) {
+                continue;
+            }
             for t in &snapshot.tasks {
                 if let TaskState::Terminated(ExitKind::Faulted(fault)) = t.state {
-                    if !self.reported_faults.contains(&(slave, t.id)) {
-                        self.reported_faults.push((slave, t.id));
+                    if self.reported_faults.insert(slave, t.id) {
                         bugs.push(self.make_bug(
                             BugKind::TaskFault { task: t.id, fault },
                             CoreId::slave(slave),
@@ -364,9 +460,12 @@ impl BugDetector {
         }
         // --- Deadlock: cycle in one kernel's waiter -> holder edges.
         for (slave, snapshot) in snapshots.iter().enumerate() {
-            if !self.reported_deadlock.contains(&slave) {
+            if !is_dirty(slave) {
+                continue;
+            }
+            if !self.reported_deadlock.contains(slave) {
                 if let Some(cycle) = find_cycle(&snapshot.wait_edges) {
-                    self.reported_deadlock.push(slave);
+                    self.reported_deadlock.insert(slave);
                     bugs.push(self.make_bug(
                         BugKind::Deadlock { cycle },
                         CoreId::slave(slave),
@@ -378,8 +477,14 @@ impl BugDetector {
             }
         }
         // --- Cross-core deadlock: cycle spanning kernels through the
-        //     registered semaphore hand-off links.
-        if committer_done && !self.reported_cross_core {
+        //     registered semaphore hand-off links. The wait graph only
+        //     changes when some kernel changes, so with every kernel
+        //     clean the search is skipped — unless the committer-done
+        //     gate just opened, which enables the rule on its own.
+        let any_dirty = dirty.is_none_or(|d| d.iter().any(|&x| x));
+        let gate_opened = committer_done != self.last_done;
+        self.last_done = committer_done;
+        if committer_done && !self.reported_cross_core && (any_dirty || gate_opened) {
             if let Some(cycle) = find_cross_core_cycle(sys, snapshots) {
                 self.reported_cross_core = true;
                 let first_core = cycle[0].0;
@@ -426,8 +531,7 @@ impl BugDetector {
         if committer_done {
             let done_since = *self.done_since.get_or_insert(now);
             for &(slave, task, runnable) in &stalled {
-                if !self.reported_starvation.contains(&(slave, task)) {
-                    self.reported_starvation.push((slave, task));
+                if self.reported_starvation.insert(slave, task) {
                     bugs.push(self.make_bug(
                         BugKind::Starvation { task, runnable },
                         CoreId::slave(slave),
@@ -443,7 +547,7 @@ impl BugDetector {
             // attributable to their kernel.
             if any_live && now.since(done_since) >= self.cfg.progress_window {
                 for (slave, snapshot) in snapshots.iter().enumerate() {
-                    if self.reported_livelock.contains(&slave) {
+                    if self.reported_livelock.contains(slave) {
                         continue;
                     }
                     let tasks: Vec<TaskId> = moving
@@ -454,7 +558,7 @@ impl BugDetector {
                     if tasks.is_empty() {
                         continue;
                     }
-                    self.reported_livelock.push(slave);
+                    self.reported_livelock.insert(slave);
                     bugs.push(self.make_bug(
                         BugKind::Livelock { tasks },
                         CoreId::slave(slave),
@@ -613,6 +717,23 @@ mod tests {
     }
 
     #[test]
+    fn slave_sets_dedup_in_constant_time() {
+        let mut s = SlaveSet::default();
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(70), "second word allocates on demand");
+        assert!(s.contains(70));
+        assert!(!s.contains(1));
+        assert!(!s.contains(500));
+        let mut ts = SlaveTaskSet::default();
+        assert!(ts.insert(0, TaskId::new(5)));
+        assert!(!ts.insert(0, TaskId::new(5)));
+        assert!(ts.insert(1, TaskId::new(5)), "keyed by slave too");
+        assert!(ts.insert(0, TaskId::new(200)), "full u8 task range");
+        assert!(!ts.insert(0, TaskId::new(200)));
+    }
+
+    #[test]
     fn two_cycle_detected() {
         let cycle = find_cycle(&[edge(0, 1, 0), edge(1, 0, 1)]).unwrap();
         assert_eq!(cycle.len(), 2);
@@ -673,7 +794,7 @@ mod tests {
 
     mod live_system {
         use super::super::*;
-        use ptest_master::{DualCoreSystem, MultiCoreSystem, SystemConfig};
+        use ptest_master::{DualCoreSystem, MultiCoreSystem, SnapshotCache, SystemConfig};
         use ptest_pcore::{Op, Priority, Program, SvcRequest};
 
         fn spin_system() -> DualCoreSystem {
@@ -849,6 +970,48 @@ mod tests {
             assert!(
                 det.observe(&sys, None, false).is_empty(),
                 "an in-flight create could still resolve the wait"
+            );
+        }
+
+        #[test]
+        fn cached_observation_matches_uncached() {
+            let mut sys = spin_system();
+            let mut plain = BugDetector::new(DetectorConfig {
+                progress_window: Cycles::new(2_000),
+                ..DetectorConfig::default()
+            });
+            let mut cached = plain.clone();
+            let mut cache = SnapshotCache::new();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for i in 0..30_000u64 {
+                sys.step();
+                if i % 200 == 0 {
+                    a.extend(plain.observe(&sys, None, true));
+                    b.extend(cached.observe_cached(&sys, None, true, &mut cache));
+                }
+            }
+            assert!(!a.is_empty());
+            let plain_lines: Vec<String> = a.iter().map(ToString::to_string).collect();
+            let cached_lines: Vec<String> = b.iter().map(ToString::to_string).collect();
+            assert_eq!(plain_lines, cached_lines);
+        }
+
+        #[test]
+        fn cross_core_rule_runs_when_gate_opens_on_clean_kernels() {
+            let mut sys = crossed_handoff_system();
+            sys.run(500);
+            let mut det = BugDetector::new(DetectorConfig::default());
+            let mut cache = SnapshotCache::new();
+            assert!(det.observe_cached(&sys, None, false, &mut cache).is_empty());
+            // Every task is blocked: further cycles leave all kernels
+            // clean, so only the committer-done flip enables the rule.
+            sys.run(100);
+            let bugs = det.observe_cached(&sys, None, true, &mut cache);
+            assert!(
+                bugs.iter()
+                    .any(|b| matches!(b.kind, BugKind::CrossCoreDeadlock { .. })),
+                "{bugs:?}"
             );
         }
     }

@@ -14,8 +14,10 @@
 //! [`AdaptiveTest::run`]: crate::AdaptiveTest::run
 
 use ptest_automata::{GenerateOptions, Regex};
-use ptest_master::{DualCoreSystem, MemoryModel, MemoryModelSpec, Scheduler};
-use ptest_pcore::{KernelSnapshot, ProgramId};
+use ptest_master::{
+    DualCoreSystem, IdleHorizon, MemoryModel, MemoryModelSpec, Scheduler, SnapshotCache,
+};
+use ptest_pcore::ProgramId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,16 +36,19 @@ use crate::scenario::Scenario;
 pub struct TrialEngine {
     config: AdaptiveTestConfig,
     generator: PatternGenerator,
+    fast_forward: bool,
 }
 
 /// Reusable working memory for [`TrialEngine::run_trial_in`]. A campaign
 /// worker keeps one of these for its whole lifetime, so the buffers the
-/// trial hot loop churns through — per-kernel detector snapshots with
-/// their task lists and wait edges — reach a steady state after the
-/// first trial and stop allocating.
+/// trial hot loop churns through — the epoch-keyed per-kernel snapshot
+/// cache with its task lists and wait edges — reach a steady state after
+/// the first trial and stop allocating. The cache's epoch bookkeeping is
+/// reset at the start of every trial, so scratch reuse never leaks state
+/// between trials.
 #[derive(Debug, Default)]
 pub struct TrialScratch {
-    snapshots: Vec<KernelSnapshot>,
+    cache: SnapshotCache,
 }
 
 impl TrialScratch {
@@ -88,7 +93,28 @@ impl TrialEngine {
     pub fn new(config: AdaptiveTestConfig) -> Result<TrialEngine, AdaptiveTestError> {
         let regex = Regex::parse(&config.regex_source).map_err(AdaptiveTestError::Regex)?;
         let generator = PatternGenerator::new(regex, &config.pd).map_err(AdaptiveTestError::Pfa)?;
-        Ok(TrialEngine { config, generator })
+        let fast_forward = std::env::var_os("PTEST_NO_FAST_FORWARD").is_none();
+        Ok(TrialEngine {
+            config,
+            generator,
+            fast_forward,
+        })
+    }
+
+    /// Enables or disables idle-cycle fast-forward for trials run by this
+    /// engine. Fast-forward is a pure latency optimisation — reports are
+    /// byte-identical either way (the equivalence suite pins this) — so
+    /// the switch exists for validation and debugging only. It can also
+    /// be flipped off process-wide by setting the `PTEST_NO_FAST_FORWARD`
+    /// environment variable, read once per [`TrialEngine::new`].
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether idle-cycle fast-forward is active for this engine.
+    #[must_use]
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
     }
 
     /// The compiled pattern generator (PFA + legality oracle).
@@ -251,10 +277,54 @@ impl TrialEngine {
         // engine (the golden fixtures pin this).
         let mut memory_model: Option<Box<dyn MemoryModel>> = cfg.memory.model(memory_seed);
 
+        scratch.cache.reset();
         let mut bugs: Vec<Bug> = Vec::new();
         let mut cycles = 0u64;
         let mut done_at: Option<u64> = None;
         while cycles < cfg.max_cycles {
+            // --- Idle-cycle fast-forward. When every component can name
+            // the first future cycle at which it could do observable work
+            // (sleeper wake-ups, a pending store delivery, the
+            // committer's next issue/timeout/completion cycle), and that
+            // cycle — capped by the next detector observe point and the
+            // drain/end-of-trial deadlines — is more than one step away,
+            // the idle gap is advanced arithmetically: clocks jump, idle
+            // tick counters batch-update, and the schedule stream is
+            // consumed in closed form. Cycle `target` itself then
+            // executes normally, so every observable transition and every
+            // detector observation lands on exactly the cycle it would
+            // under cycle-by-cycle stepping (the equivalence suite and
+            // the golden fixtures pin the reports byte-identical).
+            if self.fast_forward {
+                let sys_horizon = sys.quiescent_horizon();
+                let model_horizon = memory_model
+                    .as_deref()
+                    .map_or(IdleHorizon::Unbounded, MemoryModel::idle_horizon);
+                if sys_horizon != IdleHorizon::Unknown && model_horizon != IdleHorizon::Unknown {
+                    let mut target = (cycles / cfg.check_interval + 1) * cfg.check_interval;
+                    if let IdleHorizon::Until(h) = sys_horizon {
+                        target = target.min(h);
+                    }
+                    if let IdleHorizon::Until(h) = model_horizon {
+                        target = target.min(h);
+                    }
+                    if let Some(event) = committer.next_event_cycle(sys.now()) {
+                        target = target.min(event);
+                    }
+                    if let Some(done) = done_at {
+                        target = target.min(done + cfg.drain_cycles);
+                    }
+                    target = target.min(cfg.max_cycles);
+                    if target > cycles + 1 {
+                        let skip = target - cycles - 1;
+                        match scheduler.as_deref_mut() {
+                            None => sys.fast_forward_idle(skip),
+                            Some(sched) => sys.fast_forward_idle_with(skip, sched),
+                        }
+                        cycles += skip;
+                    }
+                }
+            }
             cycles += 1;
             match (scheduler.as_deref_mut(), memory_model.as_deref_mut()) {
                 (None, None) => sys.step(),
@@ -268,11 +338,11 @@ impl TrialEngine {
                 done_at = Some(cycles);
             }
             if cycles.is_multiple_of(cfg.check_interval) {
-                bugs.extend(detector.observe_with(
+                bugs.extend(detector.observe_cached(
                     &sys,
                     Some(&committer),
                     committer_done,
-                    &mut scratch.snapshots,
+                    &mut scratch.cache,
                 ));
             }
             // Stop once a crash-class bug is in hand, or after the drain
@@ -297,11 +367,11 @@ impl TrialEngine {
                 let quiescent = sys.kernel_of(0).live_task_count() == 0;
                 if quiescent || cycles - done >= cfg.drain_cycles {
                     // Final sweep before ending.
-                    bugs.extend(detector.observe_with(
+                    bugs.extend(detector.observe_cached(
                         &sys,
                         Some(&committer),
                         true,
-                        &mut scratch.snapshots,
+                        &mut scratch.cache,
                     ));
                     break;
                 }

@@ -78,12 +78,15 @@ pub mod sched;
 mod system;
 mod thread;
 
-pub use mem::{MemoryModel, MemoryModelSpec, SharedVarBus, StoreBufferConfig, StoreBufferModel};
+pub use mem::{
+    IdleHorizon, MemoryModel, MemoryModelSpec, SharedVarBus, StoreBufferConfig, StoreBufferModel,
+};
 pub use sched::{
-    LockStepScheduler, RandomPriorityConfig, RandomPriorityScheduler, ScheduleSpec, Scheduler,
+    IdleAdvance, LockStepScheduler, RandomPriorityConfig, RandomPriorityScheduler, ScheduleSpec,
+    Scheduler,
 };
 pub use system::{
-    CouplingError, DualCoreSystem, MultiCoreSystem, SemLink, SharedVar, SystemConfig,
+    CouplingError, DualCoreSystem, MultiCoreSystem, SemLink, SharedVar, SnapshotCache, SystemConfig,
 };
 pub use thread::{MasterOp, MasterThread, ThreadId, ThreadState};
 

@@ -86,6 +86,21 @@ pub trait SharedVarBus {
     fn take_fences(&mut self, slave: usize) -> u64;
 }
 
+/// A memory model's contribution to the event-driven trial loop's
+/// fast-forward horizon (see [`MemoryModel::idle_horizon`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleHorizon {
+    /// The model cannot certify its idle behaviour; the platform must
+    /// step (and [`MemoryModel::sync`]) cycle by cycle.
+    Unknown,
+    /// Nothing is in flight: with no new stores or fences, every future
+    /// sync is a no-op, so idle cycles may be skipped without bound.
+    Unbounded,
+    /// With no new stores or fences, every sync strictly before this
+    /// cycle is a no-op; the sync *at* this cycle may deliver.
+    Until(u64),
+}
+
 /// A pluggable cross-core propagation policy for shared variables.
 ///
 /// Called once per platform cycle, after the slave kernels have ticked,
@@ -93,6 +108,19 @@ pub trait SharedVarBus {
 pub trait MemoryModel: fmt::Debug + Send {
     /// Propagates stores for the cycle that just executed.
     fn sync(&mut self, now: Cycles, bus: &mut dyn SharedVarBus);
+
+    /// The earliest future cycle at which this model can change
+    /// observable state *on its own clock* — assuming no kernel retires
+    /// a store or fence in the meantime (the system-level quiescence
+    /// check guarantees that during a skipped window). Skipping the
+    /// per-cycle [`MemoryModel::sync`] calls strictly before the
+    /// returned horizon must be bit-identical to making them.
+    ///
+    /// The default is [`IdleHorizon::Unknown`], which disqualifies
+    /// fast-forwarding entirely — always sound.
+    fn idle_horizon(&self) -> IdleHorizon {
+        IdleHorizon::Unknown
+    }
 }
 
 /// Configuration of the [`StoreBufferModel`].
@@ -406,6 +434,32 @@ impl MemoryModel for StoreBufferModel {
         self.enforce_capacity(slaves, bus);
         self.retire_delivered(slaves, bus);
     }
+
+    fn idle_horizon(&self) -> IdleHorizon {
+        // Per `(writer, observer)` lane, `deliver_due` walks front to
+        // back and stops at the first undue undelivered entry, so the
+        // lane's next possible delivery is exactly its first
+        // undelivered entry's `deliver_at`. The model's horizon is the
+        // minimum over lanes; with every buffer empty, idle syncs are
+        // no-ops forever.
+        let mut next: Option<u64> = None;
+        for (w, buffer) in self.buffers.iter().enumerate() {
+            let observers = self.buffers.len();
+            for j in 0..observers {
+                if j == w {
+                    continue;
+                }
+                if let Some(e) = buffer.iter().find(|e| !e.delivered[j]) {
+                    let at = e.deliver_at[j];
+                    next = Some(next.map_or(at, |n| n.min(at)));
+                }
+            }
+        }
+        match next {
+            None => IdleHorizon::Unbounded,
+            Some(at) => IdleHorizon::Until(at),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +672,26 @@ mod tests {
         m.sync(Cycles::new(2), &mut bus);
         assert_eq!(bus.vars[0][0], 10);
         assert_eq!(bus.vars[1][0], 20);
+    }
+
+    #[test]
+    fn idle_horizon_tracks_the_earliest_pending_delivery() {
+        let mut bus = ToyBus::new(2, 1);
+        let mut m = model(1_000, 3);
+        assert_eq!(m.idle_horizon(), IdleHorizon::Unbounded, "fresh model");
+        m.sync(Cycles::new(1), &mut bus);
+        assert_eq!(m.idle_horizon(), IdleHorizon::Unbounded, "no stores yet");
+        bus.vars[0][0] = 9;
+        m.sync(Cycles::new(2), &mut bus);
+        let IdleHorizon::Until(at) = m.idle_horizon() else {
+            panic!("a buffered store must bound the horizon");
+        };
+        assert!(at > 2, "delivery is strictly in the future: {at}");
+        // Skipping syncs up to the horizon, then syncing there, must
+        // deliver exactly as the cycle-by-cycle run would.
+        m.sync(Cycles::new(at), &mut bus);
+        assert_eq!(bus.vars[1][0], 9, "store delivered at its horizon");
+        assert_eq!(m.idle_horizon(), IdleHorizon::Unbounded, "drained again");
     }
 
     #[test]

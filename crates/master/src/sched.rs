@@ -46,6 +46,21 @@ use std::fmt;
 
 use ptest_soc::Cycles;
 
+/// Per-kernel outcome of a batch of scheduler-skipped idle cycles
+/// ([`Scheduler::skip_idle_cycles`]): how the kernel's pure idle
+/// bookkeeping must advance to stay bit-identical with stepping the
+/// cycles one by one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdleAdvance {
+    /// Number of skipped cycles the scheduler would have advanced the
+    /// kernel in (each a pure idle tick — nothing was runnable).
+    pub ticks: u64,
+    /// The last skipped cycle the kernel was advanced at, if any — the
+    /// kernel's local clock must land there, exactly as its final
+    /// cycle-by-cycle tick would have left it.
+    pub last: Option<Cycles>,
+}
+
 /// Decides, each system cycle, which slave kernels execute a task cycle.
 ///
 /// Implementations must be deterministic: the advance decisions may
@@ -58,6 +73,39 @@ pub trait Scheduler: fmt::Debug + Send {
     /// kernel has work a task cycle could progress (a dispatchable task
     /// or a sleeper due at `now`); `now` is the cycle about to execute.
     fn plan(&mut self, now: Cycles, runnable: &[bool], advance: &mut [bool]);
+
+    /// Plans `count` consecutive cycles starting at `start` during which
+    /// *no* slave is runnable, accumulating into `idle` (pre-sized to
+    /// the slave count) how many of those cycles each kernel would have
+    /// been advanced in — each a pure idle tick — and the last cycle it
+    /// was advanced at. Must leave the scheduler in exactly the state
+    /// `count` calls of [`Scheduler::plan`] with all-false `runnable`
+    /// would have. `runnable` is the all-false slice those calls would
+    /// have seen; `advance` is caller-provided scratch.
+    ///
+    /// The default implementation literally replays `plan` cycle by
+    /// cycle — exact for any scheduler, with no speedup; schedulers
+    /// whose idle behaviour has a closed form override it.
+    fn skip_idle_cycles(
+        &mut self,
+        start: Cycles,
+        count: u64,
+        runnable: &[bool],
+        advance: &mut [bool],
+        idle: &mut [IdleAdvance],
+    ) {
+        for c in 0..count {
+            let now = Cycles::new(start.get() + c);
+            advance.fill(true);
+            self.plan(now, runnable, advance);
+            for (i, &advanced) in advance.iter().enumerate() {
+                if advanced {
+                    idle[i].ticks += 1;
+                    idle[i].last = Some(now);
+                }
+            }
+        }
+    }
 }
 
 /// The historical schedule: every kernel advances every cycle. Driving
@@ -70,6 +118,25 @@ pub struct LockStepScheduler;
 impl Scheduler for LockStepScheduler {
     fn plan(&mut self, _now: Cycles, _runnable: &[bool], _advance: &mut [bool]) {
         // `advance` arrives all-true: lock-step is the identity plan.
+    }
+
+    fn skip_idle_cycles(
+        &mut self,
+        start: Cycles,
+        count: u64,
+        _runnable: &[bool],
+        _advance: &mut [bool],
+        idle: &mut [IdleAdvance],
+    ) {
+        // Lock-step advances every kernel every cycle, idle or not.
+        if count == 0 {
+            return;
+        }
+        let last = Cycles::new(start.get() + count - 1);
+        for slot in idle.iter_mut() {
+            slot.ticks += count;
+            slot.last = Some(last);
+        }
     }
 }
 
@@ -272,6 +339,27 @@ impl Scheduler for RandomPriorityScheduler {
             }
         }
     }
+
+    fn skip_idle_cycles(
+        &mut self,
+        _start: Cycles,
+        count: u64,
+        _runnable: &[bool],
+        _advance: &mut [bool],
+        _idle: &mut [IdleAdvance],
+    ) {
+        // With nothing runnable, each planned cycle pops its passed
+        // change points with no leader to demote (the leader over an
+        // all-false runnable set is `None`), counts the cycle, and
+        // clears every slave's fairness debt; no slave is advanced. The
+        // whole batch collapses to a closed form.
+        let end = self.planned + count;
+        while self.change_points.last().is_some_and(|&cp| cp < end) {
+            self.change_points.pop();
+        }
+        self.planned = end;
+        self.skipped.fill(0);
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +469,99 @@ mod tests {
         let first = plan_once(&mut s, &[true; 3]);
         for _ in 0..100 {
             assert_eq!(plan_once(&mut s, &[true; 3]), first);
+        }
+    }
+
+    /// Replays `plan` cycle by cycle with an all-false runnable set —
+    /// the `skip_idle_cycles` default implementation, hoisted so tests
+    /// can compare a closed-form override against it on the same type.
+    fn replay_idle(
+        s: &mut dyn Scheduler,
+        start: u64,
+        count: u64,
+        slaves: usize,
+    ) -> Vec<IdleAdvance> {
+        let runnable = vec![false; slaves];
+        let mut advance = vec![true; slaves];
+        let mut idle = vec![IdleAdvance::default(); slaves];
+        for c in 0..count {
+            advance.fill(true);
+            s.plan(Cycles::new(start + c), &runnable, &mut advance);
+            for (i, &a) in advance.iter().enumerate() {
+                if a {
+                    idle[i].ticks += 1;
+                    idle[i].last = Some(Cycles::new(start + c));
+                }
+            }
+        }
+        idle
+    }
+
+    fn skip_idle(s: &mut dyn Scheduler, start: u64, count: u64, slaves: usize) -> Vec<IdleAdvance> {
+        let runnable = vec![false; slaves];
+        let mut advance = vec![true; slaves];
+        let mut idle = vec![IdleAdvance::default(); slaves];
+        s.skip_idle_cycles(
+            Cycles::new(start),
+            count,
+            &runnable,
+            &mut advance,
+            &mut idle,
+        );
+        idle
+    }
+
+    #[test]
+    fn lock_step_skip_matches_per_cycle_replay() {
+        let mut replayed = LockStepScheduler;
+        let mut skipped = LockStepScheduler;
+        assert_eq!(
+            skip_idle(&mut skipped, 7, 1_000, 3),
+            replay_idle(&mut replayed, 7, 1_000, 3)
+        );
+        assert_eq!(
+            skip_idle(&mut skipped, 1, 0, 3),
+            vec![IdleAdvance::default(); 3]
+        );
+    }
+
+    #[test]
+    fn random_priority_skip_matches_per_cycle_replay() {
+        // Exercise the closed form across change-point boundaries: a
+        // short horizon guarantees all three change points fall inside
+        // the skipped window, and interleaving idle batches with live
+        // plan calls checks the scheduler state (planned, change points,
+        // fairness debt) is left exactly as the replay leaves it.
+        let cfg = RandomPriorityConfig {
+            change_points: 3,
+            horizon: 500,
+            fairness_window: 8,
+        };
+        for seed in 0..16u64 {
+            let mut replayed = RandomPriorityScheduler::new(3, seed, cfg);
+            let mut skipped = RandomPriorityScheduler::new(3, seed, cfg);
+            // Build up some fairness debt and demotions first.
+            for step in 0..40u64 {
+                let runnable = [true, step % 3 != 0, true];
+                assert_eq!(
+                    plan_once(&mut replayed, &runnable),
+                    plan_once(&mut skipped, &runnable)
+                );
+            }
+            assert_eq!(
+                skip_idle(&mut skipped, 41, 600, 3),
+                replay_idle(&mut replayed, 41, 600, 3)
+            );
+            // Post-skip streams must stay identical: the internal state
+            // (planned, remaining change points, priorities, skipped)
+            // agrees, not just the idle outcome.
+            for step in 0..100u64 {
+                let runnable = [step % 5 != 0, true, true];
+                assert_eq!(
+                    plan_once(&mut replayed, &runnable),
+                    plan_once(&mut skipped, &runnable)
+                );
+            }
         }
     }
 

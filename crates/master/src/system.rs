@@ -18,7 +18,8 @@ use ptest_bridge::{BridgeError, BridgeLayout, CmdId, CmdResponse, MasterPort, Sl
 use ptest_pcore::{Kernel, KernelConfig, KernelSnapshot, SemId, SvcRequest, VarId};
 use ptest_soc::{CoreId, Cycles, MailboxBank, SharedSram, SramError, TraceBuffer, VirtualClock};
 
-use crate::mem::{MemoryModel, SharedVarBus};
+use crate::mem::{IdleHorizon, MemoryModel, SharedVarBus};
+use crate::sched::{IdleAdvance, Scheduler};
 use crate::thread::{MasterOp, MasterThread, ThreadId, ThreadState};
 
 /// Configuration of a [`MultiCoreSystem`].
@@ -166,7 +167,59 @@ pub struct MultiCoreSystem {
     /// Reused per-cycle scratch of [`MultiCoreSystem::step_with`].
     sched_runnable: Vec<bool>,
     sched_advance: Vec<bool>,
+    /// Reused scratch of [`MultiCoreSystem::fast_forward_idle_with`].
+    sched_idle: Vec<IdleAdvance>,
     cfg: SystemConfig,
+}
+
+/// Epoch-keyed snapshot cache for
+/// [`MultiCoreSystem::snapshots_into_cached`]: a kernel is re-serialized
+/// only when its [change epoch](ptest_pcore::Kernel::change_epoch) moved
+/// since the cache's last observation; a *clean* kernel's cached
+/// snapshot just gets its pure time scalars (`now`, `ticks`,
+/// `idle_ticks`) refreshed — the only fields an idle kernel moves.
+///
+/// A cache is bound to the system it last observed: call
+/// [`SnapshotCache::reset`] before pointing it at a different (or fresh)
+/// system, since new kernels restart their epochs at zero and could
+/// collide with stale entries.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    snapshots: Vec<KernelSnapshot>,
+    epochs: Vec<u64>,
+    dirty: Vec<bool>,
+}
+
+impl SnapshotCache {
+    /// An empty cache; the first observation fills it (every kernel is
+    /// dirty the first time).
+    #[must_use]
+    pub fn new() -> SnapshotCache {
+        SnapshotCache::default()
+    }
+
+    /// Invalidates the cache, keeping its buffers for reuse.
+    pub fn reset(&mut self) {
+        self.snapshots.clear();
+        self.epochs.clear();
+        self.dirty.clear();
+    }
+
+    /// The cached snapshots, in slave order — exactly what
+    /// [`MultiCoreSystem::snapshots`] would return as of the last
+    /// [`MultiCoreSystem::snapshots_into_cached`] call.
+    #[must_use]
+    pub fn snapshots(&self) -> &[KernelSnapshot] {
+        &self.snapshots
+    }
+
+    /// Per-slave dirtiness of the last observation: `true` if the
+    /// kernel's epoch had moved (its snapshot changed beyond the pure
+    /// time scalars) since the observation before.
+    #[must_use]
+    pub fn dirty(&self) -> &[bool] {
+        &self.dirty
+    }
 }
 
 /// The original dual-core (one master, one slave) platform: the `n = 1`
@@ -222,6 +275,7 @@ impl MultiCoreSystem {
             shared_var_mirror: Vec::new(),
             sched_runnable: Vec::new(),
             sched_advance: Vec::new(),
+            sched_idle: Vec::new(),
             cfg,
         }
     }
@@ -481,6 +535,160 @@ impl MultiCoreSystem {
         for (slave, snap) in self.slaves.iter().zip(out.iter_mut()) {
             slave.kernel.snapshot_into(snap);
         }
+    }
+
+    /// [`MultiCoreSystem::snapshots_into`] through an epoch-keyed
+    /// [`SnapshotCache`]: kernels whose change epoch is unchanged since
+    /// the cache's last observation skip re-serialization entirely (only
+    /// their time scalars are refreshed). `cache.snapshots()` afterwards
+    /// equals what a fresh [`MultiCoreSystem::snapshots_into`] would
+    /// have produced.
+    pub fn snapshots_into_cached(&self, cache: &mut SnapshotCache) {
+        let n = self.slaves.len();
+        cache.snapshots.resize_with(n, KernelSnapshot::default);
+        cache.epochs.resize(n, u64::MAX);
+        cache.dirty.resize(n, true);
+        for (i, slave) in self.slaves.iter().enumerate() {
+            let epoch = slave.kernel.change_epoch();
+            if cache.epochs[i] == epoch {
+                slave.kernel.scalars_into(&mut cache.snapshots[i]);
+                cache.dirty[i] = false;
+            } else {
+                slave.kernel.snapshot_into(&mut cache.snapshots[i]);
+                cache.epochs[i] = epoch;
+                cache.dirty[i] = true;
+            }
+        }
+    }
+
+    /// The platform's idle-cycle fast-forward horizon: the earliest
+    /// future cycle at which anything observable can happen, assuming no
+    /// external input arrives in the meantime.
+    ///
+    /// * [`IdleHorizon::Unknown`] — the platform is *not* quiescent
+    ///   (dispatchable kernel work, in-flight bridge or mailbox traffic,
+    ///   pending semaphore hand-offs or fences, un-mirrored shared-var
+    ///   stores, or a live master thread); it must be stepped cycle by
+    ///   cycle.
+    /// * [`IdleHorizon::Until`]`(c)` — every cycle strictly before `c` is
+    ///   a pure idle cycle (skippable via
+    ///   [`MultiCoreSystem::fast_forward_idle`]); `c` is the earliest
+    ///   sleeper deadline (kernel task or master thread).
+    /// * [`IdleHorizon::Unbounded`] — quiescent with nothing scheduled
+    ///   to wake: every future cycle is a pure idle cycle.
+    ///
+    /// The active [`MemoryModel`]'s own
+    /// [`idle_horizon`](MemoryModel::idle_horizon) must be intersected
+    /// by the caller; this method only covers the platform.
+    #[must_use]
+    pub fn quiescent_horizon(&self) -> IdleHorizon {
+        let next = Cycles::new(self.clock.now().get() + 1);
+        // Disqualifiers: work or traffic that can mutate state on any
+        // upcoming cycle in ways plain idle bookkeeping cannot replay.
+        if self.current_thread.is_some() || !self.inbox.is_empty() || self.mailboxes.any_pending() {
+            return IdleHorizon::Unknown;
+        }
+        for slave in &self.slaves {
+            if slave.kernel.has_dispatchable_work(next) || slave.kernel.pending_fence_count() > 0 {
+                return IdleHorizon::Unknown;
+            }
+        }
+        for link in &self.sem_links {
+            if self.slaves[link.from_slave]
+                .kernel
+                .semaphore_count(link.from_sem)
+                .unwrap_or(0)
+                > 0
+            {
+                return IdleHorizon::Unknown;
+            }
+        }
+        for (i, shared) in self.shared_vars.iter().enumerate() {
+            let agreed = self.shared_var_mirror[i];
+            if self
+                .slaves
+                .iter()
+                .any(|s| s.kernel.var(shared.var).unwrap_or(agreed) != agreed)
+            {
+                return IdleHorizon::Unknown;
+            }
+        }
+        // Candidates: the only self-timed future events are sleepers.
+        let mut horizon: Option<u64> = None;
+        let mut merge = |at: u64| {
+            horizon = Some(horizon.map_or(at, |h| h.min(at)));
+        };
+        for slave in &self.slaves {
+            if let Some(at) = slave.kernel.next_sleeper_wake() {
+                merge(at);
+            }
+        }
+        for t in &self.threads {
+            match t.state {
+                // A ready thread acts next cycle (it just isn't current
+                // for one rotation); waiting threads wake only through
+                // response traffic, which is disqualified above.
+                ThreadState::Ready => return IdleHorizon::Unknown,
+                ThreadState::Sleeping { until } => merge(until),
+                ThreadState::Waiting(_) | ThreadState::Done => {}
+            }
+        }
+        match horizon {
+            Some(at) => IdleHorizon::Until(at),
+            None => IdleHorizon::Unbounded,
+        }
+    }
+
+    /// Batch-advances the platform across `count` cycles known to be
+    /// idle (a window certified by
+    /// [`MultiCoreSystem::quiescent_horizon`]) on the lock-step path:
+    /// the clock jumps and every kernel applies the pure idle-tick
+    /// bookkeeping arithmetically. Bit-identical to calling
+    /// [`MultiCoreSystem::step`] `count` times under the quiescence
+    /// precondition.
+    pub fn fast_forward_idle(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.clock.advance(Cycles::new(count));
+        let now = self.clock.now();
+        for slave in &mut self.slaves {
+            slave.kernel.fast_forward_idle(count, now);
+        }
+    }
+
+    /// The scheduled counterpart of
+    /// [`MultiCoreSystem::fast_forward_idle`]: the scheduler plans the
+    /// whole idle window in one call (its internal state advances
+    /// exactly as `count` all-idle [`Scheduler::plan`] calls would), and
+    /// each kernel applies the idle ticks of precisely the cycles the
+    /// scheduler would have advanced it in. Bit-identical to calling
+    /// [`MultiCoreSystem::step_with`] `count` times under the
+    /// quiescence precondition.
+    pub fn fast_forward_idle_with(&mut self, count: u64, scheduler: &mut dyn Scheduler) {
+        if count == 0 {
+            return;
+        }
+        let start = Cycles::new(self.clock.now().get() + 1);
+        let mut runnable = std::mem::take(&mut self.sched_runnable);
+        let mut advance = std::mem::take(&mut self.sched_advance);
+        let mut idle = std::mem::take(&mut self.sched_idle);
+        runnable.clear();
+        runnable.resize(self.slaves.len(), false);
+        advance.clear();
+        advance.resize(self.slaves.len(), true);
+        idle.clear();
+        idle.resize(self.slaves.len(), IdleAdvance::default());
+        scheduler.skip_idle_cycles(start, count, &runnable, &mut advance, &mut idle);
+        self.clock.advance(Cycles::new(count));
+        for (slave, adv) in self.slaves.iter_mut().zip(idle.iter()) {
+            if let Some(last) = adv.last {
+                slave.kernel.fast_forward_idle(adv.ticks, last);
+            }
+        }
+        self.sched_runnable = runnable;
+        self.sched_advance = advance;
+        self.sched_idle = idle;
     }
 
     /// Advances the whole platform by one cycle: per-slave interrupt
@@ -1497,5 +1705,175 @@ mod tests {
             modeled.step_with_memory(model.as_mut());
             assert_eq!(epoch.snapshots(), modeled.snapshots());
         }
+    }
+
+    // --- event-driven fast-forward ------------------------------------
+
+    /// A system whose only task computes briefly, then sleeps `sleep`
+    /// cycles, then exits — the canonical fast-forwardable workload.
+    fn sleeper_sys(sleep: u32) -> DualCoreSystem {
+        let mut s = sys();
+        let prog = s.kernel_mut().register_program(
+            Program::new(vec![Op::Compute(5), Op::SleepFor(sleep), Op::Exit]).unwrap(),
+        );
+        s.issue(SvcRequest::Create {
+            program: prog,
+            priority: Priority::new(5),
+            stack_bytes: None,
+        })
+        .unwrap();
+        s
+    }
+
+    /// Steps `s` until its horizon certifies an idle window, returning
+    /// the window length (cycles strictly before the horizon). Drains
+    /// the response inbox each cycle as a trial's committer would — an
+    /// undrained inbox is a (conservative) disqualifier.
+    fn step_to_idle(s: &mut DualCoreSystem, max: u64) -> u64 {
+        for _ in 0..max {
+            s.step();
+            s.drain_responses();
+            if let IdleHorizon::Until(at) = s.quiescent_horizon() {
+                let skip = at.saturating_sub(s.now().get() + 1);
+                if skip > 0 {
+                    return skip;
+                }
+            }
+        }
+        panic!("no skippable idle window found within {max} cycles");
+    }
+
+    #[test]
+    fn lock_step_fast_forward_matches_stepping() {
+        let mut stepped = sleeper_sys(5_000);
+        let mut forwarded = sleeper_sys(5_000);
+        let skip = step_to_idle(&mut stepped, 200);
+        assert_eq!(step_to_idle(&mut forwarded, 200), skip);
+        forwarded.fast_forward_idle(skip);
+        for _ in 0..skip {
+            stepped.step();
+        }
+        assert_eq!(stepped.now(), forwarded.now());
+        assert_eq!(stepped.snapshots(), forwarded.snapshots());
+        // Both runs continue identically to quiescence: the sleeper
+        // wakes at the horizon and exits.
+        assert!(stepped.run_until_quiescent(10_000));
+        assert!(forwarded.run_until_quiescent(10_000));
+        assert_eq!(stepped.now(), forwarded.now());
+        assert_eq!(stepped.snapshots(), forwarded.snapshots());
+        assert_eq!(stepped.take_responses(), forwarded.take_responses());
+    }
+
+    #[test]
+    fn scheduled_fast_forward_matches_stepping() {
+        use crate::sched::{RandomPriorityConfig, RandomPriorityScheduler};
+        let cfg = RandomPriorityConfig::default();
+        let mut stepped = sleeper_sys(4_000);
+        let mut forwarded = sleeper_sys(4_000);
+        let mut sched_a = RandomPriorityScheduler::new(1, 77, cfg);
+        let mut sched_b = RandomPriorityScheduler::new(1, 77, cfg);
+        let idle_at = loop {
+            stepped.step_with(&mut sched_a);
+            forwarded.step_with(&mut sched_b);
+            stepped.drain_responses();
+            forwarded.drain_responses();
+            if let IdleHorizon::Until(at) = forwarded.quiescent_horizon() {
+                if at > forwarded.now().get() + 1 {
+                    break at;
+                }
+            }
+            assert!(forwarded.now().get() < 1_000, "no idle window found");
+        };
+        let skip = idle_at - forwarded.now().get() - 1;
+        forwarded.fast_forward_idle_with(skip, &mut sched_b);
+        for _ in 0..skip {
+            stepped.step_with(&mut sched_a);
+        }
+        assert_eq!(stepped.now(), forwarded.now());
+        assert_eq!(stepped.snapshots(), forwarded.snapshots());
+        // Post-window behaviour (wake, exit, response delivery) must
+        // stay identical — the scheduler states agree too.
+        for _ in 0..6_000 {
+            stepped.step_with(&mut sched_a);
+            forwarded.step_with(&mut sched_b);
+        }
+        assert_eq!(stepped.snapshots(), forwarded.snapshots());
+        assert_eq!(stepped.take_responses(), forwarded.take_responses());
+    }
+
+    #[test]
+    fn quiescent_horizon_disqualifies_active_work() {
+        let mut s = sys();
+        assert_eq!(
+            s.quiescent_horizon(),
+            IdleHorizon::Unbounded,
+            "an empty platform has nothing scheduled"
+        );
+        let prog = s
+            .kernel_mut()
+            .register_program(Program::new(vec![Op::Compute(50), Op::Exit]).unwrap());
+        s.issue(SvcRequest::Create {
+            program: prog,
+            priority: Priority::new(5),
+            stack_bytes: None,
+        })
+        .unwrap();
+        // In-flight command traffic disqualifies...
+        assert_eq!(s.quiescent_horizon(), IdleHorizon::Unknown);
+        s.run(5);
+        // ...and so does the now-running task.
+        assert_eq!(s.quiescent_horizon(), IdleHorizon::Unknown);
+        assert!(s.run_until_quiescent(1_000));
+        s.take_responses();
+        assert_eq!(
+            s.quiescent_horizon(),
+            IdleHorizon::Unbounded,
+            "terminated tasks schedule nothing"
+        );
+    }
+
+    #[test]
+    fn quiescent_horizon_sees_master_thread_sleepers() {
+        let mut s = sys();
+        s.add_thread("M1", vec![MasterOp::SleepFor(300), MasterOp::Done]);
+        s.step(); // thread executes SleepFor at cycle 1
+                  // The thread stays `current` for one more cycle; the horizon
+                  // must refuse to skip until the rotation retires it.
+        while s.quiescent_horizon() == IdleHorizon::Unknown {
+            s.step();
+            assert!(s.now().get() < 10, "thread must leave the master slot");
+        }
+        let IdleHorizon::Until(at) = s.quiescent_horizon() else {
+            panic!("a sleeping thread must bound the horizon");
+        };
+        assert_eq!(at, 301, "SleepFor(300) at cycle 1 wakes at 301");
+        let skip = at - s.now().get() - 1;
+        s.fast_forward_idle(skip);
+        assert!(s.run_until_quiescent(50), "thread wakes and finishes");
+    }
+
+    #[test]
+    fn snapshot_cache_tracks_epochs_and_scalars() {
+        let mut s = sleeper_sys(2_000);
+        let mut cache = SnapshotCache::new();
+        s.run(40); // task created, computed, now asleep
+        s.snapshots_into_cached(&mut cache);
+        assert_eq!(cache.snapshots(), s.snapshots().as_slice());
+        assert_eq!(cache.dirty(), [true], "first observation is dirty");
+        s.run(10); // pure idle ticks: epoch unchanged
+        s.snapshots_into_cached(&mut cache);
+        assert_eq!(cache.dirty(), [false], "idle ticks leave the kernel clean");
+        assert_eq!(
+            cache.snapshots(),
+            s.snapshots().as_slice(),
+            "clean refresh still matches a full snapshot exactly"
+        );
+        s.run(3_000); // sleeper wakes, exits: epoch moved
+        s.snapshots_into_cached(&mut cache);
+        assert_eq!(cache.dirty(), [true], "state transitions re-dirty");
+        assert_eq!(cache.snapshots(), s.snapshots().as_slice());
+        cache.reset();
+        s.snapshots_into_cached(&mut cache);
+        assert_eq!(cache.dirty(), [true], "reset invalidates everything");
     }
 }

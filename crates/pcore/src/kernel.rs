@@ -356,6 +356,14 @@ pub struct Kernel {
     ctx_switches: u64,
     svc_count: u64,
     pending_fences: u64,
+    /// Monotonic change epoch: bumped by every mutation that can alter a
+    /// [`KernelSnapshot`] beyond its pure time scalars (`now`, `ticks`,
+    /// `idle_ticks`) — see [`Kernel::change_epoch`]. Pure idle ticks do
+    /// not bump it.
+    epoch: u64,
+    /// Incrementally maintained [`Kernel::live_task_count`]: +1 on task
+    /// creation, -1 when a live task terminates.
+    live_count: usize,
 }
 
 impl Kernel {
@@ -395,6 +403,8 @@ impl Kernel {
             ctx_switches: 0,
             svc_count: 0,
             pending_fences: 0,
+            epoch: 0,
+            live_count: 0,
             cfg,
         }
     }
@@ -463,6 +473,7 @@ impl Kernel {
             return false;
         };
         if let Some(woken) = s.post() {
+            self.epoch += 1;
             if let Some(t) = self.tcb_mut(woken) {
                 if matches!(
                     t.state,
@@ -517,10 +528,72 @@ impl Kernel {
         std::mem::take(&mut self.pending_fences)
     }
 
-    /// Number of live tasks.
+    /// Number of live tasks. O(1): maintained incrementally on task
+    /// creation and termination.
     #[must_use]
     pub fn live_task_count(&self) -> usize {
-        self.tasks.iter().flatten().filter(|t| t.is_live()).count()
+        self.live_count
+    }
+
+    /// The kernel's change epoch: a counter bumped by every mutation
+    /// that can alter a [`KernelSnapshot`] beyond its pure time scalars
+    /// (`now`, `ticks`, `idle_ticks`) — service dispatches, executed
+    /// task cycles, sleeper wake-ups, external semaphore hand-offs,
+    /// panics. Observers holding a snapshot taken at a given epoch can
+    /// skip re-serializing a kernel whose epoch is unchanged and refresh
+    /// just the scalars with [`Kernel::scalars_into`].
+    #[must_use]
+    pub fn change_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Earliest wake deadline among sleeping tasks, suspended sleepers
+    /// included (their wake still flips the snapshot-visible state to
+    /// `Ready`), or `None` when no task sleeps.
+    #[must_use]
+    pub fn next_sleeper_wake(&self) -> Option<u64> {
+        self.tasks
+            .iter()
+            .flatten()
+            .filter_map(|t| match t.state {
+                TaskState::Blocked(WaitReason::Sleep { until }) => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Number of retired [`Op::Fence`]s not yet drained by the
+    /// platform's memory model.
+    #[must_use]
+    pub fn pending_fence_count(&self) -> u64 {
+        self.pending_fences
+    }
+
+    /// Refreshes only the pure time scalars of a cached snapshot — the
+    /// fields an idle tick moves. Combined with [`Kernel::change_epoch`]
+    /// this keeps a cached snapshot exactly equal to a fresh
+    /// [`Kernel::snapshot_into`] while the epoch is unchanged.
+    pub fn scalars_into(&self, snap: &mut KernelSnapshot) {
+        snap.now = self.now;
+        snap.ticks = self.ticks;
+        snap.idle_ticks = self.idle_ticks;
+    }
+
+    /// Applies `count` consecutive idle ticks arithmetically, leaving
+    /// the kernel in exactly the state `count` calls of
+    /// [`Kernel::tick`] would have produced given that each would have
+    /// found no dispatchable work: time moves to `final_now` (the time
+    /// of the last skipped tick) and the tick/idle counters advance; no
+    /// trace is recorded and the change epoch stays put, just like real
+    /// idle ticks. On a panicked kernel only `now` moves, matching
+    /// [`Kernel::tick`]'s early return.
+    pub fn fast_forward_idle(&mut self, count: u64, final_now: Cycles) {
+        self.now = final_now;
+        if self.panic.is_some() {
+            return;
+        }
+        self.ticks += count;
+        self.idle_ticks += count;
     }
 
     /// Whether a [`Kernel::tick`] at `now` could make task-level progress:
@@ -589,6 +662,7 @@ impl Kernel {
             return Err(SvcError::KernelPanicked);
         }
         self.svc_count += 1;
+        self.epoch += 1;
         let result = self.dispatch_inner(req);
         match &result {
             Ok(reply) => self.trace_svc(format!("{req:?} -> {reply:?}")),
@@ -754,6 +828,7 @@ impl Kernel {
             cycles_used: 0,
             held_mutexes: Vec::new(),
         });
+        self.live_count += 1;
         Ok(SvcReply::Created(id))
     }
 
@@ -798,8 +873,12 @@ impl Kernel {
             self.grant_mutex(next, mid);
         }
         if let Some(t) = self.tcb_mut(task) {
+            let was_live = t.is_live();
             t.state = TaskState::Terminated(kind);
             t.held_mutexes.clear();
+            if was_live {
+                self.live_count -= 1;
+            }
         }
         if self.current == Some(task) {
             self.current = None;
@@ -840,15 +919,18 @@ impl Kernel {
             .map(|t| t.id)
     }
 
-    fn wake_sleepers(&mut self) {
+    fn wake_sleepers(&mut self) -> bool {
         let now = self.now.get();
+        let mut woke = false;
         for t in self.tasks.iter_mut().flatten() {
             if let TaskState::Blocked(WaitReason::Sleep { until }) = t.state {
                 if until <= now {
                     t.state = TaskState::Ready;
+                    woke = true;
                 }
             }
         }
+        woke
     }
 
     /// Advances the kernel by one cycle of virtual time.
@@ -858,12 +940,15 @@ impl Kernel {
             return TickOutcome::Panicked;
         }
         self.ticks += 1;
-        self.wake_sleepers();
+        if self.wake_sleepers() {
+            self.epoch += 1;
+        }
 
         let Some(next) = self.pick_next() else {
             self.idle_ticks += 1;
             return TickOutcome::Idle;
         };
+        self.epoch += 1;
         if self.current != Some(next) {
             self.ctx_switches += 1;
             self.trace

@@ -247,6 +247,15 @@ impl MailboxBank {
             .any(|m| m.receiver() == core && !m.is_empty())
     }
 
+    /// Whether any mailbox in the bank, in either direction, holds at
+    /// least one word — i.e. whether any doorbell anywhere is still
+    /// ringing. `false` means no interrupt-driven work is pending on
+    /// the whole platform.
+    #[must_use]
+    pub fn any_pending(&self) -> bool {
+        self.boxes.iter().any(|m| !m.is_empty())
+    }
+
     /// Indices of the mailboxes delivering to `core`.
     #[must_use]
     pub fn inbound_for(&self, core: CoreId) -> Vec<usize> {
