@@ -40,6 +40,11 @@
 //!   nearly every platform cycle is idle, measuring how cheaply the
 //!   trial loop's idle-cycle fast-forward and dirty-tracked detection
 //!   cross quiescent stretches.
+//! * **Reproducer-minimization suite** — `minimize_race` times complete
+//!   shrinks (pattern ddmin + schedule change-point ddmin + root-cause
+//!   extraction) of a manifesting order-violation hit: completed
+//!   shrinks/sec is the gated `patterns_per_sec`, candidate trials
+//!   executed by the shrink loop land in `trials_per_sec`.
 //!
 //! The report schema is one entry per suite:
 //! `{suite, trials_per_sec, patterns_per_sec, steps_per_sec, wall_ms,
@@ -249,6 +254,64 @@ fn measure_campaign(suite: &str, scenario: &dyn Scenario, cfg: &CampaignConfig) 
     }
 }
 
+/// Measures the reproducer-minimization workload: locates the first
+/// manifesting `(seed, schedule_seed, memory_seed)` triple of the
+/// order-violation race by an untimed seed scan, then times `reps`
+/// complete shrinks of that hit. `trials_per_sec` is candidate trials
+/// executed by the shrink loops per second (every candidate is a full
+/// deterministic trial), `patterns_per_sec` is completed shrinks per
+/// second (the gated metric), and `steps_per_sec` is simulated cycles
+/// of the minimized replays per second.
+fn measure_minimize(suite: &str, reps: usize) -> BenchEntry {
+    use ptest::faults::races::OrderViolationScenario;
+    use ptest::{minimize_scenario_trial, MinimizeConfig, TrialEngine, TrialScratch};
+
+    let scenario = OrderViolationScenario::buggy();
+    let base = scenario.base_config();
+    let schedule = base.schedule;
+    let memory = base.memory;
+    let engine = TrialEngine::new(base).expect("race scenario is valid");
+    let mut scratch = TrialScratch::new();
+    let hit = (0..512)
+        .find(|&s| {
+            engine
+                .run_scenario_trial_explored(&scenario, s, s, s, &mut scratch)
+                .is_ok_and(|r| !r.machine_summary().bugs.is_empty())
+        })
+        .expect("order-violation race manifests within 512 seeds");
+    let mcfg = MinimizeConfig::default();
+    let reps = reps.max(1);
+    let start = Instant::now();
+    let mut candidates = 0usize;
+    let mut cycles = 0u64;
+    for _ in 0..reps {
+        let repro = minimize_scenario_trial(
+            &engine,
+            &scenario,
+            hit,
+            hit,
+            hit,
+            schedule,
+            memory,
+            None,
+            &mcfg,
+            &mut scratch,
+        )
+        .expect("manifesting trial minimizes");
+        candidates += repro.candidates;
+        cycles += repro.summary.cycles;
+    }
+    let wall = start.elapsed().as_secs_f64().max(f64::EPSILON);
+    BenchEntry {
+        suite: suite.to_owned(),
+        trials_per_sec: candidates as f64 / wall,
+        patterns_per_sec: reps as f64 / wall,
+        steps_per_sec: cycles as f64 / wall,
+        wall_ms: wall * 1e3,
+        seed: hit,
+    }
+}
+
 /// Runs the whole fixed suite and assembles the report.
 #[must_use]
 pub fn run(cfg: &PerfConfig) -> BenchReport {
@@ -318,6 +381,7 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
             change_points: 0,
             horizon: 1,
             fairness_window: 1,
+            ..RandomPriorityConfig::default()
         });
     });
     suites.push(measure_campaign(
@@ -378,6 +442,12 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         &idle_soak,
         &campaign,
     ));
+
+    // --- Reproducer-minimization suite: end-to-end shrink wall-time of
+    // a manifesting order-violation hit (pattern ddmin + change-point
+    // ddmin + root-cause extraction), reported as completed shrinks/sec
+    // plus candidate-trials/sec.
+    suites.push(measure_minimize("minimize_race", cfg.campaign_trials));
 
     let scaling = scaling_summary(&suites);
     BenchReport {
@@ -622,6 +692,7 @@ mod tests {
             "mem_store_buffer",
             "sched_sleep_heavy",
             "detector_idle_soak",
+            "minimize_race",
         ] {
             let suite = out.suite(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(suite.patterns_per_sec > 0.0, "{name}");

@@ -31,7 +31,12 @@ use crate::engine::{Campaign, CampaignConfig, CampaignError, CampaignState};
 use crate::report::{CampaignReport, RoundReport};
 
 /// Schema identifier stamped into every serialized checkpoint.
-pub const CHECKPOINT_SCHEMA: &str = "ptest-campaign/checkpoint-v1";
+///
+/// v2: completed rounds carry their `minimized` reproducers
+/// ([`RoundReport::minimized`]), so resumed campaigns skip re-shrinking
+/// classes a checkpointed round already minimized. v1 checkpoints are
+/// rejected (their round reports cannot express the field).
+pub const CHECKPOINT_SCHEMA: &str = "ptest-campaign/checkpoint-v2";
 
 /// One `(state, symbol, count)` entry of a counts snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -374,6 +379,46 @@ mod tests {
         cfg.workers = 1;
         let resumed = Campaign::resume(&cfg, &scenario, &checkpoint).unwrap();
         assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn minimizing_campaigns_resume_without_reshrinking() {
+        let scenario = ptest_faults::races::OrderViolationScenario::buggy();
+        let cfg = CampaignConfig {
+            trials_per_round: 6,
+            rounds: 2,
+            workers: 2,
+            master_seed: 2009,
+            learning: LearningConfig {
+                enabled: false,
+                ..LearningConfig::default()
+            },
+            minimize_bugs: true,
+            ..CampaignConfig::default()
+        };
+        let full = Campaign::run(&cfg, &scenario).unwrap();
+        assert!(
+            !full.rounds[0].minimized.is_empty(),
+            "round 0 should shrink the seeded race"
+        );
+        // Resume after round 0: the checkpointed round's reproducers are
+        // restored, their classes are not re-shrunk, and the final
+        // report is byte-identical to the uninterrupted run's.
+        let checkpoint = Campaign::run_until(&cfg, &scenario, 1).unwrap();
+        let resumed = Campaign::resume(&cfg, &scenario, &checkpoint).unwrap();
+        assert_eq!(resumed, full);
+        let round0: std::collections::BTreeSet<&str> = full.rounds[0]
+            .minimized
+            .iter()
+            .map(|m| m.repro.bug_class.as_str())
+            .collect();
+        for m in &full.rounds[1].minimized {
+            assert!(
+                !round0.contains(m.repro.bug_class.as_str()),
+                "class `{}` was shrunk twice",
+                m.repro.bug_class
+            );
+        }
     }
 
     #[test]

@@ -33,15 +33,16 @@ use std::sync::Arc;
 
 use ptest_automata::{Pfa, TransitionCounts};
 use ptest_core::{
-    AdaptiveTestConfig, AdaptiveTestError, MemoryModelSpec, RandomPriorityConfig, Scenario,
-    ScheduleSpec, TestReport, TrialEngine, TrialScratch,
+    minimize_scenario_trial, AdaptiveTestConfig, AdaptiveTestError, MemoryModelSpec,
+    MinimizeConfig, MinimizeError, RandomPriorityConfig, Scenario, ScheduleSpec, TestReport,
+    TrialEngine, TrialScratch,
 };
 
 use crate::learning;
 use crate::pool;
 use crate::report::{
-    CampaignReport, LearnedDistribution, MemoryDetection, RoundReport, ScheduleDetection,
-    TrialOutcome,
+    CampaignReport, LearnedDistribution, MemoryDetection, MinimizedOutcome, RoundReport,
+    ScheduleDetection, TrialOutcome,
 };
 
 /// Knobs of the cross-trial feedback loop.
@@ -110,6 +111,17 @@ pub struct CampaignConfig {
     /// semantics and [`RoundReport::memory_detection`] reports which
     /// models surface bugs.
     pub memory_models: Vec<MemoryModelSpec>,
+    /// Opt-in post-round minimization: after each round closes, the
+    /// campaign-wide *first* hit of every not-yet-minimized bug class is
+    /// shrunk to a [`MinimizedRepro`](ptest_core::MinimizedRepro) on the
+    /// same worker pool and attached to
+    /// [`RoundReport::minimized`](crate::RoundReport::minimized).
+    /// Shrinking happens while the round's engine (its learned
+    /// distribution) is alive, so the reproducer replays the hit
+    /// byte-identically. Not supported in sharded campaigns, where no
+    /// shard knows the global first hit ([`Campaign::run_shard`]
+    /// rejects it).
+    pub minimize_bugs: bool,
 }
 
 impl Default for CampaignConfig {
@@ -122,6 +134,7 @@ impl Default for CampaignConfig {
             learning: LearningConfig::default(),
             schedule_budgets: Vec::new(),
             memory_models: Vec::new(),
+            minimize_bugs: false,
         }
     }
 }
@@ -139,6 +152,10 @@ pub enum CampaignError {
     /// A checkpoint that does not belong to this campaign, or a failure
     /// reading/writing a checkpoint file.
     Checkpoint(String),
+    /// The post-round minimization pass failed on a reproducer — a
+    /// determinism regression (the recorded hit no longer replays, or
+    /// the minimized triple replays unstably), never expected.
+    Minimize(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -150,6 +167,7 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::Shard(msg) => write!(f, "shard error: {msg}"),
             CampaignError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            CampaignError::Minimize(msg) => write!(f, "minimize error: {msg}"),
         }
     }
 }
@@ -239,7 +257,17 @@ pub(crate) struct TrialYield {
     pub(crate) counts: TransitionCounts,
 }
 
-pub(crate) type TrialResult = Result<TrialYield, AdaptiveTestError>;
+/// What one pool job yields. The pool's result type is fixed for its
+/// lifetime, and a campaign dispatches two job shapes to the same
+/// persistent pool — ordinary round trials and post-round minimization
+/// jobs — so the yield is this enum; each batch folds only its own
+/// variant.
+pub(crate) enum WorkerYield {
+    Trial(Box<TrialYield>),
+    Minimized(Box<Result<MinimizedOutcome, MinimizeError>>),
+}
+
+pub(crate) type TrialResult = Result<WorkerYield, AdaptiveTestError>;
 
 /// The persistent pool a campaign dispatches its rounds to.
 pub(crate) type TrialPool<'env> = pool::WorkerPool<'env, TrialResult, TrialScratch>;
@@ -313,6 +341,14 @@ impl Campaign {
 
         std::thread::scope(|scope| {
             let pool = TrialPool::start(scope, cfg.workers, TrialScratch::new);
+            // Bug classes already minimized by completed (possibly
+            // checkpointed) rounds — each class is shrunk exactly once
+            // per campaign.
+            let mut minimized_classes: std::collections::BTreeSet<String> = state
+                .rounds
+                .iter()
+                .flat_map(|r| r.minimized.iter().map(|m| m.repro.bug_class.clone()))
+                .collect();
             while state.next_round < limit {
                 let round = state.next_round;
                 let engine = Arc::new(TrialEngine::new(AdaptiveTestConfig {
@@ -328,7 +364,22 @@ impl Campaign {
                     round,
                     0..cfg.trials_per_round,
                 )?;
-                let report = close_round(cfg, &engine, round, trials, &mut state)?;
+                let mut report = close_round(cfg, &engine, round, trials, &mut state)?;
+                if cfg.minimize_bugs {
+                    // Must run while this round's engine (its learned
+                    // distribution) is alive — the reproducer replays
+                    // the hit through exactly the PFA that produced it.
+                    report.minimized = minimize_round(
+                        &pool,
+                        cfg,
+                        scenario,
+                        &base,
+                        &engine,
+                        round,
+                        &report.trials,
+                        &mut minimized_classes,
+                    )?;
+                }
                 state.rounds.push(report);
                 state.next_round = round + 1;
                 after_round(&state)?;
@@ -393,10 +444,10 @@ pub(crate) fn run_round_trials<'env>(
         if learn {
             learning::observe_report(&mut counts, &report, engine.generator().dfa());
         }
-        Ok(TrialYield {
+        Ok(WorkerYield::Trial(Box::new(TrialYield {
             outcome: outcome_of(master_seed, round, trial, &report),
             counts,
-        })
+        })))
     });
 
     let mut out = RoundTrials {
@@ -405,12 +456,83 @@ pub(crate) fn run_round_trials<'env>(
         counts_bugs: TransitionCounts::new(),
     };
     for result in results {
-        let yielded = result?;
+        let WorkerYield::Trial(yielded) = result? else {
+            unreachable!("trial batches yield trial results");
+        };
         out.counts_all.merge(&yielded.counts);
         if !yielded.outcome.summary.bugs.is_empty() {
             out.counts_bugs.merge(&yielded.counts);
         }
         out.outcomes.push(yielded.outcome);
+    }
+    Ok(out)
+}
+
+/// The post-round minimization pass: for every bug class whose
+/// campaign-wide *first* hit happened this round, shrink that hit on the
+/// worker pool ([`minimize_scenario_trial`]) and return the reproducers
+/// in first-hit trial order.
+///
+/// `seen` carries the classes minimized by earlier rounds (restored from
+/// the completed rounds on resume) and is extended with this round's
+/// classes — so a class is shrunk exactly once per campaign no matter
+/// how often it recurs, and the output is independent of checkpoint
+/// boundaries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn minimize_round<'env>(
+    pool: &TrialPool<'env>,
+    cfg: &'env CampaignConfig,
+    scenario: &'env dyn Scenario,
+    base: &AdaptiveTestConfig,
+    engine: &Arc<TrialEngine>,
+    round: usize,
+    outcomes: &[TrialOutcome],
+    seen: &mut std::collections::BTreeSet<String>,
+) -> Result<Vec<MinimizedOutcome>, CampaignError> {
+    let mut jobs: Vec<(usize, String)> = Vec::new();
+    for outcome in outcomes {
+        for bug in &outcome.summary.bugs {
+            if seen.insert(bug.class.clone()) {
+                jobs.push((outcome.trial, bug.class.clone()));
+            }
+        }
+    }
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let master_seed = cfg.master_seed;
+    let base_schedule = base.schedule;
+    let base_memory = base.memory;
+    let engine = Arc::clone(engine);
+    let n_jobs = jobs.len();
+    let results = pool.run_batch(n_jobs, move |scratch, i| {
+        let (trial, class) = &jobs[i];
+        let trial = *trial;
+        let minimized = minimize_scenario_trial(
+            &engine,
+            scenario,
+            trial_seed(master_seed, round, trial),
+            schedule_seed(master_seed, round, trial),
+            memory_seed(master_seed, round, trial),
+            trial_schedule(cfg, base_schedule, trial),
+            trial_memory(cfg, base_memory, trial),
+            Some(class),
+            &MinimizeConfig::default(),
+            scratch,
+        )
+        .map(|repro| MinimizedOutcome { trial, repro });
+        Ok(WorkerYield::Minimized(Box::new(minimized)))
+    });
+    let mut out = Vec::with_capacity(n_jobs);
+    for result in results {
+        let WorkerYield::Minimized(minimized) = result? else {
+            unreachable!("minimize batches yield minimize results");
+        };
+        match *minimized {
+            Ok(m) => out.push(m),
+            Err(MinimizeError::Trial(e)) => return Err(CampaignError::Adaptive(e)),
+            Err(e) => return Err(CampaignError::Minimize(e.to_string())),
+        }
     }
     Ok(out)
 }
@@ -557,6 +679,7 @@ pub(crate) fn assemble_round(
         memory_detection,
         traces_learned,
         learned,
+        minimized: Vec::new(),
     }
 }
 
@@ -903,6 +1026,101 @@ mod tests {
             ),
             Err(CampaignError::EmptyCampaign)
         ));
+    }
+
+    #[test]
+    fn minimization_shrinks_each_class_once_per_campaign() {
+        let scenario = ptest_faults::races::OrderViolationScenario::buggy();
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 8,
+                rounds: 2,
+                workers: 2,
+                master_seed: 2009,
+                learning: LearningConfig {
+                    enabled: false,
+                    ..LearningConfig::default()
+                },
+                minimize_bugs: true,
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let classes: Vec<&str> = report
+            .rounds
+            .iter()
+            .flat_map(|r| r.minimized.iter().map(|m| m.repro.bug_class.as_str()))
+            .collect();
+        assert!(!classes.is_empty(), "the seeded race was never minimized");
+        let mut dedup = classes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            classes.len(),
+            dedup.len(),
+            "a class was shrunk more than once: {classes:?}"
+        );
+        for m in report.rounds.iter().flat_map(|r| &r.minimized) {
+            assert!(
+                m.repro.minimized_symbols < m.repro.original_symbols,
+                "{}: no shrink",
+                m.repro.bug_class
+            );
+            assert!(
+                m.repro
+                    .summary
+                    .bugs
+                    .iter()
+                    .any(|b| b.class == m.repro.bug_class),
+                "minimized summary lost its class"
+            );
+        }
+    }
+
+    #[test]
+    fn minimizing_campaigns_stay_worker_count_independent() {
+        let scenario = ptest_faults::races::OrderViolationScenario::buggy();
+        let run = |workers| {
+            Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 6,
+                    rounds: 1,
+                    workers,
+                    master_seed: 2009,
+                    learning: LearningConfig {
+                        enabled: false,
+                        ..LearningConfig::default()
+                    },
+                    minimize_bugs: true,
+                    ..CampaignConfig::default()
+                },
+                &scenario,
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        assert!(
+            !one.rounds[0].minimized.is_empty(),
+            "nothing minimized, the comparison would be vacuous"
+        );
+        assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn unminimized_campaigns_report_empty_minimized_rounds() {
+        let scenario = compute_scenario(2, 4);
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 3,
+                rounds: 1,
+                workers: 1,
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        assert!(report.rounds.iter().all(|r| r.minimized.is_empty()));
     }
 
     #[test]

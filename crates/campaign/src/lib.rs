@@ -61,8 +61,8 @@ pub use engine::{
     memory_seed, schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig,
 };
 pub use report::{
-    CampaignReport, DistributionEntry, LearnedDistribution, MemoryDetection, RoundReport,
-    ScheduleDetection, TrialOutcome,
+    CampaignReport, DistributionEntry, LearnedDistribution, MemoryDetection, MinimizedOutcome,
+    RoundReport, ScheduleDetection, TrialOutcome,
 };
 pub use shard::{ShardReport, ShardRound, ShardSpec};
 

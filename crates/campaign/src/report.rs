@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use ptest_automata::{Alphabet, Pfa};
-use ptest_core::ReportSummary;
+use ptest_core::{MinimizedRepro, ReportSummary};
 
 /// One transition probability of a rendered distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +94,22 @@ pub struct TrialOutcome {
     pub summary: ReportSummary,
 }
 
+/// One minimized reproducer produced by a campaign's opt-in post-round
+/// minimization pass ([`CampaignConfig::minimize_bugs`](crate::CampaignConfig::minimize_bugs)):
+/// the round's first trial that hit a not-yet-minimized bug class,
+/// shrunk to a [`MinimizedRepro`] on the campaign's worker pool. Like
+/// every other report ingredient it is a pure function of (scenario,
+/// configuration, master seed) — worker count, shard split and
+/// checkpoint boundaries never show through.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct MinimizedOutcome {
+    /// Trial index (within the round) of the first hit of this class.
+    pub trial: usize,
+    /// The shrunk, explained, replayable reproducer.
+    pub repro: MinimizedRepro,
+}
+
 /// Detection statistics of one schedule (identified by its stable
 /// label) within a round — the signal the adaptive loop can use to bias
 /// future rounds toward bug-finding schedule budgets.
@@ -163,6 +179,11 @@ pub struct RoundReport {
     /// round alone. This is what the next round generates with; `None`
     /// when learning is disabled.
     pub learned: Option<LearnedDistribution>,
+    /// Minimized reproducers of the bug classes whose campaign-wide
+    /// first hit happened this round — empty unless
+    /// [`CampaignConfig::minimize_bugs`](crate::CampaignConfig::minimize_bugs)
+    /// is on. In first-hit trial order.
+    pub minimized: Vec<MinimizedOutcome>,
 }
 
 impl RoundReport {

@@ -120,6 +120,14 @@ impl Campaign {
                     .to_owned(),
             ));
         }
+        if cfg.minimize_bugs {
+            return Err(CampaignError::Shard(
+                "minimization needs the campaign-wide first hit per bug class, \
+                 which no standalone shard knows: minimize on the merged report's \
+                 recorded triples instead"
+                    .to_owned(),
+            ));
+        }
         let base = scenario.base_config();
         let trials = shard.trials(cfg.trials_per_round);
         // Learning never advances past the only round that could use it,
@@ -278,6 +286,24 @@ mod tests {
             .map(|index| Campaign::run_shard(cfg, scenario, ShardSpec { index, of }))
             .collect::<Result<Vec<_>, _>>()?;
         Campaign::merge_shard_reports(cfg, scenario, shards)
+    }
+
+    #[test]
+    fn minimizing_campaigns_cannot_shard() {
+        let scenario = scenario();
+        let cfg = CampaignConfig {
+            rounds: 1,
+            minimize_bugs: true,
+            learning: LearningConfig {
+                enabled: false,
+                ..LearningConfig::default()
+            },
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            Campaign::run_shard(&cfg, &scenario, ShardSpec { index: 0, of: 2 }),
+            Err(CampaignError::Shard(_))
+        ));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod coverage;
 mod detector;
 mod generator;
 mod merger;
+mod minimize;
 mod pattern;
 mod record;
 mod report;
@@ -63,11 +64,18 @@ pub use coverage::CoverageReport;
 pub use detector::{Bug, BugDetector, BugKind, DetectorConfig};
 pub use generator::PatternGenerator;
 pub use merger::{MergeOp, PatternMerger};
+pub use minimize::{
+    minimize_scenario_trial, minimize_trial, replay_minimized, InterleavingEvent, MinimizeConfig,
+    MinimizeError, MinimizedMemory, MinimizedRepro, MinimizedSchedule, RootCauseReport,
+};
 pub use pattern::{MergedPattern, MergedStep, TestPattern};
 pub use record::{MasterState, StateRecord};
 pub use report::{BugSummary, ReportSummary};
 pub use scenario::{Configured, FnScenario, Scenario};
-pub use trial::{derived_memory_seed, derived_schedule_seed, TrialEngine, TrialScratch};
+pub use trial::{
+    derived_memory_seed, derived_schedule_seed, TrialEngine, TrialOverrides, TrialScratch,
+    TrialTrace,
+};
 
 // Schedule and memory-model exploration vocabulary, re-exported so
 // configurations can be built from this crate alone.

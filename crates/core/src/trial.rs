@@ -18,6 +18,7 @@ use ptest_master::{
     DualCoreSystem, IdleHorizon, MemoryModel, MemoryModelSpec, Scheduler, SnapshotCache,
 };
 use ptest_pcore::ProgramId;
+use ptest_soc::TraceEvent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,7 +28,44 @@ use crate::coverage;
 use crate::detector::{Bug, BugDetector, BugKind};
 use crate::generator::PatternGenerator;
 use crate::merger::PatternMerger;
+use crate::pattern::TestPattern;
 use crate::scenario::Scenario;
+
+/// The full event timeline of one trial, captured when a caller requests
+/// tracing via [`TrialOverrides::capture_trace`]: every kernel's trace
+/// ring plus the master system's, as left at end of trial. Capturing
+/// also enables the kernels' access tracing
+/// ([`trace_accesses`](ptest_pcore::KernelConfig::trace_accesses)), so
+/// shared-variable reads/writes, fences and semaphore hand-offs appear in
+/// the timeline — the raw material of a root-cause interleaving report.
+#[derive(Debug, Clone, Default)]
+pub struct TrialTrace {
+    /// Per-slave kernel trace events, in per-kernel chronological order.
+    pub kernels: Vec<Vec<TraceEvent>>,
+    /// Master-side system trace events (commands, threads, sem links).
+    pub master: Vec<TraceEvent>,
+}
+
+/// Per-trial overrides of a compiled [`TrialEngine`]'s configuration —
+/// the one flexible entry point behind every `run_scenario_trial_*`
+/// convenience wrapper. Each field defaults to "no override".
+#[derive(Default)]
+pub struct TrialOverrides<'a> {
+    /// Replaces the compiled [`ScheduleSpec`](ptest_master::ScheduleSpec)
+    /// for this trial (campaign budget rotation, schedule shrink).
+    pub schedule: Option<ptest_master::ScheduleSpec>,
+    /// Replaces the compiled [`MemoryModelSpec`] for this trial.
+    pub memory: Option<MemoryModelSpec>,
+    /// Replaces the generated patterns: the trial skips PFA generation
+    /// and runs exactly these patterns through the same merge → commit →
+    /// detect path. The shrink loop of reproducer minimization feeds
+    /// candidate pattern sets through here, so every candidate is a full
+    /// deterministic trial.
+    pub patterns: Option<&'a [TestPattern]>,
+    /// Captures the trial's full event timeline (and enables kernel
+    /// access tracing for this trial) into the given buffer.
+    pub capture_trace: Option<&'a mut TrialTrace>,
+}
 
 /// A compiled adaptive-test configuration: the PFA pipeline built once,
 /// reusable across any number of seeded trials (and across threads — the
@@ -188,7 +226,14 @@ impl TrialEngine {
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
-        self.run_trial_inner(seed, schedule_seed, memory_seed, None, None, setup, scratch)
+        self.run_trial_inner(
+            seed,
+            schedule_seed,
+            memory_seed,
+            TrialOverrides::default(),
+            setup,
+            scratch,
+        )
     }
 
     /// [`TrialEngine::run_trial_in`] at an explicit schedule seed — the
@@ -212,25 +257,38 @@ impl TrialEngine {
             .config
             .memory_seed
             .unwrap_or_else(|| derived_memory_seed(seed));
-        self.run_trial_inner(seed, schedule_seed, memory_seed, None, None, setup, scratch)
+        self.run_trial_inner(
+            seed,
+            schedule_seed,
+            memory_seed,
+            TrialOverrides::default(),
+            setup,
+            scratch,
+        )
     }
 
-    /// The shared trial core. `schedule` and `memory` override the
-    /// compiled configuration's [`ScheduleSpec`](ptest_master::ScheduleSpec)
-    /// and [`MemoryModelSpec`] when set — the campaign's budget rotation
-    /// varies either axis per trial without recompiling the PFA pipeline.
-    #[allow(clippy::too_many_arguments)]
+    /// The shared trial core. `overrides` replaces the compiled
+    /// configuration's [`ScheduleSpec`](ptest_master::ScheduleSpec),
+    /// [`MemoryModelSpec`] or generated patterns for this trial only —
+    /// the campaign's budget rotation varies either spec axis per trial
+    /// without recompiling the PFA pipeline, and the minimization shrink
+    /// loop replaces patterns while keeping everything else replayable.
     fn run_trial_inner(
         &self,
         seed: u64,
         schedule_seed: u64,
         memory_seed: u64,
-        schedule: Option<ptest_master::ScheduleSpec>,
-        memory: Option<MemoryModelSpec>,
+        overrides: TrialOverrides<'_>,
         setup: impl FnOnce(&mut DualCoreSystem) -> Vec<ProgramId>,
         scratch: &mut TrialScratch,
     ) -> Result<TestReport, AdaptiveTestError> {
-        let cfg = AdaptiveTestConfig {
+        let TrialOverrides {
+            schedule,
+            memory,
+            patterns: pattern_override,
+            capture_trace,
+        } = overrides;
+        let mut cfg = AdaptiveTestConfig {
             seed,
             schedule_seed: Some(schedule_seed),
             schedule: schedule.unwrap_or(self.config.schedule),
@@ -238,6 +296,9 @@ impl TrialEngine {
             memory: memory.unwrap_or(self.config.memory),
             ..self.config.clone()
         };
+        if capture_trace.is_some() {
+            cfg.system.kernel.trace_accesses = true;
+        }
 
         // --- Algorithm 1, lines 1-3: generate T[1..n].
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -246,7 +307,10 @@ impl TrialEngine {
         } else {
             GenerateOptions::sized(cfg.s)
         };
-        let patterns = self.generator.generate_batch(&mut rng, cfg.n, opts);
+        let patterns = match pattern_override {
+            Some(explicit) => explicit.to_vec(),
+            None => self.generator.generate_batch(&mut rng, cfg.n, opts),
+        };
 
         // --- Line 4: merge.
         let merged = PatternMerger::new().merge(&patterns, cfg.op);
@@ -378,6 +442,13 @@ impl TrialEngine {
             }
         }
 
+        if let Some(trace) = capture_trace {
+            trace.kernels = (0..cfg.system.slaves)
+                .map(|i| sys.kernel_of(i).trace().iter().cloned().collect())
+                .collect();
+            trace.master = sys.trace().iter().cloned().collect();
+        }
+
         let coverage = coverage::measure(
             &patterns,
             self.generator.dfa(),
@@ -474,8 +545,10 @@ impl TrialEngine {
             seed,
             schedule_seed,
             memory_seed,
-            Some(schedule),
-            None,
+            TrialOverrides {
+                schedule: Some(schedule),
+                ..TrialOverrides::default()
+            },
             |sys| scenario.setup(sys),
             scratch,
         )
@@ -531,8 +604,41 @@ impl TrialEngine {
             seed,
             schedule_seed,
             memory_seed,
-            Some(schedule),
-            Some(memory),
+            TrialOverrides {
+                schedule: Some(schedule),
+                memory: Some(memory),
+                ..TrialOverrides::default()
+            },
+            |sys| scenario.setup(sys),
+            scratch,
+        )
+    }
+
+    /// The fully general scenario-trial entry point: runs one trial of a
+    /// [`Scenario`] at an explicit `(pattern seed, schedule seed, memory
+    /// seed)` triple under arbitrary [`TrialOverrides`] — explicit
+    /// schedule/memory specs, an explicit pattern set (the minimization
+    /// shrink loop's candidate trials), and optional full-trace capture
+    /// (the root-cause replay). Every other `run_scenario_trial_*` method
+    /// is a special case of this one.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TrialEngine::run_trial`].
+    pub fn run_scenario_trial_overridden(
+        &self,
+        scenario: &dyn Scenario,
+        seed: u64,
+        schedule_seed: u64,
+        memory_seed: u64,
+        overrides: TrialOverrides<'_>,
+        scratch: &mut TrialScratch,
+    ) -> Result<TestReport, AdaptiveTestError> {
+        self.run_trial_inner(
+            seed,
+            schedule_seed,
+            memory_seed,
+            overrides,
             |sys| scenario.setup(sys),
             scratch,
         )

@@ -154,6 +154,15 @@ pub struct RandomPriorityConfig {
     /// cycles (see the module docs on fairness). 0 disables the backstop
     /// (pure PCT; only safe with liveness-agnostic oracles).
     pub fairness_window: u32,
+    /// Which of the seeded change points are *active*: bit `i` keeps the
+    /// `i`-th change point in ascending scheduled-cycle order. The
+    /// default all-ones mask keeps every point, which is bit-identical
+    /// to the pre-mask scheduler for any seed. Reproducer minimization
+    /// clears bits to binary-search the minimal set of demotions that
+    /// still triggers a bug; the seeds, priorities and surviving points
+    /// are untouched, so the shrunk schedule replays from the same
+    /// `schedule_seed`. Points beyond bit 63 are always kept.
+    pub change_point_mask: u64,
 }
 
 impl Default for RandomPriorityConfig {
@@ -162,7 +171,18 @@ impl Default for RandomPriorityConfig {
             change_points: 3,
             horizon: 60_000,
             fairness_window: 64,
+            change_point_mask: u64::MAX,
         }
+    }
+}
+
+impl RandomPriorityConfig {
+    /// How many of the seeded change points the mask keeps active.
+    #[must_use]
+    pub fn active_change_points(&self) -> usize {
+        (0..self.change_points)
+            .filter(|&i| i >= 64 || self.change_point_mask & (1 << i) != 0)
+            .count()
     }
 }
 
@@ -210,7 +230,15 @@ impl ScheduleSpec {
         match self {
             ScheduleSpec::LockStep => "lock-step".to_owned(),
             ScheduleSpec::RandomPriority(cfg) => {
-                format!("random-priority(d={})", cfg.change_points)
+                let active = cfg.active_change_points();
+                if active == cfg.change_points {
+                    format!("random-priority(d={})", cfg.change_points)
+                } else {
+                    format!(
+                        "random-priority(d={},mask={:#b})",
+                        cfg.change_points, cfg.change_point_mask
+                    )
+                }
             }
         }
     }
@@ -275,11 +303,22 @@ impl RandomPriorityScheduler {
         let priorities: Vec<u64> = (0..slaves)
             .map(|_| (1 << 63) | splitmix64_next(&mut stream))
             .collect();
+        // The full seeded point set is always drawn — masking filters
+        // *after* sorting, so clearing a bit never shifts which cycles
+        // the surviving points land on (and the all-ones mask is
+        // bit-identical to the pre-mask scheduler).
         let mut change_points: Vec<u64> = (0..cfg.change_points)
             .map(|_| splitmix64_next(&mut stream) % cfg.horizon.max(1))
             .collect();
+        change_points.sort_unstable();
+        let mut change_points: Vec<u64> = change_points
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| i >= 64 || cfg.change_point_mask & (1 << i) != 0)
+            .map(|(_, cp)| cp)
+            .collect();
         // Descending, so passing cycles pop from the back in order.
-        change_points.sort_unstable_by(|a, b| b.cmp(a));
+        change_points.reverse();
         RandomPriorityScheduler {
             priorities,
             change_points,
@@ -444,6 +483,7 @@ mod tests {
             change_points: 1,
             horizon: 10,
             fairness_window: 0,
+            ..RandomPriorityConfig::default()
         };
         // With one change point inside the first 10 cycles and no
         // fairness backstop, the leader must flip exactly once in a
@@ -464,6 +504,7 @@ mod tests {
             change_points: 0,
             horizon: 100,
             fairness_window: 0,
+            ..RandomPriorityConfig::default()
         };
         let mut s = RandomPriorityScheduler::new(3, 5, cfg);
         let first = plan_once(&mut s, &[true; 3]);
@@ -536,6 +577,7 @@ mod tests {
             change_points: 3,
             horizon: 500,
             fairness_window: 8,
+            ..RandomPriorityConfig::default()
         };
         for seed in 0..16u64 {
             let mut replayed = RandomPriorityScheduler::new(3, seed, cfg);
@@ -563,6 +605,84 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn full_mask_is_bit_identical_to_the_default_config() {
+        let full = RandomPriorityConfig::default();
+        let explicit = RandomPriorityConfig {
+            change_point_mask: u64::MAX,
+            ..full
+        };
+        for seed in 0..8u64 {
+            let mut a = RandomPriorityScheduler::new(3, seed, full);
+            let mut b = RandomPriorityScheduler::new(3, seed, explicit);
+            for step in 0..2_000u64 {
+                let runnable = [true, step % 5 != 0, true];
+                assert_eq!(plan_once(&mut a, &runnable), plan_once(&mut b, &runnable));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mask_behaves_like_zero_change_points() {
+        let masked = RandomPriorityConfig {
+            change_points: 3,
+            horizon: 100,
+            fairness_window: 0,
+            change_point_mask: 0,
+        };
+        let none = RandomPriorityConfig {
+            change_points: 0,
+            ..masked
+        };
+        // Same seed: the priority draws precede the change-point draws,
+        // so initial priorities agree and neither ever demotes.
+        let mut a = RandomPriorityScheduler::new(2, 17, masked);
+        let mut b = RandomPriorityScheduler::new(2, 17, none);
+        for _ in 0..300 {
+            assert_eq!(plan_once(&mut a, &[true; 2]), plan_once(&mut b, &[true; 2]));
+        }
+        assert_eq!(masked.active_change_points(), 0);
+        assert_eq!(RandomPriorityConfig::default().active_change_points(), 3);
+    }
+
+    #[test]
+    fn masking_drops_exactly_the_cleared_demotions() {
+        // d=2, no fairness: the full schedule flips leadership at both
+        // points; keeping only one (either bit) flips exactly once.
+        let full = RandomPriorityConfig {
+            change_points: 2,
+            horizon: 20,
+            fairness_window: 0,
+            change_point_mask: u64::MAX,
+        };
+        let flips = |mask: u64| {
+            let cfg = RandomPriorityConfig {
+                change_point_mask: mask,
+                ..full
+            };
+            let mut s = RandomPriorityScheduler::new(2, 23, cfg);
+            let mut leaders = Vec::new();
+            for _ in 0..60 {
+                let advance = plan_once(&mut s, &[true, true]);
+                leaders.push(advance.iter().position(|&a| a).unwrap());
+            }
+            leaders.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        assert_eq!(flips(0), 0);
+        assert_eq!(flips(0b01), 1);
+        assert_eq!(flips(0b10), 1);
+        assert_eq!(flips(u64::MAX), flips(0b11));
+    }
+
+    #[test]
+    fn masked_specs_label_the_mask() {
+        let masked = ScheduleSpec::RandomPriority(RandomPriorityConfig {
+            change_point_mask: 0b101,
+            ..RandomPriorityConfig::default()
+        });
+        assert_eq!(masked.label(), "random-priority(d=3,mask=0b101)");
     }
 
     #[test]

@@ -1537,6 +1537,7 @@ mod tests {
                 change_points: 0,
                 horizon: 1,
                 fairness_window: 64,
+                ..RandomPriorityConfig::default()
             },
         );
         for _ in 0..1_000 {
@@ -1568,6 +1569,7 @@ mod tests {
                 change_points: 0,
                 horizon: 1,
                 fairness_window: 0,
+                ..RandomPriorityConfig::default()
             },
         );
         s.issue_to(

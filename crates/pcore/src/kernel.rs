@@ -55,6 +55,14 @@ pub struct KernelConfig {
     /// Cycles a `Yield` keeps the task off the core, giving lower-priority
     /// tasks a chance to run (models pCore's cooperative `yield()`).
     pub yield_delay: u32,
+    /// Trace shared-variable accesses, fences and semaphore operations
+    /// (`var-read`/`var-write`/`fence`/`sem-wait`/`sem-post` events).
+    /// Off by default: the per-access `String` formatting is measurable
+    /// on the trial hot path, and the extra events would churn the ring
+    /// ahead of the historical trace tails. Root-cause replays of
+    /// minimized reproducers turn it on to reconstruct the cross-core
+    /// interleaving window around a failure.
+    pub trace_accesses: bool,
 }
 
 impl KernelConfig {
@@ -73,6 +81,7 @@ impl Default for KernelConfig {
             gc_fault: GcFaultMode::None,
             trace_capacity: TraceBuffer::DEFAULT_CAPACITY,
             yield_delay: 2,
+            trace_accesses: false,
         }
     }
 }
@@ -497,6 +506,10 @@ impl Kernel {
     /// variables are ignored.
     pub fn set_var(&mut self, var: VarId, value: i64) {
         if let Some(v) = self.vars.get_mut(usize::from(var.0)) {
+            if self.cfg.trace_accesses && *v != value {
+                self.trace
+                    .record(self.now, self.core, "var-mirror", format!("{var}={value}"));
+            }
             *v = value;
         }
     }
@@ -1049,6 +1062,14 @@ impl Kernel {
                 if let Some(t) = self.tcb_mut(task) {
                     t.regs[usize::from(reg)] = value;
                 }
+                if self.cfg.trace_accesses {
+                    self.trace.record(
+                        self.now,
+                        self.core,
+                        "var-read",
+                        format!("{task} {var}={value}"),
+                    );
+                }
                 advance(self);
             }
             Op::WriteVar { var, value } => {
@@ -1057,6 +1078,14 @@ impl Kernel {
                     return;
                 };
                 *slot = value;
+                if self.cfg.trace_accesses {
+                    self.trace.record(
+                        self.now,
+                        self.core,
+                        "var-write",
+                        format!("{task} {var}={value}"),
+                    );
+                }
                 advance(self);
             }
             Op::WriteVarReg { var, reg } => {
@@ -1066,6 +1095,14 @@ impl Kernel {
                     return;
                 };
                 *slot = value;
+                if self.cfg.trace_accesses {
+                    self.trace.record(
+                        self.now,
+                        self.core,
+                        "var-write",
+                        format!("{task} {var}={value}"),
+                    );
+                }
                 advance(self);
             }
             Op::AddReg { reg, delta } => {
@@ -1100,6 +1137,10 @@ impl Kernel {
                 // fence for the platform's memory model to drain at the
                 // end of the cycle. A no-op under sequential consistency.
                 self.pending_fences += 1;
+                if self.cfg.trace_accesses {
+                    self.trace
+                        .record(self.now, self.core, "fence", format!("{task} fence"));
+                }
                 advance(self);
             }
             Op::Yield => {
@@ -1118,6 +1159,14 @@ impl Kernel {
                     return;
                 };
                 if s.wait(task, priority) {
+                    if self.cfg.trace_accesses {
+                        self.trace.record(
+                            self.now,
+                            self.core,
+                            "sem-wait",
+                            format!("{task} acquires {sem}"),
+                        );
+                    }
                     advance(self);
                 } else {
                     let t = self.tcb_mut(task).expect("scheduled task exists");
@@ -1125,6 +1174,14 @@ impl Kernel {
                     t.pc += 1;
                     t.ops_retired += 1;
                     self.current = None;
+                    if self.cfg.trace_accesses {
+                        self.trace.record(
+                            self.now,
+                            self.core,
+                            "sem-wait",
+                            format!("{task} blocks on {sem}"),
+                        );
+                    }
                 }
             }
             Op::SemPost(sem) => {
@@ -1142,6 +1199,13 @@ impl Kernel {
                             t.state = TaskState::Ready;
                         }
                     }
+                }
+                if self.cfg.trace_accesses {
+                    let detail = match woken {
+                        Some(w) => format!("{task} posts {sem} wakes {w}"),
+                        None => format!("{task} posts {sem}"),
+                    };
+                    self.trace.record(self.now, self.core, "sem-post", detail);
                 }
                 advance(self);
             }

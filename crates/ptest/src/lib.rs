@@ -99,14 +99,16 @@ pub use ptest_soc as soc;
 pub use ptest_automata::{Alphabet, Dfa, GenerateOptions, Pfa, ProbabilityAssignment, Regex, Sym};
 pub use ptest_campaign::{
     config_fingerprint, Campaign, CampaignCheckpoint, CampaignConfig, CampaignReport,
-    LearningConfig, MemoryDetection, RoundReport, ScheduleDetection, ShardReport, ShardSpec,
-    CHECKPOINT_SCHEMA,
+    LearningConfig, MemoryDetection, MinimizedOutcome, RoundReport, ScheduleDetection, ShardReport,
+    ShardSpec, CHECKPOINT_SCHEMA,
 };
 pub use ptest_core::{
-    derived_memory_seed, derived_schedule_seed, AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector,
-    BugKind, Committer, CommitterConfig, CommitterStatus, Configured, CoverageReport,
-    DetectorConfig, FnScenario, MergeOp, MergedPattern, PatternGenerator, PatternMerger, Scenario,
-    StateRecord, TestPattern, TestReport, TrialEngine, TrialScratch,
+    derived_memory_seed, derived_schedule_seed, minimize_scenario_trial, minimize_trial,
+    replay_minimized, AdaptiveTest, AdaptiveTestConfig, Bug, BugDetector, BugKind, Committer,
+    CommitterConfig, CommitterStatus, Configured, CoverageReport, DetectorConfig, FnScenario,
+    InterleavingEvent, MergeOp, MergedPattern, MinimizeConfig, MinimizeError, MinimizedMemory,
+    MinimizedRepro, MinimizedSchedule, PatternGenerator, PatternMerger, RootCauseReport, Scenario,
+    StateRecord, TestPattern, TestReport, TrialEngine, TrialOverrides, TrialScratch, TrialTrace,
 };
 pub use ptest_master::{
     DualCoreSystem, LockStepScheduler, MasterOp, MemoryModel, MemoryModelSpec, MultiCoreSystem,
@@ -183,6 +185,28 @@ pub fn campaign_checkpoint_to_json(
 /// `serde_json` errors on malformed input.
 pub fn campaign_checkpoint_from_json(json: &str) -> Result<CampaignCheckpoint, serde_json::Error> {
     CampaignCheckpoint::from_json(json)
+}
+
+/// Serializes a minimized reproducer — shrunk patterns, schedule mask,
+/// seeds and the root-cause interleaving report — as pretty JSON; the
+/// artifact format CI uploads for every shrunk bug class.
+///
+/// # Errors
+///
+/// Propagates `serde_json` errors (practically unreachable for this
+/// data).
+pub fn minimized_repro_to_json(repro: &MinimizedRepro) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(repro)
+}
+
+/// Parses a minimized reproducer back from JSON — the input to
+/// [`replay_minimized`].
+///
+/// # Errors
+///
+/// `serde_json` errors on malformed input.
+pub fn minimized_repro_from_json(json: &str) -> Result<MinimizedRepro, serde_json::Error> {
+    serde_json::from_str(json)
 }
 
 #[cfg(test)]
