@@ -34,6 +34,13 @@
 //!   versus under the `StoreBufferModel` (`mem_store_buffer`); the
 //!   delta is the cost of buffering and seeded delivery of every
 //!   cross-core store.
+//! * **Preemption-overhead suites** — the draining pipeline campaign
+//!   with quantum time-slicing on every kernel (`sched_quantum`; the
+//!   delta against `sched_lockstep` and `sched_random_priority` is the
+//!   pure cost of slice accounting and rotation picks), and the
+//!   mask-bracketed ISR shared-variable scenario under a dense seeded
+//!   interrupt plan (`irq_storm`), where throughput is bounded by ISR
+//!   dispatch and deferred-injection bookkeeping.
 //! * **Event-driven-loop suites** — a sleeper-dominated campaign under
 //!   a default `RandomPriorityScheduler` (`sched_sleep_heavy`) and a
 //!   long quiescent drain (`detector_idle_soak`): workloads where
@@ -63,7 +70,11 @@ use ptest::campaign::{Campaign, CampaignConfig};
 use ptest::faults::fig1::Fig1AdaptiveScenario;
 use ptest::faults::multicore::CrossCorePipelineScenario;
 use ptest::faults::philosophers::PhilosophersScenario;
-use ptest::master::{MemoryModelSpec, RandomPriorityConfig, ScheduleSpec};
+use ptest::faults::timers::IsrSharedVarScenario;
+use ptest::master::{
+    InterruptConfig, MemoryModelSpec, PreemptionSpec, QuantumConfig, RandomPriorityConfig,
+    ScheduleSpec,
+};
 use ptest::{Configured, PatternGenerator, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -291,8 +302,10 @@ fn measure_minimize(suite: &str, reps: usize) -> BenchEntry {
             hit,
             hit,
             hit,
+            hit,
             schedule,
             memory,
+            ptest::PreemptionSpec::default(),
             None,
             &mcfg,
             &mut scratch,
@@ -412,6 +425,39 @@ pub fn run(cfg: &PerfConfig) -> BenchReport {
         &store_buffered,
         &campaign,
     ));
+
+    // --- Preemption-overhead suites. `sched_quantum` reruns the
+    // draining pipeline campaign with quantum time-slicing enabled on
+    // every kernel: the delta against `sched_lockstep` (no preemption at
+    // all) and `sched_random_priority` (cross-kernel exploration only)
+    // is the pure mechanism cost of per-executed-cycle slice accounting
+    // plus rotation picks at expiry. `irq_storm` drives the
+    // mask-bracketed (clean) ISR shared-variable scenario under a dense
+    // seeded interrupt plan, so the measured cost is ISR dispatch,
+    // deferred-injection bookkeeping, and the preemption-aware
+    // quiescent-horizon checks rather than task execution.
+    let quantum_sliced = Configured::adjust(CrossCorePipelineScenario::fixed(), |c| {
+        c.preemption = PreemptionSpec {
+            quantum: Some(QuantumConfig::default()),
+            ..PreemptionSpec::default()
+        };
+    });
+    suites.push(measure_campaign(
+        "sched_quantum",
+        &quantum_sliced,
+        &campaign,
+    ));
+    let irq_storm = Configured::adjust(IsrSharedVarScenario::fixed(), |c| {
+        c.preemption = PreemptionSpec {
+            interrupts: Some(InterruptConfig {
+                count: 48,
+                horizon: 4_000,
+                ..InterruptConfig::default()
+            }),
+            ..PreemptionSpec::default()
+        };
+    });
+    suites.push(measure_campaign("irq_storm", &irq_storm, &campaign));
 
     // --- Event-driven-loop suites: workloads where nearly every
     // platform cycle is idle, so throughput is bounded by how cheaply
@@ -690,6 +736,8 @@ mod tests {
             "sched_random_priority",
             "mem_seqcst",
             "mem_store_buffer",
+            "sched_quantum",
+            "irq_storm",
             "sched_sleep_heavy",
             "detector_idle_soak",
             "minimize_race",

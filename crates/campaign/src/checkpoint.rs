@@ -32,11 +32,16 @@ use crate::report::{CampaignReport, RoundReport};
 
 /// Schema identifier stamped into every serialized checkpoint.
 ///
+/// v3: trial outcomes carry their `irq_seed` and preemption label (the
+/// replay quadruple), rounds carry `preemption_detection` aggregates,
+/// and minimized reproducers record the interrupt-injection shrink.
+/// Earlier checkpoints are rejected (their round reports cannot express
+/// the fields).
+///
 /// v2: completed rounds carry their `minimized` reproducers
 /// ([`RoundReport::minimized`]), so resumed campaigns skip re-shrinking
-/// classes a checkpointed round already minimized. v1 checkpoints are
-/// rejected (their round reports cannot express the field).
-pub const CHECKPOINT_SCHEMA: &str = "ptest-campaign/checkpoint-v2";
+/// classes a checkpointed round already minimized.
+pub const CHECKPOINT_SCHEMA: &str = "ptest-campaign/checkpoint-v3";
 
 /// One `(state, symbol, count)` entry of a counts snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

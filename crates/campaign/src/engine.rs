@@ -34,15 +34,15 @@ use std::sync::Arc;
 use ptest_automata::{Pfa, TransitionCounts};
 use ptest_core::{
     minimize_scenario_trial, AdaptiveTestConfig, AdaptiveTestError, MemoryModelSpec,
-    MinimizeConfig, MinimizeError, RandomPriorityConfig, Scenario, ScheduleSpec, TestReport,
-    TrialEngine, TrialScratch,
+    MinimizeConfig, MinimizeError, PreemptionSpec, RandomPriorityConfig, Scenario, ScheduleSpec,
+    TestReport, TrialEngine, TrialScratch,
 };
 
 use crate::learning;
 use crate::pool;
 use crate::report::{
-    CampaignReport, LearnedDistribution, MemoryDetection, MinimizedOutcome, RoundReport,
-    ScheduleDetection, TrialOutcome,
+    CampaignReport, LearnedDistribution, MemoryDetection, MinimizedOutcome, PreemptionDetection,
+    RoundReport, ScheduleDetection, TrialOutcome,
 };
 
 /// Knobs of the cross-trial feedback loop.
@@ -111,6 +111,17 @@ pub struct CampaignConfig {
     /// semantics and [`RoundReport::memory_detection`] reports which
     /// models surface bugs.
     pub memory_models: Vec<MemoryModelSpec>,
+    /// Preemption rotation. Empty (the default) runs every trial under
+    /// the scenario's own
+    /// [`preemption`](ptest_core::AdaptiveTestConfig::preemption) spec.
+    /// Non-empty, trial `t` of each round runs under
+    /// `preemption_specs[t % preemption_specs.len()]` — so one campaign
+    /// sweeps quantum/clock-skew/interrupt configurations (including the
+    /// inert spec as a control lane) and
+    /// [`RoundReport::preemption_detection`] reports which specs surface
+    /// bugs. Every trial's interrupt plan draws from its own derived
+    /// `irq_seed`, recorded on the outcome for quadruple replay.
+    pub preemption_specs: Vec<PreemptionSpec>,
     /// Opt-in post-round minimization: after each round closes, the
     /// campaign-wide *first* hit of every not-yet-minimized bug class is
     /// shrunk to a [`MinimizedRepro`](ptest_core::MinimizedRepro) on the
@@ -134,6 +145,7 @@ impl Default for CampaignConfig {
             learning: LearningConfig::default(),
             schedule_budgets: Vec::new(),
             memory_models: Vec::new(),
+            preemption_specs: Vec::new(),
             minimize_bugs: false,
         }
     }
@@ -182,38 +194,33 @@ impl From<AdaptiveTestError> for CampaignError {
 
 /// Derives the seed of `trial` in `round` from the master seed
 /// (splitmix64 over the indices — decorrelated, collision-free in
-/// practice, and stable across platforms).
-#[must_use]
-pub fn trial_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
-    const ROUND_STRIDE: u64 = 0xA24B_AED4_963E_E407;
-    let mixed = splitmix64(master_seed ^ (round as u64).wrapping_mul(ROUND_STRIDE));
-    splitmix64(mixed ^ trial as u64)
-}
+/// practice, and stable across platforms). Re-exported from its single
+/// home in [`ptest_soc::seed`] under this historical path.
+pub use ptest_soc::seed::campaign_trial_seed as trial_seed;
 
 /// Derives the *schedule* seed of `trial` in `round` from the master
 /// seed — a stream independent of [`trial_seed`], so the campaign
 /// explores (pattern × schedule) space rather than a diagonal of it:
 /// two trials with related pattern seeds still get decorrelated
 /// schedules, and a recorded `(seed, schedule_seed)` pair replays any
-/// trial byte-for-byte.
-#[must_use]
-pub fn schedule_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
-    const SCHEDULE_STRIDE: u64 = 0x9FB2_1C65_1E98_DF25;
-    let mixed = splitmix64(master_seed ^ SCHEDULE_STRIDE ^ (round as u64).rotate_left(17));
-    splitmix64(mixed ^ (trial as u64).wrapping_mul(SCHEDULE_STRIDE))
-}
+/// trial byte-for-byte. Re-exported from [`ptest_soc::seed`].
+pub use ptest_soc::seed::campaign_schedule_seed as schedule_seed;
 
 /// Derives the *memory* seed of `trial` in `round` from the master seed
 /// — a third stream, independent of both [`trial_seed`] and
 /// [`schedule_seed`], so a recorded `(seed, schedule_seed, memory_seed)`
 /// triple replays any trial byte-for-byte while the campaign explores
-/// (pattern × schedule × store-visibility) space.
-#[must_use]
-pub fn memory_seed(master_seed: u64, round: usize, trial: usize) -> u64 {
-    const MEMORY_STRIDE: u64 = 0x2545_F491_4F6C_DD1D;
-    let mixed = splitmix64(master_seed ^ MEMORY_STRIDE ^ (round as u64).rotate_left(29));
-    splitmix64(mixed ^ (trial as u64).wrapping_mul(MEMORY_STRIDE))
-}
+/// (pattern × schedule × store-visibility) space. Re-exported from
+/// [`ptest_soc::seed`].
+pub use ptest_soc::seed::campaign_memory_seed as memory_seed;
+
+/// Derives the *interrupt/preemption* seed of `trial` in `round` from
+/// the master seed — the fourth stream, independent of the other three,
+/// so a recorded `(seed, schedule_seed, memory_seed, irq_seed)`
+/// quadruple replays any trial byte-for-byte while the campaign
+/// explores (pattern × schedule × memory × preemption) space.
+/// Re-exported from [`ptest_soc::seed`].
+pub use ptest_soc::seed::campaign_irq_seed as irq_seed;
 
 /// The schedule spec trial `t` runs under: the scenario's own spec, or
 /// the rotated PCT budget when [`CampaignConfig::schedule_budgets`] is
@@ -243,7 +250,15 @@ fn trial_memory(cfg: &CampaignConfig, base: MemoryModelSpec, trial: usize) -> Me
     cfg.memory_models[trial % cfg.memory_models.len()]
 }
 
-use ptest_master::sched::splitmix64;
+/// The preemption spec trial `t` runs under: the scenario's own spec, or
+/// the rotated spec when [`CampaignConfig::preemption_specs`] is
+/// non-empty.
+fn trial_preemption(cfg: &CampaignConfig, base: PreemptionSpec, trial: usize) -> PreemptionSpec {
+    if cfg.preemption_specs.is_empty() {
+        return base;
+    }
+    cfg.preemption_specs[trial % cfg.preemption_specs.len()]
+}
 
 /// The campaign runner.
 #[derive(Debug)]
@@ -429,15 +444,21 @@ pub(crate) fn run_round_trials<'env>(
     let base_memory = base.memory;
     let learn = cfg.learning.enabled;
     let engine = Arc::clone(engine);
+    let base_preemption = base.preemption;
     let results = pool.run_batch(jobs, move |scratch, i| {
         let trial = lo + i;
-        let report = engine.run_scenario_trial_explored_as(
+        let report = engine.run_scenario_trial_overridden(
             scenario,
             trial_seed(master_seed, round, trial),
             schedule_seed(master_seed, round, trial),
             memory_seed(master_seed, round, trial),
-            trial_schedule(cfg, base_schedule, trial),
-            trial_memory(cfg, base_memory, trial),
+            ptest_core::TrialOverrides {
+                schedule: Some(trial_schedule(cfg, base_schedule, trial)),
+                memory: Some(trial_memory(cfg, base_memory, trial)),
+                preemption: Some(trial_preemption(cfg, base_preemption, trial)),
+                irq_seed: Some(irq_seed(master_seed, round, trial)),
+                ..ptest_core::TrialOverrides::default()
+            },
             scratch,
         )?;
         let mut counts = TransitionCounts::new();
@@ -503,6 +524,7 @@ pub(crate) fn minimize_round<'env>(
     let master_seed = cfg.master_seed;
     let base_schedule = base.schedule;
     let base_memory = base.memory;
+    let base_preemption = base.preemption;
     let engine = Arc::clone(engine);
     let n_jobs = jobs.len();
     let results = pool.run_batch(n_jobs, move |scratch, i| {
@@ -514,8 +536,10 @@ pub(crate) fn minimize_round<'env>(
             trial_seed(master_seed, round, trial),
             schedule_seed(master_seed, round, trial),
             memory_seed(master_seed, round, trial),
+            irq_seed(master_seed, round, trial),
             trial_schedule(cfg, base_schedule, trial),
             trial_memory(cfg, base_memory, trial),
+            trial_preemption(cfg, base_preemption, trial),
             Some(class),
             &MinimizeConfig::default(),
             scratch,
@@ -546,6 +570,8 @@ fn outcome_of(master_seed: u64, round: usize, trial: usize, report: &TestReport)
         schedule: report.config.schedule.label(),
         memory_seed: report.memory_seed,
         memory: report.config.memory.label(),
+        irq_seed: report.irq_seed,
+        preemption: report.config.preemption.label(),
         commands_to_first_bug: report.commands_to_first_bug(),
         summary: report.machine_summary(),
     }
@@ -611,6 +637,7 @@ pub(crate) fn assemble_round(
     let mut first_bug_sum = 0u64;
     let mut schedule_detection: Vec<ScheduleDetection> = Vec::new();
     let mut memory_detection: Vec<MemoryDetection> = Vec::new();
+    let mut preemption_detection: Vec<PreemptionDetection> = Vec::new();
     for outcome in &trials {
         let found = outcome.summary.bugs.len();
         if found > 0 {
@@ -660,6 +687,26 @@ pub(crate) fn assemble_round(
             slot.trials_with_bugs += 1;
         }
         slot.bugs += found;
+        let slot = match preemption_detection
+            .iter_mut()
+            .find(|d| d.preemption == outcome.preemption)
+        {
+            Some(slot) => slot,
+            None => {
+                preemption_detection.push(PreemptionDetection {
+                    preemption: outcome.preemption.clone(),
+                    trials: 0,
+                    trials_with_bugs: 0,
+                    bugs: 0,
+                });
+                preemption_detection.last_mut().expect("just pushed")
+            }
+        };
+        slot.trials += 1;
+        if found > 0 {
+            slot.trials_with_bugs += 1;
+        }
+        slot.bugs += found;
     }
     let mean_commands_to_first_bug = if trials_with_bugs > 0 {
         Some(first_bug_sum as f64 / trials_with_bugs as f64)
@@ -677,6 +724,7 @@ pub(crate) fn assemble_round(
         mean_commands_to_first_bug,
         schedule_detection,
         memory_detection,
+        preemption_detection,
         traces_learned,
         learned,
         minimized: Vec::new(),
@@ -831,6 +879,82 @@ mod tests {
         assert_eq!(round.memory_detection.len(), 1);
         assert_eq!(round.memory_detection[0].memory, "seq-cst");
         assert_eq!(round.memory_detection[0].trials, 3);
+    }
+
+    #[test]
+    fn preemption_rotation_shows_up_in_detection_buckets() {
+        use ptest_core::{InterruptConfig, PreemptionSpec, QuantumConfig};
+        let scenario = compute_scenario(2, 4);
+        let spec = PreemptionSpec {
+            quantum: Some(QuantumConfig { cycles: 8 }),
+            interrupts: Some(InterruptConfig {
+                count: 2,
+                horizon: 100,
+                ..InterruptConfig::default()
+            }),
+            ..PreemptionSpec::default()
+        };
+        let report = Campaign::run(
+            &CampaignConfig {
+                trials_per_round: 6,
+                rounds: 1,
+                workers: 2,
+                master_seed: 3,
+                preemption_specs: vec![PreemptionSpec::default(), spec],
+                ..CampaignConfig::default()
+            },
+            &scenario,
+        )
+        .unwrap();
+        let round = &report.rounds[0];
+        let labels: Vec<&str> = round
+            .preemption_detection
+            .iter()
+            .map(|d| d.preemption.as_str())
+            .collect();
+        assert_eq!(labels, ["none", "quantum(q=8)+irq(n=2)"]);
+        assert!(round.preemption_detection.iter().all(|d| d.trials == 3));
+        for outcome in &round.trials {
+            assert_eq!(
+                outcome.preemption,
+                ["none", "quantum(q=8)+irq(n=2)"][outcome.trial % 2]
+            );
+            assert_eq!(
+                outcome.irq_seed,
+                irq_seed(3, 0, outcome.trial),
+                "outcomes record the replay quadruple"
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_campaigns_stay_worker_count_independent() {
+        use ptest_core::{InterruptConfig, PreemptionSpec, QuantumConfig};
+        let scenario = compute_scenario(2, 4);
+        let spec = PreemptionSpec {
+            quantum: Some(QuantumConfig { cycles: 4 }),
+            interrupts: Some(InterruptConfig {
+                count: 3,
+                horizon: 200,
+                ..InterruptConfig::default()
+            }),
+            ..PreemptionSpec::default()
+        };
+        let run = |workers| {
+            Campaign::run(
+                &CampaignConfig {
+                    trials_per_round: 6,
+                    rounds: 2,
+                    workers,
+                    master_seed: 77,
+                    preemption_specs: vec![PreemptionSpec::default(), spec],
+                    ..CampaignConfig::default()
+                },
+                &scenario,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -58,11 +58,12 @@ pub use checkpoint::{
     config_fingerprint, CampaignCheckpoint, CountEntry, CountsSnapshot, CHECKPOINT_SCHEMA,
 };
 pub use engine::{
-    memory_seed, schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError, LearningConfig,
+    irq_seed, memory_seed, schedule_seed, trial_seed, Campaign, CampaignConfig, CampaignError,
+    LearningConfig,
 };
 pub use report::{
     CampaignReport, DistributionEntry, LearnedDistribution, MemoryDetection, MinimizedOutcome,
-    RoundReport, ScheduleDetection, TrialOutcome,
+    PreemptionDetection, RoundReport, ScheduleDetection, TrialOutcome,
 };
 pub use shard::{ShardReport, ShardRound, ShardSpec};
 

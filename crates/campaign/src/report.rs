@@ -88,6 +88,13 @@ pub struct TrialOutcome {
     /// Stable label of the memory model the trial ran under (e.g.
     /// `"seq-cst"`, `"store-buffer(d=24)"`).
     pub memory: String,
+    /// The derived per-trial interrupt/preemption seed — the fourth
+    /// element of the replay quadruple. Recorded even under the inert
+    /// preemption spec, where it has no behavioural effect.
+    pub irq_seed: u64,
+    /// Stable label of the preemption spec the trial ran under (e.g.
+    /// `"none"`, `"quantum(q=8)+irq(n=4)"`).
+    pub preemption: String,
     /// Commands issued before the first bug, if any was found.
     pub commands_to_first_bug: Option<u64>,
     /// The stable machine summary of the trial's report.
@@ -144,6 +151,24 @@ pub struct MemoryDetection {
     pub bugs: usize,
 }
 
+/// Detection statistics of one preemption spec (identified by its
+/// stable label) within a round — which quantum/clock-skew/interrupt
+/// configuration surfaced bugs, the preemption-axis counterpart of
+/// [`ScheduleDetection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct PreemptionDetection {
+    /// The preemption label (see
+    /// [`PreemptionSpec::label`](ptest_master::PreemptionSpec::label)).
+    pub preemption: String,
+    /// Trials run under this preemption spec this round.
+    pub trials: usize,
+    /// Of those, trials that detected at least one bug.
+    pub trials_with_bugs: usize,
+    /// Total bugs across those trials.
+    pub bugs: usize,
+}
+
 /// Aggregate of one feedback round.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
@@ -171,6 +196,9 @@ pub struct RoundReport {
     /// Per-memory-model detection aggregates, in first-seen trial order
     /// (one entry per distinct memory-model label run this round).
     pub memory_detection: Vec<MemoryDetection>,
+    /// Per-preemption-spec detection aggregates, in first-seen trial
+    /// order (one entry per distinct preemption label run this round).
+    pub preemption_detection: Vec<PreemptionDetection>,
     /// Execution traces this round contributed to the feedback counts
     /// (0 when learning is disabled).
     pub traces_learned: u64,

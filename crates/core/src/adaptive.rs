@@ -16,7 +16,7 @@
 //! reproduction story, made checkable.
 
 use ptest_automata::{ProbabilityAssignment, Regex};
-use ptest_master::{DualCoreSystem, MemoryModelSpec, ScheduleSpec, SystemConfig};
+use ptest_master::{DualCoreSystem, MemoryModelSpec, PreemptionSpec, ScheduleSpec, SystemConfig};
 use ptest_pcore::ProgramId;
 use ptest_soc::Cycles;
 
@@ -86,6 +86,19 @@ pub struct AdaptiveTestConfig {
     /// trial. Reports echo the seed actually used, completing the
     /// replayable `(seed, schedule_seed, memory_seed)` triple.
     pub memory_seed: Option<u64>,
+    /// The preemption/interrupt axis: quantum time slices inside each
+    /// slave kernel, seeded per-slave clock skew, and deterministic
+    /// interrupt injection (see `ptest_master::preempt`). The inert
+    /// default reproduces the historical unpreempted platform bit for
+    /// bit.
+    pub preemption: PreemptionSpec,
+    /// Interrupt/preemption seed override, mirroring `schedule_seed`:
+    /// `None` derives the seed from the trial's pattern seed; campaigns
+    /// set it per trial. Reports echo the seed actually used, completing
+    /// the replayable `(seed, schedule_seed, memory_seed, irq_seed)`
+    /// quadruple. Under the inert default `preemption` the seed is
+    /// recorded but has no behavioural effect.
+    pub irq_seed: Option<u64>,
 }
 
 impl Default for AdaptiveTestConfig {
@@ -117,6 +130,8 @@ impl Default for AdaptiveTestConfig {
             schedule_seed: None,
             memory: MemoryModelSpec::SeqCst,
             memory_seed: None,
+            preemption: PreemptionSpec::default(),
+            irq_seed: None,
         }
     }
 }
@@ -173,9 +188,12 @@ pub struct TestReport {
     /// the trial — including any reported bug — byte for byte.
     pub schedule_seed: u64,
     /// The memory seed the trial ran under (also echoed into
-    /// `config.memory_seed`), completing the replayable
-    /// `(seed, schedule_seed, memory_seed)` triple.
+    /// `config.memory_seed`).
     pub memory_seed: u64,
+    /// The interrupt/preemption seed the trial ran under (also echoed
+    /// into `config.irq_seed`), completing the replayable
+    /// `(seed, schedule_seed, memory_seed, irq_seed)` quadruple.
+    pub irq_seed: u64,
     /// Echo of the run configuration (reproduction input).
     pub config: AdaptiveTestConfig,
 }
@@ -241,14 +259,24 @@ impl TestReport {
             MemoryModelSpec::SeqCst => String::new(),
             spec => format!(" mem={} mem_seed={}", spec.label(), self.memory_seed),
         };
+        let preempt = if self.config.preemption.is_inert() {
+            String::new()
+        } else {
+            format!(
+                " preempt={} irq_seed={}",
+                self.config.preemption.label(),
+                self.irq_seed
+            )
+        };
         format!(
-            "n={} s={} op={:?} seed={}{}{}: {} cmds, {} errors, {} cycles, {:?} -> {}",
+            "n={} s={} op={:?} seed={}{}{}{}: {} cmds, {} errors, {} cycles, {:?} -> {}",
             self.config.n,
             self.config.s,
             self.config.op,
             self.config.seed,
             sched,
             mem,
+            preempt,
             self.commands_issued,
             self.error_replies,
             self.cycles,

@@ -73,13 +73,16 @@ pub use record::{MasterState, StateRecord};
 pub use report::{BugSummary, ReportSummary};
 pub use scenario::{Configured, FnScenario, Scenario};
 pub use trial::{
-    derived_memory_seed, derived_schedule_seed, TrialEngine, TrialOverrides, TrialScratch,
-    TrialTrace,
+    derived_irq_seed, derived_memory_seed, derived_schedule_seed, TrialEngine, TrialOverrides,
+    TrialScratch, TrialTrace,
 };
 
 // Schedule and memory-model exploration vocabulary, re-exported so
 // configurations can be built from this crate alone.
-pub use ptest_master::{MemoryModelSpec, RandomPriorityConfig, ScheduleSpec, StoreBufferConfig};
+pub use ptest_master::{
+    ClockSkewConfig, InterruptConfig, MemoryModelSpec, PreemptionSpec, QuantumConfig,
+    RandomPriorityConfig, ScheduleSpec, StoreBufferConfig,
+};
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,10 @@
 //! this before returning).
 
 use ptest_automata::Sym;
-use ptest_master::{MemoryModelSpec, RandomPriorityConfig, ScheduleSpec, StoreBufferConfig};
+use ptest_master::{
+    InterruptConfig, MemoryModelSpec, PreemptionSpec, RandomPriorityConfig, ScheduleSpec,
+    StoreBufferConfig,
+};
 
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -212,6 +215,74 @@ impl MinimizedMemory {
     }
 }
 
+/// The minimized trial's preemption/interrupt axis, in primitive
+/// replayable parts. The injection mask is the interrupt analogue of
+/// [`MinimizedSchedule::change_point_mask`]: it selects among the
+/// *seeded* injection events, so every surviving ISR fires on exactly
+/// the cycle it did in the original trial and the whole axis still
+/// replays from the stored irq seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct MinimizedPreemption {
+    /// `true` for an unpreempted trial (nothing on this axis to shrink).
+    pub inert: bool,
+    /// Quantum slice length in cycles (`None` without quantum
+    /// scheduling).
+    pub quantum: Option<u32>,
+    /// Max clock-skew rate in parts per 1024 (`None` without skew).
+    pub skew_max_rate: Option<u32>,
+    /// The *seeded* interrupt-event budget — masking never changes it.
+    pub irq_count: usize,
+    /// Sampling horizon of the injection cycles.
+    pub irq_horizon: u64,
+    /// Which seeded injection events the minimized trial keeps (bit `i`
+    /// = `i`-th event in firing order).
+    pub injection_mask: u64,
+    /// Number of active injections under the mask.
+    pub active_injections: usize,
+}
+
+impl MinimizedPreemption {
+    fn capture(spec: &PreemptionSpec, mask: u64) -> MinimizedPreemption {
+        let irq = spec.interrupts.map(|ic| InterruptConfig {
+            injection_mask: mask,
+            ..ic
+        });
+        MinimizedPreemption {
+            inert: spec.is_inert(),
+            quantum: spec.quantum.map(|q| q.cycles),
+            skew_max_rate: spec.clock_skew.map(|s| s.max_rate),
+            irq_count: irq.map_or(0, |ic| ic.count),
+            irq_horizon: irq.map_or(0, |ic| ic.horizon),
+            injection_mask: irq.map_or(0, |ic| ic.injection_mask),
+            active_injections: irq.map_or(0, |ic| ic.active_injections()),
+        }
+    }
+
+    /// Reconstructs the preemption spec this minimized trial replays
+    /// under.
+    #[must_use]
+    pub fn spec(&self) -> PreemptionSpec {
+        PreemptionSpec {
+            quantum: self
+                .quantum
+                .map(|cycles| ptest_master::QuantumConfig { cycles }),
+            clock_skew: self
+                .skew_max_rate
+                .map(|max_rate| ptest_master::ClockSkewConfig { max_rate }),
+            interrupts: if self.irq_count == 0 && self.irq_horizon == 0 {
+                None
+            } else {
+                Some(InterruptConfig {
+                    count: self.irq_count,
+                    horizon: self.irq_horizon,
+                    injection_mask: self.injection_mask,
+                })
+            },
+        }
+    }
+}
+
 /// One event of the root-cause timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
@@ -341,14 +412,22 @@ pub struct MinimizedRepro {
     pub schedule_seed: u64,
     /// Memory seed — the memory model replays from it.
     pub memory_seed: u64,
+    /// Interrupt/preemption seed — the minimized preemption axis replays
+    /// from it, completing the stored quadruple.
+    pub irq_seed: u64,
     /// Label of the minimized schedule spec.
     pub schedule_label: String,
     /// Label of the memory-model spec.
     pub memory_label: String,
+    /// Label of the minimized preemption spec.
+    pub preemption_label: String,
     /// The minimized schedule, replayable.
     pub schedule: MinimizedSchedule,
     /// The memory model, replayable.
     pub memory: MinimizedMemory,
+    /// The preemption/interrupt axis, replayable (injection mask
+    /// minimized).
+    pub preemption: MinimizedPreemption,
     /// Total pattern symbols before shrinking.
     pub original_symbols: usize,
     /// Total pattern symbols after shrinking.
@@ -363,6 +442,10 @@ pub struct MinimizedRepro {
     pub original_change_points: usize,
     /// Active change points of the minimized schedule.
     pub minimized_change_points: usize,
+    /// Active interrupt injections of the original preemption spec.
+    pub original_injections: usize,
+    /// Active interrupt injections after the injection-mask ddmin.
+    pub minimized_injections: usize,
     /// Candidate trials the shrink loop executed.
     pub candidates: usize,
     /// Machine summary of the minimized trial — replays must reproduce
@@ -374,11 +457,11 @@ pub struct MinimizedRepro {
 
 /// Shrinks one detected scenario trial to a [`MinimizedRepro`].
 ///
-/// `(seed, schedule_seed, memory_seed, schedule, memory)` name the
-/// original trial exactly as the campaign ran it
-/// (`run_scenario_trial_explored_as`); the engine must be the one (same
-/// configuration, same learned distribution) that produced the hit, or
-/// the original trial will not reproduce.
+/// `(seed, schedule_seed, memory_seed, irq_seed, schedule, memory,
+/// preemption)` name the original trial exactly as the campaign ran it;
+/// the engine must be the one (same configuration, same learned
+/// distribution) that produced the hit, or the original trial will not
+/// reproduce.
 ///
 /// `target_class` picks which of the trial's bug classes to shrink
 /// toward (`None` = the first detected bug) — a trial can detect several
@@ -397,8 +480,10 @@ pub fn minimize_scenario_trial(
     seed: u64,
     schedule_seed: u64,
     memory_seed: u64,
+    irq_seed: u64,
     schedule: ScheduleSpec,
     memory: MemoryModelSpec,
+    preemption: PreemptionSpec,
     target_class: Option<&str>,
     cfg: &MinimizeConfig,
     scratch: &mut TrialScratch,
@@ -406,13 +491,18 @@ pub fn minimize_scenario_trial(
     let alphabet = engine.generator().regex().alphabet();
 
     // The original trial, exactly as recorded.
-    let original = engine.run_scenario_trial_explored_as(
+    let original = engine.run_scenario_trial_overridden(
         scenario,
         seed,
         schedule_seed,
         memory_seed,
-        schedule,
-        memory,
+        TrialOverrides {
+            schedule: Some(schedule),
+            memory: Some(memory),
+            preemption: Some(preemption),
+            irq_seed: Some(irq_seed),
+            ..TrialOverrides::default()
+        },
         scratch,
     )?;
     let original_summary = original.machine_summary();
@@ -436,6 +526,7 @@ pub fn minimize_scenario_trial(
     // the target bug class still manifests.
     let detects = |patterns: &[TestPattern],
                    spec: ScheduleSpec,
+                   preempt: PreemptionSpec,
                    scratch: &mut TrialScratch|
      -> Result<bool, MinimizeError> {
         candidates.set(candidates.get() + 1);
@@ -447,6 +538,8 @@ pub fn minimize_scenario_trial(
             TrialOverrides {
                 schedule: Some(spec),
                 memory: Some(memory),
+                preemption: Some(preempt),
+                irq_seed: Some(irq_seed),
                 patterns: Some(patterns),
                 ..TrialOverrides::default()
             },
@@ -498,7 +591,7 @@ pub fn minimize_scenario_trial(
                 break 'pattern_shrink;
             }
             let candidate = remove_range(&current, pos, chunk);
-            if detects(&as_patterns(&candidate), schedule, scratch)? {
+            if detects(&as_patterns(&candidate), schedule, preemption, scratch)? {
                 current = candidate;
                 progressed = true;
                 // The coordinates shifted left; rescan from here.
@@ -520,7 +613,6 @@ pub fn minimize_scenario_trial(
     // The mask selects among the *seeded* points, so every surviving
     // demotion lands on its original cycle and the whole thing still
     // replays from `schedule_seed`.
-    let mask_of = |bits: &[usize]| bits.iter().fold(0u64, |m, &b| m | (1 << b));
     let minimized_schedule = match schedule {
         ScheduleSpec::LockStep => MinimizedSchedule::lock_step(),
         ScheduleSpec::RandomPriority(rp) => {
@@ -530,70 +622,55 @@ pub fn minimize_scenario_trial(
                     ..rp
                 })
             };
-            let mut active: Vec<usize> = (0..rp.change_points.min(64))
+            let active: Vec<usize> = (0..rp.change_points.min(64))
                 .filter(|&i| rp.change_point_mask & (1 << i) != 0)
                 .collect();
-            if !active.is_empty() && candidates.get() < cfg.max_candidates {
-                // Fast path: no demotions at all.
-                if detects(&minimized_patterns_syms, masked(0), scratch)? {
-                    active.clear();
-                }
-            }
-            // ddmin: split the active set into n chunks, try dropping
-            // each chunk (testing its complement); refine granularity
-            // until single bits fail to drop.
-            let mut granularity = 2usize;
-            while active.len() > 1 && candidates.get() < cfg.max_candidates {
-                let n = granularity.min(active.len());
-                let chunk_len = active.len().div_ceil(n);
-                let mut reduced = false;
-                for c in 0..n {
-                    if candidates.get() >= cfg.max_candidates {
-                        break;
-                    }
-                    let lo = c * chunk_len;
-                    let hi = ((c + 1) * chunk_len).min(active.len());
-                    if lo >= hi {
-                        continue;
-                    }
-                    let complement: Vec<usize> = active
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i < lo || i >= hi)
-                        .map(|(_, &b)| b)
-                        .collect();
-                    if detects(
-                        &minimized_patterns_syms,
-                        masked(mask_of(&complement)),
-                        scratch,
-                    )? {
-                        active = complement;
-                        granularity = granularity.saturating_sub(1).max(2);
-                        reduced = true;
-                        break;
-                    }
-                }
-                if !reduced {
-                    if granularity >= active.len() {
-                        break;
-                    }
-                    granularity = (granularity * 2).min(active.len());
-                }
-            }
-            // A single surviving bit might still be droppable.
-            if active.len() == 1
-                && candidates.get() < cfg.max_candidates
-                && detects(&minimized_patterns_syms, masked(0), scratch)?
-            {
-                active.clear();
-            }
+            let active = ddmin_mask_bits(
+                active,
+                |mask| detects(&minimized_patterns_syms, masked(mask), preemption, scratch),
+                || candidates.get() >= cfg.max_candidates,
+            )?;
             MinimizedSchedule::from_random_priority(rp, mask_of(&active))
         }
     };
     let minimized_spec = minimized_schedule.spec();
 
-    // --- 3. Validate byte-identical replay: the minimized triple must
-    // detect the same class twice with identical machine summaries.
+    // --- 3. Interrupt-injection shrink: the same ddmin, this time over
+    // the seeded injection events' mask — the interrupt analogue of the
+    // schedule shrink (both masks filter a sorted seeded set without
+    // re-seeding, so survivors fire on their original cycles).
+    let minimized_preemption = match preemption.interrupts {
+        None => MinimizedPreemption::capture(&preemption, 0),
+        Some(ic) => {
+            let masked = |mask: u64| PreemptionSpec {
+                interrupts: Some(InterruptConfig {
+                    injection_mask: mask,
+                    ..ic
+                }),
+                ..preemption
+            };
+            let active: Vec<usize> = (0..ic.count.min(64))
+                .filter(|&i| ic.injection_mask & (1 << i) != 0)
+                .collect();
+            let active = ddmin_mask_bits(
+                active,
+                |mask| {
+                    detects(
+                        &minimized_patterns_syms,
+                        minimized_spec,
+                        masked(mask),
+                        scratch,
+                    )
+                },
+                || candidates.get() >= cfg.max_candidates,
+            )?;
+            MinimizedPreemption::capture(&preemption, mask_of(&active))
+        }
+    };
+    let minimized_preempt_spec = minimized_preemption.spec();
+
+    // --- 4. Validate byte-identical replay: the minimized quadruple
+    // must detect the same class twice with identical machine summaries.
     let run_minimized = |scratch: &mut TrialScratch,
                          trace: Option<&mut TrialTrace>|
      -> Result<crate::TestReport, MinimizeError> {
@@ -605,6 +682,8 @@ pub fn minimize_scenario_trial(
             TrialOverrides {
                 schedule: Some(minimized_spec),
                 memory: Some(memory),
+                preemption: Some(minimized_preempt_spec),
+                irq_seed: Some(irq_seed),
                 patterns: Some(&minimized_patterns_syms),
                 capture_trace: trace,
             },
@@ -633,10 +712,13 @@ pub fn minimize_scenario_trial(
         seed,
         schedule_seed,
         memory_seed,
+        irq_seed,
         schedule_label: minimized_spec.label(),
         memory_label: memory.label(),
+        preemption_label: minimized_preempt_spec.label(),
         schedule: minimized_schedule,
         memory: MinimizedMemory::capture(memory),
+        preemption: minimized_preemption.clone(),
         original_symbols,
         minimized_symbols: minimized_patterns_syms.iter().map(TestPattern::len).sum(),
         original_patterns,
@@ -649,10 +731,76 @@ pub fn minimize_scenario_trial(
             Some(cfg) => cfg.active_change_points(),
             None => 0,
         },
+        original_injections: preemption.interrupts.map_or(0, |ic| ic.active_injections()),
+        minimized_injections: minimized_preemption.active_injections,
         candidates: candidates.get(),
         summary,
         root_cause,
     })
+}
+
+fn mask_of(bits: &[usize]) -> u64 {
+    bits.iter().fold(0u64, |m, &b| m | (1 << b))
+}
+
+/// The shared ddmin over a set of active mask bits, used by both the
+/// schedule change-point shrink and the interrupt-injection shrink:
+/// first try the empty mask, then repeatedly drop chunks (testing the
+/// complement) at refining granularity, and finally retry dropping a
+/// lone survivor. `detects_mask` runs one candidate trial under the
+/// given mask; `exhausted` reports whether the candidate budget is
+/// spent.
+fn ddmin_mask_bits(
+    mut active: Vec<usize>,
+    mut detects_mask: impl FnMut(u64) -> Result<bool, MinimizeError>,
+    exhausted: impl Fn() -> bool,
+) -> Result<Vec<usize>, MinimizeError> {
+    // Fast path: none of the masked events needed at all.
+    if !active.is_empty() && !exhausted() && detects_mask(0)? {
+        active.clear();
+    }
+    // ddmin: split the active set into n chunks, try dropping each chunk
+    // (testing its complement); refine granularity until single bits
+    // fail to drop.
+    let mut granularity = 2usize;
+    while active.len() > 1 && !exhausted() {
+        let n = granularity.min(active.len());
+        let chunk_len = active.len().div_ceil(n);
+        let mut reduced = false;
+        for c in 0..n {
+            if exhausted() {
+                break;
+            }
+            let lo = c * chunk_len;
+            let hi = ((c + 1) * chunk_len).min(active.len());
+            if lo >= hi {
+                continue;
+            }
+            let complement: Vec<usize> = active
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i < lo || i >= hi)
+                .map(|(_, &b)| b)
+                .collect();
+            if detects_mask(mask_of(&complement))? {
+                active = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if granularity >= active.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(active.len());
+        }
+    }
+    // A single surviving bit might still be droppable.
+    if active.len() == 1 && !exhausted() && detects_mask(0)? {
+        active.clear();
+    }
+    Ok(active)
 }
 
 fn minimized_schedule_view(spec: &ScheduleSpec) -> Option<RandomPriorityConfig> {
@@ -684,8 +832,13 @@ pub fn minimize_trial(
         seed,
         schedule_seed,
         memory_seed,
+        engine
+            .config()
+            .irq_seed
+            .unwrap_or_else(|| crate::trial::derived_irq_seed(seed)),
         engine.config().schedule,
         engine.config().memory,
+        engine.config().preemption,
         None,
         cfg,
         scratch,
@@ -727,6 +880,8 @@ pub fn replay_minimized(
         TrialOverrides {
             schedule: Some(repro.schedule.spec()),
             memory: Some(repro.memory.spec()),
+            preemption: Some(repro.preemption.spec()),
+            irq_seed: Some(repro.irq_seed),
             patterns: Some(&patterns),
             ..TrialOverrides::default()
         },

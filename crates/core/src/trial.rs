@@ -56,6 +56,15 @@ pub struct TrialOverrides<'a> {
     pub schedule: Option<ptest_master::ScheduleSpec>,
     /// Replaces the compiled [`MemoryModelSpec`] for this trial.
     pub memory: Option<MemoryModelSpec>,
+    /// Replaces the compiled
+    /// [`PreemptionSpec`](ptest_master::PreemptionSpec) for this trial
+    /// (campaign preemption rotation, interrupt-mask shrink).
+    pub preemption: Option<ptest_master::PreemptionSpec>,
+    /// Replaces the trial's interrupt/preemption seed (campaign irq
+    /// stream, quadruple replay). `None` falls back to the compiled
+    /// configuration's [`irq_seed`](crate::AdaptiveTestConfig::irq_seed)
+    /// override, then to derivation from the pattern seed.
+    pub irq_seed: Option<u64>,
     /// Replaces the generated patterns: the trial skips PFA generation
     /// and runs exactly these patterns through the same merge → commit →
     /// detect path. The shrink loop of reproducer minimization feeds
@@ -97,29 +106,31 @@ impl TrialScratch {
     }
 }
 
-/// Derives the default schedule seed of a trial from its pattern seed
-/// ([`splitmix64`](ptest_master::sched::splitmix64) over a fixed stream
-/// constant). Used when the configuration carries no explicit
+/// Derives the default schedule seed of a trial from its pattern seed.
+/// Re-exported from [`ptest_soc::seed`] under this historical path.
+/// Used when the configuration carries no explicit
 /// [`schedule_seed`](crate::AdaptiveTestConfig::schedule_seed): a plain
 /// `(config, seed)` run remains a one-seed reproduction story, while the
 /// derived schedule stream stays decorrelated from the pattern stream.
-#[must_use]
-pub fn derived_schedule_seed(seed: u64) -> u64 {
-    const SCHEDULE_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
-    ptest_master::sched::splitmix64(seed ^ SCHEDULE_STREAM)
-}
+pub use ptest_soc::seed::derived_schedule_seed;
 
 /// Derives the default memory seed of a trial from its pattern seed, on
 /// a third stream decorrelated from both the pattern and the schedule
-/// streams. Used when the configuration carries no explicit
+/// streams. Re-exported from [`ptest_soc::seed`] under this historical
+/// path. Used when the configuration carries no explicit
 /// [`memory_seed`](crate::AdaptiveTestConfig::memory_seed): under the
 /// default [`MemoryModelSpec::SeqCst`] the seed is recorded but has no
 /// behavioural effect.
-#[must_use]
-pub fn derived_memory_seed(seed: u64) -> u64 {
-    const MEMORY_STREAM: u64 = 0xD6E8_FEB8_6659_FD93;
-    ptest_master::sched::splitmix64(seed ^ MEMORY_STREAM)
-}
+pub use ptest_soc::seed::derived_memory_seed;
+
+/// Derives the default interrupt/preemption seed of a trial from its
+/// pattern seed — the fourth stream of the replay quadruple.
+/// Re-exported from [`ptest_soc::seed`]. Used when the configuration
+/// carries no explicit
+/// [`irq_seed`](crate::AdaptiveTestConfig::irq_seed): under the default
+/// inert [`PreemptionSpec`](ptest_master::PreemptionSpec) the seed is
+/// recorded but has no behavioural effect.
+pub use ptest_soc::seed::derived_irq_seed;
 
 impl TrialEngine {
     /// Compiles `config`'s regular expression and probability
@@ -285,15 +296,22 @@ impl TrialEngine {
         let TrialOverrides {
             schedule,
             memory,
+            preemption,
+            irq_seed,
             patterns: pattern_override,
             capture_trace,
         } = overrides;
+        let irq_seed = irq_seed
+            .or(self.config.irq_seed)
+            .unwrap_or_else(|| derived_irq_seed(seed));
         let mut cfg = AdaptiveTestConfig {
             seed,
             schedule_seed: Some(schedule_seed),
             schedule: schedule.unwrap_or(self.config.schedule),
             memory_seed: Some(memory_seed),
             memory: memory.unwrap_or(self.config.memory),
+            irq_seed: Some(irq_seed),
+            preemption: preemption.unwrap_or(self.config.preemption),
             ..self.config.clone()
         };
         if capture_trace.is_some() {
@@ -318,6 +336,10 @@ impl TrialEngine {
         // --- System + committer + detector (lines 5-10).
         let mut sys = DualCoreSystem::new(cfg.system.clone());
         let programs = setup(&mut sys);
+        // After setup, so scenarios can install their ISR handlers
+        // first; the inert default installs nothing (the golden-fixture
+        // fast path).
+        sys.install_preemption(&cfg.preemption, irq_seed);
         let mut committer = Committer::new(
             merged,
             self.generator.regex().alphabet(),
@@ -390,12 +412,10 @@ impl TrialEngine {
                 }
             }
             cycles += 1;
-            match (scheduler.as_deref_mut(), memory_model.as_deref_mut()) {
-                (None, None) => sys.step(),
-                (Some(sched), None) => sys.step_with(sched),
-                (None, Some(model)) => sys.step_with_memory(model),
-                (Some(sched), Some(model)) => sys.step_explored(sched, model),
-            }
+            // One entry point for every axis combination: `None` on an
+            // axis selects that axis's historical fast path inside the
+            // system, so unexplored trials stay byte-identical.
+            sys.step_explored(scheduler.as_deref_mut(), memory_model.as_deref_mut());
             let status = committer.step(&mut sys);
             let committer_done = status != CommitterStatus::Running;
             if committer_done && done_at.is_none() {
@@ -471,6 +491,7 @@ impl TrialEngine {
             merged,
             schedule_seed,
             memory_seed,
+            irq_seed,
             config: cfg,
         })
     }
@@ -791,6 +812,165 @@ mod tests {
             format!("{:?}", a.exec_records),
             format!("{:?}", b.exec_records),
             "the full execution trace replays from the seed triple"
+        );
+    }
+
+    /// Like [`quick_setup`], but with an ISR handler installed on slave 0
+    /// and a sleep in the task body so planned injections have a handler
+    /// to run and fast-forward has idle windows to skip.
+    fn preemptive_setup(sys: &mut DualCoreSystem) -> Vec<ProgramId> {
+        use ptest_pcore::VarId;
+        let isr_body = Program::new(vec![
+            Op::Compute(7),
+            Op::WriteVar {
+                var: VarId(9),
+                value: 1,
+            },
+            Op::Exit,
+        ])
+        .unwrap();
+        for slave in 0..sys.slave_count() {
+            let isr = sys.kernel_of_mut(slave).register_program(isr_body.clone());
+            sys.kernel_of_mut(slave).set_isr_program(isr);
+        }
+        vec![sys.kernel_mut().register_program(
+            Program::new(vec![
+                Op::Compute(10),
+                Op::SleepFor(25),
+                Op::Compute(10),
+                Op::Exit,
+            ])
+            .unwrap(),
+        )]
+    }
+
+    fn preemptive_spec() -> ptest_master::PreemptionSpec {
+        use ptest_master::{ClockSkewConfig, InterruptConfig, PreemptionSpec, QuantumConfig};
+        PreemptionSpec {
+            quantum: Some(QuantumConfig { cycles: 4 }),
+            clock_skew: Some(ClockSkewConfig { max_rate: 64 }),
+            interrupts: Some(InterruptConfig {
+                count: 8,
+                horizon: 300,
+                ..InterruptConfig::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn irq_seed_is_derived_recorded_and_decorrelated() {
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let a = engine.run_trial(5, quick_setup).unwrap();
+        assert_eq!(a.irq_seed, crate::derived_irq_seed(5));
+        assert_eq!(a.config.irq_seed, Some(crate::derived_irq_seed(5)));
+        // The irq stream is decorrelated from the other derived streams.
+        assert_ne!(crate::derived_irq_seed(5), crate::derived_schedule_seed(5));
+        assert_ne!(crate::derived_irq_seed(5), crate::derived_memory_seed(5));
+    }
+
+    #[test]
+    fn seed_quadruple_replays_byte_identically_under_preemption() {
+        use ptest_master::ScheduleSpec;
+        let engine = TrialEngine::new(AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            schedule: ScheduleSpec::random_priority(),
+            preemption: preemptive_spec(),
+            ..AdaptiveTestConfig::default()
+        })
+        .unwrap();
+        let mut scratch = TrialScratch::new();
+        let a = engine
+            .run_trial_explored(9, 1234, 77, preemptive_setup, &mut scratch)
+            .unwrap();
+        let b = engine
+            .run_trial_explored(9, 1234, 77, preemptive_setup, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            a.irq_seed, b.irq_seed,
+            "irq seed derives from the trial seed"
+        );
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.commands_issued, b.commands_issued);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(
+            format!("{:?}", a.exec_records),
+            format!("{:?}", b.exec_records),
+            "the full execution trace replays from the seed quadruple"
+        );
+        // The spec is live: the captured timeline shows planned
+        // injections firing (master-side command records alone can't —
+        // service replies are timed by the endpoint, not the task CPU).
+        let scenario = crate::FnScenario::new(
+            "preemptive-probe",
+            AdaptiveTestConfig {
+                n: 2,
+                s: 4,
+                schedule: ScheduleSpec::random_priority(),
+                preemption: preemptive_spec(),
+                ..AdaptiveTestConfig::default()
+            },
+            preemptive_setup,
+        );
+        let mut trace = TrialTrace::default();
+        let c = engine
+            .run_scenario_trial_overridden(
+                &scenario,
+                9,
+                1234,
+                77,
+                TrialOverrides {
+                    capture_trace: Some(&mut trace),
+                    ..TrialOverrides::default()
+                },
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(c.cycles, a.cycles, "trace capture does not perturb the run");
+        let injected = trace
+            .master
+            .iter()
+            .filter(|e| e.kind == "irq-inject")
+            .count();
+        assert!(injected > 0, "planned injections fire during the trial");
+    }
+
+    #[test]
+    fn fast_forward_is_invisible_under_preemption() {
+        use ptest_master::ScheduleSpec;
+        let cfg = AdaptiveTestConfig {
+            n: 2,
+            s: 4,
+            schedule: ScheduleSpec::random_priority(),
+            preemption: preemptive_spec(),
+            ..AdaptiveTestConfig::default()
+        };
+        let mut fast = TrialEngine::new(cfg.clone()).unwrap();
+        fast.set_fast_forward(true);
+        let mut slow = TrialEngine::new(cfg).unwrap();
+        slow.set_fast_forward(false);
+        let mut scratch = TrialScratch::new();
+        let a = fast
+            .run_trial_explored(9, 1234, 77, preemptive_setup, &mut scratch)
+            .unwrap();
+        let b = slow
+            .run_trial_explored(9, 1234, 77, preemptive_setup, &mut scratch)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.commands_issued, b.commands_issued);
+        assert_eq!(
+            format!("{:?}", a.exec_records),
+            format!("{:?}", b.exec_records),
+            "idle fast-forward never skips a quantum expiry or an injection"
+        );
+        assert_eq!(
+            format!("{:?}", a.machine_summary()),
+            format!("{:?}", b.machine_summary())
         );
     }
 

@@ -17,6 +17,9 @@
 //!   kernels*, and a shared-SRAM producer/consumer race between slaves.
 //! * [`races`] — schedule-sensitive cross-core races, unreachable under
 //!   lock-step and exposed by the randomized-priority scheduler.
+//! * [`timers`] — preemption-sensitive timer/ISR faults, invisible
+//!   under non-preemptive lock-step and exposed by deterministic
+//!   interrupt injection and quantum time-slicing.
 //! * [`weakmem`] — memory-model-sensitive races (Dekker store
 //!   visibility, IRIW), invisible under sequential consistency and
 //!   exposed by the store-buffer memory model.
@@ -33,6 +36,7 @@ pub mod philosophers;
 pub mod races;
 pub mod scenarios;
 pub mod stress;
+pub mod timers;
 pub mod weakmem;
 
 #[cfg(test)]

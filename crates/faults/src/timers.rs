@@ -1,0 +1,603 @@
+//! Preemption-sensitive timer/ISR faults: bugs that are **invisible
+//! under non-preemptive lock-step execution** no matter which patterns
+//! the PFA generates or how the cross-kernel schedule paces the cores,
+//! and only manifest when the preemption axis
+//! ([`PreemptionSpec`]) is explored —
+//! deterministic interrupt injection for one, quantum time-slicing for
+//! the other.
+//!
+//! * [`IsrSharedVarScenario`] — a task runs read-modify-write rounds
+//!   over a kernel variable that the timer ISR also increments. Without
+//!   an [`InterruptConfig`] no interrupt
+//!   ever fires and the final tally is trivially consistent. With
+//!   injections enabled, an ISR that fires inside the task's RMW window
+//!   (after the read, before the write-back) has its increment
+//!   overwritten by the task's stale write — a classic lost update
+//!   between task and interrupt context. The task tallies ISR runs in a
+//!   second variable and checks `counter == rounds + isr_increments`
+//!   with interrupts masked; a lost update trips the guard as a
+//!   deterministic task fault the `(pattern, schedule, memory, irq)`
+//!   quadruple replays. The `fixed` variant brackets each RMW window
+//!   with [`Op::IrqMask`]/[`Op::IrqUnmask`], deferring injections past
+//!   the window — clean under *any* interrupt plan.
+//! * [`QuantumAtomicityScenario`] — two tasks in different priority
+//!   bands on one kernel run RMW rounds over a shared counter. The
+//!   non-preemptive kernel picks strictly by priority, so the
+//!   higher-band task runs its loop to completion while the lower one
+//!   spins at the barrier; the loops serialize and the final count is
+//!   exact. A [`QuantumConfig`] rotates the
+//!   core between the bands at slice boundaries, the loops overlap, a
+//!   slice that expires inside a critical window splits read from
+//!   write-back, and increments vanish. The `fixed` variant wraps the
+//!   window in a kernel mutex, which keeps the windows whole across
+//!   slice rotation — clean under *any* quantum.
+//!
+//! Both scenarios follow the [`races`](crate::races) discipline: bounded
+//! spins so pattern-mutilated protocols (a `TD` deleting a peer task)
+//! exit benignly instead of reading as livelock, and a stack-probe guard
+//! as the detector-visible manifestation symptom.
+
+use ptest_core::{
+    AdaptiveTestConfig, InterruptConfig, MergeOp, PreemptionSpec, QuantumConfig, Scenario,
+};
+use ptest_master::{MultiCoreSystem, SystemConfig};
+use ptest_pcore::{Op, ProgramBuilder, ProgramId, VarId};
+
+/// The shared counter both task and ISR (or both tasks) increment.
+pub const TIMER_SHARED: VarId = VarId(4);
+/// Tally of ISR increments, maintained by the ISR itself.
+pub const TIMER_ISR_COUNT: VarId = VarId(5);
+/// Barrier flag announced by the low-band task.
+pub const TIMER_READY0: VarId = VarId(6);
+/// Barrier flag announced by the high-band task.
+pub const TIMER_READY1: VarId = VarId(7);
+/// Completion flag of the high-band writer.
+pub const TIMER_DONE1: VarId = VarId(8);
+
+/// Iterations a task spins on a flag before giving up benignly (exiting
+/// without running its check) — see [`crate::races`].
+const SPIN_BUDGET: i64 = 30_000;
+
+/// A `StackProbe` far beyond any configured stack: the deterministic
+/// "the fault manifested" symptom, killed by the kernel as a
+/// stack-overflow task fault and picked up by the detector.
+const GUARD_TRIP: u32 = 1 << 20;
+
+/// Buggy (unprotected window) or fixed (window protected) variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerVariant {
+    /// The RMW window is open to preemption mid-flight.
+    Buggy,
+    /// The window is protected — interrupts masked across it, or the
+    /// window bracketed by a mutex — and stays whole under exploration.
+    Fixed,
+}
+
+/// Appends a bounded spin until `var == value`, falling through to the
+/// label `go`; gives up (plain `Exit`) after [`SPIN_BUDGET`] iterations.
+fn bounded_spin(b: &mut ProgramBuilder, var: VarId, value: i64, scratch: u8, go: &str) {
+    let spin = format!("spin_{var}_{go}");
+    let give_up = format!("give_up_{var}_{go}");
+    b.push(Op::AddReg {
+        reg: scratch,
+        delta: SPIN_BUDGET,
+    });
+    b.bind(&spin);
+    b.branch_if_var_eq(var, value, go);
+    b.push(Op::AddReg {
+        reg: scratch,
+        delta: -1,
+    });
+    b.branch_if_reg_eq(scratch, 0, &give_up);
+    b.jump_to(&spin);
+    b.bind(&give_up);
+    b.push(Op::Exit);
+    b.bind(go);
+}
+
+/// The guard epilogue: fault unless register `reg` holds `expected`.
+fn guard(b: &mut ProgramBuilder, reg: u8, expected: i64) {
+    b.branch_if_reg_eq(reg, expected, "guard_ok");
+    b.push(Op::StackProbe(GUARD_TRIP));
+    b.bind("guard_ok");
+    b.push(Op::Exit);
+}
+
+/// The shared single-slave base configuration of both timer scenarios:
+/// lock-step schedule (the preemption axis is what these scenarios
+/// probe — the cross-kernel schedule stays at its fast path), one slave
+/// so every planned injection lands on the kernel under test, and the
+/// same anti-mutilation pattern distribution as [`crate::races`].
+fn timer_base_config(n: usize, preemption: PreemptionSpec) -> AdaptiveTestConfig {
+    AdaptiveTestConfig {
+        n,
+        s: 6,
+        op: MergeOp::cyclic(),
+        inter_command_gap: 30,
+        pd: ptest_automata::ProbabilityAssignment::weights([
+            ("TC", 1.0),
+            ("TCH", 1.0),
+            ("TS", 1e-4),
+            ("TD", 1e-4),
+            ("TY", 0.05),
+            ("TR", 1.0),
+        ]),
+        max_cycles: 250_000,
+        drain_cycles: 80_000,
+        detector: ptest_core::DetectorConfig {
+            progress_window: ptest_soc::Cycles::new(60_000),
+            ..ptest_core::DetectorConfig::default()
+        },
+        preemption,
+        system: SystemConfig::with_slaves(1),
+        ..AdaptiveTestConfig::default()
+    }
+}
+
+/// A task-vs-ISR lost update on a shared variable. See the [module
+/// docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct IsrSharedVarScenario {
+    /// Buggy (open window) or fixed (mask-bracketed) variant.
+    pub variant: TimerVariant,
+    /// Read-modify-write rounds the task performs.
+    pub rounds: i64,
+}
+
+impl IsrSharedVarScenario {
+    /// The unprotected variant at the default round count.
+    #[must_use]
+    pub fn buggy() -> IsrSharedVarScenario {
+        IsrSharedVarScenario {
+            variant: TimerVariant::Buggy,
+            rounds: 40,
+        }
+    }
+
+    /// The mask-bracketed control variant.
+    #[must_use]
+    pub fn fixed() -> IsrSharedVarScenario {
+        IsrSharedVarScenario {
+            variant: TimerVariant::Fixed,
+            ..IsrSharedVarScenario::buggy()
+        }
+    }
+
+    /// The interrupt plan this scenario explores by default: enough
+    /// injections across the task's active window that some seed's plan
+    /// lands one mid-RMW.
+    #[must_use]
+    pub fn default_interrupts() -> InterruptConfig {
+        InterruptConfig {
+            count: 12,
+            horizon: 900,
+            ..InterruptConfig::default()
+        }
+    }
+}
+
+impl Scenario for IsrSharedVarScenario {
+    fn name(&self) -> &str {
+        match self.variant {
+            TimerVariant::Buggy => "isr-shared-var-buggy",
+            TimerVariant::Fixed => "isr-shared-var-fixed",
+        }
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        timer_base_config(
+            1,
+            PreemptionSpec {
+                interrupts: Some(IsrSharedVarScenario::default_interrupts()),
+                ..PreemptionSpec::default()
+            },
+        )
+    }
+
+    fn setup(&self, sys: &mut MultiCoreSystem) -> Vec<ProgramId> {
+        // The timer ISR: atomically (interrupt context preempts tasks,
+        // never the reverse) increment the shared counter and its own
+        // run tally.
+        let isr = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::ReadVar {
+                var: TIMER_SHARED,
+                reg: 0,
+            });
+            b.push(Op::AddReg { reg: 0, delta: 1 });
+            b.push(Op::WriteVarReg {
+                var: TIMER_SHARED,
+                reg: 0,
+            });
+            b.push(Op::ReadVar {
+                var: TIMER_ISR_COUNT,
+                reg: 1,
+            });
+            b.push(Op::AddReg { reg: 1, delta: 1 });
+            b.push(Op::WriteVarReg {
+                var: TIMER_ISR_COUNT,
+                reg: 1,
+            });
+            b.push(Op::Exit);
+            b.build().expect("isr program is valid")
+        };
+        let isr = sys.kernel_mut().register_program(isr);
+        sys.kernel_mut().set_isr_program(isr);
+
+        // The worker: `rounds` RMW rounds with a deliberately padded
+        // window between read and write-back, then a masked final check
+        // that `counter - rounds - isr_increments == 0` (computed by
+        // counting `isr_increments` down against the surplus).
+        let worker = {
+            let mut b = ProgramBuilder::new();
+            b.bind("rmw");
+            if self.variant == TimerVariant::Fixed {
+                b.push(Op::IrqMask);
+            }
+            b.push(Op::ReadVar {
+                var: TIMER_SHARED,
+                reg: 0,
+            });
+            b.push(Op::Compute(6)); // the exposed half-open window
+            b.push(Op::AddReg { reg: 0, delta: 1 });
+            b.push(Op::WriteVarReg {
+                var: TIMER_SHARED,
+                reg: 0,
+            });
+            if self.variant == TimerVariant::Fixed {
+                b.push(Op::IrqUnmask);
+            }
+            b.push(Op::Compute(4)); // breathing room for deferred irqs
+            b.push(Op::AddReg { reg: 1, delta: 1 });
+            b.branch_if_reg_eq(1, self.rounds, "check");
+            b.jump_to("rmw");
+            b.bind("check");
+            // Mask before sampling both tallies: an ISR between the two
+            // reads would skew the comparison in either variant.
+            b.push(Op::IrqMask);
+            b.push(Op::ReadVar {
+                var: TIMER_SHARED,
+                reg: 2,
+            });
+            b.push(Op::AddReg {
+                reg: 2,
+                delta: -self.rounds,
+            });
+            b.push(Op::ReadVar {
+                var: TIMER_ISR_COUNT,
+                reg: 3,
+            });
+            // r2 -= r3, one step at a time (the ISA has no reg-reg sub).
+            b.bind("drain");
+            b.branch_if_reg_eq(3, 0, "verify");
+            b.push(Op::AddReg { reg: 3, delta: -1 });
+            b.push(Op::AddReg { reg: 2, delta: -1 });
+            b.jump_to("drain");
+            b.bind("verify");
+            guard(&mut b, 2, 0);
+            b.build().expect("worker program is valid")
+        };
+        vec![sys.kernel_mut().register_program(worker)]
+    }
+}
+
+/// A quantum-expiry atomicity violation between two priority bands. See
+/// the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantumAtomicityScenario {
+    /// Buggy (open window) or fixed (mutex-bracketed) variant.
+    pub variant: TimerVariant,
+    /// Read-modify-write rounds each task performs.
+    pub rounds: i64,
+}
+
+impl QuantumAtomicityScenario {
+    /// The unprotected variant at the default round count.
+    #[must_use]
+    pub fn buggy() -> QuantumAtomicityScenario {
+        QuantumAtomicityScenario {
+            variant: TimerVariant::Buggy,
+            rounds: 8,
+        }
+    }
+
+    /// The mutex-bracketed control variant.
+    #[must_use]
+    pub fn fixed() -> QuantumAtomicityScenario {
+        QuantumAtomicityScenario {
+            variant: TimerVariant::Fixed,
+            ..QuantumAtomicityScenario::buggy()
+        }
+    }
+
+    /// The quantum this scenario explores by default: shorter than the
+    /// RMW window, so a slice boundary must land inside it once the
+    /// loops overlap.
+    #[must_use]
+    pub fn default_quantum() -> QuantumConfig {
+        QuantumConfig { cycles: 5 }
+    }
+}
+
+impl Scenario for QuantumAtomicityScenario {
+    fn name(&self) -> &str {
+        match self.variant {
+            TimerVariant::Buggy => "quantum-atomicity-buggy",
+            TimerVariant::Fixed => "quantum-atomicity-fixed",
+        }
+    }
+
+    fn base_config(&self) -> AdaptiveTestConfig {
+        timer_base_config(
+            2,
+            PreemptionSpec {
+                quantum: Some(QuantumAtomicityScenario::default_quantum()),
+                ..PreemptionSpec::default()
+            },
+        )
+    }
+
+    fn setup(&self, sys: &mut MultiCoreSystem) -> Vec<ProgramId> {
+        let guard_mutex = sys.kernel_mut().create_mutex();
+        let bracket = self.variant == TimerVariant::Fixed;
+
+        // One RMW loop body, shared by both writers. The window is wider
+        // than the default quantum, so slice rotation must split it.
+        let rmw_loop = |b: &mut ProgramBuilder, rounds: i64| {
+            b.bind("rmw");
+            if bracket {
+                b.push(Op::MutexLock(guard_mutex));
+            }
+            b.push(Op::ReadVar {
+                var: TIMER_SHARED,
+                reg: 0,
+            });
+            b.push(Op::Compute(6));
+            b.push(Op::AddReg { reg: 0, delta: 1 });
+            b.push(Op::WriteVarReg {
+                var: TIMER_SHARED,
+                reg: 0,
+            });
+            if bracket {
+                b.push(Op::MutexUnlock(guard_mutex));
+            }
+            b.push(Op::AddReg { reg: 1, delta: 1 });
+            b.branch_if_reg_eq(1, rounds, "rmw_done");
+            b.jump_to("rmw");
+            b.bind("rmw_done");
+        };
+
+        // Pattern 0 (low priority band): announce, await the peer,
+        // loop, then await the peer's completion and check. Without a
+        // quantum the higher band runs its whole loop while this task
+        // spins, so the serial total is exact.
+        let checker = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::WriteVar {
+                var: TIMER_READY0,
+                value: 1,
+            });
+            bounded_spin(&mut b, TIMER_READY1, 1, 7, "go");
+            rmw_loop(&mut b, self.rounds);
+            bounded_spin(&mut b, TIMER_DONE1, 1, 6, "check");
+            b.push(Op::Compute(4)); // let the peer's last write settle
+            b.push(Op::ReadVar {
+                var: TIMER_SHARED,
+                reg: 2,
+            });
+            guard(&mut b, 2, 2 * self.rounds);
+            b.build().expect("checker program is valid")
+        };
+        // Pattern 1 (high priority band): announce, await the peer,
+        // loop, signal completion.
+        let writer = {
+            let mut b = ProgramBuilder::new();
+            b.push(Op::WriteVar {
+                var: TIMER_READY1,
+                value: 1,
+            });
+            bounded_spin(&mut b, TIMER_READY0, 1, 7, "go");
+            rmw_loop(&mut b, self.rounds);
+            b.push(Op::WriteVar {
+                var: TIMER_DONE1,
+                value: 1,
+            });
+            b.push(Op::Exit);
+            b.build().expect("writer program is valid")
+        };
+        vec![
+            sys.kernel_mut().register_program(checker),
+            sys.kernel_mut().register_program(writer),
+        ]
+    }
+}
+
+/// Whether a report contains the timer faults' manifestation symptom:
+/// the guard's stack-probe task fault on the checking task.
+#[must_use]
+pub fn timer_fault_manifested(report: &ptest_core::TestReport) -> bool {
+    report.found(|k| {
+        matches!(
+            k,
+            ptest_core::BugKind::TaskFault {
+                fault: ptest_pcore::TaskFault::StackOverflow,
+                ..
+            }
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptest_core::{TrialEngine, TrialOverrides, TrialScratch};
+
+    /// Runs `scenario` under an explicit preemption spec at a seed
+    /// quadruple (schedule and memory stay at the scenario's lock-step /
+    /// seq-cst base).
+    fn run_preempted(
+        scenario: &dyn Scenario,
+        preemption: PreemptionSpec,
+        seed: u64,
+        irq_seed: u64,
+    ) -> ptest_core::TestReport {
+        let engine = TrialEngine::new(scenario.base_config()).expect("valid scenario config");
+        engine
+            .run_scenario_trial_overridden(
+                scenario,
+                seed,
+                seed,
+                seed,
+                TrialOverrides {
+                    preemption: Some(preemption),
+                    irq_seed: Some(irq_seed),
+                    ..TrialOverrides::default()
+                },
+                &mut TrialScratch::new(),
+            )
+            .expect("trial runs")
+    }
+
+    /// The first `(seed, irq_seed)` pair (small search) at which the
+    /// scenario manifests under its own preemption spec.
+    fn find_manifestation(scenario: &dyn Scenario) -> Option<(u64, u64)> {
+        let spec = scenario.base_config().preemption;
+        for seed in 0..4 {
+            for irq_seed in 0..8 {
+                let report = run_preempted(scenario, spec, seed, irq_seed);
+                if timer_fault_manifested(&report) {
+                    return Some((seed, irq_seed));
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn isr_race_is_invisible_without_interrupt_injection() {
+        for seed in 0..6 {
+            let report = run_preempted(
+                &IsrSharedVarScenario::buggy(),
+                PreemptionSpec::default(),
+                seed,
+                seed ^ 0xABCD,
+            );
+            assert!(
+                !timer_fault_manifested(&report),
+                "seed {seed}: {}",
+                report.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn isr_race_manifests_under_injection_and_replays_from_the_quadruple() {
+        let scenario = IsrSharedVarScenario::buggy();
+        let (seed, irq_seed) =
+            find_manifestation(&scenario).expect("some quadruple must expose the ISR lost update");
+        let spec = scenario.base_config().preemption;
+        let a = run_preempted(&scenario, spec, seed, irq_seed);
+        let b = run_preempted(&scenario, spec, seed, irq_seed);
+        assert!(timer_fault_manifested(&a));
+        assert_eq!(a.irq_seed, irq_seed, "the quadruple is recorded");
+        assert_eq!(a.bugs.len(), b.bugs.len());
+        for (x, y) in a.bugs.iter().zip(&b.bugs) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.detected_at, y.detected_at, "quadruple replay is exact");
+        }
+        assert_eq!(
+            format!("{:?}", a.machine_summary()),
+            format!("{:?}", b.machine_summary()),
+        );
+    }
+
+    #[test]
+    fn masked_isr_race_is_clean_under_any_injection_plan() {
+        assert!(
+            find_manifestation(&IsrSharedVarScenario::fixed()).is_none(),
+            "the mask-bracketed variant must never lose an update"
+        );
+    }
+
+    #[test]
+    fn quantum_atomicity_is_invisible_without_a_quantum() {
+        for seed in 0..6 {
+            let report = run_preempted(
+                &QuantumAtomicityScenario::buggy(),
+                PreemptionSpec::default(),
+                seed,
+                seed ^ 0xEF01,
+            );
+            assert!(
+                !timer_fault_manifested(&report),
+                "seed {seed}: {}",
+                report.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn quantum_atomicity_manifests_under_a_quantum_and_replays() {
+        let scenario = QuantumAtomicityScenario::buggy();
+        let (seed, irq_seed) =
+            find_manifestation(&scenario).expect("some quadruple must expose the split window");
+        let spec = scenario.base_config().preemption;
+        let a = run_preempted(&scenario, spec, seed, irq_seed);
+        let b = run_preempted(&scenario, spec, seed, irq_seed);
+        assert!(timer_fault_manifested(&a));
+        assert_eq!(
+            a.bugs.iter().map(|x| x.detected_at).collect::<Vec<_>>(),
+            b.bugs.iter().map(|x| x.detected_at).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn mutex_bracketed_quantum_variant_is_clean_under_any_quantum() {
+        assert!(
+            find_manifestation(&QuantumAtomicityScenario::fixed()).is_none(),
+            "the mutex-bracketed variant must never lose an update"
+        );
+    }
+
+    #[test]
+    fn minimization_shrinks_the_injection_mask_of_the_isr_race() {
+        use ptest_core::{minimize_scenario_trial, replay_minimized, MinimizeConfig};
+        let scenario = IsrSharedVarScenario::buggy();
+        let (seed, irq_seed) =
+            find_manifestation(&scenario).expect("some quadruple must expose the ISR lost update");
+        let base = scenario.base_config();
+        let engine = TrialEngine::new(base.clone()).expect("valid scenario config");
+        let mut scratch = TrialScratch::new();
+        let repro = minimize_scenario_trial(
+            &engine,
+            &scenario,
+            seed,
+            seed,
+            seed,
+            irq_seed,
+            base.schedule,
+            base.memory,
+            base.preemption,
+            None,
+            &MinimizeConfig::default(),
+            &mut scratch,
+        )
+        .expect("a manifesting trial minimizes");
+        assert_eq!(repro.irq_seed, irq_seed);
+        assert!(
+            repro.minimized_injections <= repro.original_injections,
+            "ddmin never grows the injection set"
+        );
+        assert!(
+            repro.minimized_injections >= 1,
+            "the fault needs at least one injection"
+        );
+        let replayed = replay_minimized(&engine, &scenario, &repro, &mut scratch)
+            .expect("the shrunk reproducer replays");
+        assert_eq!(
+            format!("{:?}", replayed.machine_summary()),
+            format!("{:?}", repro.summary),
+            "the reproducer replays byte-identically from its stored parts"
+        );
+    }
+}

@@ -30,6 +30,12 @@
 //!   the default fast path; [`StoreBufferModel`] delays each store's
 //!   visibility per observer off a memory seed, reaching reordering bugs
 //!   the epoch hides by construction.
+//! * [`preempt`] — the preemption/interrupt axis: quantum time slices
+//!   inside each slave kernel, seeded per-slave clock skew, and a
+//!   deterministic [`InterruptPlan`] injecting ISR events at
+//!   schedule-controlled cycles ([`MultiCoreSystem::install_preemption`]).
+//!   The inert default [`PreemptionSpec`] leaves the platform on the
+//!   exact unpreempted path the golden fixtures pin.
 //!
 //! pTest's committer drives the system through
 //! [`MultiCoreSystem::issue_to`]/[`MultiCoreSystem::take_responses`];
@@ -74,12 +80,18 @@
 #![warn(missing_docs)]
 
 pub mod mem;
+pub mod preempt;
 pub mod sched;
 mod system;
+#[cfg(test)]
+pub(crate) mod testsupport;
 mod thread;
 
 pub use mem::{
     IdleHorizon, MemoryModel, MemoryModelSpec, SharedVarBus, StoreBufferConfig, StoreBufferModel,
+};
+pub use preempt::{
+    ClockSkewConfig, InterruptConfig, InterruptEvent, InterruptPlan, PreemptionSpec, QuantumConfig,
 };
 pub use sched::{
     IdleAdvance, LockStepScheduler, RandomPriorityConfig, RandomPriorityScheduler, ScheduleSpec,

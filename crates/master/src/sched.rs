@@ -244,26 +244,15 @@ impl ScheduleSpec {
     }
 }
 
-/// The workspace's seed-stream mixer (Vigna's splitmix64 finalizer):
-/// small, platform-stable, and decorrelating. Every derived seed in the
-/// repo — campaign trial seeds, campaign schedule seeds, the trial
-/// engine's implicit schedule seed, this module's priority and
-/// change-point streams — goes through this one definition, so the
-/// documented seed-derivation story cannot drift between crates.
-#[must_use]
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// [`splitmix64`] as a stream: mixes and advances `state` in place.
-fn splitmix64_next(state: &mut u64) -> u64 {
-    let out = splitmix64(*state);
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    out
-}
+/// The workspace's seed-stream mixer, re-exported from its single home
+/// in [`ptest_soc::seed`] under this module's historical path. Every
+/// derived seed in the repo — campaign trial seeds, campaign schedule
+/// seeds, the trial engine's implicit schedule seed, this module's
+/// priority and change-point streams — goes through that one
+/// definition, so the documented seed-derivation story cannot drift
+/// between crates.
+pub use ptest_soc::seed::splitmix64;
+use ptest_soc::seed::splitmix64_next;
 
 /// The PCT-style randomized-priority scheduler. See the [module
 /// docs](self) for the search it performs and its determinism contract.
@@ -404,12 +393,7 @@ impl Scheduler for RandomPriorityScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn plan_once(s: &mut dyn Scheduler, runnable: &[bool]) -> Vec<bool> {
-        let mut advance = vec![true; runnable.len()];
-        s.plan(Cycles::new(1), runnable, &mut advance);
-        advance
-    }
+    use crate::testsupport::{plan_once, replay_idle, skip_idle};
 
     #[test]
     fn lock_step_advances_everyone() {
@@ -511,45 +495,6 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(plan_once(&mut s, &[true; 3]), first);
         }
-    }
-
-    /// Replays `plan` cycle by cycle with an all-false runnable set —
-    /// the `skip_idle_cycles` default implementation, hoisted so tests
-    /// can compare a closed-form override against it on the same type.
-    fn replay_idle(
-        s: &mut dyn Scheduler,
-        start: u64,
-        count: u64,
-        slaves: usize,
-    ) -> Vec<IdleAdvance> {
-        let runnable = vec![false; slaves];
-        let mut advance = vec![true; slaves];
-        let mut idle = vec![IdleAdvance::default(); slaves];
-        for c in 0..count {
-            advance.fill(true);
-            s.plan(Cycles::new(start + c), &runnable, &mut advance);
-            for (i, &a) in advance.iter().enumerate() {
-                if a {
-                    idle[i].ticks += 1;
-                    idle[i].last = Some(Cycles::new(start + c));
-                }
-            }
-        }
-        idle
-    }
-
-    fn skip_idle(s: &mut dyn Scheduler, start: u64, count: u64, slaves: usize) -> Vec<IdleAdvance> {
-        let runnable = vec![false; slaves];
-        let mut advance = vec![true; slaves];
-        let mut idle = vec![IdleAdvance::default(); slaves];
-        s.skip_idle_cycles(
-            Cycles::new(start),
-            count,
-            &runnable,
-            &mut advance,
-            &mut idle,
-        );
-        idle
     }
 
     #[test]

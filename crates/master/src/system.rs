@@ -19,6 +19,7 @@ use ptest_pcore::{Kernel, KernelConfig, KernelSnapshot, SemId, SvcRequest, VarId
 use ptest_soc::{CoreId, Cycles, MailboxBank, SharedSram, SramError, TraceBuffer, VirtualClock};
 
 use crate::mem::{IdleHorizon, MemoryModel, SharedVarBus};
+use crate::preempt::{self, InterruptPlan, PreemptionSpec};
 use crate::sched::{IdleAdvance, Scheduler};
 use crate::thread::{MasterOp, MasterThread, ThreadId, ThreadState};
 
@@ -169,7 +170,20 @@ pub struct MultiCoreSystem {
     sched_advance: Vec<bool>,
     /// Reused scratch of [`MultiCoreSystem::fast_forward_idle_with`].
     sched_idle: Vec<IdleAdvance>,
+    /// The installed preemption axis, if any (`None` is the inert
+    /// unpreempted fast path the golden fixtures pin).
+    preempt: Option<PreemptState>,
     cfg: SystemConfig,
+}
+
+/// The compiled preemption axis of one trial: the live injection queue
+/// and the per-slave clock-skew rates, both pure functions of
+/// `(spec, irq_seed)`.
+#[derive(Debug)]
+struct PreemptState {
+    spec: PreemptionSpec,
+    plan: InterruptPlan,
+    skew_rates: Vec<u32>,
 }
 
 /// Epoch-keyed snapshot cache for
@@ -276,8 +290,88 @@ impl MultiCoreSystem {
             sched_runnable: Vec::new(),
             sched_advance: Vec::new(),
             sched_idle: Vec::new(),
+            preempt: None,
             cfg,
         }
+    }
+
+    /// Installs (or, for an inert spec, removes) the preemption axis:
+    /// per-kernel quantum slices, the seeded [`InterruptPlan`], and the
+    /// seeded per-slave clock-skew rates. Everything is a pure function
+    /// of `(spec, irq_seed)`, so replaying a recorded trial reinstalls
+    /// the identical axis.
+    ///
+    /// The inert default spec compiles to the historical unpreempted
+    /// platform: no quantum on any kernel, no plan, no skew — the exact
+    /// code path the golden fixtures pin.
+    pub fn install_preemption(&mut self, spec: &PreemptionSpec, irq_seed: u64) {
+        let quantum = spec.quantum.map(|q| q.cycles);
+        for slave in &mut self.slaves {
+            slave.kernel.set_quantum(quantum);
+        }
+        if spec.is_inert() {
+            self.preempt = None;
+            return;
+        }
+        let slaves = self.slaves.len();
+        let plan = spec
+            .interrupts
+            .as_ref()
+            .map_or_else(InterruptPlan::empty, |cfg| {
+                InterruptPlan::new(cfg, irq_seed, slaves)
+            });
+        let skew_rates = spec.clock_skew.as_ref().map_or_else(
+            || vec![0; slaves],
+            |cfg| preempt::skew_rates(cfg, irq_seed, slaves),
+        );
+        self.preempt = Some(PreemptState {
+            spec: *spec,
+            plan,
+            skew_rates,
+        });
+    }
+
+    /// The installed (non-inert) preemption spec, if any.
+    #[must_use]
+    pub fn preemption_spec(&self) -> Option<&PreemptionSpec> {
+        self.preempt.as_ref().map(|p| &p.spec)
+    }
+
+    /// Planned interrupt injections not yet fired.
+    #[must_use]
+    pub fn pending_injections(&self) -> usize {
+        self.preempt.as_ref().map_or(0, |p| p.plan.remaining())
+    }
+
+    /// A slave's local time at system cycle `at` under the installed
+    /// clock skew (the identity when no skew is installed).
+    #[must_use]
+    pub fn local_time_of(&self, slave: usize, at: Cycles) -> Cycles {
+        match &self.preempt {
+            Some(state) => preempt::local_time(at, state.skew_rates[slave]),
+            None => at,
+        }
+    }
+
+    /// Total quantum preemptions across all slave kernels.
+    #[must_use]
+    pub fn total_preemptions(&self) -> u64 {
+        self.slaves
+            .iter()
+            .map(|s| s.kernel.preemption_count())
+            .sum()
+    }
+
+    /// Total completed ISR activations across all slave kernels.
+    #[must_use]
+    pub fn total_isr_runs(&self) -> u64 {
+        self.slaves.iter().map(|s| s.kernel.isr_runs()).sum()
+    }
+
+    /// Total cycles spent in interrupt context across all slave kernels.
+    #[must_use]
+    pub fn total_isr_cycles(&self) -> u64 {
+        self.slaves.iter().map(|s| s.kernel.isr_cycles()).sum()
     }
 
     /// Current virtual time.
@@ -588,8 +682,15 @@ impl MultiCoreSystem {
         if self.current_thread.is_some() || !self.inbox.is_empty() || self.mailboxes.any_pending() {
             return IdleHorizon::Unknown;
         }
-        for slave in &self.slaves {
-            if slave.kernel.has_dispatchable_work(next) || slave.kernel.pending_fence_count() > 0 {
+        for (i, slave) in self.slaves.iter().enumerate() {
+            // Under clock skew a slave's next tick carries its *local*
+            // time, so dispatchability (sleeper deadlines, pending
+            // unmasked interrupts, an active ISR frame, quantum-expiry
+            // rotations — all kernel-local) is probed at local time.
+            let local_next = self.local_time_of(i, next);
+            if slave.kernel.has_dispatchable_work(local_next)
+                || slave.kernel.pending_fence_count() > 0
+            {
                 return IdleHorizon::Unknown;
             }
         }
@@ -618,9 +719,19 @@ impl MultiCoreSystem {
         let mut merge = |at: u64| {
             horizon = Some(horizon.map_or(at, |h| h.min(at)));
         };
-        for slave in &self.slaves {
+        for (i, slave) in self.slaves.iter().enumerate() {
             if let Some(at) = slave.kernel.next_sleeper_wake() {
-                merge(at);
+                // Kernel sleeper deadlines are local-time; convert back
+                // to the system cycle that first reaches them.
+                let rate = self.preempt.as_ref().map_or(0, |p| p.skew_rates[i]);
+                merge(preempt::system_time_for(at, rate));
+            }
+        }
+        // A planned interrupt injection is an observable future event:
+        // never certify an idle window that crosses its firing cycle.
+        if let Some(state) = &self.preempt {
+            if let Some(fire) = state.plan.next_fire() {
+                merge(fire.max(next.get()));
             }
         }
         for t in &self.threads {
@@ -652,8 +763,14 @@ impl MultiCoreSystem {
         }
         self.clock.advance(Cycles::new(count));
         let now = self.clock.now();
-        for slave in &mut self.slaves {
-            slave.kernel.fast_forward_idle(count, now);
+        for (i, slave) in self.slaves.iter_mut().enumerate() {
+            // Each kernel's final timestamp is its local time — exactly
+            // what the last per-cycle tick would have handed it.
+            let lnow = match &self.preempt {
+                Some(state) => preempt::local_time(now, state.skew_rates[i]),
+                None => now,
+            };
+            slave.kernel.fast_forward_idle(count, lnow);
         }
     }
 
@@ -681,9 +798,13 @@ impl MultiCoreSystem {
         idle.resize(self.slaves.len(), IdleAdvance::default());
         scheduler.skip_idle_cycles(start, count, &runnable, &mut advance, &mut idle);
         self.clock.advance(Cycles::new(count));
-        for (slave, adv) in self.slaves.iter_mut().zip(idle.iter()) {
+        for (i, (slave, adv)) in self.slaves.iter_mut().zip(idle.iter()).enumerate() {
             if let Some(last) = adv.last {
-                slave.kernel.fast_forward_idle(adv.ticks, last);
+                let llast = match &self.preempt {
+                    Some(state) => preempt::local_time(last, state.skew_rates[i]),
+                    None => last,
+                };
+                slave.kernel.fast_forward_idle(adv.ticks, llast);
             }
         }
         self.sched_runnable = runnable;
@@ -697,7 +818,7 @@ impl MultiCoreSystem {
     /// response delivery, and one master-thread step under the
     /// round-robin quantum.
     pub fn step(&mut self) {
-        self.step_core(None, None);
+        self.step_explored(None, None);
     }
 
     /// [`MultiCoreSystem::step`] under a [`Scheduler`](crate::sched::Scheduler):
@@ -711,7 +832,7 @@ impl MultiCoreSystem {
     /// Driving a system with [`LockStepScheduler`](crate::sched::LockStepScheduler)
     /// is bit-identical to calling [`MultiCoreSystem::step`].
     pub fn step_with(&mut self, scheduler: &mut dyn crate::sched::Scheduler) {
-        self.step_scheduled(scheduler, None);
+        self.step_explored(Some(scheduler), None);
     }
 
     /// [`MultiCoreSystem::step`] under a [`MemoryModel`]: the model
@@ -723,18 +844,28 @@ impl MultiCoreSystem {
     /// [`MultiCoreSystem::step`] (up to write-write race resolution; see
     /// [`crate::mem`]).
     pub fn step_with_memory(&mut self, memory: &mut dyn MemoryModel) {
-        self.step_core(None, Some(memory));
+        self.step_explored(None, Some(memory));
     }
 
-    /// [`MultiCoreSystem::step`] under both a schedule and a memory
-    /// model — the fully explored platform cycle campaign trials run
-    /// when both axes are active.
+    /// The single platform-cycle entry point: one cycle under an
+    /// optional [`Scheduler`] and an optional [`MemoryModel`]. `None` on
+    /// either axis compiles to that axis's historical fast path — no
+    /// runnable scan or per-cycle mask without a scheduler, the
+    /// sequentially-consistent mirroring epoch without a model — so
+    /// `step_explored(None, None)` is bit-identical to the pre-refactor
+    /// [`MultiCoreSystem::step`]. The [`step`](MultiCoreSystem::step) /
+    /// [`step_with`](MultiCoreSystem::step_with) /
+    /// [`step_with_memory`](MultiCoreSystem::step_with_memory) trio are
+    /// thin wrappers over this.
     pub fn step_explored(
         &mut self,
-        scheduler: &mut dyn crate::sched::Scheduler,
-        memory: &mut dyn MemoryModel,
+        scheduler: Option<&mut (dyn crate::sched::Scheduler + '_)>,
+        memory: Option<&mut (dyn MemoryModel + '_)>,
     ) {
-        self.step_scheduled(scheduler, Some(memory));
+        match scheduler {
+            None => self.step_core(None, memory),
+            Some(scheduler) => self.step_scheduled(scheduler, memory),
+        }
     }
 
     /// The scheduled cycle: runnable scan, plan, masked step — with the
@@ -742,17 +873,19 @@ impl MultiCoreSystem {
     fn step_scheduled(
         &mut self,
         scheduler: &mut dyn crate::sched::Scheduler,
-        memory: Option<&mut dyn MemoryModel>,
+        memory: Option<&mut (dyn MemoryModel + '_)>,
     ) {
         let next = Cycles::new(self.clock.now().get() + 1);
         let mut runnable = std::mem::take(&mut self.sched_runnable);
         let mut advance = std::mem::take(&mut self.sched_advance);
         runnable.clear();
-        runnable.extend(
-            self.slaves
-                .iter()
-                .map(|s| s.kernel.has_dispatchable_work(next)),
-        );
+        runnable.extend(self.slaves.iter().enumerate().map(|(i, s)| {
+            let local_next = match &self.preempt {
+                Some(state) => preempt::local_time(next, state.skew_rates[i]),
+                None => next,
+            };
+            s.kernel.has_dispatchable_work(local_next)
+        }));
         advance.clear();
         advance.resize(self.slaves.len(), true);
         scheduler.plan(next, &runnable, &mut advance);
@@ -766,23 +899,44 @@ impl MultiCoreSystem {
     /// fast path with no per-cycle mask or runnable scan at all), and
     /// `memory` (if any) replaces the sequentially-consistent mirroring
     /// epoch with an explored [`MemoryModel`].
-    fn step_core(&mut self, mask: Option<&[bool]>, memory: Option<&mut dyn MemoryModel>) {
+    fn step_core(&mut self, mask: Option<&[bool]>, memory: Option<&mut (dyn MemoryModel + '_)>) {
         self.clock.tick();
         let now = self.clock.now();
 
+        // --- Injected interrupts: raise every planned event whose cycle
+        //     has arrived (taken by the kernel on this very tick, like a
+        //     hardware line going high just before the core's cycle).
+        if let Some(state) = &mut self.preempt {
+            while let Some(ev) = state.plan.pop_due(now.get()) {
+                let accepted = self.slaves[ev.slave].kernel.raise_interrupt();
+                let detail = if accepted {
+                    format!("planned @{}", ev.cycle)
+                } else {
+                    format!("planned @{} refused (no handler)", ev.cycle)
+                };
+                self.trace
+                    .record(now, CoreId::slave(ev.slave), "irq-inject", detail);
+            }
+        }
+
         // --- DSP side: doorbell interrupts preempt task execution (and
-        //     are never gated by the schedule).
+        //     are never gated by the schedule). Each slave sees its own
+        //     local time (the identity without installed clock skew).
         let budget = self.cfg.slave_budget;
         for (i, slave) in self.slaves.iter_mut().enumerate() {
+            let lnow = match &self.preempt {
+                Some(state) => preempt::local_time(now, state.skew_rates[i]),
+                None => now,
+            };
             slave.endpoint.service(
                 &mut self.sram,
                 &mut self.mailboxes,
                 &mut slave.kernel,
-                now,
+                lnow,
                 budget,
             );
             if mask.is_none_or(|m| m[i]) {
-                let _ = slave.kernel.tick(now);
+                let _ = slave.kernel.tick(lnow);
             }
         }
 
@@ -1877,5 +2031,196 @@ mod tests {
         cache.reset();
         s.snapshots_into_cached(&mut cache);
         assert_eq!(cache.dirty(), [true], "reset invalidates everything");
+    }
+
+    use crate::preempt::{ClockSkewConfig, InterruptConfig, PreemptionSpec, QuantumConfig};
+
+    fn spin_prog(s: &mut DualCoreSystem) -> ProgramId {
+        s.kernel_mut()
+            .register_program(Program::new(vec![Op::Jump(0)]).unwrap())
+    }
+
+    fn isr_prog(s: &mut MultiCoreSystem, slave: usize) -> ProgramId {
+        let p = s.kernel_of_mut(slave).register_program(
+            Program::new(vec![
+                Op::WriteVar {
+                    var: VarId(9),
+                    value: 1,
+                },
+                Op::Exit,
+            ])
+            .unwrap(),
+        );
+        s.kernel_of_mut(slave).set_isr_program(p);
+        p
+    }
+
+    #[test]
+    fn inert_preemption_spec_changes_nothing() {
+        let run_workload = |install: bool| {
+            let mut s = sys();
+            if install {
+                s.install_preemption(&PreemptionSpec::default(), 0xDEAD_BEEF);
+            }
+            let p = exit_prog(&mut s);
+            s.issue(SvcRequest::Create {
+                program: p,
+                priority: Priority::new(5),
+                stack_bytes: None,
+            })
+            .unwrap();
+            s.run(200);
+            s
+        };
+        let plain = run_workload(false);
+        let inert = run_workload(true);
+        assert_eq!(plain.snapshot(), inert.snapshot());
+        assert_eq!(inert.preemption_spec(), None, "inert spec installs nothing");
+        assert_eq!(inert.total_preemptions(), 0);
+        assert_eq!(inert.total_isr_runs(), 0);
+        assert_eq!(inert.pending_injections(), 0);
+    }
+
+    #[test]
+    fn quantum_rotates_cores_between_spinning_tasks() {
+        let ops_of = |s: &MultiCoreSystem| -> Vec<u64> {
+            let mut ops: Vec<u64> = s.snapshot().tasks.iter().map(|t| t.ops_retired).collect();
+            ops.sort_unstable();
+            ops
+        };
+        let run_spinners = |spec: Option<PreemptionSpec>| {
+            let mut s = sys();
+            if let Some(spec) = spec {
+                s.install_preemption(&spec, 3);
+            }
+            let p = spin_prog(&mut s);
+            for pri in [5, 3] {
+                s.issue(SvcRequest::Create {
+                    program: p,
+                    priority: Priority::new(pri),
+                    stack_bytes: None,
+                })
+                .unwrap();
+            }
+            s.run(400);
+            s
+        };
+        let unpreempted = run_spinners(None);
+        assert_eq!(
+            ops_of(&unpreempted)[0],
+            0,
+            "without a quantum the high-priority spinner starves the other"
+        );
+        let sliced = run_spinners(Some(PreemptionSpec {
+            quantum: Some(QuantumConfig { cycles: 8 }),
+            ..PreemptionSpec::default()
+        }));
+        assert!(
+            ops_of(&sliced)[0] > 0,
+            "quantum slices hand the core to the low-priority spinner"
+        );
+        assert!(sliced.total_preemptions() > 0);
+    }
+
+    #[test]
+    fn planned_interrupts_run_the_isr_deterministically() {
+        let spec = PreemptionSpec {
+            interrupts: Some(InterruptConfig {
+                count: 3,
+                horizon: 200,
+                injection_mask: u64::MAX,
+            }),
+            ..PreemptionSpec::default()
+        };
+        let run_once = || {
+            let mut s = sys();
+            isr_prog(&mut s, 0);
+            s.install_preemption(&spec, 42);
+            s.run(300);
+            s
+        };
+        let a = run_once();
+        assert_eq!(a.total_isr_runs(), 3, "every planned injection ran the ISR");
+        assert_eq!(a.pending_injections(), 0);
+        assert_eq!(a.kernel().var(VarId(9)), Some(1), "the ISR body executed");
+        assert!(
+            a.trace().iter().any(|e| e.kind == "irq-inject"),
+            "injections are traced"
+        );
+        let b = run_once();
+        assert_eq!(a.snapshot(), b.snapshot(), "the irq axis replays exactly");
+    }
+
+    #[test]
+    fn fast_forward_replays_planned_injections_exactly() {
+        let spec = PreemptionSpec {
+            interrupts: Some(InterruptConfig {
+                count: 2,
+                horizon: 400,
+                injection_mask: u64::MAX,
+            }),
+            ..PreemptionSpec::default()
+        };
+        let mk = || {
+            let mut s = sys();
+            isr_prog(&mut s, 0);
+            s.install_preemption(&spec, 77);
+            s
+        };
+        let mut stepped = mk();
+        for _ in 0..500 {
+            stepped.step();
+        }
+        let mut ffwd = mk();
+        let mut rounds = 0;
+        while ffwd.now().get() < 500 {
+            let left = 500 - ffwd.now().get();
+            match ffwd.quiescent_horizon() {
+                IdleHorizon::Until(at) if at > ffwd.now().get() + 1 => {
+                    ffwd.fast_forward_idle((at - ffwd.now().get() - 1).min(left));
+                }
+                IdleHorizon::Unbounded => ffwd.fast_forward_idle(left),
+                _ => ffwd.step(),
+            }
+            rounds += 1;
+            assert!(rounds < 1_000, "fast-forward must make progress");
+        }
+        assert!(
+            rounds < 500,
+            "the horizon must certify some skippable idle windows"
+        );
+        assert_eq!(stepped.total_isr_runs(), 2);
+        assert_eq!(
+            ffwd.snapshot(),
+            stepped.snapshot(),
+            "fast-forward is bit-identical across injection cycles"
+        );
+        assert_eq!(ffwd.total_isr_runs(), stepped.total_isr_runs());
+    }
+
+    #[test]
+    fn clock_skew_diverges_per_slave_local_time() {
+        let spec = PreemptionSpec {
+            clock_skew: Some(ClockSkewConfig { max_rate: 512 }),
+            ..PreemptionSpec::default()
+        };
+        let mut s = MultiCoreSystem::new(SystemConfig::with_slaves(3));
+        s.install_preemption(&spec, 11);
+        s.run(1_000);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..3 {
+            let local = s.local_time_of(i, s.now());
+            assert_eq!(
+                s.snapshot_of(i).now,
+                local,
+                "each kernel's clock is its local time"
+            );
+            assert!(local.get() >= 1_000, "skewed clocks only run fast");
+            distinct.insert(local.get());
+        }
+        assert!(
+            distinct.len() > 1,
+            "a 50% max skew over 1000 cycles must separate 3 slaves: {distinct:?}"
+        );
     }
 }

@@ -1,0 +1,61 @@
+//! Shared test-only scheduler replay shims, used by the `sched` unit
+//! tests and the preemption/system suites alike: one-cycle planning and
+//! the per-cycle idle replay that closed-form `skip_idle_cycles`
+//! overrides are checked against.
+
+use crate::sched::{IdleAdvance, Scheduler};
+use ptest_soc::Cycles;
+
+/// Plans one cycle (at cycle 1) over `runnable` and returns the advance
+/// mask.
+pub(crate) fn plan_once(s: &mut dyn Scheduler, runnable: &[bool]) -> Vec<bool> {
+    let mut advance = vec![true; runnable.len()];
+    s.plan(Cycles::new(1), runnable, &mut advance);
+    advance
+}
+
+/// Replays `count` cycles one by one with an all-false runnable set —
+/// the `skip_idle_cycles` default implementation, hoisted so tests can
+/// compare a closed-form override against it on the same type.
+pub(crate) fn replay_idle(
+    s: &mut dyn Scheduler,
+    start: u64,
+    count: u64,
+    slaves: usize,
+) -> Vec<IdleAdvance> {
+    let runnable = vec![false; slaves];
+    let mut advance = vec![true; slaves];
+    let mut idle = vec![IdleAdvance::default(); slaves];
+    for c in 0..count {
+        advance.fill(true);
+        s.plan(Cycles::new(start + c), &runnable, &mut advance);
+        for (i, &a) in advance.iter().enumerate() {
+            if a {
+                idle[i].ticks += 1;
+                idle[i].last = Some(Cycles::new(start + c));
+            }
+        }
+    }
+    idle
+}
+
+/// Skips `count` idle cycles in one `skip_idle_cycles` call and returns
+/// the per-slave idle advances.
+pub(crate) fn skip_idle(
+    s: &mut dyn Scheduler,
+    start: u64,
+    count: u64,
+    slaves: usize,
+) -> Vec<IdleAdvance> {
+    let runnable = vec![false; slaves];
+    let mut advance = vec![true; slaves];
+    let mut idle = vec![IdleAdvance::default(); slaves];
+    s.skip_idle_cycles(
+        Cycles::new(start),
+        count,
+        &runnable,
+        &mut advance,
+        &mut idle,
+    );
+    idle
+}

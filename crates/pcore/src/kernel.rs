@@ -256,8 +256,33 @@ pub enum TickOutcome {
     Idle,
     /// The given task consumed the cycle.
     Ran(TaskId),
+    /// The interrupt-service routine consumed the cycle, preempting
+    /// whatever task would otherwise have run.
+    Isr,
     /// The kernel is dead; nothing ran.
     Panicked,
+}
+
+/// Execution context of the interrupt-service routine: the pc/register
+/// frame of the high-priority pseudo-task that preempts the current
+/// task while an interrupt is being serviced. ISRs share the task ISA
+/// but run above every task priority and cannot block — the frame is
+/// the only state they own.
+#[derive(Debug, Clone, Copy)]
+struct IsrFrame {
+    pc: u16,
+    regs: [i64; crate::program::NUM_REGS],
+    compute_remaining: u64,
+}
+
+impl IsrFrame {
+    fn new() -> IsrFrame {
+        IsrFrame {
+            pc: 0,
+            regs: [0; crate::program::NUM_REGS],
+            compute_remaining: 0,
+        }
+    }
 }
 
 /// A synchronization resource referenced by a wait edge.
@@ -373,6 +398,25 @@ pub struct Kernel {
     /// Incrementally maintained [`Kernel::live_task_count`]: +1 on task
     /// creation, -1 when a live task terminates.
     live_count: usize,
+    /// Quantum length in executed cycles, or `None` for the classic
+    /// run-to-block scheduler (the byte-identical fast path).
+    quantum: Option<u32>,
+    /// Executed cycles of the current task's time slice.
+    slice_used: u32,
+    /// Involuntary quantum-expiry switches performed.
+    preemptions: u64,
+    /// Program run in interrupt context, installed by the platform.
+    isr_program: Option<ProgramId>,
+    /// Active ISR execution frame, if an interrupt is being serviced.
+    isr: Option<IsrFrame>,
+    /// Interrupts raised but not yet serviced.
+    irq_pending: u32,
+    /// Interrupt delivery disabled ([`Op::IrqMask`]).
+    irq_masked: bool,
+    /// Completed ISR activations.
+    isr_runs: u64,
+    /// Cycles consumed in interrupt context.
+    isr_cycles: u64,
 }
 
 impl Kernel {
@@ -414,6 +458,15 @@ impl Kernel {
             pending_fences: 0,
             epoch: 0,
             live_count: 0,
+            quantum: None,
+            slice_used: 0,
+            preemptions: 0,
+            isr_program: None,
+            isr: None,
+            irq_pending: 0,
+            irq_masked: false,
+            isr_runs: 0,
+            isr_cycles: 0,
             cfg,
         }
     }
@@ -610,15 +663,20 @@ impl Kernel {
     }
 
     /// Whether a [`Kernel::tick`] at `now` could make task-level progress:
-    /// a runnable task exists, or a sleeper's deadline has passed so the
-    /// tick would wake it. Schedule exploration uses this to tell which
-    /// kernels are worth advancing — skipping a kernel for which this is
-    /// `false` is observationally free (the tick would only bump idle
-    /// counters). Always `false` on a panicked kernel.
+    /// a runnable task exists, a sleeper's deadline has passed so the
+    /// tick would wake it, an ISR is mid-flight, or an unmasked interrupt
+    /// is pending (the tick would enter its ISR). Schedule exploration
+    /// uses this to tell which kernels are worth advancing — skipping a
+    /// kernel for which this is `false` is observationally free (the tick
+    /// would only bump idle counters). Always `false` on a panicked
+    /// kernel.
     #[must_use]
     pub fn has_dispatchable_work(&self, now: Cycles) -> bool {
         if self.panic.is_some() {
             return false;
+        }
+        if self.isr.is_some() || (self.irq_pending > 0 && !self.irq_masked) {
+            return true;
         }
         self.tasks.iter().flatten().any(|t| {
             t.is_runnable()
@@ -627,6 +685,83 @@ impl Kernel {
                     TaskState::Blocked(WaitReason::Sleep { until }) if until <= now.get()
                 )
         })
+    }
+
+    /// Sets the scheduling quantum: `Some(q)` preempts the running task
+    /// after `q` consecutive executed cycles, handing the core to the
+    /// highest-priority *other* runnable task for the next slice; `None`
+    /// (the default) restores the classic run-to-block behaviour, which
+    /// is the byte-identical fast path golden fixtures pin.
+    pub fn set_quantum(&mut self, quantum: Option<u32>) {
+        self.quantum = quantum;
+        self.slice_used = 0;
+    }
+
+    /// The active scheduling quantum, if any.
+    #[must_use]
+    pub fn quantum(&self) -> Option<u32> {
+        self.quantum
+    }
+
+    /// Installs the program run in interrupt context. Until a handler is
+    /// installed, [`Kernel::raise_interrupt`] is refused — a core with
+    /// no ISR vector cannot take interrupts.
+    pub fn set_isr_program(&mut self, program: ProgramId) {
+        self.isr_program = Some(program);
+    }
+
+    /// The installed interrupt-service program, if any.
+    #[must_use]
+    pub fn isr_program(&self) -> Option<ProgramId> {
+        self.isr_program
+    }
+
+    /// Queues one interrupt for this core (the platform's deterministic
+    /// injection path). The ISR is entered at the next [`Kernel::tick`]
+    /// with interrupts unmasked. Returns `false` — and drops the
+    /// interrupt — on a panicked kernel or when no handler is installed.
+    pub fn raise_interrupt(&mut self) -> bool {
+        if self.panic.is_some() || self.isr_program.is_none() {
+            return false;
+        }
+        self.irq_pending += 1;
+        true
+    }
+
+    /// Interrupts raised but not yet serviced.
+    #[must_use]
+    pub fn irq_pending(&self) -> u32 {
+        self.irq_pending
+    }
+
+    /// Whether interrupt delivery is currently masked ([`Op::IrqMask`]).
+    #[must_use]
+    pub fn irq_masked(&self) -> bool {
+        self.irq_masked
+    }
+
+    /// Whether an ISR is mid-flight.
+    #[must_use]
+    pub fn isr_active(&self) -> bool {
+        self.isr.is_some()
+    }
+
+    /// Completed ISR activations.
+    #[must_use]
+    pub fn isr_runs(&self) -> u64 {
+        self.isr_runs
+    }
+
+    /// Cycles consumed in interrupt context.
+    #[must_use]
+    pub fn isr_cycles(&self) -> u64 {
+        self.isr_cycles
+    }
+
+    /// Involuntary quantum-expiry switches performed.
+    #[must_use]
+    pub fn preemption_count(&self) -> u64 {
+        self.preemptions
     }
 
     /// The state of a task slot, if it ever held a task.
@@ -932,6 +1067,50 @@ impl Kernel {
             .map(|t| t.id)
     }
 
+    /// [`Kernel::pick_next`] under quantum scheduling: the running task
+    /// keeps the core until its slice of `quantum` executed cycles
+    /// expires (preemption happens at slice boundaries, not the instant
+    /// a higher priority becomes ready); on expiry the leader is demoted
+    /// for one pick and the highest-priority *other* runnable task gets
+    /// the next slice, falling back to a renewed slice when it is alone.
+    fn pick_next_quantum(&mut self, quantum: u32) -> Option<TaskId> {
+        let current_runnable = self
+            .current
+            .and_then(|c| self.tcb(c))
+            .is_some_and(Tcb::is_runnable);
+        if !current_runnable {
+            return self.pick_next();
+        }
+        if self.slice_used < quantum {
+            return self.current;
+        }
+        let demoted = self.current;
+        let next = self
+            .tasks
+            .iter()
+            .flatten()
+            .filter(|t| t.is_runnable() && Some(t.id) != demoted)
+            .max_by_key(|t| t.priority)
+            .map(|t| t.id);
+        match next {
+            Some(next) => {
+                self.preemptions += 1;
+                self.trace.record(
+                    self.now,
+                    self.core,
+                    "sched",
+                    format!("quantum expires: preempt for {next}"),
+                );
+                Some(next)
+            }
+            None => {
+                // Alone on the core: the slice renews in place.
+                self.slice_used = 0;
+                demoted
+            }
+        }
+    }
+
     fn wake_sleepers(&mut self) -> bool {
         let now = self.now.get();
         let mut woke = false;
@@ -957,7 +1136,31 @@ impl Kernel {
             self.epoch += 1;
         }
 
-        let Some(next) = self.pick_next() else {
+        // Interrupt entry: a pending, unmasked interrupt activates the
+        // ISR frame, preempting whatever task would otherwise run. The
+        // preempted task's slice is frozen, not consumed — it resumes
+        // where it left off when the ISR exits.
+        if self.isr.is_none() && self.irq_pending > 0 && !self.irq_masked {
+            self.irq_pending -= 1;
+            self.isr = Some(IsrFrame::new());
+            self.trace
+                .record(self.now, self.core, "isr", "enter".to_owned());
+        }
+        if self.isr.is_some() {
+            self.epoch += 1;
+            self.isr_cycles += 1;
+            self.run_isr_cycle();
+            if self.panic.is_some() {
+                return TickOutcome::Panicked;
+            }
+            return TickOutcome::Isr;
+        }
+
+        let picked = match self.quantum {
+            Some(q) => self.pick_next_quantum(q),
+            None => self.pick_next(),
+        };
+        let Some(next) = picked else {
             self.idle_ticks += 1;
             return TickOutcome::Idle;
         };
@@ -967,12 +1170,168 @@ impl Kernel {
             self.trace
                 .record(self.now, self.core, "sched", format!("run {next}"));
             self.current = Some(next);
+            self.slice_used = 0;
         }
         self.run_one(next);
+        self.slice_used = self.slice_used.wrapping_add(1);
         if self.panic.is_some() {
             return TickOutcome::Panicked;
         }
         TickOutcome::Ran(next)
+    }
+
+    /// Executes one cycle of the active ISR frame. ISRs share the task
+    /// ISA but run in interrupt context: they own only their frame, may
+    /// not block, sleep or touch the heap (such ops end the ISR as a
+    /// handler bug, traced), and exit via [`Op::Exit`].
+    fn run_isr_cycle(&mut self) {
+        let mut frame = self.isr.expect("run_isr_cycle without active frame");
+        if frame.compute_remaining > 0 {
+            frame.compute_remaining -= 1;
+            self.isr = Some(frame);
+            return;
+        }
+        let program = self
+            .isr_program
+            .expect("ISR frame active without a handler installed");
+        let op = self
+            .programs
+            .get(usize::from(program.0))
+            .and_then(|p| p.op(frame.pc));
+        let Some(op) = op else {
+            self.isr_exit("pc out of range");
+            return;
+        };
+        match op {
+            Op::Compute(n) => {
+                frame.compute_remaining = u64::from(n.saturating_sub(1));
+                frame.pc += 1;
+            }
+            Op::ReadVar { var, reg } => {
+                let Some(value) = self.vars.get(usize::from(var.0)).copied() else {
+                    self.isr_exit("bad var");
+                    return;
+                };
+                frame.regs[usize::from(reg)] = value;
+                frame.pc += 1;
+            }
+            Op::WriteVar { var, value } => {
+                if self.isr_write_var(var, value).is_err() {
+                    return;
+                }
+                frame.pc += 1;
+            }
+            Op::WriteVarReg { var, reg } => {
+                let value = frame.regs[usize::from(reg)];
+                if self.isr_write_var(var, value).is_err() {
+                    return;
+                }
+                frame.pc += 1;
+            }
+            Op::AddReg { reg, delta } => {
+                let r = &mut frame.regs[usize::from(reg)];
+                *r = r.wrapping_add(delta);
+                frame.pc += 1;
+            }
+            Op::BranchIfVarEq { var, value, target } => {
+                let Some(current) = self.vars.get(usize::from(var.0)).copied() else {
+                    self.isr_exit("bad var");
+                    return;
+                };
+                frame.pc = if current == value {
+                    target
+                } else {
+                    frame.pc + 1
+                };
+            }
+            Op::BranchIfRegEq { reg, value, target } => {
+                let current = frame.regs[usize::from(reg)];
+                frame.pc = if current == value {
+                    target
+                } else {
+                    frame.pc + 1
+                };
+            }
+            Op::Jump(target) => frame.pc = target,
+            Op::Fence => {
+                self.pending_fences += 1;
+                frame.pc += 1;
+            }
+            Op::SemPost(sem) => {
+                // The interrupt-context post: identical to the external
+                // hand-off path, so ISRs can signal tasks.
+                if let Some(s) = self.sems.get_mut(usize::from(sem.0)) {
+                    if let Some(woken) = s.post() {
+                        if let Some(t) = self.tcb_mut(woken) {
+                            if matches!(
+                                t.state,
+                                TaskState::Blocked(WaitReason::Semaphore(s2)) if s2 == sem
+                            ) {
+                                t.state = TaskState::Ready;
+                            }
+                        }
+                    }
+                    frame.pc += 1;
+                } else {
+                    self.isr_exit("bad semaphore");
+                    return;
+                }
+            }
+            Op::IrqMask => {
+                self.irq_masked = true;
+                frame.pc += 1;
+            }
+            Op::IrqUnmask => {
+                self.irq_masked = false;
+                frame.pc += 1;
+            }
+            Op::Exit => {
+                self.isr = None;
+                self.isr_runs += 1;
+                self.trace
+                    .record(self.now, self.core, "isr", "exit".to_owned());
+                return;
+            }
+            Op::Alloc { .. }
+            | Op::Free { .. }
+            | Op::StackProbe(_)
+            | Op::Yield
+            | Op::SemWait(_)
+            | Op::MutexLock(_)
+            | Op::MutexUnlock(_)
+            | Op::SleepFor(_) => {
+                self.isr_exit("blocking op in interrupt context");
+                return;
+            }
+        }
+        self.isr = Some(frame);
+    }
+
+    /// Ends the active ISR on a handler bug, tracing the reason.
+    fn isr_exit(&mut self, reason: &str) {
+        self.isr = None;
+        self.isr_runs += 1;
+        self.trace
+            .record(self.now, self.core, "isr", format!("abort: {reason}"));
+    }
+
+    /// A shared-variable store from interrupt context. `Err` means the
+    /// variable was unknown and the ISR was aborted.
+    fn isr_write_var(&mut self, var: VarId, value: i64) -> Result<(), ()> {
+        let Some(slot) = self.vars.get_mut(usize::from(var.0)) else {
+            self.isr_exit("bad var");
+            return Err(());
+        };
+        *slot = value;
+        if self.cfg.trace_accesses {
+            self.trace.record(
+                self.now,
+                self.core,
+                "var-write",
+                format!("isr {var}={value}"),
+            );
+        }
+        Ok(())
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1263,6 +1622,22 @@ impl Kernel {
                 t.pc += 1;
                 t.ops_retired += 1;
                 self.current = None;
+            }
+            Op::IrqMask => {
+                self.irq_masked = true;
+                if self.cfg.trace_accesses {
+                    self.trace
+                        .record(self.now, self.core, "irq", format!("{task} masks"));
+                }
+                advance(self);
+            }
+            Op::IrqUnmask => {
+                self.irq_masked = false;
+                if self.cfg.trace_accesses {
+                    self.trace
+                        .record(self.now, self.core, "irq", format!("{task} unmasks"));
+                }
+                advance(self);
             }
             Op::Exit => {
                 self.terminate(task, ExitKind::Normal);
@@ -2038,5 +2413,196 @@ mod tests {
         assert_eq!(k.var(VarId(3)), Some(-7));
         k.set_var(VarId(60_000), 1); // unknown var: ignored
         assert_eq!(k.var(VarId(60_000)), None);
+    }
+
+    fn ops_retired_of(k: &Kernel, t: TaskId) -> u64 {
+        k.snapshot()
+            .tasks
+            .iter()
+            .find(|s| s.id == t)
+            .map(|s| s.ops_retired)
+            .unwrap()
+    }
+
+    #[test]
+    fn quantum_expiry_rotates_between_compute_bound_tasks() {
+        let mut k = kernel();
+        // A self-loop retires one op per executed cycle, so ops_retired
+        // counts exactly the cycles each task got.
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        let low = create(&mut k, p, 1);
+        let high = create(&mut k, p, 9);
+        k.set_quantum(Some(4));
+        run(&mut k, 16);
+        // Two full rotations: 4 cycles high, 4 low, 4 high, 4 low.
+        let high_cycles = ops_retired_of(&k, high);
+        let low_cycles = ops_retired_of(&k, low);
+        assert!(
+            low_cycles > 0,
+            "quantum expiry must hand the starved task a slice"
+        );
+        assert_eq!(high_cycles + low_cycles, 16);
+        assert_eq!(high_cycles, low_cycles, "4-cycle slices alternate evenly");
+        assert_eq!(
+            k.preemption_count(),
+            3,
+            "three involuntary switches in 16 cycles"
+        );
+    }
+
+    #[test]
+    fn without_quantum_low_priority_task_starves() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Compute(1000), Op::Exit]).unwrap());
+        let low = create(&mut k, p, 1);
+        create(&mut k, p, 9);
+        run(&mut k, 16);
+        assert_eq!(ops_retired_of(&k, low), 0);
+        assert_eq!(k.preemption_count(), 0);
+    }
+
+    #[test]
+    fn lone_task_renews_its_slice_in_place() {
+        let mut k = kernel();
+        let p = k.register_program(Program::new(vec![Op::Jump(0)]).unwrap());
+        let t = create(&mut k, p, 5);
+        k.set_quantum(Some(2));
+        run(&mut k, 10);
+        assert_eq!(ops_retired_of(&k, t), 10);
+        assert_eq!(k.preemption_count(), 0, "no one to preempt for");
+        assert_eq!(k.snapshot().ctx_switches, 1, "only the initial dispatch");
+    }
+
+    #[test]
+    fn interrupt_runs_isr_and_preempted_task_resumes() {
+        let mut k = kernel();
+        let isr = k.register_program(
+            Program::new(vec![
+                Op::WriteVar {
+                    var: VarId(0),
+                    value: 99,
+                },
+                Op::Exit,
+            ])
+            .unwrap(),
+        );
+        let p = k.register_program(Program::new(vec![Op::Compute(100), Op::Exit]).unwrap());
+        let t = create(&mut k, p, 5);
+        k.set_isr_program(isr);
+        run(&mut k, 3);
+        let before = ops_retired_of(&k, t);
+        assert!(k.raise_interrupt());
+        run(&mut k, 2); // ISR: write + exit
+        assert_eq!(k.var(VarId(0)), Some(99), "ISR write landed");
+        assert_eq!(k.isr_runs(), 1);
+        assert_eq!(k.isr_cycles(), 2);
+        assert!(!k.isr_active());
+        assert_eq!(
+            ops_retired_of(&k, t),
+            before,
+            "preempted task must not retire ops while the ISR runs"
+        );
+        run(&mut k, 200);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Normal)),
+            "preempted task resumes and completes"
+        );
+    }
+
+    #[test]
+    fn interrupts_refused_without_a_handler() {
+        let mut k = kernel();
+        assert!(!k.raise_interrupt());
+        assert_eq!(k.irq_pending(), 0);
+    }
+
+    #[test]
+    fn irq_mask_defers_isr_until_unmask() {
+        let mut k = kernel();
+        let isr = k.register_program(
+            Program::new(vec![
+                Op::WriteVar {
+                    var: VarId(0),
+                    value: 1,
+                },
+                Op::Exit,
+            ])
+            .unwrap(),
+        );
+        // Mask, busy-spin a while, unmask, then exit.
+        let p = k.register_program(
+            Program::new(vec![
+                Op::IrqMask,
+                Op::Compute(10),
+                Op::IrqUnmask,
+                Op::Compute(5),
+                Op::Exit,
+            ])
+            .unwrap(),
+        );
+        create(&mut k, p, 5);
+        k.set_isr_program(isr);
+        run(&mut k, 2); // executes IrqMask, starts Compute
+        assert!(k.irq_masked());
+        assert!(k.raise_interrupt());
+        run(&mut k, 5);
+        assert_eq!(k.var(VarId(0)), Some(0), "masked: ISR must not run yet");
+        assert_eq!(k.irq_pending(), 1);
+        run(&mut k, 20);
+        assert_eq!(k.var(VarId(0)), Some(1), "unmask releases the queued irq");
+        assert_eq!(k.irq_pending(), 0);
+        assert_eq!(k.isr_runs(), 1);
+    }
+
+    #[test]
+    fn pending_interrupt_counts_as_dispatchable_work() {
+        let mut k = kernel();
+        let isr = exit_prog(&mut k);
+        assert!(!k.has_dispatchable_work(Cycles::new(5)));
+        k.set_isr_program(isr);
+        assert!(k.raise_interrupt());
+        assert!(k.has_dispatchable_work(Cycles::new(5)));
+        run(&mut k, 1); // services the (empty) ISR: Exit
+        assert!(!k.has_dispatchable_work(Cycles::new(6)));
+        assert_eq!(k.isr_runs(), 1);
+    }
+
+    #[test]
+    fn blocking_op_in_isr_aborts_the_handler() {
+        let mut k = kernel();
+        let isr = k.register_program(Program::new(vec![Op::SleepFor(5), Op::Exit]).unwrap());
+        k.set_isr_program(isr);
+        assert!(k.raise_interrupt());
+        run(&mut k, 3);
+        assert!(!k.isr_active(), "blocking handler must be aborted");
+        assert_eq!(k.isr_runs(), 1);
+        let aborted = k
+            .trace()
+            .iter()
+            .any(|e| e.kind == "isr" && e.detail.contains("abort"));
+        assert!(aborted, "abort must be traced");
+    }
+
+    #[test]
+    fn isr_sem_post_wakes_a_blocked_task() {
+        let mut k = kernel();
+        let s = k.create_semaphore(0);
+        let isr = k.register_program(Program::new(vec![Op::SemPost(s), Op::Exit]).unwrap());
+        let p = k.register_program(Program::new(vec![Op::SemWait(s), Op::Exit]).unwrap());
+        let t = create(&mut k, p, 5);
+        k.set_isr_program(isr);
+        run(&mut k, 5);
+        assert!(matches!(
+            k.task_state(t),
+            Some(TaskState::Blocked(WaitReason::Semaphore(_)))
+        ));
+        assert!(k.raise_interrupt());
+        run(&mut k, 10);
+        assert_eq!(
+            k.task_state(t),
+            Some(TaskState::Terminated(ExitKind::Normal)),
+            "ISR post must wake the waiter"
+        );
     }
 }

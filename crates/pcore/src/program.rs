@@ -111,6 +111,14 @@ pub enum Op {
     /// observed are forced out with it. A no-op under sequentially
     /// consistent propagation, where every store is already visible.
     Fence,
+    /// Disable interrupt delivery on this core: pending interrupts stay
+    /// queued and no ISR preempts until [`Op::IrqUnmask`]. Models the
+    /// critical-section `HWI_disable()` of the embedded kernels the
+    /// paper targets.
+    IrqMask,
+    /// Re-enable interrupt delivery on this core; a queued interrupt is
+    /// serviced at the next kernel tick.
+    IrqUnmask,
     /// Terminate this task normally.
     Exit,
 }
@@ -124,6 +132,7 @@ impl Op {
     pub fn base_cost(&self) -> u64 {
         match self {
             Op::Compute(_) | Op::Jump(_) | Op::AddReg { .. } | Op::Fence => 1,
+            Op::IrqMask | Op::IrqUnmask => 1,
             Op::ReadVar { .. }
             | Op::WriteVar { .. }
             | Op::WriteVarReg { .. }
@@ -162,6 +171,8 @@ impl fmt::Display for Op {
             Op::MutexUnlock(m) => write!(f, "unlock {m}"),
             Op::SleepFor(n) => write!(f, "sleep {n}"),
             Op::Fence => write!(f, "fence"),
+            Op::IrqMask => write!(f, "irq_mask"),
+            Op::IrqUnmask => write!(f, "irq_unmask"),
             Op::Exit => write!(f, "exit"),
         }
     }

@@ -312,7 +312,7 @@ mod tests {
             i += 1;
             match k.tick(Cycles::new(i)) {
                 TickOutcome::Idle => break,
-                TickOutcome::Ran(_) => assert!(i < 1_000_000, "runaway"),
+                TickOutcome::Ran(_) | TickOutcome::Isr => assert!(i < 1_000_000, "runaway"),
                 TickOutcome::Panicked => panic!("kernel panicked"),
             }
         }

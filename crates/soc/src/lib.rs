@@ -54,6 +54,7 @@ mod clock;
 mod error;
 mod mailbox;
 mod queue;
+pub mod seed;
 mod sram;
 mod trace;
 
